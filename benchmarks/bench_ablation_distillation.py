@@ -1,0 +1,65 @@
+"""Ablation — distilling the stacked ensemble (Sec 5 / ref [17]).
+
+The paper's Limitations section: model distillation is the orthogonal lever
+for inference energy — 'distilling the large stacking models of AutoGluon
+with a DNN'.  This bench trains AutoGluon, distills the deployed stack into
+a single soft-label student, and compares the three deployment options
+(full stack / refit preset / distilled student) on the accuracy-vs-
+inference-energy plane.
+"""
+
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.datasets import load_dataset
+from repro.ensemble import distill, distillation_report
+from repro.energy import kwh_per_prediction
+from repro.metrics import balanced_accuracy_score
+from repro.systems import AutoGluonSystem
+
+SCALE = 0.004
+
+
+def _run_ablation():
+    ds = load_dataset("phoneme")
+    system = AutoGluonSystem(random_state=0, time_scale=SCALE)
+    system.fit(ds.X_train, ds.y_train, budget_s=60,
+               categorical_mask=ds.categorical_mask)
+    teacher = system.model_
+
+    student = distill(teacher, ds.X_train, random_state=0)
+    report = distillation_report(teacher, student, ds.X_test, ds.y_test)
+
+    refit_system = AutoGluonSystem(
+        random_state=0, time_scale=SCALE, optimize_for_inference=True,
+    )
+    refit_system.fit(ds.X_train, ds.y_train, budget_s=60,
+                     categorical_mask=ds.categorical_mask)
+
+    rows = [
+        ["full stack", report["teacher_accuracy"],
+         report["teacher_kwh_per_instance"]],
+        ["refit preset",
+         balanced_accuracy_score(
+             ds.y_test, refit_system.predict(ds.X_test)),
+         refit_system.inference_kwh_per_instance()],
+        ["distilled student", report["student_accuracy"],
+         report["student_kwh_per_instance"]],
+    ]
+    return rows, report
+
+
+def test_ablation_distillation(benchmark):
+    rows, report = benchmark.pedantic(_run_ablation, rounds=1, iterations=1)
+    emit("Ablation — deployment options for the AutoGluon stack\n\n"
+         + format_table(
+             ["deployment", "bal.acc", "inference kWh/inst"], rows)
+         + f"\n\nstudent/teacher agreement: {report['agreement']:.2f}; "
+           f"inference-energy reduction: "
+           f"{100 * report['energy_reduction']:.0f}%")
+
+    # distillation removes most of the ensembling energy (the paper's
+    # suggested remedy for O1)...
+    assert report["energy_reduction"] > 0.5
+    # ...while keeping accuracy in the teacher's neighbourhood
+    assert report["student_accuracy"] >= report["teacher_accuracy"] - 0.1

@@ -1,0 +1,78 @@
+"""Ablation — the ensembling ladder (Sec 2.3, 'Ensembling' + O1).
+
+AutoGluon in three configurations: full stacking, bagging only (no second
+layer), and the refit preset.  The ladder shows where the inference-energy
+order of magnitude comes from: every rung removed cuts the deployed model
+count and the kWh/prediction.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.reporting import format_table
+from repro.datasets import load_dataset
+from repro.ensemble import StackingEnsemble
+from repro.metrics import balanced_accuracy_score
+from repro.systems import AutoGluonSystem
+from repro.systems.autogluon import default_portfolio
+
+BUDGET_S = 60.0
+SCALE = 0.004
+
+
+def _run_ladder():
+    ds = load_dataset("phoneme")
+    rows = []
+    results = {}
+    for label, kwargs in (
+        ("stacking (default)", {}),
+        ("refit preset", {"optimize_for_inference": True}),
+    ):
+        system = AutoGluonSystem(random_state=0, time_scale=SCALE, **kwargs)
+        system.fit(ds.X_train, ds.y_train, budget_s=BUDGET_S,
+                   categorical_mask=ds.categorical_mask)
+        acc = balanced_accuracy_score(ds.y_test, system.predict(ds.X_test))
+        inf = system.inference_kwh_per_instance()
+        rows.append([label, acc, system.n_ensemble_members, inf])
+        results[label] = (acc, system.n_ensemble_members, inf)
+
+    # bagging-only rung, built directly on the ensemble substrate
+    stack = StackingEnsemble(
+        default_portfolio(random_state=0)[:3], n_folds=3,
+        use_stacking=False, random_state=0,
+    ).fit(ds.X_train, ds.y_train)
+    from repro.energy import kwh_per_prediction
+
+    acc = balanced_accuracy_score(ds.y_test, stack.predict(ds.X_test))
+    inf = kwh_per_prediction(stack)
+    rows.append(["bagging only (no stack)", acc,
+                 len(stack.ensemble_members), inf])
+    results["bagging only"] = (acc, len(stack.ensemble_members), inf)
+
+    # single best member as the floor
+    single = stack.layer1_[0].ensemble_members[0]
+    acc = balanced_accuracy_score(ds.y_test, single.predict(ds.X_test))
+    inf = kwh_per_prediction(single)
+    rows.append(["single model", acc, 1, inf])
+    results["single model"] = (acc, 1, inf)
+    return rows, results
+
+
+def test_ablation_ensembling_ladder(benchmark):
+    rows, results = benchmark.pedantic(_run_ladder, rounds=1, iterations=1)
+    emit("Ablation — the ensembling ladder (AutoGluon)\n\n"
+         + format_table(
+             ["configuration", "bal.acc", "#deployed models",
+              "inference kWh/inst"], rows))
+
+    stack_inf = results["stacking (default)"][2]
+    single_inf = results["single model"][2]
+    # O1: the full stack costs >= an order of magnitude more than one model
+    assert stack_inf > 8 * single_inf
+    # each rung removed reduces inference energy
+    assert results["refit preset"][2] < stack_inf
+    assert results["bagging only"][2] < stack_inf
+    # and the model counts shrink along the ladder
+    assert (results["stacking (default)"][1]
+            > results["bagging only"][1]
+            > results["single model"][1])

@@ -1,0 +1,36 @@
+"""Sec 3.2.1 — dataset-level analysis on the shared grid: which system wins
+each (dataset, budget) cell, how ensemble systems take over at long budgets,
+and the per-system execution-energy dispersion (the paper: CAML has the
+lowest std because it always runs its budget out)."""
+
+from conftest import emit
+
+from repro.analysis.dataset_level import (
+    characteristic_trends,
+    dataset_level_analysis,
+)
+
+
+def test_dataset_level_analysis(benchmark, grid_store):
+    report = benchmark.pedantic(
+        dataset_level_analysis, args=(grid_store,), rounds=1, iterations=1,
+    )
+    emit(report.render())
+
+    trends = characteristic_trends(report)
+    emit(f"characteristic trends: {trends}")
+
+    # winners exist for every budget in the grid
+    budgets = sorted({w.budget_s for w in report.winners})
+    assert budgets == sorted(grid_store.budgets)
+
+    # ensembles gain ground as budgets grow (paper: 23/39 at 5min)
+    frac_short = report.ensemble_win_fraction(10.0)
+    frac_long = report.ensemble_win_fraction(300.0)
+    assert frac_long >= frac_short - 0.2
+
+    # CAML's execution-energy dispersion is among the smallest —
+    # it always searches until the budget is exhausted
+    std = report.execution_std
+    if "CAML" in std and "AutoGluon" in std:
+        assert std["CAML"] <= std["AutoGluon"] * 1.5

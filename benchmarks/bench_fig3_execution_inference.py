@@ -1,0 +1,50 @@
+"""Figure 3 — search time vs balanced accuracy vs energy for execution and
+inference, all seven systems, budgets {10s, 30s, 1min, 5min}.
+
+Reproduction targets (shapes, not absolute kWh):
+* TabPFN: single dot, cheapest execution, costliest inference by orders of
+  magnitude;
+* AutoGluon: top accuracy at 5min, ~10x single-model inference energy (O1);
+* CAML/FLAML: bottom of the inference-energy axis;
+* ASKL: most expensive execution (search + un-budgeted ensembling).
+"""
+
+from conftest import emit
+
+from repro.experiments import figure3
+
+
+def test_figure3_energy_vs_accuracy(benchmark, grid_store):
+    fig = benchmark.pedantic(
+        figure3, args=(grid_store,), rounds=1, iterations=1,
+    )
+    emit(fig.render())
+
+    by = {(p.system, p.budget_s): p for p in fig.points}
+
+    # TabPFN: cheapest execution of all systems at every budget...
+    for budget in (10.0, 300.0):
+        tab = by[("TabPFN", budget)]
+        for system in ("CAML", "FLAML", "AutoGluon"):
+            assert tab.execution_kwh < by[(system, budget)].execution_kwh
+    # ...and the most expensive inference by >= an order of magnitude
+    tab_inf = by[("TabPFN", 300.0)].inference_kwh_per_instance
+    for system in ("CAML", "FLAML", "AutoGluon", "TPOT"):
+        assert tab_inf > 10 * by[(system, 300.0)].inference_kwh_per_instance
+
+    # O1: ensembling systems >= ~an order of magnitude above single-model
+    # systems at inference
+    ag_inf = by[("AutoGluon", 300.0)].inference_kwh_per_instance
+    assert ag_inf > 8 * by[("FLAML", 300.0)].inference_kwh_per_instance
+
+    # FLAML owns the bottom of the inference axis among searchers
+    flaml_inf = by[("FLAML", 300.0)].inference_kwh_per_instance
+    for system in ("AutoGluon", "AutoSklearn1", "AutoSklearn2"):
+        assert flaml_inf < by[(system, 300.0)].inference_kwh_per_instance
+
+    # execution energy grows with budget for budget-bound searchers
+    for system in ("CAML", "FLAML"):
+        assert (
+            by[(system, 300.0)].execution_kwh
+            > by[(system, 10.0)].execution_kwh
+        )

@@ -1,0 +1,46 @@
+"""Figure 7 — investing energy in the *development* stage: tune CAML's
+AutoML parameters on representative datasets (Sec 2.5), then compare
+CAML(tuned) against default CAML.
+
+Reproduction targets: the tuner's energy is measured and reported as the
+development-stage bubble; CAML(tuned) matches or beats default CAML on
+held-out datasets; the amortisation run count (paper: 885) is finite when
+the tuned system is cheaper to execute."""
+
+from conftest import emit
+
+from repro.experiments import run_development_experiment
+
+
+def test_figure7_development_stage(benchmark):
+    fig = benchmark.pedantic(
+        run_development_experiment,
+        kwargs=dict(
+            budgets=(10.0,),
+            eval_datasets=("credit-g", "phoneme"),
+            top_k=5,
+            n_bo_iterations=6,
+            n_runs=2,
+            time_scale=0.004,
+        ),
+        rounds=1, iterations=1,
+    )
+    emit(fig.render())
+
+    result = fig.tuning_results[10.0]
+    assert result.development_energy.kwh > 0
+    assert result.n_trials == 6
+
+    tuned_acc = fig.tuned_store.mean_over_runs(
+        "balanced_accuracy", system="CAML", budget=10.0)
+    default_acc = fig.baseline_store.mean_over_runs(
+        "balanced_accuracy", system="CAML", budget=10.0)
+    emit(
+        f"CAML(tuned) bal.acc = {tuned_acc:.3f} vs default "
+        f"{default_acc:.3f}; development energy = "
+        f"{result.development_energy.kwh:.4f} kWh; amortises after "
+        f"~{fig.amortization_runs(10.0):,.0f} executions "
+        f"(paper: 885 for the 5min tuning at 21 kWh)"
+    )
+    # the tuned configuration must not be worse than the default beyond noise
+    assert tuned_acc >= default_acc - 0.05

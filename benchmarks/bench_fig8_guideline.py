@@ -1,0 +1,60 @@
+"""Figure 8 — the system-selection guideline, exercised as an executable
+decision procedure over a grid of task profiles, and cross-checked against
+the measured grid results."""
+
+from conftest import emit
+
+from repro.analysis import Priority, TaskRequirements, recommend
+from repro.analysis.reporting import format_table
+
+
+def _decision_grid():
+    rows = []
+    cases = [
+        ("ad-hoc, 5s, 3 classes", TaskRequirements(5, 3)),
+        ("ad-hoc, 5s, 50 classes", TaskRequirements(5, 50)),
+        ("5min, want fastest inference",
+         TaskRequirements(300, 2, priority=Priority.FAST_INFERENCE)),
+        ("5min, want top accuracy",
+         TaskRequirements(300, 2, priority=Priority.ACCURACY)),
+        ("5min, want Pareto",
+         TaskRequirements(300, 2, priority=Priority.PARETO)),
+        ("AutoML-as-a-service (10k runs, big cluster)",
+         TaskRequirements(60, 2, expected_executions=10_000,
+                          has_development_compute=True)),
+    ]
+    for label, req in cases:
+        rec = recommend(req)
+        rows.append([label, rec.system, rec.reason[:58]])
+    return rows
+
+
+def test_figure8_guideline(benchmark, grid_store):
+    rows = benchmark(_decision_grid)
+    emit("Figure 8 — guideline decisions\n\n"
+         + format_table(["task", "recommendation", "why"], rows))
+
+    decisions = {r[0]: r[1] for r in rows}
+    assert decisions["ad-hoc, 5s, 3 classes"] == "TabPFN"
+    assert decisions["ad-hoc, 5s, 50 classes"] == "CAML"
+    assert decisions["5min, want fastest inference"] == "FLAML"
+    assert decisions["5min, want top accuracy"] == "AutoGluon"
+    assert decisions["5min, want Pareto"] == "CAML"
+    assert decisions[
+        "AutoML-as-a-service (10k runs, big cluster)"
+    ] == "CAML(tuned)"
+
+    # cross-check two guideline claims against the measured grid:
+    # FLAML really has the cheapest inference among searchers at 5min...
+    flaml = grid_store.mean_over_runs(
+        "inference_kwh_per_instance", system="FLAML", budget=300.0)
+    ag = grid_store.mean_over_runs(
+        "inference_kwh_per_instance", system="AutoGluon", budget=300.0)
+    assert flaml < ag
+    # ...and AutoGluon really has the best (or near-best) accuracy at 5min
+    accs = {
+        s: grid_store.mean_over_runs(
+            "balanced_accuracy", system=s, budget=300.0)
+        for s in ("AutoGluon", "FLAML", "TabPFN")
+    }
+    assert accs["AutoGluon"] >= max(accs.values()) - 0.03

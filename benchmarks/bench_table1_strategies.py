@@ -1,0 +1,17 @@
+"""Table 1 — the per-system strategy matrix (search space / init / search /
+ensembling), generated from the systems' own strategy cards."""
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_table1_strategy_matrix(benchmark):
+    text = benchmark(table1)
+    emit(text)
+    for fragment in (
+        "warm starting", "predefined pipelines", "BO (random forest)",
+        "genetic programming", "Caruana & bagging & stacking",
+        "unweighted ensemble", "cost-based", "successive halving",
+    ):
+        assert fragment in text

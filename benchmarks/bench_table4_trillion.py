@@ -1,0 +1,31 @@
+"""Table 4 — the trillion-prediction workload: kWh, kg CO2 and EUR for 1e12
+predictions with each system's best model.
+
+Reproduction targets: TabPFN tops the table by a wide margin; FLAML is the
+cheapest; the CO2/EUR columns follow the paper's conversion constants
+(0.222 kg/kWh Germany, 0.20 EUR/kWh)."""
+
+from conftest import emit
+
+from repro.experiments import table4
+
+
+def test_table4_trillion_predictions(benchmark, grid_store):
+    t4 = benchmark.pedantic(
+        table4, args=(grid_store,), rounds=1, iterations=1,
+    )
+    emit(t4.render())
+
+    order = [r.system for r in t4.rows]
+    assert order[0] == "TabPFN"                    # most expensive
+    assert order[-1] in ("FLAML", "TPOT", "CAML")  # cheapest tail
+
+    by = {r.system: r for r in t4.rows}
+    # paper's gap: TabPFN ~500x FLAML
+    assert by["TabPFN"].energy_kwh > 50 * by["FLAML"].energy_kwh
+    # ensemblers sit above the single-model searchers
+    assert by["AutoGluon"].energy_kwh > by["FLAML"].energy_kwh
+
+    for row in t4.rows:
+        assert row.co2_kg == row.energy_kwh * 0.222
+        assert row.cost_eur == row.energy_kwh * 0.20

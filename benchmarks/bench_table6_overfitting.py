@@ -1,0 +1,32 @@
+"""Table 6 — overfitting & early stopping: per system, how many datasets
+score *worse* at 5min than at 1min.
+
+Reproduction target: overfitting happens (non-zero counts for at least some
+systems), concentrated on the small datasets the paper names (kc1,
+blood-transfusion-service-center — all < 3k rows)."""
+
+from conftest import emit
+
+from repro.analysis import most_overfit_datasets
+from repro.experiments import table6
+
+
+def test_table6_overfitting(benchmark, grid_store):
+    reports, text = benchmark.pedantic(
+        table6, args=(grid_store,),
+        kwargs={"short_budget": 60.0, "long_budget": 300.0},
+        rounds=1, iterations=1,
+    )
+    emit(text)
+
+    assert reports
+    # overfitting exists somewhere across systems (paper: up to 11/39)
+    total_overfit = sum(r.n_overfit for r in reports)
+    assert total_overfit >= 1
+    # every count is within range
+    for rep in reports:
+        assert 0 <= rep.n_overfit <= rep.n_datasets
+
+    top = most_overfit_datasets(reports, top=3)
+    emit(f"most frequently overfit datasets: {top} "
+         f"(paper: kc1, cnae-9, blood-transfusion-service-center)")

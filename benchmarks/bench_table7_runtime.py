@@ -1,0 +1,47 @@
+"""Table 7 — actual execution time per configured search time.
+
+Reproduction targets: TabPFN's constant ~0.29s load; CAML's strict
+adherence; FLAML's small soft overrun; AutoGluon overrunning hardest at
+small budgets; ASKL overrunning because ensembling is not budgeted."""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis import adherence_ranking
+from repro.experiments import table7
+
+
+def test_table7_budget_adherence(benchmark, grid_store):
+    rows, text = benchmark.pedantic(
+        table7, args=(grid_store,), rounds=1, iterations=1,
+    )
+    emit(text)
+
+    ranked = dict(adherence_ranking(rows))
+    emit("mean overrun ratios: "
+         + ", ".join(f"{s}={r:.2f}" for s, r in sorted(
+             ranked.items(), key=lambda kv: kv[1])))
+
+    # TabPFN: constant tiny execution, ratio ~0
+    assert ranked["TabPFN"] < 0.1
+    # CAML adheres most strictly among the searchers (paper: 10.47s/10s;
+    # on the scaled substrate the fixed per-evaluation cost sets a floor,
+    # so the tolerance is wider than the paper's ±0.5%)
+    assert ranked["CAML"] < 2.5
+    searchers = [s for s in ranked if s != "TabPFN"]
+    assert min(searchers, key=lambda s: ranked[s]) in ("CAML", "FLAML")
+    # AutoGluon overruns hardest at the smallest budget (paper: 22.3s/10s)
+    ag10 = next(r for r in rows
+                if r.system == "AutoGluon" and r.configured_s == 10.0)
+    ag300 = next(r for r in rows
+                 if r.system == "AutoGluon" and r.configured_s == 300.0)
+    assert ag10.overrun_ratio > ag300.overrun_ratio
+    assert ag10.overrun_ratio > 1.2
+
+    # budget-respecting systems overrun less than AutoGluon at 10s
+    caml10 = next(r for r in rows
+                  if r.system == "CAML" and r.configured_s == 10.0)
+    assert caml10.overrun_ratio < ag10.overrun_ratio
+    # the un-budgeted post-search ensembling keeps ASKL above CAML (Sec 3.10)
+    if "AutoSklearn1" in ranked:
+        assert ranked["AutoSklearn1"] > ranked["CAML"]

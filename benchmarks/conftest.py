@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index) and prints it; run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The main Figure 3 grid is expensive, so it is computed once per session and
+shared by the benches that consume it (Fig 3, Fig 4, Table 4, Table 6,
+Table 7).
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_grid
+
+#: the shared scaled-down campaign: all 7 systems, a size-diverse dataset
+#: spread (incl. the small overfit-prone ones the paper names in Table 6 and
+#: a >10-class dataset that TabPFN must fail on), all 4 paper budgets.
+GRID_CONFIG = ExperimentConfig(
+    systems=(
+        "TabPFN", "CAML", "FLAML", "AutoGluon",
+        "AutoSklearn1", "AutoSklearn2", "TPOT",
+    ),
+    datasets=(
+        "credit-g",
+        "blood-transfusion-service-center",
+        "kc1",
+        "phoneme",
+        "helena",
+    ),
+    budgets=(10.0, 30.0, 60.0, 300.0),
+    n_runs=2,
+    # large enough that budgets dominate the fixed per-evaluation costs
+    # (the budget-adherence shapes of Table 7 depend on that)
+    time_scale=0.008,
+)
+
+
+@pytest.fixture(scope="session")
+def grid_store():
+    """Run the shared benchmark campaign once."""
+    return run_grid(GRID_CONFIG)
+
+
+def emit(text: str) -> None:
+    """Print a reproduced artefact with a separator (visible with -s)."""
+    print("\n" + "=" * 74)
+    print(text)
+    print("=" * 74)

@@ -1,0 +1,84 @@
+"""Scenario: AutoML-as-a-service (paper Sec 3.7).
+
+A cloud provider runs AutoML thousands of times on customer datasets.  The
+paper shows that investing energy in the *development stage* — tuning the
+AutoML system's own parameters on representative datasets — pays for itself
+after ~885 executions and then saves energy on every run.
+
+This example runs the whole loop at laptop scale: select representative
+datasets from the 124-dataset pool, tune CAML's AutoML parameters with BO +
+median pruning, and report the amortisation point.
+"""
+
+from repro import CamlParameters, balanced_accuracy_score, load_dataset
+from repro.analysis import format_table
+from repro.devtuning import DevelopmentTuner, select_representative_datasets
+from repro.systems import CamlSystem
+
+BUDGET_S = 10.0
+
+
+def main() -> None:
+    representatives = select_representative_datasets(k=5)
+    print("representative tuning datasets (of the 124-dataset pool):")
+    for spec in representatives:
+        print(f"  {spec.name}: paper-scale {spec.paper_instances} rows x "
+              f"{spec.paper_features} features")
+
+    tuner = DevelopmentTuner(
+        search_budget_s=BUDGET_S, top_k=5, n_bo_iterations=8,
+        runs_per_dataset=2, random_state=0, time_scale=0.01,
+    )
+    result = tuner.tune()
+
+    params = result.best_parameters
+    print(f"\ntuned AutoML parameters for a {BUDGET_S:.0f}s budget "
+          f"(development energy: {result.development_energy.kwh:.4f} kWh, "
+          f"{result.n_trials} BO trials, "
+          f"{sum(t.pruned for t in result.trials)} pruned):")
+    print(f"  classifier space     : {', '.join(params.classifiers)}")
+    print(f"  holdout fraction     : {params.holdout_fraction:.2f}")
+    print(f"  evaluation fraction  : {params.evaluation_fraction:.2f}")
+    print(f"  sampling cap         : {params.sample_cap}")
+    print(f"  refit / resample / incremental: "
+          f"{params.refit} / {params.resample_validation} / "
+          f"{params.incremental_training}")
+
+    # benchmark tuned vs default CAML on held-out test datasets
+    rows = []
+    savings = []
+    for name in ("credit-g", "phoneme", "Australian"):
+        ds = load_dataset(name)
+        cell = {}
+        for label, p in (("default", CamlParameters()), ("tuned", params)):
+            system = CamlSystem(params=p, random_state=1, time_scale=0.01)
+            system.fit(ds.X_train, ds.y_train, budget_s=BUDGET_S,
+                       categorical_mask=ds.categorical_mask)
+            acc = balanced_accuracy_score(
+                ds.y_test, system.predict(ds.X_test))
+            cell[label] = (acc, system.fit_result_.execution_kwh)
+        savings.append(cell["default"][1] - cell["tuned"][1])
+        rows.append([
+            name, cell["default"][0], cell["tuned"][0],
+            cell["default"][1], cell["tuned"][1],
+        ])
+    print()
+    print(format_table(
+        ["dataset", "default acc", "tuned acc",
+         "default exec kWh", "tuned exec kWh"], rows,
+    ))
+
+    mean_saving = sum(savings) / len(savings)
+    if mean_saving > 0:
+        runs = result.development_energy.kwh / mean_saving
+        print(f"\ntuning amortises after ~{runs:,.0f} AutoML executions "
+              f"(paper: 885 for its 21 kWh / 5min-budget tuning run).")
+    else:
+        print("\ntuned configuration saved no execution energy on this "
+              "holdout; at this scale the default was already budget-bound "
+              "(the paper's savings come from pruned search spaces at much "
+              "larger budgets).")
+
+
+if __name__ == "__main__":
+    main()

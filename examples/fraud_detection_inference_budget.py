@@ -1,0 +1,92 @@
+"""Scenario: fraud detection on millions of bank transactions (paper Sec 1).
+
+'Running a fraud detection model on millions of bank transactions might
+require a focus on inference energy consumption.'  This example plays that
+scenario end-to-end:
+
+1. pick the guideline's recommendation for an inference-heavy task,
+2. train CAML with progressively tighter inference-time constraints,
+3. compare against AutoGluon (accuracy-first) and its refit preset,
+4. project the yearly energy / CO2 / cost of serving 10M predictions a day.
+"""
+
+from repro import (
+    CamlConstraints,
+    Priority,
+    TaskRequirements,
+    balanced_accuracy_score,
+    load_dataset,
+    make_system,
+    recommend,
+)
+from repro.analysis import SystemEnergyProfile, format_table
+from repro.energy import co2_kg, cost_eur
+
+PREDICTIONS_PER_DAY = 10_000_000
+BUDGET_S = 60.0
+
+
+def evaluate(name, system, ds):
+    system.fit(ds.X_train, ds.y_train, budget_s=BUDGET_S,
+               categorical_mask=ds.categorical_mask)
+    acc = balanced_accuracy_score(ds.y_test, system.predict(ds.X_test))
+    profile = SystemEnergyProfile(
+        system=name,
+        execution_kwh=system.fit_result_.execution_kwh,
+        inference_kwh_per_instance=system.inference_kwh_per_instance(),
+    )
+    return acc, profile
+
+
+def main() -> None:
+    # 'bank-marketing' stands in for the transaction stream (45k paper rows)
+    ds = load_dataset("bank-marketing")
+
+    rec = recommend(TaskRequirements(
+        search_budget_s=BUDGET_S, n_classes=ds.n_classes,
+        priority=Priority.FAST_INFERENCE,
+    ))
+    print(f"guideline recommendation: {rec.system} — {rec.reason}\n")
+
+    candidates = {
+        "FLAML (guideline pick)": make_system("FLAML", random_state=0),
+        "CAML (unconstrained)": make_system("CAML", random_state=0),
+        "CAML (inference<=5ns/inst)": make_system(
+            "CAML", random_state=0,
+            constraints=CamlConstraints(inference_time_per_instance=5e-9),
+        ),
+        "AutoGluon (accuracy-first)": make_system("AutoGluon",
+                                                  random_state=0),
+        "AutoGluon (refit preset)": make_system(
+            "AutoGluon", random_state=0, optimize_for_inference=True,
+        ),
+    }
+
+    rows = []
+    for name, system in candidates.items():
+        try:
+            acc, profile = evaluate(name, system, ds)
+        except Exception as exc:
+            print(f"  {name}: no pipeline satisfied the setup ({exc})")
+            continue
+        yearly_kwh = profile.total_kwh(PREDICTIONS_PER_DAY * 365)
+        rows.append([
+            name, acc, profile.inference_kwh_per_instance,
+            yearly_kwh, co2_kg(yearly_kwh), cost_eur(yearly_kwh),
+        ])
+
+    rows.sort(key=lambda r: r[3])
+    print(format_table(
+        ["configuration", "bal.acc", "kWh/prediction",
+         "kWh/year @10M/day", "kg CO2/year", "EUR/year"],
+        rows,
+    ))
+    print(
+        "\nTakeaway (paper O1/O3): ensembling buys a little accuracy for an "
+        "order of magnitude more inference energy; inference constraints "
+        "claw most of it back."
+    )
+
+
+if __name__ == "__main__":
+    main()

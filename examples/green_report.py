@@ -1,0 +1,106 @@
+"""Generate a full 'Green AutoML' report for one dataset: every system, all
+three stages (execution, inference, and — for context — the paper's
+development-stage numbers), plus a guideline recommendation.
+
+Usage::
+
+    python examples/green_report.py [dataset]
+"""
+
+import sys
+
+from repro import (
+    Priority,
+    TaskRequirements,
+    balanced_accuracy_score,
+    load_dataset,
+    make_system,
+    recommend,
+)
+from repro.analysis import (
+    SystemEnergyProfile,
+    ascii_scatter,
+    format_table,
+    trillion_prediction_costs,
+)
+from repro.systems import SYSTEM_REGISTRY
+
+BUDGET_S = 60.0
+
+
+def main(dataset_name: str = "credit-g") -> None:
+    ds = load_dataset(dataset_name)
+    print(f"=== Green AutoML report: {ds.name} "
+          f"({ds.n_classes} classes, train {ds.X_train.shape}) ===\n")
+
+    rows = []
+    profiles = []
+    exec_points = {}
+    inf_points = {}
+    for name in SYSTEM_REGISTRY:
+        system = make_system(name, random_state=0)
+        if BUDGET_S < system.min_budget_s:
+            continue
+        try:
+            system.fit(ds.X_train, ds.y_train, budget_s=BUDGET_S,
+                       categorical_mask=ds.categorical_mask)
+        except Exception as exc:   # e.g. TabPFN with >10 classes
+            rows.append([name, float("nan"), float("nan"), float("nan"),
+                         0, f"failed: {exc}"])
+            continue
+        acc = balanced_accuracy_score(ds.y_test, system.predict(ds.X_test))
+        fr = system.fit_result_
+        inf = system.inference_kwh_per_instance()
+        rows.append([name, acc, fr.execution_kwh, inf,
+                     system.n_ensemble_members, ""])
+        profiles.append(SystemEnergyProfile(name, fr.execution_kwh, inf))
+        exec_points[name] = [(fr.execution_kwh, acc)]
+        inf_points[name] = [(inf, acc)]
+
+    rows.sort(key=lambda r: -(r[1] if r[1] == r[1] else -1))
+    print(format_table(
+        ["system", "bal.acc", "exec kWh", "inference kWh/inst",
+         "#models", "note"], rows,
+    ))
+
+    print("\n[execution energy vs accuracy]")
+    print(ascii_scatter(exec_points, logx=True,
+                        xlabel="execution kWh", ylabel="balanced accuracy"))
+    print("\n[inference energy vs accuracy]")
+    print(ascii_scatter(inf_points, logx=True,
+                        xlabel="inference kWh/instance",
+                        ylabel="balanced accuracy"))
+
+    print("\n[trillion-prediction projection — paper Table 4]")
+    t4 = trillion_prediction_costs(profiles)
+    print(format_table(
+        ["system", "kWh", "kg CO2", "EUR"],
+        [[r.system, r.energy_kwh, r.co2_kg, r.cost_eur] for r in t4],
+        float_fmt="{:,.2f}",
+    ))
+
+    print("\n[Pareto front: accuracy vs inference energy]")
+    from repro.analysis import ParetoPoint, pareto_front
+
+    points = [
+        ParetoPoint(p.system, next(r[1] for r in rows if r[0] == p.system),
+                    p.inference_kwh_per_instance)
+        for p in profiles
+    ]
+    front = {q.label for q in pareto_front(points)}
+    for q in sorted(points, key=lambda q: q.energy):
+        status = "PARETO" if q.label in front else "dominated"
+        print(f"  {q.label:14s} acc={q.accuracy:.3f} "
+              f"kWh/inst={q.energy:.2e}  [{status}]")
+
+    print("\n[guideline — paper Figure 8]")
+    for priority in Priority:
+        rec = recommend(TaskRequirements(
+            search_budget_s=BUDGET_S, n_classes=ds.n_classes,
+            priority=priority,
+        ))
+        print(f"  priority {priority.value:15s} -> {rec.system}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "credit-g")

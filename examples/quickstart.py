@@ -1,0 +1,53 @@
+"""Quickstart: run one AutoML system on one benchmark dataset and read its
+full energy bill.
+
+Usage::
+
+    python examples/quickstart.py [system] [dataset] [budget_seconds]
+
+e.g. ``python examples/quickstart.py CAML credit-g 30``.
+"""
+
+import sys
+
+from repro import balanced_accuracy_score, load_dataset, make_system
+from repro.energy import co2_kg, cost_eur
+
+
+def main(system_name: str = "CAML", dataset_name: str = "credit-g",
+         budget_s: float = 30.0) -> None:
+    ds = load_dataset(dataset_name)
+    print(f"dataset: {ds.name}  "
+          f"(train {ds.X_train.shape}, test {ds.X_test.shape}, "
+          f"{ds.n_classes} classes; paper-scale "
+          f"{ds.spec.paper_instances}x{ds.spec.paper_features})")
+
+    automl = make_system(system_name, random_state=0)
+    automl.fit(ds.X_train, ds.y_train, budget_s=budget_s,
+               categorical_mask=ds.categorical_mask)
+
+    acc = balanced_accuracy_score(ds.y_test, automl.predict(ds.X_test))
+    fr = automl.fit_result_
+    inf = automl.inference_estimate(100_000)
+
+    print(f"\n{system_name} with a {budget_s:.0f}s search budget:")
+    print(f"  balanced accuracy      : {acc:.3f}")
+    print(f"  pipelines evaluated    : {fr.n_evaluations}")
+    print(f"  actual execution time  : {fr.actual_seconds:.1f}s "
+          f"(overrun x{fr.overrun_ratio:.2f})")
+    print(f"  execution energy       : {fr.execution_kwh:.6f} kWh")
+    print(f"  deployed ensemble size : {automl.n_ensemble_members} model(s)")
+    print(f"  inference energy       : "
+          f"{inf.kwh_per_instance:.3e} kWh/instance")
+    print(f"  100k predictions       : {inf.kwh:.3e} kWh "
+          f"= {co2_kg(inf.kwh) * 1000:.3e} g CO2 "
+          f"= {cost_eur(inf.kwh) * 100:.3e} cents")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(
+        args[0] if len(args) > 0 else "CAML",
+        args[1] if len(args) > 1 else "credit-g",
+        float(args[2]) if len(args) > 2 else 30.0,
+    )

@@ -1,0 +1,6 @@
+"""Shim for legacy editable installs (`pip install -e .`) on environments
+whose setuptools lacks PEP-660 support (no `wheel` package available)."""
+
+from setuptools import setup
+
+setup()

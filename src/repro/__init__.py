@@ -1,0 +1,81 @@
+"""greenautoml-repro: reproduction of "How Green is AutoML for Tabular Data?"
+(Neutatz, Lindauer, Abedjan — EDBT 2025).
+
+A from-scratch Python implementation of the paper's benchmark study and of
+every system it depends on: six AutoML systems (CAML, AutoGluon,
+auto-sklearn 1 & 2, FLAML, TabPFN, TPOT), a numpy model zoo and
+preprocessing stack, HPO engines (BO, successive halving, NSGA-II), a
+CodeCarbon-style energy-measurement substrate, the development-stage tuner,
+and the experiment harness regenerating every figure and table of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import load_dataset, make_system, balanced_accuracy_score
+
+    ds = load_dataset("credit-g")
+    automl = make_system("CAML", random_state=0)
+    automl.fit(ds.X_train, ds.y_train, budget_s=30)
+    print(automl.score(ds.X_test, ds.y_test))
+    print(automl.fit_result_.execution_kwh,
+          automl.inference_kwh_per_instance())
+"""
+
+from repro.analysis.guideline import Priority, TaskRequirements, recommend
+from repro.datasets import list_datasets, load_dataset, load_suite, make_classification
+from repro.energy import (
+    DEFAULT_MACHINE,
+    EnergyReport,
+    EnergyTracker,
+    XEON_GOLD_6132,
+    XEON_T4_MACHINE,
+    co2_kg,
+    cost_eur,
+    estimate_inference,
+)
+from repro.metrics import balanced_accuracy_score, train_test_split
+from repro.systems import (
+    SYSTEM_REGISTRY,
+    AutoGluonSystem,
+    AutoSklearnSystem,
+    CamlConstraints,
+    CamlParameters,
+    CamlSystem,
+    FlamlSystem,
+    TabPFNSystem,
+    TpotSystem,
+    make_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "load_dataset",
+    "load_suite",
+    "list_datasets",
+    "make_classification",
+    "balanced_accuracy_score",
+    "train_test_split",
+    "make_system",
+    "SYSTEM_REGISTRY",
+    "CamlSystem",
+    "CamlParameters",
+    "CamlConstraints",
+    "AutoGluonSystem",
+    "AutoSklearnSystem",
+    "FlamlSystem",
+    "TabPFNSystem",
+    "TpotSystem",
+    "EnergyTracker",
+    "EnergyReport",
+    "estimate_inference",
+    "co2_kg",
+    "cost_eur",
+    "DEFAULT_MACHINE",
+    "XEON_GOLD_6132",
+    "XEON_T4_MACHINE",
+    "recommend",
+    "TaskRequirements",
+    "Priority",
+]

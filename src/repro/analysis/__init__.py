@@ -1,0 +1,72 @@
+"""Result analysis: amortization, guideline, overfitting, runtime, text
+rendering."""
+
+from repro.analysis.dataset_level import (
+    DatasetLevelReport,
+    DatasetWinner,
+    characteristic_trends,
+    dataset_level_analysis,
+)
+from repro.analysis.pareto import (
+    ParetoPoint,
+    hypervolume_2d,
+    is_pareto_optimal,
+    pareto_front,
+    store_to_points,
+)
+from repro.analysis.amortization import (
+    SystemEnergyProfile,
+    TrillionPredictionCost,
+    cheapest_system,
+    crossover_point,
+    energy_vs_predictions,
+    trillion_prediction_costs,
+)
+from repro.analysis.guideline import (
+    AMORTIZATION_RUNS,
+    Priority,
+    Recommendation,
+    TaskRequirements,
+    recommend,
+)
+from repro.analysis.overfitting import (
+    OverfitReport,
+    count_overfitting,
+    early_stopping_saving,
+    most_overfit_datasets,
+)
+from repro.analysis.reporting import ascii_scatter, bootstrap_mean, format_table
+from repro.analysis.runtime import RuntimeRow, adherence_ranking, runtime_table
+
+__all__ = [
+    "SystemEnergyProfile",
+    "TrillionPredictionCost",
+    "energy_vs_predictions",
+    "cheapest_system",
+    "crossover_point",
+    "trillion_prediction_costs",
+    "Priority",
+    "TaskRequirements",
+    "Recommendation",
+    "recommend",
+    "AMORTIZATION_RUNS",
+    "OverfitReport",
+    "count_overfitting",
+    "early_stopping_saving",
+    "most_overfit_datasets",
+    "RuntimeRow",
+    "runtime_table",
+    "adherence_ranking",
+    "format_table",
+    "ascii_scatter",
+    "bootstrap_mean",
+    "DatasetLevelReport",
+    "DatasetWinner",
+    "dataset_level_analysis",
+    "characteristic_trends",
+    "ParetoPoint",
+    "pareto_front",
+    "is_pareto_optimal",
+    "hypervolume_2d",
+    "store_to_points",
+]

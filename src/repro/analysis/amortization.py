@@ -1,0 +1,100 @@
+"""Joint execution+inference energy accounting (Figure 4, Table 4).
+
+Figure 4: total energy of a deployed AutoML artefact as a function of the
+number of predictions served — ``E(n) = E_exec + n * e_inf``.  TabPFN starts
+lowest (almost no execution energy) but has the steepest slope; the paper
+finds it stops being optimal beyond ~26k predictions.
+
+Table 4: the trillion-prediction workload, also converted to kg CO2 and EUR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.energy.co2 import co2_kg, cost_eur
+
+
+@dataclass(frozen=True)
+class SystemEnergyProfile:
+    """Energy fingerprint of one deployed AutoML run."""
+
+    system: str
+    execution_kwh: float
+    inference_kwh_per_instance: float
+
+    def total_kwh(self, n_predictions: float) -> float:
+        if n_predictions < 0:
+            raise ValueError("n_predictions must be non-negative")
+        return (
+            self.execution_kwh
+            + n_predictions * self.inference_kwh_per_instance
+        )
+
+
+def energy_vs_predictions(
+    profiles: list[SystemEnergyProfile],
+    n_predictions: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Figure 4 series: system -> total kWh per prediction count."""
+    n_predictions = np.asarray(n_predictions, dtype=float)
+    return {
+        p.system: np.array([p.total_kwh(n) for n in n_predictions])
+        for p in profiles
+    }
+
+
+def cheapest_system(profiles: list[SystemEnergyProfile],
+                    n_predictions: float) -> SystemEnergyProfile:
+    """Which system consumes the least total energy at this scale?"""
+    if not profiles:
+        raise ValueError("no profiles")
+    return min(profiles, key=lambda p: p.total_kwh(n_predictions))
+
+
+def crossover_point(a: SystemEnergyProfile,
+                    b: SystemEnergyProfile) -> float | None:
+    """Number of predictions where systems a and b cost the same.
+
+    Returns ``None`` when one system dominates at every scale.  For the
+    paper's TabPFN-vs-FLAML pair this lands near 26k predictions (O2).
+    """
+    slope = a.inference_kwh_per_instance - b.inference_kwh_per_instance
+    intercept = b.execution_kwh - a.execution_kwh
+    if slope == 0:
+        return None
+    n = intercept / slope
+    return float(n) if n > 0 else None
+
+
+@dataclass(frozen=True)
+class TrillionPredictionCost:
+    """One row of Table 4."""
+
+    system: str
+    energy_kwh: float
+    co2_kg: float
+    cost_eur: float
+
+
+def trillion_prediction_costs(
+    profiles: list[SystemEnergyProfile],
+    n_predictions: float = 1e12,
+) -> list[TrillionPredictionCost]:
+    """Table 4: cost of a trillion predictions, sorted by energy
+    (descending, as in the paper)."""
+    rows = []
+    for p in profiles:
+        kwh = n_predictions * p.inference_kwh_per_instance
+        rows.append(
+            TrillionPredictionCost(
+                system=p.system,
+                energy_kwh=kwh,
+                co2_kg=co2_kg(kwh),
+                cost_eur=cost_eur(kwh),
+            )
+        )
+    rows.sort(key=lambda r: r.energy_kwh, reverse=True)
+    return rows

@@ -1,0 +1,173 @@
+"""Dataset-level analysis (paper Sec 3.2.1).
+
+The paper's repository companion analyses which system wins per dataset and
+how that correlates with data characteristics:
+
+* short budgets (10s): FLAML and TabPFN win most datasets;
+* long budgets (5min): ensemble-based systems win the majority;
+* TabPFN excels on small tables (<1k rows, <20 features);
+* FLAML excels when there are many features (feature pruning);
+* ensembles win when there are many classes;
+* CAML has the lowest execution-energy variance across datasets (it always
+  runs its budget out), AutoGluon a higher one (fixed plan, variable data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.datasets.registry import DATASET_REGISTRY
+
+if TYPE_CHECKING:   # avoid a circular import with repro.experiments
+    from repro.experiments.results import ResultsStore
+
+#: systems whose deployed artefact is an ensemble of models
+ENSEMBLE_SYSTEMS = ("AutoGluon", "AutoSklearn1", "AutoSklearn2")
+
+
+@dataclass(frozen=True)
+class DatasetWinner:
+    dataset: str
+    budget_s: float
+    winner: str
+    score: float
+    runner_up: str
+    margin: float
+
+
+@dataclass
+class DatasetLevelReport:
+    winners: list[DatasetWinner]
+    #: system -> std of execution kWh across datasets (largest budget)
+    execution_std: dict[str, float] = field(default_factory=dict)
+
+    def win_counts(self, budget_s: float) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for w in self.winners:
+            if w.budget_s == budget_s:
+                counts[w.winner] = counts.get(w.winner, 0) + 1
+        return counts
+
+    def ensemble_win_fraction(self, budget_s: float) -> float:
+        cell = [w for w in self.winners if w.budget_s == budget_s]
+        if not cell:
+            return float("nan")
+        wins = sum(1 for w in cell if w.winner in ENSEMBLE_SYSTEMS)
+        return wins / len(cell)
+
+    def render(self) -> str:
+        from repro.analysis.reporting import format_table
+
+        rows = [
+            [w.dataset, f"{w.budget_s:.0f}s", w.winner, w.score,
+             w.runner_up, w.margin]
+            for w in sorted(self.winners,
+                            key=lambda w: (w.budget_s, w.dataset))
+        ]
+        out = [
+            "Dataset-level analysis (Sec 3.2.1)",
+            "",
+            format_table(
+                ["dataset", "budget", "winner", "bal.acc",
+                 "runner-up", "margin"], rows,
+            ),
+            "",
+        ]
+        budgets = sorted({w.budget_s for w in self.winners})
+        for b in budgets:
+            counts = self.win_counts(b)
+            total = sum(counts.values())
+            summary = ", ".join(
+                f"{s}: {n}/{total}" for s, n in
+                sorted(counts.items(), key=lambda kv: -kv[1])
+            )
+            out.append(
+                f"@{b:.0f}s wins: {summary}  "
+                f"(ensemble-based: "
+                f"{100 * self.ensemble_win_fraction(b):.0f}%)"
+            )
+        if self.execution_std:
+            out.append("")
+            out.append("execution-energy std across datasets (kWh): "
+                       + ", ".join(
+                           f"{s}={v:.2e}" for s, v in
+                           sorted(self.execution_std.items(),
+                                  key=lambda kv: kv[1])))
+        return "\n".join(out)
+
+
+def dataset_level_analysis(store: ResultsStore) -> DatasetLevelReport:
+    """Find the winning system per (dataset, budget) and the per-system
+    execution-energy dispersion across datasets."""
+    winners: list[DatasetWinner] = []
+    for budget in store.budgets:
+        for ds in store.datasets:
+            scores = {}
+            for system in store.systems:
+                sub = store.filter(system=system, dataset=ds, budget=budget)
+                if not sub.records:
+                    continue
+                scores[system] = float(np.mean(
+                    [r.balanced_accuracy for r in sub.records]
+                ))
+            if len(scores) < 2:
+                continue
+            ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+            winners.append(DatasetWinner(
+                dataset=ds,
+                budget_s=budget,
+                winner=ranked[0][0],
+                score=ranked[0][1],
+                runner_up=ranked[1][0],
+                margin=ranked[0][1] - ranked[1][1],
+            ))
+
+    execution_std: dict[str, float] = {}
+    if store.budgets:
+        top_budget = max(store.budgets)
+        for system in store.systems:
+            per_dataset = []
+            for ds in store.datasets:
+                sub = store.filter(system=system, dataset=ds,
+                                   budget=top_budget, include_failed=False)
+                if sub.records:
+                    per_dataset.append(float(np.mean(
+                        [r.execution_kwh for r in sub.records]
+                    )))
+            if len(per_dataset) >= 2:
+                execution_std[system] = float(np.std(per_dataset))
+    return DatasetLevelReport(winners, execution_std)
+
+
+def characteristic_trends(report: DatasetLevelReport) -> dict[str, float]:
+    """Correlate winning-system identity with dataset characteristics.
+
+    Returns, for each of the paper's claims, a supporting statistic:
+
+    * ``tabpfn_small_row_fraction``: of TabPFN's wins, the fraction on
+      datasets with < 5k paper-scale rows;
+    * ``ensemble_many_class_score``: mean paper-scale class count of
+      datasets won by ensemble systems minus the overall mean.
+    """
+    stats: dict[str, float] = {}
+    tab_wins = [w for w in report.winners if w.winner == "TabPFN"]
+    if tab_wins:
+        small = sum(
+            1 for w in tab_wins
+            if DATASET_REGISTRY[w.dataset].paper_instances < 5000
+        )
+        stats["tabpfn_small_row_fraction"] = small / len(tab_wins)
+    ens_wins = [w for w in report.winners if w.winner in ENSEMBLE_SYSTEMS]
+    if ens_wins and report.winners:
+        ens_classes = np.mean([
+            DATASET_REGISTRY[w.dataset].paper_classes for w in ens_wins
+        ])
+        all_classes = np.mean([
+            DATASET_REGISTRY[w.dataset].paper_classes
+            for w in report.winners
+        ])
+        stats["ensemble_many_class_score"] = float(ens_classes - all_classes)
+    return stats

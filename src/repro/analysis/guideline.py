@@ -1,0 +1,112 @@
+"""The paper's Figure 8 guideline as an executable recommender.
+
+Encodes the decision flowchart:
+
+1. big development compute + thousands of future executions
+   -> tune the AutoML parameters (CAML(tuned) or any tunable system);
+2. tiny search budgets (<~10s) -> TabPFN (<=10 classes, GPU if possible)
+   else CAML (incremental training handles large data);
+3. otherwise, by priority: fast inference -> FLAML; max accuracy ->
+   AutoGluon; Pareto accuracy/inference-energy -> CAML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Priority(Enum):
+    """What the user cares about most beyond raw feasibility."""
+
+    FAST_INFERENCE = "fast_inference"
+    ACCURACY = "accuracy"
+    PARETO = "pareto"
+
+
+@dataclass(frozen=True)
+class TaskRequirements:
+    """Inputs to the guideline decision."""
+
+    search_budget_s: float
+    n_classes: int
+    #: expected number of *future AutoML executions* (amortisation lever)
+    expected_executions: int = 1
+    #: does the user command a large CPU machine for >1 week?
+    has_development_compute: bool = False
+    has_gpu: bool = False
+    priority: Priority = Priority.PARETO
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    system: str
+    reason: str
+    tune_first: bool = False
+
+
+#: executions needed before development-stage tuning amortises (Sec 3.7).
+AMORTIZATION_RUNS = 885
+
+#: TabPFN's hard class limit.
+TABPFN_MAX_CLASSES = 10
+
+#: 'For search budgets smaller than 10s...'
+SMALL_BUDGET_S = 10.0
+
+
+def recommend(req: TaskRequirements) -> Recommendation:
+    """Apply the Figure 8 flowchart to one task description."""
+    if req.search_budget_s <= 0:
+        raise ValueError("search_budget_s must be positive")
+    if req.n_classes < 2:
+        raise ValueError("n_classes must be >= 2")
+
+    if (req.has_development_compute
+            and req.expected_executions >= AMORTIZATION_RUNS):
+        return Recommendation(
+            system="CAML(tuned)",
+            reason=(
+                "development compute is available and the tuned system "
+                f"amortises after ~{AMORTIZATION_RUNS} executions; a tuned "
+                "system needs the least energy in both execution and "
+                "inference"
+            ),
+            tune_first=True,
+        )
+
+    if req.search_budget_s <= SMALL_BUDGET_S:
+        if req.n_classes <= TABPFN_MAX_CLASSES:
+            gpu = " (with GPU support)" if req.has_gpu else ""
+            return Recommendation(
+                system="TabPFN",
+                reason=(
+                    f"zero-shot AutoML{gpu}: no search needed within a "
+                    f"<= {SMALL_BUDGET_S:.0f}s budget"
+                ),
+            )
+        return Recommendation(
+            system="CAML",
+            reason=(
+                "more classes than TabPFN supports; CAML's incremental "
+                "training finds pipelines even for very large datasets"
+            ),
+        )
+
+    if req.priority is Priority.FAST_INFERENCE:
+        return Recommendation(
+            system="FLAML",
+            reason="designed for single low-cost models: fastest inference "
+                   "at some accuracy cost",
+        )
+    if req.priority is Priority.ACCURACY:
+        return Recommendation(
+            system="AutoGluon",
+            reason="stacked ensembling converges to the best predictive "
+                   "performance (at ~10x inference energy)",
+        )
+    return Recommendation(
+        system="CAML",
+        reason="Pareto-optimal between predictive performance and "
+               "inference cost",
+    )

@@ -1,0 +1,76 @@
+"""Overfitting / early-stopping analysis (paper Table 6, Sec 3.8).
+
+Counts, per system, how many datasets score *worse* with a 5min budget than
+with a 1min budget — evidence that the search overfits its validation set
+and that early stopping would save energy (the paper finds small datasets
+like kc1 and blood-transfusion overfit most).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OverfitReport:
+    system: str
+    n_overfit: int
+    n_datasets: int
+    overfit_datasets: tuple[str, ...]
+
+    @property
+    def fraction(self) -> float:
+        return self.n_overfit / self.n_datasets if self.n_datasets else 0.0
+
+
+def count_overfitting(
+    scores_short: dict[str, float],
+    scores_long: dict[str, float],
+    *,
+    system: str = "",
+    tolerance: float = 0.0,
+) -> OverfitReport:
+    """Compare per-dataset scores at a short vs long budget.
+
+    ``scores_*`` map dataset name -> balanced accuracy.  A dataset counts as
+    overfit when the long-budget score is lower by more than ``tolerance``.
+    """
+    common = sorted(set(scores_short) & set(scores_long))
+    if not common:
+        raise ValueError("no datasets in common")
+    overfit = tuple(
+        d for d in common
+        if scores_long[d] < scores_short[d] - tolerance
+    )
+    return OverfitReport(
+        system=system,
+        n_overfit=len(overfit),
+        n_datasets=len(common),
+        overfit_datasets=overfit,
+    )
+
+
+def early_stopping_saving(
+    exec_kwh_short: float,
+    exec_kwh_long: float,
+    p_overfit: float,
+) -> float:
+    """Expected kWh saved per run by stopping early on datasets that would
+    have overfit anyway."""
+    if not 0.0 <= p_overfit <= 1.0:
+        raise ValueError("p_overfit must be in [0, 1]")
+    return max(exec_kwh_long - exec_kwh_short, 0.0) * p_overfit
+
+
+def most_overfit_datasets(reports: list[OverfitReport],
+                          top: int = 3) -> list[tuple[str, int]]:
+    """Datasets that overfit across the most systems (paper: kc1, cnae-9,
+    blood-transfusion-service-center — all < 3k rows)."""
+    counts: dict[str, int] = {}
+    for rep in reports:
+        for d in rep.overfit_datasets:
+            counts[d] = counts.get(d, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:top]

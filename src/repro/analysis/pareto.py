@@ -1,0 +1,89 @@
+"""Pareto analysis over the accuracy / energy plane.
+
+The guideline (Fig 8) recommends CAML when 'Pareto-optimal solutions between
+predictive performance and inference cost are desired'; this module makes
+that statement checkable: extract the Pareto front of (accuracy up, energy
+down) points from a results store and test membership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate on the accuracy/energy plane."""
+
+    label: str
+    accuracy: float
+    energy: float   # lower is better (kWh — execution, inference, or total)
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """At least as good on both axes and strictly better on one."""
+        return (
+            self.accuracy >= other.accuracy
+            and self.energy <= other.energy
+            and (self.accuracy > other.accuracy
+                 or self.energy < other.energy)
+        )
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset, sorted by ascending energy."""
+    front = [
+        p for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    front.sort(key=lambda p: (p.energy, -p.accuracy))
+    return front
+
+
+def is_pareto_optimal(label: str, points: list[ParetoPoint]) -> bool:
+    """Is any point with this label on the front?"""
+    front_labels = {p.label for p in pareto_front(points)}
+    return label in front_labels
+
+
+def hypervolume_2d(front: list[ParetoPoint], *, ref_accuracy: float = 0.0,
+                   ref_energy: float | None = None) -> float:
+    """Dominated hypervolume w.r.t. a reference point (accuracy floor,
+    energy ceiling): the scalar quality of a whole front."""
+    if not front:
+        return 0.0
+    front = pareto_front(front)
+    if ref_energy is None:
+        ref_energy = max(p.energy for p in front) * 1.1 or 1.0
+    volume = 0.0
+    prev_energy = ref_energy
+    # sweep from the highest-accuracy (usually highest-energy) end
+    for p in sorted(front, key=lambda p: -p.accuracy):
+        if p.energy >= prev_energy:
+            continue
+        volume += (prev_energy - p.energy) * max(
+            p.accuracy - ref_accuracy, 0.0
+        )
+        prev_energy = p.energy
+    return float(volume)
+
+
+def store_to_points(store, *, budget: float,
+                    energy_attr: str = "inference_kwh_per_instance"
+                    ) -> list[ParetoPoint]:
+    """Build per-system Pareto points from a results store at one budget."""
+    points = []
+    for system in store.systems:
+        sub = store.filter(system=system, budget=budget,
+                           include_failed=False)
+        if not sub.records:
+            continue
+        points.append(ParetoPoint(
+            label=system,
+            accuracy=sub.mean_over_runs(
+                "balanced_accuracy", system=system, budget=budget),
+            energy=sub.mean_over_runs(
+                energy_attr, system=system, budget=budget),
+        ))
+    return points

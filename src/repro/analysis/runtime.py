@@ -1,0 +1,64 @@
+"""Budget-adherence statistics (paper Table 7, Sec 3.10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """Actual execution time for one (system, configured budget) cell."""
+
+    system: str
+    configured_s: float
+    mean_actual_s: float
+    std_actual_s: float
+
+    @property
+    def overrun_ratio(self) -> float:
+        return (
+            self.mean_actual_s / self.configured_s
+            if self.configured_s else float("nan")
+        )
+
+    def formatted(self) -> str:
+        return f"{self.mean_actual_s:.2f} ± {self.std_actual_s:.2f}"
+
+
+def runtime_table(records) -> list[RuntimeRow]:
+    """Aggregate run records into Table 7 rows.
+
+    ``records`` is an iterable with ``system``, ``configured_seconds`` and
+    ``actual_seconds`` attributes (e.g. :class:`FitResult` or the harness's
+    run records).  Rows are sorted the way the paper prints them: by actual
+    time within each budget column, adherent systems first.
+    """
+    cells: dict[tuple[str, float], list[float]] = {}
+    for r in records:
+        key = (r.system, float(r.configured_seconds))
+        cells.setdefault(key, []).append(float(r.actual_seconds))
+    rows = [
+        RuntimeRow(
+            system=sys_,
+            configured_s=budget,
+            mean_actual_s=float(np.mean(vals)),
+            std_actual_s=float(np.std(vals)),
+        )
+        for (sys_, budget), vals in cells.items()
+    ]
+    rows.sort(key=lambda r: (r.configured_s, r.mean_actual_s))
+    return rows
+
+
+def adherence_ranking(rows: list[RuntimeRow]) -> list[tuple[str, float]]:
+    """Systems ranked by mean overrun ratio across budgets (1.0 = strict)."""
+    ratios: dict[str, list[float]] = {}
+    for row in rows:
+        ratios.setdefault(row.system, []).append(row.overrun_ratio)
+    ranked = [
+        (sys_, float(np.mean(vals))) for sys_, vals in ratios.items()
+    ]
+    ranked.sort(key=lambda kv: kv[1])
+    return ranked

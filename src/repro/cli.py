@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --system CAML --dataset credit-g --budget 30
+    python -m repro grid --systems CAML FLAML --datasets credit-g kc1 \\
+        --budgets 10 30 --runs 2 --out results.json
+    python -m repro recommend --budget 300 --classes 2 --priority accuracy
+    python -m repro datasets
+    python -m repro systems
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.guideline import Priority, TaskRequirements, recommend
+from repro.analysis.reporting import format_table
+from repro.datasets import list_datasets, load_dataset
+from repro.experiments import ExperimentConfig, run_grid, run_single
+from repro.systems import SYSTEM_REGISTRY
+
+
+def _cmd_run(args) -> int:
+    ds = load_dataset(args.dataset)
+    record = run_single(
+        args.system, ds, args.budget, seed=args.seed,
+        time_scale=args.time_scale, n_cores=args.cores,
+    )
+    rows = [
+        ["balanced accuracy", record.balanced_accuracy],
+        ["execution kWh", record.execution_kwh],
+        ["actual seconds", record.actual_seconds],
+        ["inference kWh/instance", record.inference_kwh_per_instance],
+        ["ensemble members", record.n_ensemble_members],
+        ["pipelines evaluated", record.n_evaluations],
+    ]
+    print(f"{args.system} on {args.dataset} ({args.budget:.0f}s budget)")
+    print(format_table(["metric", "value"], rows))
+    if record.failed:
+        print(f"NOTE: run failed and fell back to the prior baseline "
+              f"({record.note})")
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    config = ExperimentConfig(
+        systems=tuple(args.systems),
+        datasets=tuple(args.datasets),
+        budgets=tuple(args.budgets),
+        n_runs=args.runs,
+        time_scale=args.time_scale,
+    )
+    store = run_grid(config, verbose=not args.quiet)
+    if args.out:
+        store.save(args.out)
+        print(f"wrote {len(store)} records to {args.out}")
+    from repro.experiments import figure3
+
+    print(figure3(store).render())
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    req = TaskRequirements(
+        search_budget_s=args.budget,
+        n_classes=args.classes,
+        expected_executions=args.executions,
+        has_development_compute=args.dev_compute,
+        has_gpu=args.gpu,
+        priority=Priority(args.priority),
+    )
+    rec = recommend(req)
+    print(f"recommended system: {rec.system}")
+    print(f"reason            : {rec.reason}")
+    if rec.tune_first:
+        print("action            : tune the AutoML parameters first "
+              "(see repro.devtuning.DevelopmentTuner)")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.paper import reproduce_paper
+
+    repro_result = reproduce_paper(
+        args.preset, include_campaigns=not args.no_campaigns,
+        verbose=not args.quiet,
+    )
+    if args.out:
+        repro_result.save(args.out)
+        print(f"wrote report to {args.out}")
+    else:
+        print(repro_result.report)
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    from repro.datasets import get_spec
+
+    rows = []
+    for name in list_datasets():
+        spec = get_spec(name)
+        rows.append([
+            name, spec.paper_instances, spec.paper_features,
+            spec.paper_classes,
+            f"{spec.n_samples}x{spec.n_features}",
+        ])
+    print(format_table(
+        ["dataset", "rows (paper)", "features (paper)", "classes",
+         "generated"], rows,
+    ))
+    return 0
+
+
+def _cmd_systems(_args) -> int:
+    from repro.systems import make_system
+
+    rows = []
+    for name in sorted(SYSTEM_REGISTRY):
+        system = make_system(name)
+        rows.append([
+            name, f"{system.min_budget_s:.0f}s",
+            system.budget_discipline,
+        ])
+    print(format_table(["system", "min budget", "budget discipline"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Green AutoML benchmark (EDBT 2025 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one AutoML system once")
+    p_run.add_argument("--system", required=True,
+                       choices=sorted(SYSTEM_REGISTRY))
+    p_run.add_argument("--dataset", required=True)
+    p_run.add_argument("--budget", type=float, default=30.0)
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--cores", type=int, default=1)
+    p_run.add_argument("--time-scale", type=float, default=0.02,
+                       dest="time_scale")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_grid = sub.add_parser("grid", help="run a benchmark campaign")
+    p_grid.add_argument("--systems", nargs="+",
+                        default=["CAML", "FLAML", "TabPFN"])
+    p_grid.add_argument("--datasets", nargs="+", default=["credit-g"])
+    p_grid.add_argument("--budgets", nargs="+", type=float,
+                        default=[10.0, 30.0])
+    p_grid.add_argument("--runs", type=int, default=2)
+    p_grid.add_argument("--time-scale", type=float, default=0.01,
+                        dest="time_scale")
+    p_grid.add_argument("--out", default=None)
+    p_grid.add_argument("--quiet", action="store_true")
+    p_grid.set_defaults(func=_cmd_grid)
+
+    p_rec = sub.add_parser("recommend",
+                           help="apply the Figure 8 guideline")
+    p_rec.add_argument("--budget", type=float, required=True)
+    p_rec.add_argument("--classes", type=int, required=True)
+    p_rec.add_argument("--executions", type=int, default=1)
+    p_rec.add_argument("--dev-compute", action="store_true",
+                       dest="dev_compute")
+    p_rec.add_argument("--gpu", action="store_true")
+    p_rec.add_argument("--priority", default="pareto",
+                       choices=[p.value for p in Priority])
+    p_rec.set_defaults(func=_cmd_recommend)
+
+    p_rep = sub.add_parser(
+        "reproduce", help="regenerate the paper's evaluation artefacts")
+    p_rep.add_argument("--preset", default="smoke",
+                       choices=["smoke", "default", "full"])
+    p_rep.add_argument("--no-campaigns", action="store_true",
+                       dest="no_campaigns")
+    p_rep.add_argument("--out", default=None)
+    p_rep.add_argument("--quiet", action="store_true")
+    p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_ds = sub.add_parser("datasets", help="list the Table 2 suite")
+    p_ds.set_defaults(func=_cmd_datasets)
+
+    p_sys = sub.add_parser("systems", help="list the AutoML systems")
+    p_sys.set_defaults(func=_cmd_systems)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

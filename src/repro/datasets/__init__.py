@@ -1,0 +1,34 @@
+"""Synthetic stand-ins for the paper's 39 OpenML AMLB datasets (Table 2).
+
+No network access exists here, so the benchmark suite is regenerated
+synthetically: each Table 2 entry keeps its name, OpenML id, class count and
+shape *ratios*, scaled down to laptop size, with a per-dataset difficulty
+profile so systems rank the way real heterogeneous data makes them rank.
+"""
+
+from repro.datasets.loaders import Dataset, load_dataset, load_suite
+from repro.datasets.metafeatures import compute_metafeatures, METAFEATURE_NAMES
+from repro.datasets.registry import (
+    DATASET_REGISTRY,
+    DEV_POOL_SIZE,
+    DatasetSpec,
+    dev_pool_specs,
+    get_spec,
+    list_datasets,
+)
+from repro.datasets.synthetic import make_classification
+
+__all__ = [
+    "Dataset",
+    "DatasetSpec",
+    "DATASET_REGISTRY",
+    "DEV_POOL_SIZE",
+    "dev_pool_specs",
+    "get_spec",
+    "list_datasets",
+    "load_dataset",
+    "load_suite",
+    "make_classification",
+    "compute_metafeatures",
+    "METAFEATURE_NAMES",
+]

@@ -1,0 +1,105 @@
+"""Dataset materialisation: spec -> arrays -> train/test splits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from repro.datasets.registry import DatasetSpec, get_spec, list_datasets
+from repro.datasets.synthetic import make_classification
+from repro.metrics.validation import train_test_split
+
+
+@dataclass
+class Dataset:
+    """A materialised dataset with the paper's 66/34 train/test split."""
+
+    spec: DatasetSpec
+    X_train: np.ndarray
+    X_test: np.ndarray
+    y_train: np.ndarray
+    y_test: np.ndarray
+    categorical_mask: np.ndarray = field(default=None)
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def n_classes(self) -> int:
+        return self.spec.n_classes
+
+    def subsample(self, n: int, random_state=None) -> "Dataset":
+        """Return a copy whose training partition is capped at ``n`` rows
+        (class-stratified), used by sampling-based AutoML parameters."""
+        from repro.utils.rng import check_random_state
+
+        if n >= len(self.y_train):
+            return self
+        rng = check_random_state(random_state)
+        keep: list[int] = []
+        classes = np.unique(self.y_train)
+        per_class = max(1, n // len(classes))
+        for c in classes:
+            idx = np.flatnonzero(self.y_train == c)
+            take = min(len(idx), per_class)
+            keep.extend(rng.choice(idx, size=take, replace=False).tolist())
+        keep = np.array(sorted(keep))
+        return Dataset(
+            spec=self.spec,
+            X_train=self.X_train[keep],
+            X_test=self.X_test,
+            y_train=self.y_train[keep],
+            y_test=self.y_test,
+            categorical_mask=self.categorical_mask,
+        )
+
+
+def _materialise(spec: DatasetSpec, split_seed: int) -> Dataset:
+    X, y = make_classification(
+        n_samples=spec.n_samples,
+        n_features=spec.n_features,
+        n_classes=spec.n_classes,
+        n_categorical=spec.n_categorical,
+        class_sep=spec.class_sep,
+        nonlinearity=spec.nonlinearity,
+        label_noise=spec.label_noise,
+        imbalance=spec.imbalance,
+        random_state=spec.seed,
+    )
+    X_train, X_test, y_train, y_test = train_test_split(
+        X, y, test_size=0.34, random_state=split_seed
+    )
+    mask = np.zeros(spec.n_features, dtype=bool)
+    if spec.n_categorical:
+        mask[-spec.n_categorical:] = True
+    return Dataset(
+        spec=spec,
+        X_train=X_train,
+        X_test=X_test,
+        y_train=y_train,
+        y_test=y_test,
+        categorical_mask=mask,
+    )
+
+
+@lru_cache(maxsize=256)
+def _cached(name: str, split_seed: int) -> Dataset:
+    return _materialise(get_spec(name), split_seed)
+
+
+def load_dataset(name: str, *, split_seed: int = 0,
+                 spec: DatasetSpec | None = None) -> Dataset:
+    """Load (generate) one benchmark dataset by name, or from an explicit
+    spec (used for the development pool)."""
+    if spec is not None:
+        return _materialise(spec, split_seed)
+    return _cached(name, split_seed)
+
+
+def load_suite(names=None, *, split_seed: int = 0) -> list[Dataset]:
+    """Load the full 39-dataset Table 2 suite (or a named subset)."""
+    names = list(names) if names is not None else list_datasets()
+    return [load_dataset(n, split_seed=split_seed) for n in names]

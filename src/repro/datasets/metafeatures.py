@@ -1,0 +1,75 @@
+"""Dataset metafeatures.
+
+Used in two places mirroring the paper:
+
+* ASKL1-style warm starting — find the most similar previously-seen dataset
+  and seed BO with its best pipelines (Sec 2.2);
+* representative-dataset selection for development-stage tuning — K-Means
+  over metafeatures, pick the dataset closest to each centroid (Sec 2.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+METAFEATURE_NAMES = [
+    "log_n_instances",
+    "log_n_features",
+    "n_classes",
+    "dimensionality",       # features / instances
+    "class_entropy",
+    "minority_fraction",
+    "mean_feature_skew",
+    "mean_feature_kurtosis",
+    "fraction_discrete",
+]
+
+
+def compute_metafeatures(X, y) -> np.ndarray:
+    """Return the metafeature vector for one dataset (order:
+    :data:`METAFEATURE_NAMES`)."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    if X.ndim != 2 or len(X) == 0:
+        raise ValueError("X must be a non-empty 2D array")
+    n, d = X.shape
+    classes, counts = np.unique(y, return_counts=True)
+    p = counts / counts.sum()
+    entropy = float(-np.sum(p * np.log2(p + 1e-12)))
+    minority = float(p.min())
+
+    mu = X.mean(axis=0)
+    sigma = X.std(axis=0)
+    safe = np.maximum(sigma, 1e-12)
+    z = (X - mu) / safe
+    skew = float(np.mean(np.mean(z**3, axis=0)))
+    kurt = float(np.mean(np.mean(z**4, axis=0) - 3.0))
+    # Heuristic for discrete columns: few unique values relative to n.
+    n_unique = np.array([len(np.unique(X[:, j])) for j in range(d)])
+    discrete = float(np.mean(n_unique <= max(10, n // 20)))
+
+    return np.array([
+        np.log10(n),
+        np.log10(max(d, 1)),
+        float(len(classes)),
+        d / n,
+        entropy,
+        minority,
+        skew,
+        kurt,
+        discrete,
+    ])
+
+
+def metafeatures_from_spec(spec) -> np.ndarray:
+    """Cheap metafeatures straight from a :class:`DatasetSpec` (no data
+    generation) — what the paper's K-Means clustering actually uses
+    ('number of features, instances, and classes')."""
+    return np.array([
+        np.log10(spec.paper_instances),
+        np.log10(max(spec.paper_features, 1)),
+        float(spec.paper_classes),
+        spec.paper_features / spec.paper_instances,
+        float(spec.imbalance),
+        float(spec.nonlinearity),
+    ])

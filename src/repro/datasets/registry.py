@@ -1,0 +1,204 @@
+"""Registry mirroring the paper's Table 2 benchmark suite.
+
+Each entry keeps the OpenML name/id and the *paper-scale* shape, plus a
+deterministic laptop-scale shape used to actually generate data.  Scaling is
+logarithmic so that the relative ordering of dataset sizes — which drives
+which system wins where (Sec 3.2.1) — is preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of binary-classification datasets in the development pool that the
+#: paper draws its representative top-k datasets from (Sec 3.7).
+DEV_POOL_SIZE = 124
+
+_MAX_ROWS = 1200
+_MIN_ROWS = 150
+_MAX_FEATURES = 48
+_MAX_CLASSES = 12
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One benchmark dataset: paper-scale metadata + scaled generation recipe."""
+
+    name: str
+    openml_id: int
+    paper_instances: int
+    paper_features: int
+    paper_classes: int
+    #: scaled sizes actually generated
+    n_samples: int
+    n_features: int
+    n_classes: int
+    #: difficulty profile (deterministic per dataset)
+    class_sep: float
+    nonlinearity: float
+    label_noise: float
+    imbalance: float
+    n_categorical: int
+    seed: int
+    #: True for the 124-dataset development pool, False for the 39 test sets
+    is_dev_pool: bool = False
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_samples, self.n_features)
+
+
+# name, openml id, instances, features, classes — verbatim from Table 2.
+_TABLE2 = [
+    ("robert", 41165, 10000, 7200, 10),
+    ("riccardo", 41161, 20000, 4296, 2),
+    ("guillermo", 41159, 20000, 4296, 2),
+    ("dilbert", 41163, 10000, 2000, 5),
+    ("christine", 41142, 5418, 1636, 2),
+    ("cnae-9", 1468, 1080, 856, 9),
+    ("fabert", 41164, 8237, 800, 7),
+    ("Fashion-MNIST", 40996, 70000, 784, 10),
+    ("KDDCup09_appetency", 1111, 50000, 230, 2),
+    ("mfeat-factors", 12, 2000, 216, 10),
+    ("volkert", 41166, 58310, 180, 10),
+    ("APSFailure", 41138, 76000, 170, 2),
+    ("jasmine", 41143, 2984, 144, 2),
+    ("nomao", 1486, 34465, 118, 2),
+    ("albert", 41147, 425240, 78, 2),
+    ("dionis", 41167, 416188, 60, 355),
+    ("jannis", 41168, 83733, 54, 4),
+    ("covertype", 1596, 581012, 54, 7),
+    ("MiniBooNE", 41150, 130064, 50, 2),
+    ("connect-4", 40668, 67557, 42, 3),
+    ("kr-vs-kp", 3, 3196, 36, 2),
+    ("higgs", 23512, 98050, 28, 2),
+    ("helena", 41169, 65196, 27, 100),
+    ("kc1", 1067, 2109, 21, 2),
+    ("numerai28.6", 23517, 96320, 21, 2),
+    ("credit-g", 31, 1000, 20, 2),
+    ("sylvine", 41146, 5124, 20, 2),
+    ("segment", 40984, 2310, 16, 7),
+    ("vehicle", 54, 846, 18, 4),
+    ("bank-marketing", 1461, 45211, 16, 2),
+    ("Australian", 40981, 690, 14, 2),
+    ("adult", 1590, 48842, 14, 2),
+    ("Amazon_employee_access", 4135, 32769, 9, 2),
+    ("shuttle", 40685, 58000, 9, 7),
+    ("airlines", 1169, 539383, 7, 2),
+    ("car", 40975, 1728, 6, 4),
+    ("jungle_chess_2pcs_raw_endgame_complete", 41027, 44819, 6, 3),
+    ("phoneme", 1489, 5404, 5, 2),
+    ("blood-transfusion-service-center", 1464, 748, 4, 2),
+]
+
+
+def _scale_rows(rows: int) -> int:
+    scaled = int(60.0 * np.log10(rows) ** 1.6)
+    return int(np.clip(scaled, _MIN_ROWS, _MAX_ROWS))
+
+
+def _scale_features(features: int) -> int:
+    if features <= 20:
+        return features
+    scaled = int(np.sqrt(features) * 2.2)
+    return int(np.clip(scaled, 20, _MAX_FEATURES))
+
+
+def _scale_classes(classes: int) -> int:
+    # Keep >10 classes >10 after scaling so the TabPFN class-limit effect
+    # (paper Sec 3.2) survives; cap for tractability.
+    return min(classes, _MAX_CLASSES)
+
+
+def _difficulty(name: str, openml_id: int) -> dict:
+    """Deterministic per-dataset difficulty knobs.
+
+    Hash-seeded so each dataset has a stable 'personality'; ranges chosen so
+    the suite spans easy linear tasks through noisy nonlinear ones.
+    """
+    rng = np.random.default_rng(openml_id * 2654435761 % (2**32))
+    return {
+        "class_sep": float(rng.uniform(0.8, 2.2)),
+        "nonlinearity": float(rng.uniform(0.0, 0.8)),
+        "label_noise": float(rng.uniform(0.0, 0.12)),
+        "imbalance": float(rng.uniform(0.0, 0.5)),
+        "seed": int(rng.integers(0, 2**31 - 1)),
+    }
+
+
+def _build_registry() -> dict[str, DatasetSpec]:
+    registry: dict[str, DatasetSpec] = {}
+    for name, oml_id, rows, feats, classes in _TABLE2:
+        diff = _difficulty(name, oml_id)
+        n_classes = _scale_classes(classes)
+        n_samples = max(_scale_rows(rows), 12 * n_classes)
+        n_features = _scale_features(feats)
+        n_categorical = min(n_features // 4, 6) if oml_id % 3 == 0 else 0
+        registry[name] = DatasetSpec(
+            name=name,
+            openml_id=oml_id,
+            paper_instances=rows,
+            paper_features=feats,
+            paper_classes=classes,
+            n_samples=n_samples,
+            n_features=n_features,
+            n_classes=n_classes,
+            n_categorical=n_categorical,
+            **diff,
+        )
+    return registry
+
+
+DATASET_REGISTRY: dict[str, DatasetSpec] = _build_registry()
+
+
+def list_datasets() -> list[str]:
+    """Names of the 39 Table 2 test datasets, in Table 2 order."""
+    return [name for name, *_ in _TABLE2]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    from repro.exceptions import DatasetError
+
+    try:
+        return DATASET_REGISTRY[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; see repro.datasets.list_datasets()"
+        ) from None
+
+
+def dev_pool_specs(n: int = DEV_POOL_SIZE) -> list[DatasetSpec]:
+    """The development pool: ``n`` binary classification datasets.
+
+    Stands in for the paper's 124 OpenML binary tasks used to tune CAML's
+    AutoML parameters (Sec 3.7).  Shapes are drawn log-uniformly over the
+    same ranges the AMLB suite spans, deterministically.
+    """
+    rng = np.random.default_rng(424242)
+    specs = []
+    for i in range(n):
+        rows = int(10 ** rng.uniform(2.6, 5.8))       # 400 .. 630k paper-scale
+        feats = int(10 ** rng.uniform(0.6, 3.2))      # 4 .. ~1.6k paper-scale
+        name = f"devpool-{i:03d}"
+        diff = _difficulty(name, 10_000_000 + i)
+        n_samples = _scale_rows(rows)
+        n_features = _scale_features(feats)
+        specs.append(
+            DatasetSpec(
+                name=name,
+                openml_id=10_000_000 + i,
+                paper_instances=rows,
+                paper_features=feats,
+                paper_classes=2,
+                n_samples=n_samples,
+                n_features=n_features,
+                n_classes=2,
+                n_categorical=min(n_features // 5, 4) if i % 4 == 0 else 0,
+                is_dev_pool=True,
+                **diff,
+            )
+        )
+    return specs

@@ -1,0 +1,26 @@
+"""Development-stage tuning of AutoML-system parameters (paper Sec 2.5)."""
+
+from repro.devtuning.objective import aggregate_improvement, relative_improvement
+from repro.devtuning.parameters import (
+    SAMPLING_CHOICES,
+    build_automl_parameter_space,
+    config_to_caml_parameters,
+    default_parameters,
+    n_tuned_parameters,
+)
+from repro.devtuning.representative import select_representative_datasets
+from repro.devtuning.tuner import DevelopmentTuner, TuningResult, TuningTrial
+
+__all__ = [
+    "relative_improvement",
+    "aggregate_improvement",
+    "build_automl_parameter_space",
+    "config_to_caml_parameters",
+    "default_parameters",
+    "n_tuned_parameters",
+    "SAMPLING_CHOICES",
+    "select_representative_datasets",
+    "DevelopmentTuner",
+    "TuningResult",
+    "TuningTrial",
+]

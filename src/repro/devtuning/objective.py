@@ -1,0 +1,33 @@
+"""The development-stage tuning objective (Sec 2.5).
+
+For candidate AutoML parameters w and defaults w_def, the objective is the
+sum over datasets d of the *relative* accuracy improvement::
+
+    sum_d (Acc(w, d) - Acc(w_def, d)) / max(Acc(w, d), Acc(w_def, d))
+
+which makes improvements comparable across easy and hard datasets (the
+algorithm-configuration trick of Eggensperger et al.).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relative_improvement(acc: float, acc_default: float) -> float:
+    """Relative improvement of one dataset's accuracy over the default."""
+    denom = max(acc, acc_default)
+    if denom <= 0:
+        return 0.0
+    return (acc - acc_default) / denom
+
+
+def aggregate_improvement(accs, default_accs) -> float:
+    """Sum of per-dataset relative improvements (the BO objective)."""
+    accs = np.asarray(accs, dtype=float)
+    default_accs = np.asarray(default_accs, dtype=float)
+    if accs.shape != default_accs.shape:
+        raise ValueError("accs and default_accs must have the same shape")
+    return float(
+        sum(relative_improvement(a, d) for a, d in zip(accs, default_accs))
+    )

@@ -1,0 +1,66 @@
+"""The AutoML-system parameter space tuned in the development stage.
+
+The paper tunes 192 parameters for CAML: 186 spanning the ML hyperparameter
+search-space *design* plus 6 system parameters (Sec 3.7).  At this repo's
+scale the search-space design is parameterised by per-classifier inclusion
+flags (pruning the model space is what Table 5's trees show), and the six
+system parameters are reproduced one-for-one:
+
+1. hold-out validation fraction,
+2. evaluation fraction (max time share of one evaluation),
+3. sampling (cap on training instances used during search),
+4. refit on train+validation after selection,
+5. random validation-split resampling per BO iteration,
+6. incremental training (successive halving).
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.search_space import Categorical, ConfigSpace, Float
+from repro.pipeline.spaces import ALL_CLASSIFIERS
+from repro.systems.caml import CamlParameters
+
+#: sampling choices: None = use everything (the paper's tuner 'always ends
+#: up sampling upfront', so the grid skews small)
+SAMPLING_CHOICES = (None, 100, 250, 500, 1000)
+
+
+def build_automl_parameter_space() -> ConfigSpace:
+    """ConfigSpace over CAML's AutoML-system parameters."""
+    space = ConfigSpace()
+    for clf in ALL_CLASSIFIERS:
+        space.add(Categorical(f"use_{clf}", (True, False)))
+    space.add(Float("holdout_fraction", 0.1, 0.5))
+    space.add(Float("evaluation_fraction", 0.05, 0.5))
+    space.add(Categorical("sampling", SAMPLING_CHOICES))
+    space.add(Categorical("refit", (True, False)))
+    space.add(Categorical("resample_validation", (True, False)))
+    space.add(Categorical("incremental_training", (True, False)))
+    return space
+
+
+def config_to_caml_parameters(config: dict) -> CamlParameters:
+    """Translate a tuner configuration into :class:`CamlParameters`."""
+    classifiers = [c for c in ALL_CLASSIFIERS if config.get(f"use_{c}", True)]
+    if not classifiers:
+        # an all-excluded draw falls back to the most robust family
+        classifiers = ["decision_tree"]
+    return CamlParameters(
+        classifiers=classifiers,
+        holdout_fraction=float(config.get("holdout_fraction", 0.33)),
+        evaluation_fraction=float(config.get("evaluation_fraction", 0.25)),
+        sample_cap=config.get("sampling"),
+        refit=bool(config.get("refit", False)),
+        resample_validation=bool(config.get("resample_validation", True)),
+        incremental_training=bool(config.get("incremental_training", True)),
+    )
+
+
+def default_parameters() -> CamlParameters:
+    """The w_default baseline: full space, 0.33 hold-out (Sec 2.5)."""
+    return CamlParameters()
+
+
+def n_tuned_parameters() -> int:
+    """Size of the tuned parameter vector (paper: 192 at full scale)."""
+    return len(build_automl_parameter_space())

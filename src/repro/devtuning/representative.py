@@ -1,0 +1,45 @@
+"""Representative-dataset selection (paper Figure 2, Tables 8).
+
+Cluster the development pool's metafeatures with K-Means and pick, for each
+centroid, the closest dataset — tuning on k representatives instead of all
+124 datasets cuts development-stage energy by an order of magnitude
+(Table 8: top-10 costs 0.43 kWh, top-40 costs 4.88 kWh).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.metafeatures import metafeatures_from_spec
+from repro.datasets.registry import DatasetSpec, dev_pool_specs
+from repro.metalearning.kmeans import KMeans
+
+
+def select_representative_datasets(
+    specs: list[DatasetSpec] | None = None,
+    k: int = 20,
+    *,
+    random_state=0,
+) -> list[DatasetSpec]:
+    """Pick ``k`` representative datasets from ``specs`` (default: the
+    124-dataset development pool)."""
+    specs = list(specs) if specs is not None else dev_pool_specs()
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k >= len(specs):
+        return specs
+    mf = np.vstack([metafeatures_from_spec(s) for s in specs])
+    mu = mf.mean(axis=0)
+    sd = np.maximum(mf.std(axis=0), 1e-9)
+    Z = (mf - mu) / sd
+    km = KMeans(n_clusters=k, random_state=random_state).fit(Z)
+    chosen: list[DatasetSpec] = []
+    taken: set[int] = set()
+    for c in range(k):
+        d2 = np.sum((Z - km.cluster_centers_[c]) ** 2, axis=1)
+        for i in np.argsort(d2):
+            if int(i) not in taken:
+                taken.add(int(i))
+                chosen.append(specs[int(i)])
+                break
+    return chosen

@@ -1,0 +1,185 @@
+"""Development-stage tuning of CAML's AutoML parameters (Sec 2.5, 3.7).
+
+The loop of the paper's Figure 2: BO proposes AutoML parameters; each
+proposal is evaluated by *running CAML twice* (variance reduction) on every
+representative dataset, scored by relative improvement over the defaults,
+with median pruning killing poor proposals after a few datasets.  The energy
+of the whole process is tracked and booked to the development stage —
+that is the 21 kWh bubble in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.datasets.registry import DatasetSpec
+from repro.devtuning.objective import aggregate_improvement, relative_improvement
+from repro.devtuning.parameters import (
+    build_automl_parameter_space,
+    config_to_caml_parameters,
+    default_parameters,
+)
+from repro.devtuning.representative import select_representative_datasets
+from repro.energy.tracker import EnergyReport, EnergyTracker
+from repro.exceptions import TrialPruned
+from repro.hpo.bo import BayesianOptimizer
+from repro.hpo.pruning import MedianPruner
+from repro.metrics.classification import balanced_accuracy_score
+from repro.systems.caml import CamlParameters, CamlSystem
+from repro.utils.rng import check_random_state
+
+
+@dataclass
+class TuningTrial:
+    config: dict
+    objective: float
+    pruned: bool
+    per_dataset: list[float] = field(default_factory=list)
+
+
+@dataclass
+class TuningResult:
+    """Outcome of one development-stage tuning run for one search budget."""
+
+    search_budget_s: float
+    best_config: dict
+    best_parameters: CamlParameters
+    best_objective: float
+    trials: list[TuningTrial]
+    development_energy: EnergyReport
+    default_scores: dict[str, float]
+    mean_balanced_accuracy: float
+
+    @property
+    def n_trials(self) -> int:
+        return len(self.trials)
+
+    def amortization_runs(self, tuned_execution_kwh: float,
+                          default_execution_kwh: float) -> float:
+        """How many future AutoML executions amortise the tuning energy
+        (the paper's 885-run break-even, Sec 3.7)."""
+        saving = default_execution_kwh - tuned_execution_kwh
+        if saving <= 0:
+            return float("inf")
+        return self.development_energy.kwh / saving
+
+
+class DevelopmentTuner:
+    """BO over CAML's AutoML parameters for one search budget."""
+
+    def __init__(self, *, search_budget_s: float = 10.0, top_k: int = 20,
+                 n_bo_iterations: int = 30, runs_per_dataset: int = 2,
+                 time_scale: float = 0.005, machine=None, random_state=None):
+        if runs_per_dataset < 1:
+            raise ValueError("runs_per_dataset must be >= 1")
+        if n_bo_iterations < 1:
+            raise ValueError("n_bo_iterations must be >= 1")
+        self.search_budget_s = search_budget_s
+        self.top_k = top_k
+        self.n_bo_iterations = n_bo_iterations
+        self.runs_per_dataset = runs_per_dataset
+        self.time_scale = time_scale
+        self.machine = machine
+        self.random_state = random_state
+
+    # -- one CAML run -----------------------------------------------------------
+    def _run_caml(self, params: CamlParameters, spec: DatasetSpec,
+                  seed: int) -> float:
+        ds = load_dataset(spec.name, spec=spec)
+        system = CamlSystem(
+            params=params, random_state=seed, time_scale=self.time_scale,
+        )
+        try:
+            system.fit(ds.X_train, ds.y_train,
+                       budget_s=self.search_budget_s,
+                       categorical_mask=ds.categorical_mask)
+            return balanced_accuracy_score(
+                ds.y_test, system.predict(ds.X_test)
+            )
+        except Exception:
+            return 0.0
+
+    def _mean_score(self, params: CamlParameters, spec: DatasetSpec,
+                    rng) -> float:
+        scores = [
+            self._run_caml(params, spec, int(rng.integers(0, 2**31 - 1)))
+            for _ in range(self.runs_per_dataset)
+        ]
+        return float(np.mean(scores))
+
+    # -- the full tuning loop -----------------------------------------------------
+    def tune(self, specs: list[DatasetSpec] | None = None) -> TuningResult:
+        rng = check_random_state(self.random_state)
+        datasets = select_representative_datasets(
+            specs, k=self.top_k, random_state=0
+        )
+        space = build_automl_parameter_space()
+        optimizer = BayesianOptimizer(
+            space, n_init=max(4, self.n_bo_iterations // 5),
+            random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        pruner = MedianPruner(n_warmup_trials=3, n_warmup_steps=1)
+
+        tracker = (
+            EnergyTracker(machine=self.machine) if self.machine
+            else EnergyTracker()
+        )
+        tracker.start()
+
+        defaults = default_parameters()
+        default_scores = {
+            spec.name: self._mean_score(defaults, spec, rng)
+            for spec in datasets
+        }
+
+        trials: list[TuningTrial] = []
+        for trial_id in range(self.n_bo_iterations):
+            config = optimizer.ask()
+            params = config_to_caml_parameters(config)
+            per_dataset: list[float] = []
+            pruned = False
+            running = 0.0
+            try:
+                for step, spec in enumerate(datasets):
+                    acc = self._mean_score(params, spec, rng)
+                    per_dataset.append(acc)
+                    running += relative_improvement(
+                        acc, default_scores[spec.name]
+                    )
+                    pruner.report(trial_id, step, running)
+            except TrialPruned:
+                pruned = True
+            if pruned:
+                # penalise by extrapolating the partial objective pessimistically
+                objective = running - 0.05 * (len(datasets) - len(per_dataset))
+            else:
+                objective = aggregate_improvement(
+                    per_dataset,
+                    [default_scores[s.name] for s in datasets],
+                )
+                pruner.complete(trial_id)
+            optimizer.tell(config, objective)
+            trials.append(TuningTrial(config, objective, pruned, per_dataset))
+
+        energy = tracker.stop()
+        best = max(trials, key=lambda t: t.objective)
+        best_params = config_to_caml_parameters(best.config)
+        complete = [t for t in trials if not t.pruned and t.per_dataset]
+        if complete:
+            best_complete = max(complete, key=lambda t: t.objective)
+            mean_acc = float(np.mean(best_complete.per_dataset))
+        else:
+            mean_acc = float("nan")
+        return TuningResult(
+            search_budget_s=self.search_budget_s,
+            best_config=best.config,
+            best_parameters=best_params,
+            best_objective=best.objective,
+            trials=trials,
+            development_energy=energy,
+            default_scores=default_scores,
+            mean_balanced_accuracy=mean_acc,
+        )

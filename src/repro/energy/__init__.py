@@ -1,0 +1,64 @@
+"""Energy measurement substrate (the CodeCarbon/RAPL stand-in).
+
+Measured execution energy (CPU time × machine power model), analytic
+inference energy (FLOPs × device efficiency), CO2/EUR conversion, and the
+modelled multi-core / GPU execution paths used by Figures 5 and Table 3.
+"""
+
+from repro.energy.co2 import CO2_KG_PER_KWH, EUR_PER_KWH, co2_kg, cost_eur
+from repro.energy.cost_model import (
+    InferenceEstimate,
+    estimate_inference,
+    gpu_supported_fraction,
+    kwh_per_prediction,
+    model_flops,
+)
+from repro.energy.machines import (
+    DEFAULT_MACHINE,
+    JOULES_PER_KWH,
+    MACHINES,
+    DeviceProfile,
+    MachineProfile,
+    T4_GPU,
+    XEON_GOLD_6132,
+    XEON_T4_MACHINE,
+    get_machine,
+)
+from repro.energy.parallel import (
+    ParallelRun,
+    amdahl_speedup,
+    budget_bound_execution,
+    parallel_execution,
+)
+from repro.energy.rapl import RaplCounter, RaplSample
+from repro.energy.tracker import ZERO_REPORT, EnergyReport, EnergyTracker
+
+__all__ = [
+    "EnergyTracker",
+    "EnergyReport",
+    "ZERO_REPORT",
+    "RaplCounter",
+    "RaplSample",
+    "MachineProfile",
+    "DeviceProfile",
+    "XEON_GOLD_6132",
+    "XEON_T4_MACHINE",
+    "T4_GPU",
+    "DEFAULT_MACHINE",
+    "MACHINES",
+    "get_machine",
+    "JOULES_PER_KWH",
+    "co2_kg",
+    "cost_eur",
+    "CO2_KG_PER_KWH",
+    "EUR_PER_KWH",
+    "estimate_inference",
+    "kwh_per_prediction",
+    "model_flops",
+    "gpu_supported_fraction",
+    "InferenceEstimate",
+    "amdahl_speedup",
+    "parallel_execution",
+    "budget_bound_execution",
+    "ParallelRun",
+]

@@ -1,0 +1,28 @@
+"""kWh -> CO2 and monetary conversions (paper Sec 3.6).
+
+The paper assumes Germany's grid intensity (0.222 kg CO2 / kWh, nowtricity
+2023) and the average European electricity price (0.20 EUR / kWh, Eurostat
+2023).
+"""
+
+from __future__ import annotations
+
+#: kg CO2 emitted per kWh (Germany, 2023).
+CO2_KG_PER_KWH = 0.222
+
+#: Average EU electricity price in EUR per kWh (2023).
+EUR_PER_KWH = 0.20
+
+
+def co2_kg(kwh: float, *, intensity: float = CO2_KG_PER_KWH) -> float:
+    """CO2 mass for ``kwh`` of electricity at the given grid intensity."""
+    if kwh < 0:
+        raise ValueError("kwh must be non-negative")
+    return kwh * intensity
+
+
+def cost_eur(kwh: float, *, price: float = EUR_PER_KWH) -> float:
+    """Monetary cost for ``kwh`` at the given price."""
+    if kwh < 0:
+        raise ValueError("kwh must be non-negative")
+    return kwh * price

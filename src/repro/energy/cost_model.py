@@ -1,0 +1,144 @@
+"""Analytic inference-energy model.
+
+Execution energy is *measured* (CPU time × power).  Inference energy is
+*modelled* from each fitted model's FLOP count: stable across runs, and the
+only way to extrapolate to the paper's trillion-prediction workload
+(Table 4) without predicting a trillion rows.  Preprocessing steps inside a
+pipeline are charged too.
+
+GPU execution (Table 3): a model advertises the fraction of its inference
+FLOPs that can run on the accelerator via ``gpu_supported_fraction``; the
+remainder stays on the CPU while the GPU idles — which is exactly how
+AutoGluon ends up *worse* on a GPU box while TabPFN wins big.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.machines import (
+    DEFAULT_MACHINE,
+    JOULES_PER_KWH,
+    MachineProfile,
+)
+
+#: fraction of inference FLOPs the GPU can execute, per model family.
+GPU_SUPPORTED_FRACTION = {
+    "PriorFittedNetwork": 0.98,   # pure tensor ops: transformers love GPUs
+    "MLPClassifier": 0.90,
+    "KNeighborsClassifier": 0.80,
+    "GradientBoostingClassifier": 0.15,   # trees: mostly pointer chasing
+    "RandomForestClassifier": 0.10,
+    "ExtraTreesClassifier": 0.10,
+    "AdaBoostClassifier": 0.10,
+    "DecisionTreeClassifier": 0.05,
+}
+
+
+#: host<->device transfer + kernel-launch overhead per predicted row.  This
+#: is what makes low-arithmetic-intensity models (tree ensembles) *slower*
+#: end-to-end on an accelerator while compute-dense transformers still win
+#: big (paper Table 3: AutoGluon inference time x1.96, TabPFN x0.07).
+GPU_TRANSFER_SECONDS_PER_SAMPLE = 1e-7
+
+
+@dataclass(frozen=True)
+class InferenceEstimate:
+    """Energy/time estimate for predicting ``n_samples`` rows."""
+
+    n_samples: int
+    flops: float
+    kwh: float
+    seconds: float
+
+    @property
+    def kwh_per_instance(self) -> float:
+        return self.kwh / self.n_samples if self.n_samples else 0.0
+
+
+def model_flops(model, n_samples: int) -> float:
+    """Total inference FLOPs of a fitted model or pipeline."""
+    if n_samples < 0:
+        raise ValueError("n_samples must be non-negative")
+    return float(model.inference_flops(n_samples))
+
+
+def gpu_supported_fraction(model) -> float:
+    """How much of this model's inference can run on an accelerator."""
+    # Pipelines delegate to their final estimator; ensembles report the
+    # weighted mean of their members.
+    from repro.pipeline.pipeline import Pipeline
+
+    if isinstance(model, Pipeline):
+        return gpu_supported_fraction(model.steps[-1][1])
+    members = getattr(model, "ensemble_members", None)
+    if members:
+        fracs = [gpu_supported_fraction(m) for m in members]
+        return sum(fracs) / len(fracs)
+    return GPU_SUPPORTED_FRACTION.get(type(model).__name__, 0.0)
+
+
+def estimate_inference(
+    model,
+    n_samples: int,
+    machine: MachineProfile | None = None,
+    *,
+    use_gpu: bool = False,
+) -> InferenceEstimate:
+    """Estimate the energy and time to predict ``n_samples`` rows.
+
+    CPU path: FLOPs / machine.flops_per_joule, with time derived from the
+    single-core power draw.  GPU path: the supported FLOP fraction runs on
+    the accelerator (fast, efficient) while the rest runs on the CPU with
+    the GPU idling — both energies are charged.
+    """
+    machine = machine or DEFAULT_MACHINE
+    flops = model_flops(model, n_samples)
+    cpu_power = machine.power(1)
+
+    if not use_gpu or machine.gpu is None:
+        joules = flops / machine.flops_per_joule
+        seconds = joules / cpu_power
+        return InferenceEstimate(n_samples, flops, joules / JOULES_PER_KWH,
+                                 seconds)
+
+    gpu = machine.gpu
+    frac = gpu_supported_fraction(model)
+    gpu_flops = flops * frac
+    cpu_flops = flops - gpu_flops
+
+    cpu_joules = cpu_flops / machine.flops_per_joule
+    cpu_seconds = cpu_joules / machine.power(1, gpu_active=False)
+    gpu_joules_active = gpu_flops / gpu.flops_per_joule
+    gpu_seconds = gpu_joules_active / gpu.active_watts if gpu_flops else 0.0
+    # Every dispatched row pays host<->device transfer and kernel launch.
+    # For dense models this is noise; for tree ensembles it dominates,
+    # making GPU inference slower AND hungrier (Table 3's AutoGluon row).
+    transfer_seconds = (
+        n_samples * GPU_TRANSFER_SECONDS_PER_SAMPLE if gpu_flops else 0.0
+    )
+    # While the CPU part runs, the GPU idles (and vice versa the host keeps
+    # its idle draw during GPU kernels and transfers).
+    idle_overhead = gpu.idle_watts * cpu_seconds
+    host_overhead = machine.power(0, gpu_active=False) * gpu_seconds
+    transfer_joules = (
+        machine.power(1, gpu_active=False) + gpu.idle_watts
+    ) * transfer_seconds
+    total_joules = (
+        cpu_joules + gpu_joules_active + idle_overhead + host_overhead
+        + transfer_joules
+    )
+    return InferenceEstimate(
+        n_samples,
+        flops,
+        total_joules / JOULES_PER_KWH,
+        cpu_seconds + gpu_seconds + transfer_seconds,
+    )
+
+
+def kwh_per_prediction(model, machine: MachineProfile | None = None, *,
+                       use_gpu: bool = False,
+                       batch: int = 1000) -> float:
+    """Steady-state energy per predicted instance (batched inference)."""
+    est = estimate_inference(model, batch, machine, use_gpu=use_gpu)
+    return est.kwh_per_instance

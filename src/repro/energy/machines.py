@@ -1,0 +1,121 @@
+"""Machine and accelerator power profiles.
+
+The paper measures on two machines:
+
+* a 28-core Intel Xeon Gold 6132 @ 2.60GHz, 264 GB RAM (CPU experiments);
+* an 8-core Xeon @ 2.00GHz with one NVIDIA T4 (GPU experiments).
+
+We have no physical access to either (neither did the authors — they used
+CodeCarbon's RAPL approximation), so energy comes from a power model:
+``E = P(active cores, devices) × t``.  The constants below are taken from the
+public TDP/idle specs of those parts; what matters for the reproduction is
+not their absolute accuracy but that all systems are charged through the
+same meter, preserving ratios and orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+JOULES_PER_KWH = 3_600_000.0
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """An accelerator: idle draw is charged whenever the device is attached,
+    active draw while a supported op runs on it."""
+
+    name: str
+    idle_watts: float
+    active_watts: float
+    #: throughput multiplier vs one CPU core for supported ops
+    speedup: float
+    #: effective FLOPs per joule when active (for the analytic model)
+    flops_per_joule: float
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """A host machine with an optional accelerator."""
+
+    name: str
+    n_cores: int
+    #: package idle power drawn regardless of load (W)
+    idle_watts: float
+    #: incremental power per busy core (W)
+    watts_per_core: float
+    #: DRAM power, scaled by utilisation (W)
+    dram_watts: float
+    #: effective CPU FLOPs per joule (for the analytic inference model)
+    flops_per_joule: float
+    gpu: DeviceProfile | None = None
+
+    def power(self, active_cores: int = 1, *, gpu_active: bool = False) -> float:
+        """Instantaneous draw in watts with ``active_cores`` busy."""
+        if not 0 <= active_cores <= self.n_cores:
+            raise ValueError(
+                f"active_cores must be in [0, {self.n_cores}], "
+                f"got {active_cores}"
+            )
+        watts = (
+            self.idle_watts
+            + active_cores * self.watts_per_core
+            + self.dram_watts * (0.3 + 0.7 * active_cores / self.n_cores)
+        )
+        if self.gpu is not None:
+            watts += (
+                self.gpu.active_watts if gpu_active else self.gpu.idle_watts
+            )
+        return watts
+
+    def energy_kwh(self, seconds: float, active_cores: int = 1, *,
+                   gpu_active: bool = False) -> float:
+        """Energy consumed running ``seconds`` at the given occupancy."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        joules = self.power(active_cores, gpu_active=gpu_active) * seconds
+        return joules / JOULES_PER_KWH
+
+
+#: The paper's CPU testbed: 28 × Xeon Gold 6132 (2 × 140 W TDP packages).
+XEON_GOLD_6132 = MachineProfile(
+    name="xeon-gold-6132",
+    n_cores=28,
+    idle_watts=20.0,
+    watts_per_core=12.0,
+    dram_watts=24.0,       # 264 GB registered DIMMs
+    flops_per_joule=2.0e9,
+)
+
+#: The paper's GPU testbed: 8 × Xeon @ 2.0 GHz + 1 × NVIDIA T4 (70 W TDP).
+T4_GPU = DeviceProfile(
+    name="nvidia-t4",
+    idle_watts=10.0,
+    active_watts=65.0,
+    speedup=24.0,
+    flops_per_joule=5.0e10,
+)
+
+XEON_T4_MACHINE = MachineProfile(
+    name="xeon-t4",
+    n_cores=8,
+    idle_watts=12.0,
+    watts_per_core=9.0,
+    dram_watts=6.0,        # 51 GB
+    flops_per_joule=1.6e9,
+    gpu=T4_GPU,
+)
+
+#: Default meter for all experiments, mirroring the paper's Sec 3.1 setup.
+DEFAULT_MACHINE = XEON_GOLD_6132
+
+MACHINES = {m.name: m for m in (XEON_GOLD_6132, XEON_T4_MACHINE)}
+
+
+def get_machine(name: str) -> MachineProfile:
+    try:
+        return MACHINES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,76 @@
+"""A simulated Intel RAPL interface.
+
+CodeCarbon reads Intel's Running Average Power Limit MSRs to get package and
+DRAM energy counters.  Those MSRs are not readable here, so :class:`RaplCounter`
+reproduces the *interface*: monotonically increasing energy counters per
+domain, driven by the process-CPU-time × machine-power model.  Everything
+above it (the tracker) is agnostic to whether the counter is real or modelled
+— exactly the abstraction CodeCarbon relies on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.energy.machines import DEFAULT_MACHINE, JOULES_PER_KWH, MachineProfile
+
+
+@dataclass
+class RaplSample:
+    """One reading: cumulative joules per domain since counter creation."""
+
+    package_joules: float
+    dram_joules: float
+    gpu_joules: float
+    timestamp: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.package_joules + self.dram_joules + self.gpu_joules
+
+
+class RaplCounter:
+    """Monotonic energy counter for one machine profile.
+
+    Converts consumed process CPU seconds into package/DRAM joules.  The
+    active-core count and GPU activity can be set by the caller (the modelled
+    parallel executor does this); real single-process measurements default to
+    one active core.
+    """
+
+    def __init__(self, machine: MachineProfile | None = None,
+                 active_cores: int = 1):
+        self.machine = machine or DEFAULT_MACHINE
+        self.active_cores = active_cores
+        self._cpu0 = time.process_time()
+        self._t0 = time.monotonic()
+        self._extra_package = 0.0
+        self._extra_dram = 0.0
+        self._extra_gpu = 0.0
+
+    def inject_joules(self, package: float = 0.0, dram: float = 0.0,
+                      gpu: float = 0.0) -> None:
+        """Add modelled energy (simulated parallel work, GPU kernels,
+        analytic inference estimates) on top of measured CPU energy."""
+        if min(package, dram, gpu) < 0:
+            raise ValueError("injected energy must be non-negative")
+        self._extra_package += package
+        self._extra_dram += dram
+        self._extra_gpu += gpu
+
+    def read(self) -> RaplSample:
+        cpu_seconds = time.process_time() - self._cpu0
+        m = self.machine
+        core_w = m.idle_watts + self.active_cores * m.watts_per_core
+        dram_w = m.dram_watts * (0.3 + 0.7 * self.active_cores / m.n_cores)
+        gpu_idle = m.gpu.idle_watts if m.gpu is not None else 0.0
+        return RaplSample(
+            package_joules=core_w * cpu_seconds + self._extra_package,
+            dram_joules=dram_w * cpu_seconds + self._extra_dram,
+            gpu_joules=gpu_idle * cpu_seconds + self._extra_gpu,
+            timestamp=time.monotonic() - self._t0,
+        )
+
+    def read_kwh(self) -> float:
+        return self.read().total_joules / JOULES_PER_KWH

@@ -1,0 +1,111 @@
+"""CodeCarbon-style energy tracking.
+
+Usage mirrors the library the paper uses::
+
+    tracker = EnergyTracker(machine=XEON_GOLD_6132)
+    tracker.start()
+    ...workload...
+    report = tracker.stop()
+    report.kwh, report.duration_s, report.co2_kg, report.cost_eur
+
+or as a context manager::
+
+    with EnergyTracker() as tracker:
+        ...workload...
+    tracker.report.kwh
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.energy.co2 import co2_kg, cost_eur
+from repro.energy.machines import (
+    DEFAULT_MACHINE,
+    JOULES_PER_KWH,
+    MachineProfile,
+)
+from repro.energy.rapl import RaplCounter
+from repro.exceptions import ReproError
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Result of one tracked region."""
+
+    kwh: float
+    duration_s: float
+    cpu_kwh: float
+    dram_kwh: float
+    gpu_kwh: float
+    machine: str
+
+    @property
+    def co2_kg(self) -> float:
+        return co2_kg(self.kwh)
+
+    @property
+    def cost_eur(self) -> float:
+        return cost_eur(self.kwh)
+
+    def __add__(self, other: "EnergyReport") -> "EnergyReport":
+        if self.machine != other.machine:
+            raise ValueError("cannot add reports from different machines")
+        return EnergyReport(
+            kwh=self.kwh + other.kwh,
+            duration_s=self.duration_s + other.duration_s,
+            cpu_kwh=self.cpu_kwh + other.cpu_kwh,
+            dram_kwh=self.dram_kwh + other.dram_kwh,
+            gpu_kwh=self.gpu_kwh + other.gpu_kwh,
+            machine=self.machine,
+        )
+
+
+ZERO_REPORT = EnergyReport(0.0, 0.0, 0.0, 0.0, 0.0, DEFAULT_MACHINE.name)
+
+
+@dataclass
+class EnergyTracker:
+    """Track the energy of a code region on a given machine profile."""
+
+    machine: MachineProfile = field(default_factory=lambda: DEFAULT_MACHINE)
+    active_cores: int = 1
+    _counter: RaplCounter | None = field(default=None, repr=False)
+    _t_start: float | None = field(default=None, repr=False)
+    report: EnergyReport | None = field(default=None, repr=False)
+
+    def start(self) -> "EnergyTracker":
+        if self._counter is not None:
+            raise ReproError("tracker already started")
+        self._counter = RaplCounter(self.machine, self.active_cores)
+        self._t_start = time.monotonic()
+        return self
+
+    def inject_joules(self, package: float = 0.0, dram: float = 0.0,
+                      gpu: float = 0.0) -> None:
+        if self._counter is None:
+            raise ReproError("tracker not started")
+        self._counter.inject_joules(package, dram, gpu)
+
+    def stop(self) -> EnergyReport:
+        if self._counter is None:
+            raise ReproError("tracker not started")
+        sample = self._counter.read()
+        duration = time.monotonic() - self._t_start
+        self.report = EnergyReport(
+            kwh=sample.total_joules / JOULES_PER_KWH,
+            duration_s=duration,
+            cpu_kwh=sample.package_joules / JOULES_PER_KWH,
+            dram_kwh=sample.dram_joules / JOULES_PER_KWH,
+            gpu_kwh=sample.gpu_joules / JOULES_PER_KWH,
+            machine=self.machine.name,
+        )
+        self._counter = None
+        return self.report
+
+    def __enter__(self) -> "EnergyTracker":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

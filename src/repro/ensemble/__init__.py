@@ -1,0 +1,19 @@
+"""Ensembling strategies: Caruana selection, bagging (+refit), stacking."""
+
+from repro.ensemble.bagging import BaggedModel
+from repro.ensemble.caruana import CaruanaEnsemble
+from repro.ensemble.distillation import (
+    DistilledModel,
+    distill,
+    distillation_report,
+)
+from repro.ensemble.stacking import StackingEnsemble
+
+__all__ = [
+    "CaruanaEnsemble",
+    "BaggedModel",
+    "StackingEnsemble",
+    "distill",
+    "DistilledModel",
+    "distillation_report",
+]

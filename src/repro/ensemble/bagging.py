@@ -1,0 +1,90 @@
+"""Cross-validated bagging with optional refit collapse (AutoGluon).
+
+AutoGluon trains one model per CV fold ('bagging'); at inference all fold
+models run and are averaged.  Its inference-optimised mode *refits* the
+bag into a single model trained on all data [Fakoor et al. 2020], which is
+the mechanism behind the up-to-79% inference-energy saving in Figure 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.validation import StratifiedKFold
+from repro.models.base import BaseEstimator, ClassifierMixin, clone
+from repro.utils.validation import check_is_fitted
+
+
+class BaggedModel(BaseEstimator, ClassifierMixin):
+    """k-fold bagged wrapper around a base estimator.
+
+    Also exposes out-of-fold predictions, which AutoGluon's stacker feeds to
+    the next layer (no leakage).
+    """
+
+    def __init__(self, base_estimator, n_folds: int = 5, random_state=None):
+        if n_folds < 2:
+            raise ValueError("n_folds must be >= 2")
+        self.base_estimator = base_estimator
+        self.n_folds = n_folds
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        k = len(self.classes_)
+        lookup = {c: j for j, c in enumerate(self.classes_.tolist())}
+        splitter = StratifiedKFold(
+            self.n_folds, random_state=self.random_state
+        )
+        self.fold_models_ = []
+        self.oof_proba_ = np.zeros((len(y), k))
+        for train, test in splitter.split(X, y):
+            model = clone(self.base_estimator)
+            model.fit(X[train], y[train])
+            self.fold_models_.append(model)
+            proba = model.predict_proba(X[test])
+            for j, c in enumerate(model.classes_.tolist()):
+                self.oof_proba_[test, lookup[c]] += proba[:, j]
+        self._refit_model = None
+        self._train_shape = X.shape
+        return self
+
+    def refit(self, X, y) -> "BaggedModel":
+        """Collapse the bag: one model on all data replaces the fold models
+        at inference time (AutoGluon's 'refit_full')."""
+        check_is_fitted(self, "fold_models_")
+        model = clone(self.base_estimator)
+        model.fit(np.asarray(X, dtype=float), np.asarray(y))
+        self._refit_model = model
+        return self
+
+    @property
+    def is_refit(self) -> bool:
+        return getattr(self, "_refit_model", None) is not None
+
+    @property
+    def ensemble_members(self) -> list:
+        check_is_fitted(self, "fold_models_")
+        if self.is_refit:
+            return [self._refit_model]
+        return self.fold_models_
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "fold_models_")
+        X = np.asarray(X, dtype=float)
+        members = self.ensemble_members
+        k = len(self.classes_)
+        lookup = {c: j for j, c in enumerate(self.classes_.tolist())}
+        out = np.zeros((X.shape[0], k))
+        for model in members:
+            proba = model.predict_proba(X)
+            for j, c in enumerate(model.classes_.tolist()):
+                out[:, lookup[c]] += proba[:, j]
+        return out / len(members)
+
+    def inference_flops(self, n_samples: int) -> float:
+        return float(
+            sum(m.inference_flops(n_samples) for m in self.ensemble_members)
+        )

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NotFittedError(ReproError):
+    """An estimator was used before ``fit`` was called."""
+
+
+class BudgetExhaustedError(ReproError):
+    """An AutoML search ran out of its time budget mid-evaluation."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hyperparameter configuration or search-space definition."""
+
+
+class ConstraintViolationError(ReproError):
+    """A candidate pipeline violated a user-provided application constraint."""
+
+
+class DatasetError(ReproError):
+    """A dataset is malformed or unknown to the registry."""
+
+
+class TrialPruned(ReproError):
+    """A tuning trial was pruned early (median pruning, successive halving)."""

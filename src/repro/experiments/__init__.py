@@ -1,0 +1,85 @@
+"""Benchmark harness: grid runner, result store, figure/table builders."""
+
+from repro.experiments.campaigns import (
+    Figure7,
+    GpuComparisonRow,
+    Table3,
+    run_development_experiment,
+    run_gpu_experiment,
+    run_inference_constraint_experiment,
+    run_parallelism_experiment,
+)
+from repro.experiments.config import (
+    BENCH_CONFIG,
+    BENCH_DATASETS,
+    ExperimentConfig,
+    PAPER_BUDGETS,
+    PAPER_SYSTEMS,
+    SMOKE_CONFIG,
+)
+from repro.experiments.figures import (
+    Figure3,
+    Figure4,
+    Figure5,
+    Figure6,
+    figure3,
+    figure4,
+    figure5,
+)
+from repro.experiments.export import (
+    export_aggregate_csv,
+    export_raw_csv,
+    load_raw_csv,
+)
+from repro.experiments.paper import PRESETS, PaperReproduction, reproduce_paper
+from repro.experiments.results import ResultsStore, RunRecord
+from repro.experiments.runner import run_grid, run_single
+from repro.experiments.tables import (
+    Table4,
+    table1,
+    table2,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_BUDGETS",
+    "PAPER_SYSTEMS",
+    "SMOKE_CONFIG",
+    "BENCH_CONFIG",
+    "BENCH_DATASETS",
+    "ResultsStore",
+    "RunRecord",
+    "run_grid",
+    "run_single",
+    "figure3",
+    "figure4",
+    "figure5",
+    "Figure3",
+    "Figure4",
+    "Figure5",
+    "Figure6",
+    "Figure7",
+    "Table3",
+    "Table4",
+    "GpuComparisonRow",
+    "run_parallelism_experiment",
+    "run_inference_constraint_experiment",
+    "run_development_experiment",
+    "run_gpu_experiment",
+    "table1",
+    "table2",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "reproduce_paper",
+    "PaperReproduction",
+    "PRESETS",
+    "export_raw_csv",
+    "export_aggregate_csv",
+    "load_raw_csv",
+]

@@ -1,0 +1,286 @@
+"""Dedicated experiment drivers for the figures that need special runs:
+parallelism (Fig 5), inference constraints (Fig 6), development-stage tuning
+(Fig 7) and the GPU comparison (Table 3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.devtuning.tuner import DevelopmentTuner, TuningResult
+from repro.energy.tracker import EnergyReport
+from repro.experiments.figures import (
+    Figure5,
+    Figure6,
+    Figure6Point,
+    figure5,
+)
+from repro.experiments.results import ResultsStore
+from repro.experiments.runner import run_single
+from repro.analysis.reporting import format_table
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5: parallelism sweep
+# --------------------------------------------------------------------------- #
+def run_parallelism_experiment(
+    *,
+    systems=("CAML", "AutoGluon"),
+    datasets=("credit-g", "phoneme"),
+    budgets=(10.0, 30.0, 60.0),
+    core_counts=(1, 2, 4, 8),
+    n_runs: int = 2,
+    time_scale: float = 0.01,
+    base_seed: int = 11,
+) -> Figure5:
+    """Sec 3.3's sweep: CAML and AutoGluon across 1/2/4/8 cores."""
+    store = ResultsStore()
+    for ds_name in datasets:
+        dataset = load_dataset(ds_name)
+        for system in systems:
+            for budget in budgets:
+                for cores in core_counts:
+                    for run in range(n_runs):
+                        store.add(run_single(
+                            system, dataset, budget,
+                            seed=base_seed + 131 * run,
+                            time_scale=time_scale, n_cores=cores,
+                        ))
+    return figure5(store)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: CAML constraints + AutoGluon refit
+# --------------------------------------------------------------------------- #
+def run_inference_constraint_experiment(
+    *,
+    datasets=("credit-g", "segment"),
+    budgets=(10.0, 30.0, 60.0),
+    constraint_values=(5e-10, 1e-9, 2e-9),
+    n_runs: int = 2,
+    time_scale: float = 0.01,
+    base_seed: int = 23,
+) -> Figure6:
+    """Sec 3.4's sweep.
+
+    The paper sets CAML constraints of 1-3 ms/instance on its hardware;
+    the modelled per-instance inference times here are nanoseconds (smaller
+    models, smaller data, an analytic FLOP clock), so the default grid keeps
+    the same *relative* tightness: unconstrained CAML models land between
+    ~3e-10 and ~2e-8 s/instance, and the grid cuts across that range.
+    """
+    from repro.systems.caml import CamlConstraints
+
+    points: list[Figure6Point] = []
+
+    def add_points(label: str, system_kwargs: dict, system: str):
+        for ds_name in datasets:
+            dataset = load_dataset(ds_name)
+            for budget in budgets:
+                for run in range(n_runs):
+                    rec = run_single(
+                        system, dataset, budget,
+                        seed=base_seed + 733 * run,
+                        time_scale=time_scale,
+                        system_kwargs=system_kwargs,
+                    )
+                    points.append(Figure6Point(
+                        label=label,
+                        budget_s=budget,
+                        balanced_accuracy=rec.balanced_accuracy,
+                        inference_kwh_per_instance=(
+                            rec.inference_kwh_per_instance),
+                    ))
+
+    add_points("CAML", {}, "CAML")
+    for limit in constraint_values:
+        add_points(
+            f"CAML(inf<={limit:g}s)",
+            {"constraints": CamlConstraints(
+                inference_time_per_instance=limit)},
+            "CAML",
+        )
+    add_points("AutoGluon", {}, "AutoGluon")
+    add_points(
+        "AutoGluon(refit)", {"optimize_for_inference": True}, "AutoGluon",
+    )
+    return Figure6(points)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 7: development-stage tuning
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure7:
+    """CAML(tuned) vs everything else, with the development energy bubble."""
+
+    tuning_results: dict[float, TuningResult]
+    tuned_store: ResultsStore
+    baseline_store: ResultsStore
+
+    def development_kwh(self, budget: float) -> float:
+        return self.tuning_results[budget].development_energy.kwh
+
+    def render(self) -> str:
+        rows = []
+        for budget, result in sorted(self.tuning_results.items()):
+            tuned_acc = self.tuned_store.mean_over_runs(
+                "balanced_accuracy", system="CAML", budget=budget)
+            tuned_exec = self.tuned_store.mean_over_runs(
+                "execution_kwh", system="CAML", budget=budget)
+            tuned_inf = self.tuned_store.mean_over_runs(
+                "inference_kwh_per_instance", system="CAML", budget=budget)
+            rows.append([
+                f"CAML(tuned) @{budget:.0f}s", tuned_acc, tuned_exec,
+                tuned_inf, result.development_energy.kwh,
+            ])
+        for system in self.baseline_store.systems:
+            for budget in self.baseline_store.filter(system=system).budgets:
+                rows.append([
+                    f"{system} @{budget:.0f}s",
+                    self.baseline_store.mean_over_runs(
+                        "balanced_accuracy", system=system, budget=budget),
+                    self.baseline_store.mean_over_runs(
+                        "execution_kwh", system=system, budget=budget),
+                    self.baseline_store.mean_over_runs(
+                        "inference_kwh_per_instance", system=system,
+                        budget=budget),
+                    0.0,
+                ])
+        return (
+            "Figure 7 — development, execution and inference energy\n\n"
+            + format_table(
+                ["configuration", "bal.acc", "exec kWh",
+                 "inference kWh/inst", "development kWh"], rows,
+            )
+        )
+
+    def amortization_runs(self, budget: float) -> float:
+        """Executions needed before tuning pays for itself (paper: 885)."""
+        tuned = self.tuned_store.mean_over_runs(
+            "execution_kwh", system="CAML", budget=budget)
+        default = self.baseline_store.mean_over_runs(
+            "execution_kwh", system="CAML", budget=budget)
+        return self.tuning_results[budget].amortization_runs(tuned, default)
+
+
+def run_development_experiment(
+    *,
+    budgets=(10.0,),
+    eval_datasets=("credit-g", "phoneme"),
+    top_k: int = 6,
+    n_bo_iterations: int = 8,
+    n_runs: int = 2,
+    time_scale: float = 0.005,
+    base_seed: int = 31,
+) -> Figure7:
+    """Sec 3.7 at laptop scale: tune CAML per budget, then benchmark
+    CAML(tuned) against default CAML on held-out test datasets."""
+    tuning_results: dict[float, TuningResult] = {}
+    tuned_store = ResultsStore()
+    baseline_store = ResultsStore()
+    for budget in budgets:
+        tuner = DevelopmentTuner(
+            search_budget_s=budget, top_k=top_k,
+            n_bo_iterations=n_bo_iterations,
+            time_scale=time_scale, random_state=base_seed,
+        )
+        result = tuner.tune()
+        tuning_results[budget] = result
+        for ds_name in eval_datasets:
+            dataset = load_dataset(ds_name)
+            for run in range(n_runs):
+                seed = base_seed + 977 * run
+                tuned_store.add(run_single(
+                    "CAML", dataset, budget, seed=seed,
+                    time_scale=time_scale,
+                    system_kwargs={"params": result.best_parameters},
+                ))
+                baseline_store.add(run_single(
+                    "CAML", dataset, budget, seed=seed,
+                    time_scale=time_scale,
+                ))
+    return Figure7(tuning_results, tuned_store, baseline_store)
+
+
+# --------------------------------------------------------------------------- #
+# Table 3: GPU vs CPU
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GpuComparisonRow:
+    system: str
+    execution_energy_ratio: float
+    execution_time_ratio: float
+    inference_energy_ratio: float
+    inference_time_ratio: float
+
+
+@dataclass
+class Table3:
+    rows: list[GpuComparisonRow]
+
+    def render(self) -> str:
+        table_rows = [
+            [r.system, r.execution_energy_ratio, r.execution_time_ratio,
+             r.inference_energy_ratio, r.inference_time_ratio]
+            for r in self.rows
+        ]
+        return (
+            "Table 3 — GPU/CPU ratios (value < 1 favours the GPU)\n\n"
+            + format_table(
+                ["system", "exec energy", "exec time",
+                 "inf energy", "inf time"], table_rows,
+            )
+        )
+
+
+def run_gpu_experiment(
+    *,
+    systems=("AutoGluon", "TabPFN"),
+    dataset_name: str = "credit-g",
+    budget_s: float = 300.0,
+    n_runs: int = 2,
+    time_scale: float = 0.01,
+    base_seed: int = 41,
+) -> Table3:
+    """Sec 3.5: run with and without the accelerator, report the quotients.
+
+    Both modes run on the *same* GPU testbed (the 8-core Xeon + T4) so the
+    quotient isolates the accelerator's effect, as in the paper.
+    """
+    from repro.energy.machines import XEON_T4_MACHINE
+
+    dataset = load_dataset(dataset_name)
+    rows = []
+    for system in systems:
+        cells = {"cpu": [], "gpu": []}
+        for mode, use_gpu in (("cpu", False), ("gpu", True)):
+            for run in range(n_runs):
+                cells[mode].append(run_single(
+                    system, dataset, budget_s,
+                    seed=base_seed + 389 * run,
+                    time_scale=time_scale, use_gpu=use_gpu,
+                    system_kwargs={"machine": XEON_T4_MACHINE},
+                ))
+
+        def mean(records, attr):
+            return float(np.mean([getattr(r, attr) for r in records]))
+
+        rows.append(GpuComparisonRow(
+            system=system,
+            execution_energy_ratio=(
+                mean(cells["gpu"], "execution_kwh")
+                / mean(cells["cpu"], "execution_kwh")),
+            execution_time_ratio=(
+                mean(cells["gpu"], "actual_seconds")
+                / mean(cells["cpu"], "actual_seconds")),
+            inference_energy_ratio=(
+                mean(cells["gpu"], "inference_kwh_per_instance")
+                / mean(cells["cpu"], "inference_kwh_per_instance")),
+            inference_time_ratio=(
+                mean(cells["gpu"], "inference_seconds_per_instance")
+                / mean(cells["cpu"], "inference_seconds_per_instance")),
+        ))
+    return Table3(rows)

@@ -1,0 +1,79 @@
+"""Experiment grid configuration.
+
+The paper's grid (7 systems x 39 datasets x 4 budgets x 10 runs) took 28
+days; scaled presets keep every axis of the grid while shrinking each one,
+so the harness regenerates every figure/table in minutes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.registry import list_datasets
+
+#: the paper's search budgets, in seconds
+PAPER_BUDGETS = (10.0, 30.0, 60.0, 300.0)
+
+#: all benchmarked systems, in the paper's naming
+PAPER_SYSTEMS = (
+    "TabPFN", "CAML", "FLAML", "AutoGluon",
+    "AutoSklearn1", "AutoSklearn2", "TPOT",
+)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One benchmark campaign."""
+
+    systems: tuple = PAPER_SYSTEMS
+    datasets: tuple = tuple(list_datasets())
+    budgets: tuple = PAPER_BUDGETS
+    n_runs: int = 10
+    #: real seconds per budget second (see systems.base)
+    time_scale: float = 0.02
+    base_seed: int = 7
+
+    def __post_init__(self):
+        if self.n_runs < 1:
+            raise ValueError("n_runs must be >= 1")
+        if not self.systems or not self.datasets or not self.budgets:
+            raise ValueError("systems, datasets and budgets must be non-empty")
+
+    @property
+    def n_cells(self) -> int:
+        return (
+            len(self.systems) * len(self.datasets)
+            * len(self.budgets) * self.n_runs
+        )
+
+
+#: small grid used by the test-suite and quick demos
+SMOKE_CONFIG = ExperimentConfig(
+    systems=("TabPFN", "CAML", "FLAML"),
+    datasets=("credit-g", "blood-transfusion-service-center"),
+    budgets=(10.0, 30.0),
+    n_runs=2,
+    time_scale=0.005,
+)
+
+#: the default benchmark grid: every system, a representative dataset
+#: spread (small/medium/large rows, few/many features, 2..12 classes),
+#: all four paper budgets, 3 seeds
+BENCH_DATASETS = (
+    "credit-g",
+    "blood-transfusion-service-center",
+    "vehicle",
+    "kc1",
+    "segment",
+    "phoneme",
+    "covertype",
+    "helena",
+)
+
+BENCH_CONFIG = ExperimentConfig(
+    systems=PAPER_SYSTEMS,
+    datasets=BENCH_DATASETS,
+    budgets=PAPER_BUDGETS,
+    n_runs=3,
+    time_scale=0.01,
+)

@@ -1,0 +1,88 @@
+"""Raw-result export.
+
+The paper's companion repository publishes 'the raw results of all 10 runs
+for all search times, datasets, and systems'; this module provides the same
+artefact for the reproduction: a flat CSV of every run record, plus a
+per-cell aggregate CSV.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import fields
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.results import ResultsStore, RunRecord
+
+
+def export_raw_csv(store: ResultsStore, path) -> int:
+    """Write one row per run record; returns the number of rows written."""
+    cols = [f.name for f in fields(RunRecord)]
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(cols)
+        for record in store.records:
+            writer.writerow([getattr(record, c) for c in cols])
+    return len(store.records)
+
+
+def export_aggregate_csv(store: ResultsStore, path) -> int:
+    """Write one row per (system, dataset, budget) cell with means/stds."""
+    path = Path(path)
+    rows = 0
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "system", "dataset", "budget_s", "n_runs",
+            "balanced_accuracy_mean", "balanced_accuracy_std",
+            "execution_kwh_mean", "actual_seconds_mean",
+            "inference_kwh_per_instance_mean", "n_failures",
+        ])
+        for system in store.systems:
+            for dataset in store.datasets:
+                for budget in store.budgets:
+                    sub = store.filter(
+                        system=system, dataset=dataset, budget=budget,
+                    )
+                    if not sub.records:
+                        continue
+                    accs = [r.balanced_accuracy for r in sub.records]
+                    writer.writerow([
+                        system, dataset, budget, len(sub.records),
+                        float(np.mean(accs)), float(np.std(accs)),
+                        float(np.mean([
+                            r.execution_kwh for r in sub.records])),
+                        float(np.mean([
+                            r.actual_seconds for r in sub.records])),
+                        float(np.mean([
+                            r.inference_kwh_per_instance
+                            for r in sub.records])),
+                        sum(r.failed for r in sub.records),
+                    ])
+                    rows += 1
+    return rows
+
+
+def load_raw_csv(path) -> ResultsStore:
+    """Inverse of :func:`export_raw_csv`."""
+    path = Path(path)
+    store = ResultsStore()
+    with path.open() as fh:
+        reader = csv.DictReader(fh)
+        for row in reader:
+            kwargs = {}
+            for f in fields(RunRecord):
+                raw = row[f.name]
+                if f.type in ("float", float):
+                    kwargs[f.name] = float(raw)
+                elif f.type in ("int", int):
+                    kwargs[f.name] = int(raw)
+                elif f.type in ("bool", bool):
+                    kwargs[f.name] = raw == "True"
+                else:
+                    kwargs[f.name] = raw
+            store.add(RunRecord(**kwargs))
+    return store

@@ -1,0 +1,299 @@
+"""Builders that turn run records into the paper's figures (as data + text).
+
+Each ``figureN`` function returns a structured object with a ``render()``
+method producing the text chart/table; the benchmark suite prints these so
+the harness regenerates every figure of the evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.amortization import (
+    SystemEnergyProfile,
+    cheapest_system,
+    crossover_point,
+    energy_vs_predictions,
+)
+from repro.analysis.reporting import ascii_scatter, format_table
+from repro.experiments.results import ResultsStore
+
+
+# --------------------------------------------------------------------------- #
+# Figure 3: execution / inference energy vs balanced accuracy
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure3Point:
+    system: str
+    budget_s: float
+    balanced_accuracy: float
+    execution_kwh: float
+    inference_kwh_per_instance: float
+
+
+@dataclass
+class Figure3:
+    points: list[Figure3Point]
+
+    def series(self, *, stage: str) -> dict[str, list[tuple[float, float]]]:
+        """(energy, accuracy) per system, one point per budget."""
+        out: dict[str, list[tuple[float, float]]] = {}
+        for p in sorted(self.points, key=lambda p: p.budget_s):
+            energy = (
+                p.execution_kwh if stage == "execution"
+                else p.inference_kwh_per_instance
+            )
+            out.setdefault(p.system, []).append((energy, p.balanced_accuracy))
+        return out
+
+    def render(self) -> str:
+        rows = [
+            [p.system, f"{p.budget_s:.0f}s", p.balanced_accuracy,
+             p.execution_kwh, p.inference_kwh_per_instance]
+            for p in sorted(self.points, key=lambda p: (p.system, p.budget_s))
+        ]
+        table = format_table(
+            ["system", "budget", "bal.acc",
+             "exec kWh", "inference kWh/inst"], rows,
+        )
+        exec_chart = ascii_scatter(
+            self.series(stage="execution"), logx=True,
+            xlabel="execution kWh", ylabel="balanced accuracy",
+        )
+        inf_chart = ascii_scatter(
+            self.series(stage="inference"), logx=True,
+            xlabel="inference kWh/instance", ylabel="balanced accuracy",
+        )
+        return (
+            "Figure 3 — energy vs balanced accuracy\n\n" + table
+            + "\n\n[execution stage]\n" + exec_chart
+            + "\n\n[inference stage]\n" + inf_chart
+        )
+
+
+def figure3(store: ResultsStore) -> Figure3:
+    points = []
+    for system in store.systems:
+        for budget in store.filter(system=system).budgets:
+            points.append(
+                Figure3Point(
+                    system=system,
+                    budget_s=budget,
+                    balanced_accuracy=store.mean_over_runs(
+                        "balanced_accuracy", system=system, budget=budget),
+                    execution_kwh=store.mean_over_runs(
+                        "execution_kwh", system=system, budget=budget),
+                    inference_kwh_per_instance=store.mean_over_runs(
+                        "inference_kwh_per_instance", system=system,
+                        budget=budget),
+                )
+            )
+    return Figure3(points)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 4: total energy vs number of predictions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Figure4:
+    profiles: list[SystemEnergyProfile]
+    n_predictions: np.ndarray
+    crossovers: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    def curves(self) -> dict[str, np.ndarray]:
+        return energy_vs_predictions(self.profiles, self.n_predictions)
+
+    def winner_at(self, n: float) -> str:
+        return cheapest_system(self.profiles, n).system
+
+    def render(self) -> str:
+        curves = self.curves()
+        rows = []
+        for i, n in enumerate(self.n_predictions):
+            row = [f"{n:,.0f}"] + [curves[p.system][i] for p in self.profiles]
+            rows.append(row)
+        table = format_table(
+            ["#predictions"] + [p.system for p in self.profiles], rows,
+        )
+        lines = ["Figure 4 — total energy (kWh) vs prediction count", "",
+                 table, ""]
+        for (a, b), n in sorted(self.crossovers.items(), key=lambda kv: kv[1]):
+            lines.append(f"crossover {a} -> {b}: ~{n:,.0f} predictions")
+        winners = {
+            f"{n:,.0f}": self.winner_at(n)
+            for n in (1e3, 1e4, 1e5, 1e6)
+        }
+        lines.append(f"cheapest system by scale: {winners}")
+        return "\n".join(lines)
+
+
+def figure4(store: ResultsStore, *, budget: float | None = None,
+            n_predictions: np.ndarray | None = None) -> Figure4:
+    budget = budget if budget is not None else max(store.budgets)
+    if n_predictions is None:
+        n_predictions = np.logspace(2, 6, 9)
+    profiles = []
+    for system in store.systems:
+        sub = store.filter(system=system, include_failed=False)
+        b = budget if budget in sub.budgets else (
+            max(sub.budgets) if sub.budgets else None
+        )
+        if b is None:
+            continue
+        profiles.append(
+            SystemEnergyProfile(
+                system=system,
+                execution_kwh=sub.mean_over_runs(
+                    "execution_kwh", system=system, budget=b),
+                inference_kwh_per_instance=sub.mean_over_runs(
+                    "inference_kwh_per_instance", system=system, budget=b),
+            )
+        )
+    fig = Figure4(profiles, np.asarray(n_predictions, dtype=float))
+    by_name = {p.system: p for p in profiles}
+    if "TabPFN" in by_name:
+        for other, p in by_name.items():
+            if other == "TabPFN":
+                continue
+            n = crossover_point(by_name["TabPFN"], p)
+            if n is not None:
+                fig.crossovers[("TabPFN", other)] = n
+    return fig
+
+
+# --------------------------------------------------------------------------- #
+# Figure 5: parallelism
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure5Point:
+    system: str
+    n_cores: int
+    budget_s: float
+    balanced_accuracy: float
+    execution_kwh: float
+
+
+@dataclass
+class Figure5:
+    points: list[Figure5Point]
+
+    def energy_ratio(self, system: str, n_cores: int) -> float:
+        """Multi-core energy relative to 1-core at the same budgets."""
+        multi = [p for p in self.points
+                 if p.system == system and p.n_cores == n_cores]
+        single = {
+            p.budget_s: p.execution_kwh for p in self.points
+            if p.system == system and p.n_cores == 1
+        }
+        ratios = [
+            p.execution_kwh / single[p.budget_s]
+            for p in multi if single.get(p.budget_s, 0) > 0
+        ]
+        return float(np.mean(ratios)) if ratios else float("nan")
+
+    def pareto_core_count(self, system: str) -> int:
+        """Core count minimising energy at the largest budget."""
+        budget = max(p.budget_s for p in self.points if p.system == system)
+        candidates = [
+            p for p in self.points
+            if p.system == system and p.budget_s == budget
+        ]
+        return min(candidates, key=lambda p: p.execution_kwh).n_cores
+
+    def render(self) -> str:
+        rows = [
+            [p.system, p.n_cores, f"{p.budget_s:.0f}s",
+             p.balanced_accuracy, p.execution_kwh]
+            for p in sorted(
+                self.points, key=lambda p: (p.system, p.n_cores, p.budget_s))
+        ]
+        table = format_table(
+            ["system", "cores", "budget", "bal.acc", "exec kWh"], rows,
+        )
+        lines = ["Figure 5 — CPU cores vs energy and accuracy", "", table, ""]
+        for system in sorted({p.system for p in self.points}):
+            lines.append(
+                f"{system}: 8-core/1-core energy = "
+                f"{self.energy_ratio(system, 8):.2f}x, "
+                f"energy-optimal cores = {self.pareto_core_count(system)}"
+            )
+        return "\n".join(lines)
+
+
+def figure5(store: ResultsStore) -> Figure5:
+    points = []
+    for r in store.records:
+        points.append(
+            Figure5Point(
+                system=r.system,
+                n_cores=r.n_cores,
+                budget_s=r.configured_seconds,
+                balanced_accuracy=r.balanced_accuracy,
+                execution_kwh=r.execution_kwh,
+            )
+        )
+    # aggregate duplicate cells (same system/cores/budget over datasets/seeds)
+    cells: dict[tuple, list[Figure5Point]] = {}
+    for p in points:
+        cells.setdefault((p.system, p.n_cores, p.budget_s), []).append(p)
+    agg = [
+        Figure5Point(
+            system=k[0], n_cores=k[1], budget_s=k[2],
+            balanced_accuracy=float(np.mean([p.balanced_accuracy for p in v])),
+            execution_kwh=float(np.mean([p.execution_kwh for p in v])),
+        )
+        for k, v in cells.items()
+    ]
+    return Figure5(agg)
+
+
+# --------------------------------------------------------------------------- #
+# Figure 6: inference-constrained configurations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Figure6Point:
+    label: str
+    budget_s: float
+    balanced_accuracy: float
+    inference_kwh_per_instance: float
+
+
+@dataclass
+class Figure6:
+    points: list[Figure6Point]
+
+    def saving_vs(self, constrained: str, unconstrained: str) -> float:
+        """Fraction of inference energy saved by the constrained variant."""
+        def mean_inf(label):
+            vals = [p.inference_kwh_per_instance for p in self.points
+                    if p.label == label]
+            return float(np.mean(vals)) if vals else float("nan")
+
+        base = mean_inf(unconstrained)
+        if not np.isfinite(base) or base <= 0:
+            return float("nan")
+        return 1.0 - mean_inf(constrained) / base
+
+    def accuracy_cost(self, constrained: str, unconstrained: str) -> float:
+        def mean_acc(label):
+            vals = [p.balanced_accuracy for p in self.points
+                    if p.label == label]
+            return float(np.mean(vals)) if vals else float("nan")
+
+        return mean_acc(unconstrained) - mean_acc(constrained)
+
+    def render(self) -> str:
+        rows = [
+            [p.label, f"{p.budget_s:.0f}s", p.balanced_accuracy,
+             p.inference_kwh_per_instance]
+            for p in sorted(self.points, key=lambda p: (p.label, p.budget_s))
+        ]
+        return (
+            "Figure 6 — inference-optimised configurations\n\n"
+            + format_table(
+                ["configuration", "budget", "bal.acc",
+                 "inference kWh/inst"], rows,
+            )
+        )

@@ -1,0 +1,119 @@
+"""One-call reproduction driver.
+
+``reproduce_paper()`` runs the full scaled campaign — the Figure 3 grid and
+every dependent figure/table — and returns (and optionally writes) a single
+text report mirroring the paper's evaluation section.  The ``preset``
+controls the compute spent:
+
+* ``"smoke"``   — minutes; 3 systems, 2 datasets (CI-sized sanity run)
+* ``"default"`` — ~15 min; all 7 systems, 6 datasets, all budgets
+* ``"full"``    — hours; all 7 systems, all 39 datasets, 10 runs
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.dataset_level import dataset_level_analysis
+from repro.experiments.campaigns import (
+    run_gpu_experiment,
+    run_inference_constraint_experiment,
+    run_parallelism_experiment,
+)
+from repro.experiments.config import ExperimentConfig, PAPER_SYSTEMS
+from repro.experiments.figures import figure3, figure4
+from repro.experiments.results import ResultsStore
+from repro.experiments.runner import run_grid
+from repro.experiments.tables import table1, table2, table4, table6, table7
+
+PRESETS: dict[str, ExperimentConfig] = {
+    "smoke": ExperimentConfig(
+        systems=("TabPFN", "CAML", "FLAML"),
+        datasets=("credit-g", "kc1"),
+        budgets=(10.0, 60.0),
+        n_runs=1,
+        time_scale=0.003,
+    ),
+    "default": ExperimentConfig(
+        systems=PAPER_SYSTEMS,
+        datasets=("credit-g", "blood-transfusion-service-center", "kc1",
+                  "phoneme", "segment", "helena"),
+        budgets=(10.0, 30.0, 60.0, 300.0),
+        n_runs=2,
+        time_scale=0.004,
+    ),
+    "full": ExperimentConfig(n_runs=10, time_scale=0.01),
+}
+
+
+@dataclass
+class PaperReproduction:
+    """All regenerated artefacts plus the combined report text."""
+
+    store: ResultsStore
+    sections: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def report(self) -> str:
+        order = [
+            "table1", "table2", "figure3", "figure4", "figure5", "figure6",
+            "table3", "table4", "table6", "table7", "dataset_level",
+        ]
+        parts = []
+        for key in order:
+            if key in self.sections:
+                parts.append(self.sections[key])
+        return ("\n\n" + "=" * 74 + "\n\n").join(parts)
+
+    def save(self, path) -> None:
+        Path(path).write_text(self.report)
+
+
+def reproduce_paper(
+    preset: str = "smoke",
+    *,
+    include_campaigns: bool = True,
+    verbose: bool = False,
+) -> PaperReproduction:
+    """Regenerate the paper's evaluation artefacts at the chosen scale.
+
+    ``include_campaigns=False`` skips the dedicated parallelism /
+    constraint / GPU runs (Figures 5-6, Table 3) and only uses the main
+    grid — useful for quick sanity passes.
+    """
+    if preset not in PRESETS:
+        raise ValueError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)}"
+        )
+    config = PRESETS[preset]
+    store = run_grid(config, verbose=verbose)
+
+    repro = PaperReproduction(store=store)
+    repro.sections["table1"] = table1()
+    repro.sections["table2"] = table2()
+    repro.sections["figure3"] = figure3(store).render()
+    repro.sections["figure4"] = figure4(store).render()
+    repro.sections["table4"] = table4(store).render()
+    if len(store.budgets) >= 2:
+        short, long = store.budgets[-2], store.budgets[-1]
+        _, text6 = table6(store, short_budget=short, long_budget=long)
+        repro.sections["table6"] = text6
+    _, text7 = table7(store)
+    repro.sections["table7"] = text7
+    repro.sections["dataset_level"] = dataset_level_analysis(store).render()
+
+    if include_campaigns:
+        scale = config.time_scale
+        repro.sections["figure5"] = run_parallelism_experiment(
+            datasets=config.datasets[:1], budgets=(10.0, 30.0),
+            n_runs=1, time_scale=scale,
+        ).render()
+        repro.sections["figure6"] = run_inference_constraint_experiment(
+            datasets=config.datasets[:1], budgets=(30.0,),
+            n_runs=2, time_scale=scale,
+        ).render()
+        repro.sections["table3"] = run_gpu_experiment(
+            budget_s=60.0, n_runs=1, time_scale=scale,
+        ).render()
+    return repro

@@ -1,0 +1,218 @@
+"""Builders for the paper's tables (1, 2, 4, 5, 6, 7, 8, 9).
+
+Table 3's builder lives in :mod:`repro.experiments.campaigns` because it
+needs its own GPU/CPU runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.amortization import (
+    SystemEnergyProfile,
+    TrillionPredictionCost,
+    trillion_prediction_costs,
+)
+from repro.analysis.overfitting import OverfitReport, count_overfitting
+from repro.analysis.reporting import format_table
+from repro.analysis.runtime import RuntimeRow, runtime_table
+from repro.datasets.registry import DATASET_REGISTRY, list_datasets
+from repro.experiments.results import ResultsStore
+from repro.systems import SYSTEM_REGISTRY, make_system
+
+
+# --------------------------------------------------------------------------- #
+# Table 1: strategy matrix
+# --------------------------------------------------------------------------- #
+def table1() -> str:
+    cards = []
+    for name in ("AutoSklearn1", "AutoGluon", "CAML", "TabPFN", "FLAML",
+                 "TPOT"):
+        cards.append(make_system(name).strategy_card())
+    rows = [
+        [c.system, c.search_space, c.search_init, c.search, c.ensembling]
+        for c in cards
+    ]
+    return (
+        "Table 1 — per-system strategies\n\n"
+        + format_table(
+            ["System", "Search Space", "Search Init.", "Search",
+             "Ensembling"], rows,
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 2: the dataset suite
+# --------------------------------------------------------------------------- #
+def table2() -> str:
+    rows = []
+    for name in list_datasets():
+        spec = DATASET_REGISTRY[name]
+        rows.append([
+            name, spec.openml_id, spec.paper_instances, spec.paper_features,
+            spec.paper_classes,
+            f"{spec.n_samples}x{spec.n_features} ({spec.n_classes} cls)",
+        ])
+    return (
+        "Table 2 — OpenML test datasets (paper scale -> generated scale)\n\n"
+        + format_table(
+            ["Name", "DatasetID", "# instances", "# features", "# classes",
+             "generated"], rows,
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Table 4: trillion predictions
+# --------------------------------------------------------------------------- #
+@dataclass
+class Table4:
+    rows: list[TrillionPredictionCost]
+
+    def render(self) -> str:
+        table_rows = [
+            [r.system, r.energy_kwh, r.co2_kg, r.cost_eur] for r in self.rows
+        ]
+        return (
+            "Table 4 — cost of 1 trillion predictions\n\n"
+            + format_table(
+                ["AutoML", "Energy (kWh)", "CO2 (kg)", "Cost (EUR)"],
+                table_rows, float_fmt="{:,.1f}",
+            )
+        )
+
+
+def table4(store: ResultsStore, *, budget: float | None = None) -> Table4:
+    """Use each system's best-accuracy budget (as the paper does)."""
+    profiles = []
+    for system in store.systems:
+        sub = store.filter(system=system, include_failed=False)
+        if not sub.budgets:
+            continue
+        best_budget = budget
+        if best_budget is None:
+            best_budget = max(
+                sub.budgets,
+                key=lambda b: sub.mean_over_runs(
+                    "balanced_accuracy", system=system, budget=b),
+            )
+        profiles.append(SystemEnergyProfile(
+            system=system,
+            execution_kwh=sub.mean_over_runs(
+                "execution_kwh", system=system, budget=best_budget),
+            inference_kwh_per_instance=sub.mean_over_runs(
+                "inference_kwh_per_instance", system=system,
+                budget=best_budget),
+        ))
+    return Table4(trillion_prediction_costs(profiles))
+
+
+# --------------------------------------------------------------------------- #
+# Table 5: tuned AutoML parameters
+# --------------------------------------------------------------------------- #
+def table5(tuning_results: dict) -> str:
+    """Render the tuned AutoML parameters per search budget."""
+    from repro.devtuning.parameters import config_to_caml_parameters
+
+    blocks = []
+    for budget, result in sorted(tuning_results.items()):
+        params = config_to_caml_parameters(result.best_config)
+        rows = [
+            ["classifier space", ", ".join(params.classifiers)],
+            ["holdout fraction", f"{params.holdout_fraction:.2f}"],
+            ["evaluation fraction", f"{params.evaluation_fraction:.2f}"],
+            ["sampling", str(params.sample_cap)],
+            ["refit", str(params.refit)],
+            ["resample validation", str(params.resample_validation)],
+            ["incremental training", str(params.incremental_training)],
+        ]
+        blocks.append(
+            f"[search budget {budget:.0f}s]\n"
+            + format_table(["AutoML parameter", "tuned value"], rows)
+        )
+    return "Table 5 — tuned AutoML system parameters\n\n" + "\n\n".join(blocks)
+
+
+# --------------------------------------------------------------------------- #
+# Table 6: overfitting counts
+# --------------------------------------------------------------------------- #
+def table6(store: ResultsStore, *, short_budget: float = 60.0,
+           long_budget: float = 300.0) -> tuple[list[OverfitReport], str]:
+    reports = []
+    for system in store.systems:
+        short = store.dataset_scores(system=system, budget=short_budget)
+        long = store.dataset_scores(system=system, budget=long_budget)
+        common = set(short) & set(long)
+        if not common:
+            continue
+        reports.append(count_overfitting(
+            short, long, system=system,
+        ))
+    rows = [
+        [rep.system, f"{rep.n_overfit}/{rep.n_datasets}",
+         ", ".join(rep.overfit_datasets[:4])]
+        for rep in reports
+    ]
+    text = (
+        f"Table 6 — datasets where {long_budget:.0f}s scores worse than "
+        f"{short_budget:.0f}s\n\n"
+        + format_table(["system", "overfit", "datasets"], rows)
+    )
+    return reports, text
+
+
+# --------------------------------------------------------------------------- #
+# Table 7: actual execution time
+# --------------------------------------------------------------------------- #
+def table7(store: ResultsStore) -> tuple[list[RuntimeRow], str]:
+    rows = runtime_table(
+        r for r in store.records if not r.failed
+    )
+    budgets = sorted({r.configured_s for r in rows})
+    systems = sorted(
+        {r.system for r in rows},
+        key=lambda s: np.mean([
+            r.mean_actual_s for r in rows if r.system == s
+        ]),
+    )
+    cell = {(r.system, r.configured_s): r.formatted() for r in rows}
+    table_rows = [
+        [s] + [cell.get((s, b), "-") for b in budgets] for s in systems
+    ]
+    text = (
+        "Table 7 — actual execution time per configured search time\n\n"
+        + format_table(
+            ["AutoML"] + [f"{b:.0f}s" for b in budgets], table_rows,
+        )
+    )
+    return rows, text
+
+
+# --------------------------------------------------------------------------- #
+# Tables 8 & 9: development-stage tuning sweeps
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DevSweepRow:
+    setting: int
+    balanced_accuracy_mean: float
+    balanced_accuracy_std: float
+    energy_kwh: float
+    hours: float
+
+
+def render_dev_sweep(rows: list[DevSweepRow], *, label: str,
+                     title: str) -> str:
+    table_rows = [
+        [r.setting,
+         f"{100 * r.balanced_accuracy_mean:.2f} ± "
+         f"{100 * r.balanced_accuracy_std:.2f}",
+         r.energy_kwh, r.hours]
+        for r in rows
+    ]
+    return title + "\n\n" + format_table(
+        [label, "Balanced Accuracy (%)", "Energy (kWh)", "Time (h)"],
+        table_rows,
+    )

@@ -1,0 +1,37 @@
+"""Hyperparameter-optimization engines used by the AutoML systems."""
+
+from repro.hpo.bo import BayesianOptimizer
+from repro.hpo.hyperband import Bracket, Hyperband, HyperbandResult, bracket_schedule
+from repro.hpo.genetic import (
+    Individual,
+    NSGAII,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+)
+from repro.hpo.pruning import MedianPruner
+from repro.hpo.random_search import RandomSearch, Trial
+from repro.hpo.successive_halving import (
+    SuccessiveHalving,
+    fidelity_schedule,
+    stratified_subset,
+)
+
+__all__ = [
+    "Trial",
+    "RandomSearch",
+    "BayesianOptimizer",
+    "Hyperband",
+    "HyperbandResult",
+    "Bracket",
+    "bracket_schedule",
+    "SuccessiveHalving",
+    "fidelity_schedule",
+    "stratified_subset",
+    "MedianPruner",
+    "NSGAII",
+    "Individual",
+    "dominates",
+    "fast_non_dominated_sort",
+    "crowding_distance",
+]

@@ -1,0 +1,112 @@
+"""Bayesian optimization with a random-forest surrogate (SMAC-style).
+
+ASKL and CAML both search with BO (Sec 2.3).  The surrogate is the
+random-forest regressor from :mod:`repro.models.forest`; the acquisition is
+Expected Improvement evaluated on a candidate pool mixing fresh random
+samples with perturbations of the incumbent (local search), which is how
+SMAC explores mixed categorical/conditional spaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.hpo.random_search import Trial
+from repro.models.forest import RandomForestRegressor
+from repro.pipeline.search_space import ConfigSpace
+from repro.utils.rng import check_random_state
+
+
+class BayesianOptimizer:
+    """ask/tell BO loop maximising ``score``.
+
+    Parameters
+    ----------
+    n_init:
+        Number of random configurations before the surrogate kicks in
+        (CAML uses 10; ASKL replaces these with meta-learned warm starts
+        via :meth:`warm_start`).
+    n_candidates:
+        Size of the EI candidate pool per iteration.
+    xi:
+        EI exploration bonus.
+    """
+
+    def __init__(self, space: ConfigSpace, *, n_init: int = 10,
+                 n_candidates: int = 64, xi: float = 0.01,
+                 surrogate_trees: int = 16, random_state=None):
+        if n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        self.space = space
+        self.n_init = n_init
+        self.n_candidates = n_candidates
+        self.xi = xi
+        self.surrogate_trees = surrogate_trees
+        self._rng = check_random_state(random_state)
+        self.trials: list[Trial] = []
+        self._warm: list[dict] = []
+
+    # -- warm starting (ASKL meta-learning / AutoGluon manual defaults) -----
+    def warm_start(self, configs: list[dict]) -> None:
+        """Queue configurations to evaluate before anything else."""
+        self._warm.extend(configs)
+
+    # -- ask / tell ----------------------------------------------------------
+    def ask(self) -> dict:
+        if self._warm:
+            return self._warm.pop(0)
+        if len(self.trials) < self.n_init:
+            return self.space.sample(self._rng)
+        return self._suggest()
+
+    def tell(self, config: dict, score: float,
+             cost_seconds: float = 0.0) -> None:
+        if not np.isfinite(score):
+            score = -1.0  # crashed / timed-out pipelines count as failures
+        self.trials.append(Trial(config, score, cost_seconds))
+
+    @property
+    def best(self) -> Trial | None:
+        if not self.trials:
+            return None
+        return max(self.trials, key=lambda t: t.score)
+
+    # -- surrogate loop --------------------------------------------------------
+    def _suggest(self) -> dict:
+        X = np.vstack([self.space.encode(t.config) for t in self.trials])
+        y = np.array([t.score for t in self.trials])
+        surrogate = RandomForestRegressor(
+            n_estimators=self.surrogate_trees,
+            min_samples_leaf=2,
+            max_features=0.8,
+            random_state=int(self._rng.integers(0, 2**31 - 1)),
+        )
+        surrogate.fit(X, y)
+
+        candidates = self._candidate_pool()
+        enc = np.vstack([self.space.encode(c) for c in candidates])
+        mu, sigma = surrogate.predict_with_std(enc)
+        best_y = float(y.max())
+        ei = self._expected_improvement(mu, sigma, best_y)
+        return candidates[int(np.argmax(ei))]
+
+    def _candidate_pool(self) -> list[dict]:
+        n_random = self.n_candidates // 2
+        pool = [self.space.sample(self._rng) for _ in range(n_random)]
+        # Local search around the top trials.
+        top = sorted(self.trials, key=lambda t: t.score, reverse=True)[:4]
+        while len(pool) < self.n_candidates:
+            base = top[int(self._rng.integers(0, len(top)))]
+            pool.append(
+                self.space.perturb(
+                    base.config, self._rng,
+                    n_changes=int(self._rng.integers(1, 3)),
+                )
+            )
+        return pool
+
+    def _expected_improvement(self, mu, sigma, best_y) -> np.ndarray:
+        sigma = np.maximum(sigma, 1e-9)
+        z = (mu - best_y - self.xi) / sigma
+        return (mu - best_y - self.xi) * stats.norm.cdf(z) + sigma * stats.norm.pdf(z)

@@ -1,0 +1,168 @@
+"""NSGA-II genetic programming over pipeline configurations (TPOT).
+
+TPOT evolves ML pipelines with NSGA-II [Deb et al. 2002], optimising two
+objectives: validation score (maximise) and pipeline complexity (minimise).
+Individuals here are configurations in a :class:`ConfigSpace`; crossover
+mixes parameter assignments, mutation perturbs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pipeline.search_space import ConfigSpace
+from repro.utils.rng import check_random_state
+
+
+@dataclass
+class Individual:
+    config: dict
+    score: float = -np.inf
+    complexity: float = np.inf
+    rank: int = 0
+    crowding: float = 0.0
+    info: dict = field(default_factory=dict)
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        # maximise score, minimise complexity
+        return (self.score, -self.complexity)
+
+
+def dominates(a: Individual, b: Individual) -> bool:
+    ao, bo = a.objectives, b.objectives
+    return all(x >= y for x, y in zip(ao, bo)) and any(
+        x > y for x, y in zip(ao, bo)
+    )
+
+
+def fast_non_dominated_sort(pop: list[Individual]) -> list[list[Individual]]:
+    """Assign Pareto ranks; returns the fronts in rank order."""
+    fronts: list[list[Individual]] = [[]]
+    S: dict[int, list[int]] = {}
+    n_dom = {}
+    for i, p in enumerate(pop):
+        S[i] = []
+        n_dom[i] = 0
+        for j, q in enumerate(pop):
+            if i == j:
+                continue
+            if dominates(p, q):
+                S[i].append(j)
+            elif dominates(q, p):
+                n_dom[i] += 1
+        if n_dom[i] == 0:
+            p.rank = 0
+            fronts[0].append(i)
+    k = 0
+    while fronts[k]:
+        nxt = []
+        for i in fronts[k]:
+            for j in S[i]:
+                n_dom[j] -= 1
+                if n_dom[j] == 0:
+                    pop[j].rank = k + 1
+                    nxt.append(j)
+        fronts.append(nxt)
+        k += 1
+    return [[pop[i] for i in front] for front in fronts if front]
+
+
+def crowding_distance(front: list[Individual]) -> None:
+    """Assign NSGA-II crowding distances within one front, in place."""
+    if not front:
+        return
+    for ind in front:
+        ind.crowding = 0.0
+    n_obj = len(front[0].objectives)
+    for m in range(n_obj):
+        front.sort(key=lambda ind: ind.objectives[m])
+        front[0].crowding = front[-1].crowding = np.inf
+        lo = front[0].objectives[m]
+        hi = front[-1].objectives[m]
+        span = hi - lo
+        if span <= 0:
+            continue
+        for i in range(1, len(front) - 1):
+            front[i].crowding += (
+                front[i + 1].objectives[m] - front[i - 1].objectives[m]
+            ) / span
+
+
+class NSGAII:
+    """ask/tell NSGA-II over a config space."""
+
+    def __init__(self, space: ConfigSpace, *, population_size: int = 12,
+                 crossover_rate: float = 0.7, mutation_rate: float = 0.9,
+                 random_state=None):
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.space = space
+        self.population_size = population_size
+        self.crossover_rate = crossover_rate
+        self.mutation_rate = mutation_rate
+        self._rng = check_random_state(random_state)
+        self.population: list[Individual] = []
+        self.generation = 0
+
+    def initial_population(self) -> list[dict]:
+        return [self.space.sample(self._rng)
+                for _ in range(self.population_size)]
+
+    def _tournament(self) -> Individual:
+        a, b = (
+            self.population[int(self._rng.integers(0, len(self.population)))]
+            for _ in range(2)
+        )
+        if a.rank != b.rank:
+            return a if a.rank < b.rank else b
+        return a if a.crowding > b.crowding else b
+
+    def _crossover(self, c1: dict, c2: dict) -> dict:
+        child = {}
+        for name in set(c1) | set(c2):
+            pool = [c[name] for c in (c1, c2) if name in c]
+            child[name] = pool[int(self._rng.integers(0, len(pool)))]
+        return self.space.prune_inactive(child)
+
+    def next_generation(self) -> list[dict]:
+        """Offspring configs for evaluation (call after telling the scores)."""
+        if not self.population:
+            return self.initial_population()
+        for front in fast_non_dominated_sort(self.population):
+            crowding_distance(front)
+        offspring = []
+        while len(offspring) < self.population_size:
+            p1, p2 = self._tournament(), self._tournament()
+            if self._rng.random() < self.crossover_rate:
+                child = self._crossover(p1.config, p2.config)
+            else:
+                child = dict(p1.config)
+            if self._rng.random() < self.mutation_rate:
+                child = self.space.perturb(child, self._rng)
+            offspring.append(child)
+        self.generation += 1
+        return offspring
+
+    def tell(self, evaluated: list[Individual]) -> None:
+        """Environmental selection: elitist truncation on the merged pool."""
+        merged = self.population + evaluated
+        fronts = fast_non_dominated_sort(merged)
+        survivors: list[Individual] = []
+        for front in fronts:
+            crowding_distance(front)
+            if len(survivors) + len(front) <= self.population_size:
+                survivors.extend(front)
+            else:
+                front.sort(key=lambda ind: ind.crowding, reverse=True)
+                survivors.extend(front[: self.population_size - len(survivors)])
+                break
+        self.population = survivors
+
+    @property
+    def best(self) -> Individual | None:
+        if not self.population:
+            return None
+        return max(self.population, key=lambda ind: ind.score)

@@ -1,0 +1,58 @@
+"""Median pruning for the development-stage tuner (Sec 2.5).
+
+'For poor-performing AutoML parameters, evaluating a few datasets is
+sufficient to detect that the parameters are not performing well' — a trial
+reports one score per dataset and is killed when its running mean falls
+below the median of completed trials at the same step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TrialPruned
+
+
+class MedianPruner:
+    """Prune trials whose intermediate mean is below the per-step median."""
+
+    def __init__(self, n_warmup_trials: int = 4, n_warmup_steps: int = 2):
+        if n_warmup_trials < 1 or n_warmup_steps < 0:
+            raise ValueError("invalid warmup settings")
+        self.n_warmup_trials = n_warmup_trials
+        self.n_warmup_steps = n_warmup_steps
+        # history[trial_id] = list of intermediate running-mean scores
+        self._history: dict[int, list[float]] = {}
+        self._completed: set[int] = set()
+
+    def report(self, trial_id: int, step: int, value: float) -> None:
+        """Record an intermediate value; raise :class:`TrialPruned` to stop."""
+        track = self._history.setdefault(trial_id, [])
+        if step != len(track):
+            raise ValueError(
+                f"trial {trial_id}: expected step {len(track)}, got {step}"
+            )
+        track.append(float(value))
+        if step < self.n_warmup_steps:
+            return
+        if len(self._completed) < self.n_warmup_trials:
+            return
+        peers = [
+            self._history[t][step]
+            for t in self._completed
+            if len(self._history.get(t, [])) > step
+        ]
+        if len(peers) < self.n_warmup_trials:
+            return
+        if value < float(np.median(peers)):
+            raise TrialPruned(
+                f"trial {trial_id} pruned at step {step}: "
+                f"{value:.4f} < median {np.median(peers):.4f}"
+            )
+
+    def complete(self, trial_id: int) -> None:
+        self._completed.add(trial_id)
+
+    @property
+    def n_completed(self) -> int:
+        return len(self._completed)

@@ -1,0 +1,40 @@
+"""Random search baseline (the paper's 'most naive initialisation')."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pipeline.search_space import ConfigSpace
+from repro.utils.rng import check_random_state
+
+
+@dataclass
+class Trial:
+    """One evaluated configuration."""
+
+    config: dict
+    score: float
+    cost_seconds: float = 0.0
+    info: dict = field(default_factory=dict)
+
+
+class RandomSearch:
+    """Draw i.i.d. configurations from the space."""
+
+    def __init__(self, space: ConfigSpace, random_state=None):
+        self.space = space
+        self._rng = check_random_state(random_state)
+        self.trials: list[Trial] = []
+
+    def ask(self) -> dict:
+        return self.space.sample(self._rng)
+
+    def tell(self, config: dict, score: float,
+             cost_seconds: float = 0.0) -> None:
+        self.trials.append(Trial(config, score, cost_seconds))
+
+    @property
+    def best(self) -> Trial | None:
+        if not self.trials:
+            return None
+        return max(self.trials, key=lambda t: t.score)

@@ -1,0 +1,23 @@
+"""Meta-learning: warm starting (ASKL1), portfolios (ASKL2), K-Means."""
+
+from repro.metalearning.kmeans import KMeans
+from repro.metalearning.portfolio import (
+    Portfolio,
+    greedy_portfolio,
+    portfolio_from_meta_database,
+)
+from repro.metalearning.warmstart import (
+    MetaDatabase,
+    MetaEntry,
+    build_meta_database,
+)
+
+__all__ = [
+    "KMeans",
+    "MetaDatabase",
+    "MetaEntry",
+    "build_meta_database",
+    "Portfolio",
+    "greedy_portfolio",
+    "portfolio_from_meta_database",
+]

@@ -1,0 +1,93 @@
+"""K-Means clustering (Lloyd's algorithm with k-means++ seeding).
+
+Used to cluster dataset metafeatures and pick the top-k representative
+datasets for development-stage tuning (paper Figure 2 / Sec 2.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class KMeans(BaseEstimator):
+    """Standard k-means; deterministic given ``random_state``."""
+
+    def __init__(self, n_clusters: int = 8, max_iter: int = 100,
+                 n_init: int = 4, tol: float = 1e-6, random_state=None):
+        self.n_clusters = n_clusters
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.tol = tol
+        self.random_state = random_state
+
+    def _plusplus_init(self, X, rng) -> np.ndarray:
+        n = X.shape[0]
+        centers = [X[int(rng.integers(0, n))]]
+        for _ in range(1, self.n_clusters):
+            d2 = np.min(
+                [np.sum((X - c) ** 2, axis=1) for c in centers], axis=0
+            )
+            total = d2.sum()
+            if total <= 0:
+                centers.append(X[int(rng.integers(0, n))])
+                continue
+            centers.append(X[int(rng.choice(n, p=d2 / total))])
+        return np.vstack(centers)
+
+    def _lloyd(self, X, centers) -> tuple[np.ndarray, np.ndarray, float]:
+        for _ in range(self.max_iter):
+            d2 = (
+                np.sum(X**2, axis=1)[:, None]
+                - 2 * X @ centers.T
+                + np.sum(centers**2, axis=1)[None, :]
+            )
+            labels = np.argmin(d2, axis=1)
+            new_centers = centers.copy()
+            for c in range(self.n_clusters):
+                mask = labels == c
+                if mask.any():
+                    new_centers[c] = X[mask].mean(axis=0)
+            shift = float(np.max(np.abs(new_centers - centers)))
+            centers = new_centers
+            if shift < self.tol:
+                break
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2 * X @ centers.T
+            + np.sum(centers**2, axis=1)[None, :]
+        )
+        labels = np.argmin(d2, axis=1)
+        inertia = float(np.sum(np.maximum(d2[np.arange(len(X)), labels], 0)))
+        return centers, labels, inertia
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        if self.n_clusters < 1:
+            raise ValueError("n_clusters must be >= 1")
+        if X.shape[0] < self.n_clusters:
+            raise ValueError(
+                f"{X.shape[0]} samples < {self.n_clusters} clusters"
+            )
+        rng = check_random_state(self.random_state)
+        best = None
+        for _ in range(self.n_init):
+            centers = self._plusplus_init(X, rng)
+            centers, labels, inertia = self._lloyd(X, centers)
+            if best is None or inertia < best[2]:
+                best = (centers, labels, inertia)
+        self.cluster_centers_, self.labels_, self.inertia_ = best
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "cluster_centers_")
+        X = check_array(X)
+        d2 = (
+            np.sum(X**2, axis=1)[:, None]
+            - 2 * X @ self.cluster_centers_.T
+            + np.sum(self.cluster_centers_**2, axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)

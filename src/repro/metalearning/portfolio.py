@@ -1,0 +1,84 @@
+"""ASKL2-style portfolio construction [Feurer et al. 2022].
+
+Auto-sklearn 2 replaces per-dataset metafeature matching with a *static
+portfolio*: a greedy set cover of configurations that together perform well
+across the whole repository.  At run time the portfolio is evaluated in
+order — no metafeatures needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Portfolio:
+    """An ordered list of configurations to try first."""
+
+    configs: list[dict] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.configs)
+
+    def __len__(self) -> int:
+        return len(self.configs)
+
+
+def greedy_portfolio(
+    performance: np.ndarray,
+    configs: list[dict],
+    size: int,
+) -> Portfolio:
+    """Greedy submodular cover.
+
+    ``performance[i, j]`` = score of config ``j`` on repository dataset ``i``.
+    Iteratively add the config that most improves the per-dataset maximum of
+    the current portfolio (the standard portfolio-building objective).
+    """
+    performance = np.asarray(performance, dtype=float)
+    if performance.ndim != 2:
+        raise ValueError("performance must be 2D (datasets x configs)")
+    if performance.shape[1] != len(configs):
+        raise ValueError("performance columns must match configs")
+    if size < 1:
+        raise ValueError("size must be >= 1")
+    n_datasets, n_configs = performance.shape
+    chosen: list[int] = []
+    current = np.full(n_datasets, -np.inf)
+    for _ in range(min(size, n_configs)):
+        best_j, best_gain = -1, -np.inf
+        for j in range(n_configs):
+            if j in chosen:
+                continue
+            gain = float(np.sum(np.maximum(current, performance[:, j])))
+            if gain > best_gain:
+                best_gain, best_j = gain, j
+        chosen.append(best_j)
+        current = np.maximum(current, performance[:, best_j])
+    return Portfolio([configs[j] for j in chosen])
+
+
+def portfolio_from_meta_database(db, size: int = 8) -> Portfolio:
+    """Build a portfolio from a :class:`MetaDatabase`'s offline results.
+
+    Each entry's ranked configs become candidate columns; performance is the
+    offline score on that entry's dataset (unknown elsewhere -> the entry's
+    median, a mild optimism that matches greedy cover behaviour).
+    """
+    candidates: list[dict] = []
+    col_of: list[tuple[int, int]] = []  # (entry index, rank)
+    for i, entry in enumerate(db.entries):
+        for r, config in enumerate(entry.best_configs):
+            candidates.append(config)
+            col_of.append((i, r))
+    if not candidates:
+        return Portfolio()
+    n_datasets = len(db.entries)
+    perf = np.zeros((n_datasets, len(candidates)))
+    for j, (i, r) in enumerate(col_of):
+        fallback = float(np.median(db.entries[i].best_scores))
+        perf[:, j] = fallback * 0.9
+        perf[i, j] = db.entries[i].best_scores[r]
+    return greedy_portfolio(perf, candidates, size)

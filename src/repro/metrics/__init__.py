@@ -1,0 +1,33 @@
+"""Evaluation metrics and resampling strategies.
+
+The paper reports *balanced accuracy* throughout (it handles the multi-class
+and unbalanced tasks in the AMLB suite); the splitters here implement the
+validation strategies the compared systems use: hold-out (ASKL, CAML,
+AutoGluon, FLAML) and k-fold cross-validation (TPOT, AutoGluon bagging).
+"""
+
+from repro.metrics.classification import (
+    accuracy_score,
+    balanced_accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+)
+from repro.metrics.validation import (
+    KFold,
+    StratifiedKFold,
+    cross_val_score,
+    train_test_split,
+)
+
+__all__ = [
+    "accuracy_score",
+    "balanced_accuracy_score",
+    "confusion_matrix",
+    "f1_score",
+    "log_loss",
+    "KFold",
+    "StratifiedKFold",
+    "cross_val_score",
+    "train_test_split",
+]

@@ -1,0 +1,96 @@
+"""Classification metrics implemented on numpy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import column_or_1d
+
+
+def _check_pair(y_true, y_pred):
+    y_true = column_or_1d(y_true)
+    y_pred = column_or_1d(y_pred)
+    if y_true.shape[0] != y_pred.shape[0]:
+        raise ValueError(
+            f"y_true and y_pred lengths differ: "
+            f"{y_true.shape[0]} != {y_pred.shape[0]}"
+        )
+    if y_true.shape[0] == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = #samples of class ``labels[i]``
+    predicted as ``labels[j]``."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    else:
+        labels = np.asarray(labels)
+    index = {lab: i for i, lab in enumerate(labels.tolist())}
+    n = len(labels)
+    cm = np.zeros((n, n), dtype=np.int64)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        if t in index and p in index:
+            cm[index[t], index[p]] += 1
+    return cm
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly correct predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def balanced_accuracy_score(y_true, y_pred) -> float:
+    """Macro-average of per-class recall.
+
+    This is the paper's primary predictive-performance metric; classes absent
+    from ``y_true`` are ignored (they have undefined recall).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    classes = np.unique(y_true)
+    recalls = []
+    for c in classes:
+        mask = y_true == c
+        recalls.append(float(np.mean(y_pred[mask] == c)))
+    return float(np.mean(recalls))
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    """F1 score with macro or micro averaging."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    cm = confusion_matrix(y_true, y_pred, labels=labels)
+    tp = np.diag(cm).astype(float)
+    fp = cm.sum(axis=0) - tp
+    fn = cm.sum(axis=1) - tp
+    if average == "micro":
+        denom = 2 * tp.sum() + fp.sum() + fn.sum()
+        return float(2 * tp.sum() / denom) if denom else 0.0
+    if average != "macro":
+        raise ValueError(f"unknown average: {average!r}")
+    with np.errstate(divide="ignore", invalid="ignore"):
+        f1 = 2 * tp / np.maximum(2 * tp + fp + fn, 1e-12)
+    return float(np.mean(f1))
+
+
+def log_loss(y_true, proba, labels=None, eps: float = 1e-15) -> float:
+    """Multi-class cross entropy given per-class probabilities."""
+    y_true = column_or_1d(y_true)
+    proba = np.asarray(proba, dtype=float)
+    if proba.ndim == 1:
+        proba = np.column_stack([1.0 - proba, proba])
+    if labels is None:
+        labels = np.unique(y_true)
+    labels = np.asarray(labels)
+    if proba.shape[1] != len(labels):
+        raise ValueError(
+            f"proba has {proba.shape[1]} columns but {len(labels)} labels"
+        )
+    index = {lab: i for i, lab in enumerate(labels.tolist())}
+    rows = np.arange(len(y_true))
+    cols = np.array([index[t] for t in y_true.tolist()])
+    p = np.clip(proba[rows, cols], eps, 1.0)
+    return float(-np.mean(np.log(p)))

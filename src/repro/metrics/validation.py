@@ -1,0 +1,112 @@
+"""Resampling: train/test split and cross-validation splitters."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import check_random_state
+from repro.utils.validation import column_or_1d
+
+
+def train_test_split(X, y, *, test_size: float = 0.34, stratify: bool = True,
+                     random_state=None):
+    """Split arrays into train/test partitions.
+
+    The paper splits every dataset 66/34, hence the default ``test_size``.
+    Stratified by label by default so small classes survive the split.
+    """
+    X = np.asarray(X)
+    y = column_or_1d(y)
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    rng = check_random_state(random_state)
+    n = len(y)
+    if stratify:
+        test_idx: list[int] = []
+        train_idx: list[int] = []
+        for c in np.unique(y):
+            idx = np.flatnonzero(y == c)
+            idx = idx[rng.permutation(len(idx))]
+            n_test = max(1, int(round(test_size * len(idx)))) if len(idx) > 1 else 0
+            test_idx.extend(idx[:n_test].tolist())
+            train_idx.extend(idx[n_test:].tolist())
+        train = np.array(sorted(train_idx), dtype=int)
+        test = np.array(sorted(test_idx), dtype=int)
+    else:
+        perm = rng.permutation(n)
+        n_test = max(1, int(round(test_size * n)))
+        test = perm[:n_test]
+        train = perm[n_test:]
+    return X[train], X[test], y[train], y[test]
+
+
+class KFold:
+    """Plain k-fold splitter."""
+
+    def __init__(self, n_splits: int = 5, *, shuffle: bool = True,
+                 random_state=None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, X, y=None):
+        n = len(X)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n)
+        if self.shuffle:
+            indices = check_random_state(self.random_state).permutation(n)
+        for fold in np.array_split(indices, self.n_splits):
+            test = np.sort(fold)
+            train = np.sort(np.setdiff1d(indices, fold, assume_unique=False))
+            yield train, test
+
+
+class StratifiedKFold(KFold):
+    """K-fold preserving per-class proportions in each fold."""
+
+    def split(self, X, y):
+        y = column_or_1d(y)
+        n = len(y)
+        if n < self.n_splits:
+            raise ValueError(
+                f"cannot split {n} samples into {self.n_splits} folds"
+            )
+        rng = check_random_state(self.random_state)
+        folds: list[list[int]] = [[] for _ in range(self.n_splits)]
+        for c in np.unique(y):
+            idx = np.flatnonzero(y == c)
+            if self.shuffle:
+                idx = idx[rng.permutation(len(idx))]
+            for i, chunk in enumerate(np.array_split(idx, self.n_splits)):
+                folds[i].extend(chunk.tolist())
+        all_idx = np.arange(n)
+        for fold in folds:
+            test = np.array(sorted(fold), dtype=int)
+            train = np.setdiff1d(all_idx, test)
+            yield train, test
+
+
+def cross_val_score(estimator, X, y, *, cv=None, scoring=None) -> np.ndarray:
+    """Evaluate ``estimator`` by cross-validation; returns per-fold scores.
+
+    TPOT-style 5-fold CV is the paper's explanation for TPOT's slow
+    convergence, so this is load-bearing for Figure 3.
+    """
+    from repro.metrics.classification import balanced_accuracy_score
+    from repro.models.base import clone
+
+    X = np.asarray(X)
+    y = column_or_1d(y)
+    cv = cv or StratifiedKFold(5, random_state=0)
+    scoring = scoring or balanced_accuracy_score
+    scores = []
+    for train, test in cv.split(X, y):
+        model = clone(estimator)
+        model.fit(X[train], y[train])
+        scores.append(scoring(y[test], model.predict(X[test])))
+    return np.asarray(scores)

@@ -1,0 +1,55 @@
+"""From-scratch numpy model zoo.
+
+This package replaces the scikit-learn / gradient-boosting / TabPFN stack
+the paper's six AutoML systems are built on.  All classifiers implement
+``fit`` / ``predict`` / ``predict_proba`` / ``get_params`` / ``set_params``
+plus ``inference_flops`` for the analytic energy model.
+"""
+
+from repro.models.base import BaseEstimator, ClassifierMixin, RegressorMixin, clone
+from repro.models.boosting import AdaBoostClassifier, GradientBoostingClassifier
+from repro.models.discriminant import (
+    LinearDiscriminantAnalysis,
+    QuadraticDiscriminantAnalysis,
+)
+from repro.models.dummy import DummyClassifier
+from repro.models.kernel import KernelApproxSVC, RBFSampler
+from repro.models.forest import (
+    ExtraTreesClassifier,
+    RandomForestClassifier,
+    RandomForestRegressor,
+)
+from repro.models.linear import LogisticRegression, RidgeClassifier, SGDClassifier
+from repro.models.mlp import MLPClassifier
+from repro.models.naive_bayes import BernoulliNB, GaussianNB, MultinomialNB
+from repro.models.neighbors import KNeighborsClassifier
+from repro.models.pfn import PriorFittedNetwork
+from repro.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+
+__all__ = [
+    "BaseEstimator",
+    "ClassifierMixin",
+    "RegressorMixin",
+    "clone",
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "RandomForestRegressor",
+    "ExtraTreesClassifier",
+    "GradientBoostingClassifier",
+    "AdaBoostClassifier",
+    "LogisticRegression",
+    "SGDClassifier",
+    "RidgeClassifier",
+    "GaussianNB",
+    "MultinomialNB",
+    "BernoulliNB",
+    "KNeighborsClassifier",
+    "KernelApproxSVC",
+    "RBFSampler",
+    "MLPClassifier",
+    "LinearDiscriminantAnalysis",
+    "QuadraticDiscriminantAnalysis",
+    "DummyClassifier",
+    "PriorFittedNetwork",
+]

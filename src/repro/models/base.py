@@ -1,0 +1,105 @@
+"""Estimator framework: parameter introspection, cloning, mixins.
+
+Mirrors the scikit-learn contract (``get_params``/``set_params``/``fit``/
+``predict``/``predict_proba``) because every layer above — pipelines, HPO,
+ensembling, the AutoML systems — composes estimators through exactly that
+interface.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+
+import numpy as np
+
+from repro.utils.validation import check_is_fitted
+
+
+class BaseEstimator:
+    """Base class providing constructor-parameter introspection."""
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        sig = inspect.signature(init)
+        return [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+
+    def get_params(self) -> dict:
+        """Return constructor parameters as a dict."""
+        return {name: getattr(self, name) for name in self._param_names()}
+
+    def set_params(self, **params) -> "BaseEstimator":
+        """Set constructor parameters in place; unknown names raise."""
+        valid = set(self._param_names())
+        for key, value in params.items():
+            if key not in valid:
+                raise ValueError(
+                    f"invalid parameter {key!r} for {type(self).__name__}"
+                )
+            setattr(self, key, value)
+        return self
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+def clone(estimator):
+    """Return an unfitted copy of ``estimator`` with identical parameters."""
+    klass = type(estimator)
+    params = {
+        k: clone(v) if isinstance(v, BaseEstimator) else copy.deepcopy(v)
+        for k, v in estimator.get_params().items()
+    }
+    return klass(**params)
+
+
+class ClassifierMixin:
+    """Shared classifier behaviour: label encoding and default scoring."""
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and map labels to 0..K-1 integer codes."""
+        self.classes_, codes = np.unique(y, return_inverse=True)
+        return codes
+
+    @property
+    def n_classes_(self) -> int:
+        check_is_fitted(self, "classes_")
+        return len(self.classes_)
+
+    def predict(self, X) -> np.ndarray:
+        """Default: argmax over :meth:`predict_proba`."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def score(self, X, y) -> float:
+        from repro.metrics.classification import balanced_accuracy_score
+
+        return balanced_accuracy_score(y, self.predict(X))
+
+    def inference_flops(self, n_samples: int) -> float:
+        """Estimated floating-point operations to predict ``n_samples`` rows.
+
+        Drives the analytic inference-energy model; subclasses override with
+        model-specific estimates.  The default assumes one pass over a dense
+        coefficient structure of ``complexity_`` ops per row.
+        """
+        return float(n_samples) * float(getattr(self, "complexity_", 100.0))
+
+
+class RegressorMixin:
+    """Shared regressor behaviour (used by the BO surrogate / boosting)."""
+
+    def score(self, X, y) -> float:
+        y = np.asarray(y, dtype=float)
+        pred = self.predict(X)
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        return 1.0 - ss_res / ss_tot if ss_tot > 0 else 0.0

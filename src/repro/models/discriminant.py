@@ -1,0 +1,111 @@
+"""Linear and quadratic discriminant analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+class LinearDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
+    """LDA with shrinkage-regularised pooled covariance."""
+
+    def __init__(self, shrinkage=1e-3):
+        self.shrinkage = shrinkage
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.means_ = np.zeros((k, d))
+        self.priors_ = np.zeros(k)
+        pooled = np.zeros((d, d))
+        for c in range(k):
+            Xc = X[codes == c]
+            self.means_[c] = Xc.mean(axis=0)
+            self.priors_[c] = len(Xc) / len(X)
+            if len(Xc) > 1:
+                diff = Xc - self.means_[c]
+                pooled += diff.T @ diff
+        pooled /= max(len(X) - k, 1)
+        trace = np.trace(pooled) / d if d else 1.0
+        pooled = (1 - self.shrinkage) * pooled + self.shrinkage * trace * np.eye(d)
+        self._precision = np.linalg.pinv(pooled)
+        self.complexity_ = 2.0 * k * d + 2.0 * d * d
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_is_fitted(self, "means_")
+        X = np.asarray(X, dtype=float)
+        scores = np.empty((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            mu = self.means_[c]
+            w = self._precision @ mu
+            b = -0.5 * mu @ w + np.log(self.priors_[c] + 1e-300)
+            scores[:, c] = X @ w + b
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        s = self.decision_function(X)
+        s -= s.max(axis=1, keepdims=True)
+        e = np.exp(s)
+        return e / e.sum(axis=1, keepdims=True)
+
+
+class QuadraticDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
+    """QDA with per-class regularised covariance."""
+
+    def __init__(self, reg_param=1e-2):
+        self.reg_param = reg_param
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.means_ = np.zeros((k, d))
+        self.priors_ = np.zeros(k)
+        self._precisions = []
+        self._logdets = []
+        for c in range(k):
+            Xc = X[codes == c]
+            self.means_[c] = Xc.mean(axis=0)
+            self.priors_[c] = len(Xc) / len(X)
+            if len(Xc) > 1:
+                diff = Xc - self.means_[c]
+                cov = diff.T @ diff / (len(Xc) - 1)
+            else:
+                cov = np.eye(d)
+            trace = np.trace(cov) / d if d else 1.0
+            cov = (1 - self.reg_param) * cov + self.reg_param * max(
+                trace, 1e-6
+            ) * np.eye(d)
+            sign, logdet = np.linalg.slogdet(cov)
+            if sign <= 0:
+                cov += 1e-6 * np.eye(d)
+                _, logdet = np.linalg.slogdet(cov)
+            self._precisions.append(np.linalg.pinv(cov))
+            self._logdets.append(float(logdet))
+        self.complexity_ = 2.0 * k * d * d
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_is_fitted(self, "means_")
+        X = np.asarray(X, dtype=float)
+        scores = np.empty((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            diff = X - self.means_[c]
+            maha = np.einsum("ij,jk,ik->i", diff, self._precisions[c], diff)
+            scores[:, c] = (
+                -0.5 * (maha + self._logdets[c])
+                + np.log(self.priors_[c] + 1e-300)
+            )
+        return scores
+
+    def predict_proba(self, X) -> np.ndarray:
+        s = self.decision_function(X)
+        s -= s.max(axis=1, keepdims=True)
+        e = np.exp(s)
+        return e / e.sum(axis=1, keepdims=True)

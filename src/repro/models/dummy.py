@@ -1,0 +1,41 @@
+"""Trivial baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+class DummyClassifier(BaseEstimator, ClassifierMixin):
+    """Predicts the class prior; the floor every AutoML run must beat."""
+
+    def __init__(self, strategy="prior", random_state=None):
+        self.strategy = strategy
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.strategy not in ("prior", "uniform", "stratified"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        self.prior_ = np.bincount(codes, minlength=len(self.classes_)) / len(y)
+        self.complexity_ = float(len(self.classes_))
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "prior_")
+        X = np.asarray(X, dtype=float)
+        n = X.shape[0] if X.ndim > 0 else 1
+        k = len(self.classes_)
+        if self.strategy == "uniform":
+            return np.full((n, k), 1.0 / k)
+        if self.strategy == "stratified":
+            rng = check_random_state(self.random_state)
+            draws = rng.choice(k, size=n, p=self.prior_)
+            out = np.zeros((n, k))
+            out[np.arange(n), draws] = 1.0
+            return out
+        return np.tile(self.prior_, (n, 1))

@@ -1,0 +1,162 @@
+"""Linear classifiers: logistic regression, SGD (hinge/log), ridge.
+
+Linear models are the cheap end of the energy spectrum: FLAML's cost-frugal
+search and CAML's inference-time constraints both gravitate to them, which is
+what produces the paper's low-inference-energy points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def _add_intercept(X: np.ndarray) -> np.ndarray:
+    return np.hstack([X, np.ones((X.shape[0], 1))])
+
+
+class LogisticRegression(BaseEstimator, ClassifierMixin):
+    """Multinomial logistic regression fit by full-batch gradient descent
+    with backtracking step size and L2 regularisation."""
+
+    def __init__(self, C=1.0, max_iter=200, tol=1e-5, random_state=None):
+        self.C = C
+        self.max_iter = max_iter
+        self.tol = tol
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        Xb = _add_intercept(X)
+        n, d = Xb.shape
+        W = np.zeros((d, k))
+        Y = np.zeros((n, k))
+        Y[np.arange(n), codes] = 1.0
+        lam = 1.0 / (self.C * n)
+        lr = 1.0 / max(1.0, float(np.linalg.norm(Xb, ord="fro") ** 2 / n))
+        prev_loss = np.inf
+        for _ in range(self.max_iter):
+            P = _softmax(Xb @ W)
+            grad = Xb.T @ (P - Y) / n + lam * W
+            W -= lr * grad
+            loss = -np.mean(np.log(np.clip(P[np.arange(n), codes], 1e-12, 1)))
+            loss += 0.5 * lam * float(np.sum(W**2))
+            if not np.isfinite(loss):
+                break
+            if np.isfinite(prev_loss) and abs(prev_loss - loss) < self.tol:
+                break
+            prev_loss = loss
+        self.coef_ = W[:-1].T
+        self.intercept_ = W[-1]
+        self.complexity_ = 2.0 * self.coef_.size
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_.T + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        return _softmax(self.decision_function(X))
+
+
+class SGDClassifier(BaseEstimator, ClassifierMixin):
+    """Linear classifier trained by mini-batch SGD.
+
+    ``loss='hinge'`` gives a linear SVM (one-vs-rest), ``loss='log'`` a
+    logistic model.  Probabilities for the hinge loss come from a softmax
+    over margins (adequate for ensembling weights).
+    """
+
+    def __init__(self, loss="hinge", alpha=1e-4, max_iter=30, batch_size=64,
+                 learning_rate=0.05, random_state=None):
+        self.loss = loss
+        self.alpha = alpha
+        self.max_iter = max_iter
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.random_state = random_state
+
+    def fit(self, X, y):
+        if self.loss not in ("hinge", "log"):
+            raise ValueError(f"unknown loss {self.loss!r}")
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        rng = check_random_state(self.random_state)
+        Xb = _add_intercept(X)
+        n, d = Xb.shape
+        W = np.zeros((d, k))
+        Y = -np.ones((n, k))
+        Y[np.arange(n), codes] = 1.0
+        onehot = (Y + 1.0) / 2.0
+        t = 0
+        for _ in range(self.max_iter):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                batch = order[start:start + self.batch_size]
+                xb, yb = Xb[batch], Y[batch]
+                t += 1
+                lr = self.learning_rate / (1.0 + 0.01 * t)
+                scores = xb @ W
+                if self.loss == "hinge":
+                    margin = yb * scores
+                    active = (margin < 1.0).astype(float)
+                    grad = -(xb.T @ (active * yb)) / len(batch)
+                else:
+                    p = _softmax(scores)
+                    grad = xb.T @ (p - onehot[batch]) / len(batch)
+                W -= lr * (grad + self.alpha * W)
+        self.coef_ = W[:-1].T
+        self.intercept_ = W[-1]
+        self.complexity_ = 2.0 * self.coef_.size
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_.T + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        return _softmax(self.decision_function(X))
+
+
+class RidgeClassifier(BaseEstimator, ClassifierMixin):
+    """Closed-form L2-regularised least squares on ±1 targets."""
+
+    def __init__(self, alpha=1.0):
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        Xb = _add_intercept(X)
+        n, d = Xb.shape
+        Y = -np.ones((n, k))
+        Y[np.arange(n), codes] = 1.0
+        A = Xb.T @ Xb + self.alpha * np.eye(d)
+        W = np.linalg.solve(A, Xb.T @ Y)
+        self.coef_ = W[:-1].T
+        self.intercept_ = W[-1]
+        self.complexity_ = 2.0 * self.coef_.size
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        check_is_fitted(self, "coef_")
+        X = np.asarray(X, dtype=float)
+        return X @ self.coef_.T + self.intercept_
+
+    def predict_proba(self, X) -> np.ndarray:
+        return _softmax(self.decision_function(X))

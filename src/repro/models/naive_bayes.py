@@ -1,0 +1,124 @@
+"""Naive Bayes classifiers (Gaussian, Multinomial, Bernoulli)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+class GaussianNB(BaseEstimator, ClassifierMixin):
+    """Gaussian naive Bayes with variance smoothing."""
+
+    def __init__(self, var_smoothing=1e-9):
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.theta_ = np.zeros((k, d))
+        self.var_ = np.zeros((k, d))
+        self.class_prior_ = np.zeros(k)
+        eps = self.var_smoothing * float(np.var(X, axis=0).max() or 1.0)
+        for c in range(k):
+            Xc = X[codes == c]
+            self.theta_[c] = Xc.mean(axis=0)
+            self.var_[c] = Xc.var(axis=0) + eps
+            self.class_prior_[c] = len(Xc) / len(X)
+        self.complexity_ = 4.0 * k * d
+        return self
+
+    def _joint_log_likelihood(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        jll = np.empty((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            diff = X - self.theta_[c]
+            log_pdf = -0.5 * (
+                np.log(2 * np.pi * self.var_[c]) + diff**2 / self.var_[c]
+            ).sum(axis=1)
+            jll[:, c] = np.log(self.class_prior_[c] + 1e-300) + log_pdf
+        return jll
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "theta_")
+        jll = self._joint_log_likelihood(X)
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)
+
+
+class MultinomialNB(BaseEstimator, ClassifierMixin):
+    """Multinomial naive Bayes for non-negative count-like features."""
+
+    def __init__(self, alpha=1.0):
+        self.alpha = alpha
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        if (X < 0).any():
+            X = X - X.min(axis=0)  # shift to non-negative, preserving order
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.feature_log_prob_ = np.zeros((k, d))
+        self.class_log_prior_ = np.zeros(k)
+        for c in range(k):
+            Xc = X[codes == c]
+            counts = Xc.sum(axis=0) + self.alpha
+            self.feature_log_prob_[c] = np.log(counts / counts.sum())
+            self.class_log_prior_[c] = np.log(len(Xc) / len(X))
+        self._shift = None
+        self.complexity_ = 2.0 * k * d
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "feature_log_prob_")
+        X = np.asarray(X, dtype=float)
+        if (X < 0).any():
+            X = X - X.min(axis=0)
+        jll = X @ self.feature_log_prob_.T + self.class_log_prior_
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)
+
+
+class BernoulliNB(BaseEstimator, ClassifierMixin):
+    """Bernoulli naive Bayes; features are binarised at ``binarize``."""
+
+    def __init__(self, alpha=1.0, binarize=0.0):
+        self.alpha = alpha
+        self.binarize = binarize
+
+    def fit(self, X, y):
+        X, y = check_X_y(X, y)
+        B = (X > self.binarize).astype(float)
+        codes = self._encode_labels(y)
+        k = len(self.classes_)
+        d = X.shape[1]
+        self.feature_log_prob_ = np.zeros((k, d))
+        self.neg_log_prob_ = np.zeros((k, d))
+        self.class_log_prior_ = np.zeros(k)
+        for c in range(k):
+            Bc = B[codes == c]
+            p = (Bc.sum(axis=0) + self.alpha) / (len(Bc) + 2 * self.alpha)
+            self.feature_log_prob_[c] = np.log(p)
+            self.neg_log_prob_[c] = np.log(1.0 - p)
+            self.class_log_prior_[c] = np.log(len(Bc) / len(X))
+        self.complexity_ = 3.0 * k * d
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "feature_log_prob_")
+        X = np.asarray(X, dtype=float)
+        B = (X > self.binarize).astype(float)
+        jll = (
+            B @ self.feature_log_prob_.T
+            + (1.0 - B) @ self.neg_log_prob_.T
+            + self.class_log_prior_
+        )
+        jll -= jll.max(axis=1, keepdims=True)
+        p = np.exp(jll)
+        return p / p.sum(axis=1, keepdims=True)

@@ -1,0 +1,64 @@
+"""k-nearest-neighbour classification.
+
+kNN carries its whole training set to inference, making it — like TabPFN —
+a model whose energy bill lands in the *inference* stage rather than the
+execution stage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin
+from repro.utils.validation import check_is_fitted, check_X_y
+
+
+class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
+    """Brute-force kNN with uniform or distance weighting."""
+
+    def __init__(self, n_neighbors=5, weights="uniform", batch_size=256):
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+        self.batch_size = batch_size
+
+    def fit(self, X, y):
+        if self.weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights {self.weights!r}")
+        X, y = check_X_y(X, y)
+        if self.n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self._X = X
+        self._codes = self._encode_labels(y)
+        self._sq_norms = np.sum(X**2, axis=1)
+        # Every prediction computes n_train × n_features distances.
+        self.complexity_ = 3.0 * X.shape[0] * X.shape[1]
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "_X")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        k = min(self.n_neighbors, len(self._X))
+        n_classes = len(self.classes_)
+        out = np.zeros((X.shape[0], n_classes))
+        for start in range(0, X.shape[0], self.batch_size):
+            xb = X[start:start + self.batch_size]
+            d2 = (
+                np.sum(xb**2, axis=1)[:, None]
+                - 2.0 * xb @ self._X.T
+                + self._sq_norms[None, :]
+            )
+            nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            rows = np.arange(len(xb))[:, None]
+            labels = self._codes[nn]
+            if self.weights == "distance":
+                w = 1.0 / np.maximum(np.sqrt(np.maximum(d2[rows, nn], 0)), 1e-12)
+            else:
+                w = np.ones_like(nn, dtype=float)
+            for c in range(n_classes):
+                out[start:start + len(xb), c] = np.sum(
+                    w * (labels == c), axis=1
+                )
+        out /= np.maximum(out.sum(axis=1, keepdims=True), 1e-12)
+        return out

@@ -1,0 +1,353 @@
+"""CART decision trees (classification and regression), pure numpy.
+
+These trees are the workhorse of the whole reproduction: they power the
+random forests, extra-trees, gradient boosting, the AutoGluon portfolio and
+the random-forest surrogate inside Bayesian optimization.  The split search
+is vectorised per feature (sort + prefix sums), so fitting stays fast enough
+to run full AutoML searches on the synthetic benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_is_fitted, check_X_y
+
+_LEAF = -1
+
+
+class _Tree:
+    """Flat array representation of a fitted binary tree."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value", "n_nodes")
+
+    def __init__(self):
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.left: list[int] = []
+        self.right: list[int] = []
+        self.value: list[np.ndarray] = []
+        self.n_nodes = 0
+
+    def add_node(self, value: np.ndarray) -> int:
+        node = self.n_nodes
+        self.n_nodes += 1
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.left.append(_LEAF)
+        self.right.append(_LEAF)
+        self.value.append(value)
+        return node
+
+    def finalize(self) -> None:
+        self.feature = np.asarray(self.feature, dtype=np.int64)
+        self.threshold = np.asarray(self.threshold, dtype=np.float64)
+        self.left = np.asarray(self.left, dtype=np.int64)
+        self.right = np.asarray(self.right, dtype=np.int64)
+        self.value = np.vstack([np.atleast_1d(v) for v in self.value])
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Vectorised level-wise descent; returns the leaf id per row."""
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature[nodes] != _LEAF
+        while np.any(active):
+            idx = np.flatnonzero(active)
+            cur = nodes[idx]
+            feat = self.feature[cur]
+            go_left = X[idx, feat] <= self.threshold[cur]
+            nodes[idx] = np.where(go_left, self.left[cur], self.right[cur])
+            active[idx] = self.feature[nodes[idx]] != _LEAF
+        return nodes
+
+    @property
+    def n_leaves(self) -> int:
+        return int(np.sum(self.feature == _LEAF))
+
+    def max_depth(self) -> int:
+        depth = {0: 0}
+        best = 0
+        for node in range(len(self.feature)):
+            d = depth[node]
+            best = max(best, d)
+            if self.feature[node] != _LEAF:
+                depth[int(self.left[node])] = d + 1
+                depth[int(self.right[node])] = d + 1
+        return best
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    if max_features is None:
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features))) if n_features > 1 else 1
+    if isinstance(max_features, float):
+        return max(1, min(n_features, int(max_features * n_features)))
+    if isinstance(max_features, (int, np.integer)):
+        return max(1, min(n_features, int(max_features)))
+    raise ValueError(f"invalid max_features: {max_features!r}")
+
+
+class _BaseDecisionTree(BaseEstimator):
+    """Shared recursive builder; subclasses define impurity and leaf values."""
+
+    def __init__(self, max_depth=None, min_samples_split=2,
+                 min_samples_leaf=1, max_features=None, max_leaf_nodes=None,
+                 splitter="best", random_state=None):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.max_leaf_nodes = max_leaf_nodes
+        self.splitter = splitter
+        self.random_state = random_state
+
+    # -- subclass hooks ----------------------------------------------------
+    def _leaf_value(self, y_node) -> np.ndarray:
+        raise NotImplementedError
+
+    def _impurity_gain(self, y_sorted, n_left_range):
+        """Return impurity of (left, right) prefix splits for every cut."""
+        raise NotImplementedError
+
+    def _node_impurity(self, y_node) -> float:
+        raise NotImplementedError
+
+    # -- fitting -----------------------------------------------------------
+    def _fit_arrays(self, X: np.ndarray, y: np.ndarray,
+                    sample_weight=None) -> None:
+        rng = check_random_state(self.random_state)
+        n_samples, n_features = X.shape
+        k = _resolve_max_features(self.max_features, n_features)
+        max_depth = self.max_depth if self.max_depth is not None else np.inf
+
+        tree = _Tree()
+        self.tree_ = tree
+        root = tree.add_node(self._leaf_value(y))
+        # Stack of (node_id, row_indices, depth); depth-first expansion.
+        stack = [(root, np.arange(n_samples), 0)]
+        n_leaves = 1
+        max_leaves = self.max_leaf_nodes or np.inf
+        while stack:
+            node, idx, depth = stack.pop()
+            y_node = y[idx]
+            if (
+                depth >= max_depth
+                or len(idx) < self.min_samples_split
+                or len(idx) < 2 * self.min_samples_leaf
+                or self._node_impurity(y_node) <= 1e-12
+                or n_leaves + 1 > max_leaves
+            ):
+                continue
+            split = self._best_split(X, y, idx, k, rng)
+            if split is None:
+                continue
+            feat, thr, left_idx, right_idx = split
+            tree.feature[node] = feat
+            tree.threshold[node] = thr
+            left = tree.add_node(self._leaf_value(y[left_idx]))
+            right = tree.add_node(self._leaf_value(y[right_idx]))
+            tree.left[node] = left
+            tree.right[node] = right
+            n_leaves += 1  # replaced one leaf with two
+            stack.append((left, left_idx, depth + 1))
+            stack.append((right, right_idx, depth + 1))
+        tree.finalize()
+        self.n_features_in_ = n_features
+
+    def _best_split(self, X, y, idx, k, rng):
+        n_features = X.shape[1]
+        features = (
+            rng.choice(n_features, size=k, replace=False)
+            if k < n_features
+            else np.arange(n_features)
+        )
+        best_gain = 1e-12
+        best = None
+        n_node = len(idx)
+        min_leaf = self.min_samples_leaf
+        for feat in features:
+            values = X[idx, feat]
+            if self.splitter == "random":
+                lo, hi = values.min(), values.max()
+                if hi <= lo:
+                    continue
+                thr = rng.uniform(lo, hi)
+                mask = values <= thr
+                n_left = int(mask.sum())
+                if n_left < min_leaf or n_node - n_left < min_leaf:
+                    continue
+                gain = self._split_gain_for_mask(y[idx], mask)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feat), float(thr), idx[mask], idx[~mask])
+                continue
+            order = np.argsort(values, kind="stable")
+            v_sorted = values[order]
+            y_sorted = y[idx[order]]
+            # Candidate cuts: positions where the feature value changes.
+            diff = np.flatnonzero(v_sorted[1:] > v_sorted[:-1]) + 1
+            if len(diff) == 0:
+                continue
+            cuts = diff[(diff >= min_leaf) & (diff <= n_node - min_leaf)]
+            if len(cuts) == 0:
+                continue
+            gains = self._prefix_gains(y_sorted, cuts, n_node)
+            j = int(np.argmax(gains))
+            if gains[j] > best_gain:
+                cut = int(cuts[j])
+                thr = 0.5 * (v_sorted[cut - 1] + v_sorted[cut])
+                left_sel = order[:cut]
+                right_sel = order[cut:]
+                best_gain = float(gains[j])
+                best = (int(feat), float(thr), idx[left_sel], idx[right_sel])
+        return best
+
+    # -- prediction helpers --------------------------------------------------
+    def get_depth(self) -> int:
+        check_is_fitted(self, "tree_")
+        return self.tree_.max_depth()
+
+    def get_n_leaves(self) -> int:
+        check_is_fitted(self, "tree_")
+        return self.tree_.n_leaves
+
+    def inference_flops(self, n_samples: int) -> float:
+        """~3 ops per level descended per sample."""
+        check_is_fitted(self, "tree_")
+        return 3.0 * n_samples * max(1, self.get_depth())
+
+
+class DecisionTreeClassifier(_BaseDecisionTree, ClassifierMixin):
+    """CART classifier with gini or entropy impurity."""
+
+    def __init__(self, criterion="gini", max_depth=None, min_samples_split=2,
+                 min_samples_leaf=1, max_features=None, max_leaf_nodes=None,
+                 splitter="best", random_state=None):
+        super().__init__(max_depth=max_depth,
+                         min_samples_split=min_samples_split,
+                         min_samples_leaf=min_samples_leaf,
+                         max_features=max_features,
+                         max_leaf_nodes=max_leaf_nodes,
+                         splitter=splitter, random_state=random_state)
+        self.criterion = criterion
+
+    def fit(self, X, y, sample_weight=None):
+        X, y = check_X_y(X, y)
+        codes = self._encode_labels(y)
+        self._n_classes = len(self.classes_)
+        self._fit_arrays(X, codes)
+        return self
+
+    def _leaf_value(self, y_node) -> np.ndarray:
+        counts = np.bincount(y_node, minlength=self._n_classes).astype(float)
+        total = counts.sum()
+        return counts / total if total else counts
+
+    def _node_impurity(self, y_node) -> float:
+        p = np.bincount(y_node, minlength=self._n_classes) / max(len(y_node), 1)
+        if self.criterion == "entropy":
+            nz = p[p > 0]
+            return float(-np.sum(nz * np.log2(nz)))
+        return float(1.0 - np.sum(p**2))
+
+    def _prefix_gains(self, y_sorted, cuts, n_node) -> np.ndarray:
+        onehot = np.zeros((n_node, self._n_classes))
+        onehot[np.arange(n_node), y_sorted] = 1.0
+        cum = np.cumsum(onehot, axis=0)
+        left = cum[cuts - 1]                     # counts in left child per cut
+        total = cum[-1]
+        right = total - left
+        n_left = cuts.astype(float)
+        n_right = n_node - n_left
+        if self.criterion == "entropy":
+            def _h(counts, n):
+                p = counts / n[:, None]
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    logp = np.where(p > 0, np.log2(np.maximum(p, 1e-300)), 0.0)
+                return -np.sum(p * logp, axis=1)
+            imp_left = _h(left, n_left)
+            imp_right = _h(right, n_right)
+            parent = self._node_impurity(y_sorted)
+        else:
+            imp_left = 1.0 - np.sum((left / n_left[:, None]) ** 2, axis=1)
+            imp_right = 1.0 - np.sum((right / n_right[:, None]) ** 2, axis=1)
+            parent = self._node_impurity(y_sorted)
+        child = (n_left * imp_left + n_right * imp_right) / n_node
+        return parent - child
+
+    def _split_gain_for_mask(self, y_node, mask) -> float:
+        parent = self._node_impurity(y_node)
+        left, right = y_node[mask], y_node[~mask]
+
+        def _imp(part):
+            p = np.bincount(part, minlength=self._n_classes) / len(part)
+            if self.criterion == "entropy":
+                nz = p[p > 0]
+                return float(-np.sum(nz * np.log2(nz)))
+            return float(1.0 - np.sum(p**2))
+
+        child = (len(left) * _imp(left) + len(right) * _imp(right)) / len(y_node)
+        return parent - child
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        leaves = self.tree_.apply(X)
+        return self.tree_.value[leaves]
+
+
+class DecisionTreeRegressor(_BaseDecisionTree, RegressorMixin):
+    """CART regressor minimising within-node variance (MSE criterion)."""
+
+    def fit(self, X, y, sample_weight=None):
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y length mismatch")
+        self._fit_arrays(X, y)
+        return self
+
+    def _leaf_value(self, y_node) -> np.ndarray:
+        return np.asarray([float(np.mean(y_node))])
+
+    def _node_impurity(self, y_node) -> float:
+        return float(np.var(y_node)) if len(y_node) else 0.0
+
+    def _prefix_gains(self, y_sorted, cuts, n_node) -> np.ndarray:
+        cum = np.cumsum(y_sorted)
+        cum2 = np.cumsum(y_sorted**2)
+        n_left = cuts.astype(float)
+        n_right = n_node - n_left
+        sum_left = cum[cuts - 1]
+        sum2_left = cum2[cuts - 1]
+        sum_right = cum[-1] - sum_left
+        sum2_right = cum2[-1] - sum2_left
+        var_left = sum2_left / n_left - (sum_left / n_left) ** 2
+        var_right = sum2_right / n_right - (sum_right / n_right) ** 2
+        parent = self._node_impurity(y_sorted)
+        child = (n_left * var_left + n_right * var_right) / n_node
+        return parent - child
+
+    def _split_gain_for_mask(self, y_node, mask) -> float:
+        parent = self._node_impurity(y_node)
+        left, right = y_node[mask], y_node[~mask]
+        child = (
+            len(left) * np.var(left) + len(right) * np.var(right)
+        ) / len(y_node)
+        return parent - float(child)
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "tree_")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        leaves = self.tree_.apply(X)
+        return self.tree_.value[leaves][:, 0]

@@ -1,0 +1,32 @@
+"""Pipelines and hyperparameter search spaces."""
+
+from repro.pipeline.pipeline import Pipeline, clone_pipeline
+from repro.pipeline.search_space import (
+    Categorical,
+    Condition,
+    ConfigSpace,
+    Float,
+    Integer,
+)
+from repro.pipeline.spaces import (
+    ALL_CLASSIFIERS,
+    FEATURE_PREPROCESSOR_CHOICES,
+    LIGHTWEIGHT_CLASSIFIERS,
+    build_pipeline,
+    build_space,
+)
+
+__all__ = [
+    "Pipeline",
+    "clone_pipeline",
+    "ConfigSpace",
+    "Categorical",
+    "Integer",
+    "Float",
+    "Condition",
+    "build_space",
+    "build_pipeline",
+    "ALL_CLASSIFIERS",
+    "LIGHTWEIGHT_CLASSIFIERS",
+    "FEATURE_PREPROCESSOR_CHOICES",
+]

@@ -1,0 +1,89 @@
+"""ML pipelines: ordered preprocessors ending in a classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator, ClassifierMixin, clone
+from repro.utils.validation import check_is_fitted
+
+
+class Pipeline(BaseEstimator, ClassifierMixin):
+    """A chain of ``(name, transformer)`` steps ending in a classifier.
+
+    This is the unit every AutoML system in the paper searches over: data
+    preprocessor(s) -> optional feature preprocessor -> model.  The pipeline
+    also aggregates ``inference_flops`` across its steps so deployed
+    preprocessing is charged to inference energy (Sec 1, "ML pipelines can
+    also have significant preprocessing steps").
+    """
+
+    def __init__(self, steps):
+        if not steps:
+            raise ValueError("a pipeline needs at least one step")
+        names = [name for name, _ in steps]
+        if len(set(names)) != len(names):
+            raise ValueError("step names must be unique")
+        self.steps = list(steps)
+
+    @property
+    def named_steps(self) -> dict:
+        return dict(self.steps)
+
+    def _final_estimator(self):
+        return self.steps[-1][1]
+
+    def fit(self, X, y):
+        X = np.asarray(X, dtype=float)
+        for _, step in self.steps[:-1]:
+            X = step.fit_transform(X, y)
+        self._final_estimator().fit(X, y)
+        self.classes_ = self._final_estimator().classes_
+        self._fitted = True
+        return self
+
+    def _transform(self, X) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        for _, step in self.steps[:-1]:
+            X = step.transform(X)
+        return X
+
+    def predict_proba(self, X) -> np.ndarray:
+        check_is_fitted(self, "_fitted")
+        return self._final_estimator().predict_proba(self._transform(X))
+
+    def predict(self, X) -> np.ndarray:
+        check_is_fitted(self, "_fitted")
+        return self._final_estimator().predict(self._transform(X))
+
+    def inference_flops(self, n_samples: int) -> float:
+        check_is_fitted(self, "_fitted")
+        total = 0.0
+        for _, step in self.steps[:-1]:
+            total += step.transform_flops(n_samples)
+        total += self._final_estimator().inference_flops(n_samples)
+        return total
+
+    def get_params(self) -> dict:
+        return {"steps": [(name, step) for name, step in self.steps]}
+
+    def set_params(self, **params):
+        if "steps" in params:
+            self.steps = list(params.pop("steps"))
+        for key, value in params.items():
+            name, _, param = key.partition("__")
+            if not param:
+                raise ValueError(f"invalid pipeline parameter {key!r}")
+            self.named_steps[name].set_params(**{param: value})
+        return self
+
+    def __repr__(self) -> str:
+        inner = " -> ".join(
+            f"{name}:{type(step).__name__}" for name, step in self.steps
+        )
+        return f"Pipeline({inner})"
+
+
+def clone_pipeline(pipeline: Pipeline) -> Pipeline:
+    """Unfitted deep copy of a pipeline."""
+    return Pipeline([(name, clone(step)) for name, step in pipeline.steps])

@@ -1,0 +1,221 @@
+"""Hyperparameter search-space framework (a compact ConfigSpace).
+
+Supports categorical / integer / float (optionally log-scale) parameters,
+hierarchical conditions ("this parameter is only active when classifier ==
+'random_forest'"), uniform sampling, local perturbation (for evolutionary /
+BO candidate generation) and a fixed-width numeric encoding for the
+random-forest BO surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import check_random_state
+
+
+@dataclass(frozen=True)
+class Categorical:
+    name: str
+    choices: tuple
+
+    def __post_init__(self):
+        if len(self.choices) < 1:
+            raise ConfigurationError(f"{self.name}: empty choices")
+
+    def sample(self, rng) -> object:
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def perturb(self, value, rng):
+        if len(self.choices) == 1:
+            return value
+        others = [c for c in self.choices if c != value]
+        return others[int(rng.integers(0, len(others)))]
+
+    def encode(self, value) -> float:
+        try:
+            return self.choices.index(value) / max(len(self.choices) - 1, 1)
+        except ValueError:
+            raise ConfigurationError(
+                f"{self.name}: {value!r} not in choices"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Integer:
+    name: str
+    low: int
+    high: int
+    log: bool = False
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ConfigurationError(f"{self.name}: low > high")
+        if self.log and self.low < 1:
+            raise ConfigurationError(f"{self.name}: log scale needs low >= 1")
+
+    def sample(self, rng) -> int:
+        if self.log:
+            return int(round(np.exp(
+                rng.uniform(np.log(self.low), np.log(self.high))
+            )))
+        return int(rng.integers(self.low, self.high + 1))
+
+    def perturb(self, value, rng) -> int:
+        span = max(1, (self.high - self.low) // 5)
+        return int(np.clip(value + rng.integers(-span, span + 1),
+                           self.low, self.high))
+
+    def encode(self, value) -> float:
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return float(
+                (np.log(value) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (value - self.low) / (self.high - self.low)
+
+
+@dataclass(frozen=True)
+class Float:
+    name: str
+    low: float
+    high: float
+    log: bool = False
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ConfigurationError(f"{self.name}: low > high")
+        if self.log and self.low <= 0:
+            raise ConfigurationError(f"{self.name}: log scale needs low > 0")
+
+    def sample(self, rng) -> float:
+        if self.log:
+            return float(np.exp(
+                rng.uniform(np.log(self.low), np.log(self.high))
+            ))
+        return float(rng.uniform(self.low, self.high))
+
+    def perturb(self, value, rng) -> float:
+        span = (self.high - self.low) * 0.2
+        if self.log:
+            factor = np.exp(rng.normal(0.0, 0.3))
+            return float(np.clip(value * factor, self.low, self.high))
+        return float(np.clip(value + rng.normal(0.0, span),
+                             self.low, self.high))
+
+    def encode(self, value) -> float:
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return float(
+                (np.log(value) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (value - self.low) / (self.high - self.low)
+
+
+Hyperparameter = Categorical | Integer | Float
+
+
+@dataclass(frozen=True)
+class Condition:
+    """``child`` is active only when ``parent``'s value is in ``values``."""
+
+    child: str
+    parent: str
+    values: tuple
+
+
+@dataclass
+class ConfigSpace:
+    """A set of hyperparameters plus activation conditions."""
+
+    hyperparameters: dict[str, Hyperparameter] = field(default_factory=dict)
+    conditions: list[Condition] = field(default_factory=list)
+
+    def add(self, hp: Hyperparameter) -> "ConfigSpace":
+        if hp.name in self.hyperparameters:
+            raise ConfigurationError(f"duplicate hyperparameter {hp.name!r}")
+        self.hyperparameters[hp.name] = hp
+        return self
+
+    def add_condition(self, child: str, parent: str, values) -> "ConfigSpace":
+        if child not in self.hyperparameters:
+            raise ConfigurationError(f"unknown child {child!r}")
+        if parent not in self.hyperparameters:
+            raise ConfigurationError(f"unknown parent {parent!r}")
+        self.conditions.append(Condition(child, parent, tuple(values)))
+        return self
+
+    # -- activity ------------------------------------------------------------
+    def _active(self, name: str, config: dict) -> bool:
+        for cond in self.conditions:
+            if cond.child == name:
+                parent_val = config.get(cond.parent)
+                if parent_val not in cond.values:
+                    return False
+                if not self._active(cond.parent, config):
+                    return False
+        return True
+
+    def active_names(self, config: dict) -> list[str]:
+        return [n for n in self.hyperparameters if self._active(n, config)]
+
+    # -- sampling ------------------------------------------------------------
+    def sample(self, random_state=None) -> dict:
+        rng = check_random_state(random_state)
+        config = {}
+        for name, hp in self.hyperparameters.items():
+            config[name] = hp.sample(rng)
+        return self.prune_inactive(config)
+
+    def perturb(self, config: dict, random_state=None,
+                n_changes: int = 1) -> dict:
+        """Return a neighbour of ``config`` with ``n_changes`` mutated
+        active parameters (re-sampling newly activated children)."""
+        rng = check_random_state(random_state)
+        new = dict(config)
+        # Fill in any inactive params so mutation of a parent can activate them.
+        for name, hp in self.hyperparameters.items():
+            if name not in new:
+                new[name] = hp.sample(rng)
+        active = [n for n in self.hyperparameters if self._active(n, new)]
+        for _ in range(max(1, n_changes)):
+            name = active[int(rng.integers(0, len(active)))]
+            new[name] = self.hyperparameters[name].perturb(new[name], rng)
+        return self.prune_inactive(new)
+
+    def prune_inactive(self, config: dict) -> dict:
+        return {n: v for n, v in config.items() if self._active(n, config)}
+
+    # -- encoding for the surrogate -------------------------------------------
+    def encode(self, config: dict) -> np.ndarray:
+        """Fixed-width vector: one slot per hyperparameter; inactive -> -1."""
+        vec = np.full(len(self.hyperparameters), -1.0)
+        for i, (name, hp) in enumerate(self.hyperparameters.items()):
+            if name in config:
+                vec[i] = hp.encode(config[name])
+        return vec
+
+    def validate(self, config: dict) -> None:
+        for name, value in config.items():
+            hp = self.hyperparameters.get(name)
+            if hp is None:
+                raise ConfigurationError(f"unknown hyperparameter {name!r}")
+            if isinstance(hp, Categorical):
+                if value not in hp.choices:
+                    raise ConfigurationError(
+                        f"{name}: {value!r} not in {hp.choices}"
+                    )
+            elif not (hp.low <= value <= hp.high):
+                raise ConfigurationError(
+                    f"{name}: {value!r} outside [{hp.low}, {hp.high}]"
+                )
+
+    def __len__(self) -> int:
+        return len(self.hyperparameters)

@@ -1,0 +1,349 @@
+"""Concrete AutoML search spaces and the config -> Pipeline factory.
+
+The full space mirrors auto-sklearn's structure (Sec 2.3): 15 classifier
+families, a feature-preprocessor slot, and data preprocessors (imputation,
+rescaling, one-hot encoding).  CAML's space is the same minus the feature
+preprocessors; FLAML's space is the lightweight-model subset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.models import (
+    AdaBoostClassifier,
+    BernoulliNB,
+    DecisionTreeClassifier,
+    ExtraTreesClassifier,
+    GaussianNB,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    LinearDiscriminantAnalysis,
+    LogisticRegression,
+    MLPClassifier,
+    MultinomialNB,
+    QuadraticDiscriminantAnalysis,
+    RandomForestClassifier,
+    RidgeClassifier,
+    SGDClassifier,
+)
+from repro.pipeline.pipeline import Pipeline
+from repro.pipeline.search_space import Categorical, ConfigSpace, Float, Integer
+from repro.preprocessing import (
+    FeatureAgglomeration,
+    GaussianRandomProjection,
+    KBinsDiscretizer,
+    MinMaxScaler,
+    Normalizer,
+    OneHotEncoder,
+    PCA,
+    PolynomialFeatures,
+    QuantileTransformer,
+    RobustScaler,
+    SelectKBest,
+    SelectPercentile,
+    SimpleImputer,
+    StandardScaler,
+    TruncatedSVD,
+    VarianceThreshold,
+)
+
+#: The 15 classifier families of the full (ASKL-style) space.
+ALL_CLASSIFIERS = [
+    "decision_tree",
+    "random_forest",
+    "extra_trees",
+    "gradient_boosting",
+    "adaboost",
+    "logistic_regression",
+    "sgd",
+    "ridge",
+    "gaussian_nb",
+    "multinomial_nb",
+    "bernoulli_nb",
+    "knn",
+    "mlp",
+    "lda",
+    "qda",
+]
+
+#: FLAML's lightweight subset (cost-frugal search).
+LIGHTWEIGHT_CLASSIFIERS = [
+    "decision_tree",
+    "random_forest",
+    "extra_trees",
+    "gradient_boosting",
+    "logistic_regression",
+    "sgd",
+]
+
+#: Feature preprocessor choices ('none' = pass-through).
+FEATURE_PREPROCESSOR_CHOICES = [
+    "none",
+    "pca",
+    "truncated_svd",
+    "select_k_best",
+    "select_percentile",
+    "variance_threshold",
+    "random_projection",
+    "feature_agglomeration",
+    "polynomial",
+    "quantile",
+    "kbins",
+]
+
+SCALER_CHOICES = ["none", "standard", "minmax", "robust", "normalizer"]
+IMPUTER_CHOICES = ["mean", "median", "most_frequent"]
+
+
+def _add_classifier_params(space: ConfigSpace, classifiers: list[str]) -> None:
+    """Per-model hyperparameters, conditioned on the classifier choice."""
+
+    def cond(name: str, *models: str) -> None:
+        space.add_condition(name, "classifier", models)
+
+    if any(m in classifiers for m in
+           ("decision_tree", "random_forest", "extra_trees")):
+        space.add(Integer("max_depth", 2, 16))
+        cond("max_depth", "decision_tree", "random_forest", "extra_trees")
+        space.add(Integer("min_samples_leaf", 1, 20, log=True))
+        cond("min_samples_leaf", "decision_tree", "random_forest",
+             "extra_trees")
+    if any(m in classifiers for m in ("random_forest", "extra_trees")):
+        space.add(Integer("n_estimators", 5, 120, log=True))
+        cond("n_estimators", "random_forest", "extra_trees")
+        space.add(Categorical("max_features", ("sqrt", "log2", 0.5)))
+        cond("max_features", "random_forest", "extra_trees")
+    if "gradient_boosting" in classifiers:
+        space.add(Integer("gb_n_estimators", 5, 40, log=True))
+        cond("gb_n_estimators", "gradient_boosting")
+        space.add(Float("gb_learning_rate", 0.01, 0.5, log=True))
+        cond("gb_learning_rate", "gradient_boosting")
+        space.add(Integer("gb_max_depth", 1, 6))
+        cond("gb_max_depth", "gradient_boosting")
+        space.add(Float("gb_subsample", 0.5, 1.0))
+        cond("gb_subsample", "gradient_boosting")
+    if "adaboost" in classifiers:
+        space.add(Integer("ab_n_estimators", 10, 80, log=True))
+        cond("ab_n_estimators", "adaboost")
+        space.add(Float("ab_learning_rate", 0.1, 2.0, log=True))
+        cond("ab_learning_rate", "adaboost")
+    if "logistic_regression" in classifiers:
+        space.add(Float("lr_C", 1e-3, 1e2, log=True))
+        cond("lr_C", "logistic_regression")
+    if "sgd" in classifiers:
+        space.add(Categorical("sgd_loss", ("hinge", "log")))
+        cond("sgd_loss", "sgd")
+        space.add(Float("sgd_alpha", 1e-6, 1e-2, log=True))
+        cond("sgd_alpha", "sgd")
+    if "ridge" in classifiers:
+        space.add(Float("ridge_alpha", 1e-3, 1e2, log=True))
+        cond("ridge_alpha", "ridge")
+    if "knn" in classifiers:
+        space.add(Integer("knn_neighbors", 1, 30, log=True))
+        cond("knn_neighbors", "knn")
+        space.add(Categorical("knn_weights", ("uniform", "distance")))
+        cond("knn_weights", "knn")
+    if "mlp" in classifiers:
+        space.add(Integer("mlp_hidden", 8, 64, log=True))
+        cond("mlp_hidden", "mlp")
+        space.add(Integer("mlp_layers", 1, 2))
+        cond("mlp_layers", "mlp")
+        space.add(Float("mlp_alpha", 1e-6, 1e-2, log=True))
+        cond("mlp_alpha", "mlp")
+        space.add(Integer("mlp_epochs", 5, 25, log=True))
+        cond("mlp_epochs", "mlp")
+    if "lda" in classifiers:
+        space.add(Float("lda_shrinkage", 1e-4, 1e-1, log=True))
+        cond("lda_shrinkage", "lda")
+    if "qda" in classifiers:
+        space.add(Float("qda_reg", 1e-3, 0.5, log=True))
+        cond("qda_reg", "qda")
+    if "multinomial_nb" in classifiers or "bernoulli_nb" in classifiers:
+        space.add(Float("nb_alpha", 1e-2, 10.0, log=True))
+        cond("nb_alpha", "multinomial_nb", "bernoulli_nb")
+
+
+def build_space(
+    classifiers: list[str] | None = None,
+    *,
+    include_feature_preprocessors: bool = True,
+    include_data_preprocessors: bool = True,
+) -> ConfigSpace:
+    """Assemble a search space.
+
+    * full ASKL-style space: ``build_space()``
+    * CAML's space (no feature preprocessors):
+      ``build_space(include_feature_preprocessors=False)``
+    * FLAML-style model-only space:
+      ``build_space(LIGHTWEIGHT_CLASSIFIERS, include_feature_preprocessors=False,
+      include_data_preprocessors=False)``
+    """
+    classifiers = list(classifiers) if classifiers else list(ALL_CLASSIFIERS)
+    unknown = set(classifiers) - set(ALL_CLASSIFIERS)
+    if unknown:
+        raise ConfigurationError(f"unknown classifiers: {sorted(unknown)}")
+    space = ConfigSpace()
+    space.add(Categorical("classifier", tuple(classifiers)))
+    _add_classifier_params(space, classifiers)
+
+    if include_data_preprocessors:
+        space.add(Categorical("imputation", tuple(IMPUTER_CHOICES)))
+        space.add(Categorical("scaling", tuple(SCALER_CHOICES)))
+
+    if include_feature_preprocessors:
+        space.add(
+            Categorical(
+                "feature_preprocessor", tuple(FEATURE_PREPROCESSOR_CHOICES)
+            )
+        )
+        space.add(Float("fp_fraction", 0.2, 1.0))
+        space.add_condition(
+            "fp_fraction", "feature_preprocessor",
+            ("pca", "truncated_svd", "select_k_best", "select_percentile",
+             "random_projection", "feature_agglomeration"),
+        )
+    return space
+
+
+def _make_classifier(config: dict, random_state):
+    name = config["classifier"]
+    rs = random_state
+    if name == "decision_tree":
+        return DecisionTreeClassifier(
+            max_depth=config.get("max_depth", 8),
+            min_samples_leaf=config.get("min_samples_leaf", 1),
+            random_state=rs,
+        )
+    if name == "random_forest":
+        return RandomForestClassifier(
+            n_estimators=config.get("n_estimators", 50),
+            max_depth=config.get("max_depth", None),
+            min_samples_leaf=config.get("min_samples_leaf", 1),
+            max_features=config.get("max_features", "sqrt"),
+            random_state=rs,
+        )
+    if name == "extra_trees":
+        return ExtraTreesClassifier(
+            n_estimators=config.get("n_estimators", 50),
+            max_depth=config.get("max_depth", None),
+            min_samples_leaf=config.get("min_samples_leaf", 1),
+            max_features=config.get("max_features", "sqrt"),
+            random_state=rs,
+        )
+    if name == "gradient_boosting":
+        return GradientBoostingClassifier(
+            n_estimators=config.get("gb_n_estimators", 30),
+            learning_rate=config.get("gb_learning_rate", 0.1),
+            max_depth=config.get("gb_max_depth", 3),
+            subsample=config.get("gb_subsample", 1.0),
+            random_state=rs,
+        )
+    if name == "adaboost":
+        return AdaBoostClassifier(
+            n_estimators=config.get("ab_n_estimators", 30),
+            learning_rate=config.get("ab_learning_rate", 1.0),
+            random_state=rs,
+        )
+    if name == "logistic_regression":
+        return LogisticRegression(C=config.get("lr_C", 1.0))
+    if name == "sgd":
+        return SGDClassifier(
+            loss=config.get("sgd_loss", "hinge"),
+            alpha=config.get("sgd_alpha", 1e-4),
+            random_state=rs,
+        )
+    if name == "ridge":
+        return RidgeClassifier(alpha=config.get("ridge_alpha", 1.0))
+    if name == "gaussian_nb":
+        return GaussianNB()
+    if name == "multinomial_nb":
+        return MultinomialNB(alpha=config.get("nb_alpha", 1.0))
+    if name == "bernoulli_nb":
+        return BernoulliNB(alpha=config.get("nb_alpha", 1.0))
+    if name == "knn":
+        return KNeighborsClassifier(
+            n_neighbors=config.get("knn_neighbors", 5),
+            weights=config.get("knn_weights", "uniform"),
+        )
+    if name == "mlp":
+        hidden = config.get("mlp_hidden", 32)
+        layers = config.get("mlp_layers", 1)
+        return MLPClassifier(
+            hidden_layer_sizes=tuple([hidden] * layers),
+            alpha=config.get("mlp_alpha", 1e-4),
+            max_iter=config.get("mlp_epochs", 20),
+            random_state=rs,
+        )
+    if name == "lda":
+        return LinearDiscriminantAnalysis(
+            shrinkage=config.get("lda_shrinkage", 1e-3)
+        )
+    if name == "qda":
+        return QuadraticDiscriminantAnalysis(
+            reg_param=config.get("qda_reg", 1e-2)
+        )
+    raise ConfigurationError(f"unknown classifier {name!r}")
+
+
+def _make_feature_preprocessor(config: dict, n_features: int, random_state):
+    choice = config.get("feature_preprocessor", "none")
+    frac = config.get("fp_fraction", 0.5)
+    k = max(1, int(round(frac * n_features)))
+    if choice == "none":
+        return None
+    if choice == "pca":
+        return PCA(n_components=k)
+    if choice == "truncated_svd":
+        return TruncatedSVD(n_components=k)
+    if choice == "select_k_best":
+        return SelectKBest(k=k)
+    if choice == "select_percentile":
+        return SelectPercentile(percentile=100.0 * frac)
+    if choice == "variance_threshold":
+        return VarianceThreshold(threshold=1e-4)
+    if choice == "random_projection":
+        return GaussianRandomProjection(
+            n_components=k, random_state=random_state
+        )
+    if choice == "feature_agglomeration":
+        return FeatureAgglomeration(n_clusters=max(2, k))
+    if choice == "polynomial":
+        return PolynomialFeatures(degree=2, max_output_features=256)
+    if choice == "quantile":
+        return QuantileTransformer(n_quantiles=64)
+    if choice == "kbins":
+        return KBinsDiscretizer(n_bins=5)
+    raise ConfigurationError(f"unknown feature preprocessor {choice!r}")
+
+
+def build_pipeline(config: dict, *, n_features: int,
+                   categorical_mask=None, random_state=None) -> Pipeline:
+    """Materialise a :class:`Pipeline` from a sampled configuration."""
+    steps: list[tuple[str, object]] = []
+    if categorical_mask is not None and np.any(categorical_mask):
+        cols = np.flatnonzero(categorical_mask).tolist()
+        steps.append(("one_hot", OneHotEncoder(columns=cols)))
+    steps.append(
+        ("imputer", SimpleImputer(strategy=config.get("imputation", "mean")))
+    )
+    scaler_name = config.get("scaling", "standard")
+    scaler = {
+        "none": None,
+        "standard": StandardScaler(),
+        "minmax": MinMaxScaler(),
+        "robust": RobustScaler(),
+        "normalizer": Normalizer(),
+    }.get(scaler_name)
+    if scaler_name not in (
+        "none", "standard", "minmax", "robust", "normalizer"
+    ):
+        raise ConfigurationError(f"unknown scaler {scaler_name!r}")
+    if scaler is not None:
+        steps.append(("scaler", scaler))
+    fp = _make_feature_preprocessor(config, n_features, random_state)
+    if fp is not None:
+        steps.append(("feature_preprocessor", fp))
+    steps.append(("classifier", _make_classifier(config, random_state)))
+    return Pipeline(steps)

@@ -1,0 +1,75 @@
+"""Data and feature preprocessors.
+
+Mirrors the two preprocessor families ASKL's search space distinguishes
+(Sec 2.3): *data preprocessors* (imputation, scaling, encoding) that condition
+the raw table, and *feature preprocessors* (selection, decomposition,
+expansion) that reshape the feature space.
+"""
+
+from repro.preprocessing.base import Transformer
+from repro.preprocessing.decomposition import (
+    FeatureAgglomeration,
+    GaussianRandomProjection,
+    PCA,
+    TruncatedSVD,
+)
+from repro.preprocessing.discretization import KBinsDiscretizer, QuantileTransformer
+from repro.preprocessing.encoding import LabelEncoder, OneHotEncoder, OrdinalEncoder
+from repro.preprocessing.feature_selection import (
+    SelectKBest,
+    SelectPercentile,
+    VarianceThreshold,
+    f_classif,
+    mutual_info_classif,
+)
+from repro.preprocessing.imputation import SimpleImputer
+from repro.preprocessing.polynomial import PolynomialFeatures
+from repro.preprocessing.scaling import (
+    MinMaxScaler,
+    Normalizer,
+    RobustScaler,
+    StandardScaler,
+)
+
+#: The four ASKL data preprocessors (Sec 2.3 counts 4).
+DATA_PREPROCESSORS = ["imputer", "standard_scaler", "minmax_scaler", "one_hot"]
+
+#: Feature preprocessor family.
+FEATURE_PREPROCESSORS = [
+    "variance_threshold",
+    "select_k_best",
+    "select_percentile",
+    "pca",
+    "truncated_svd",
+    "random_projection",
+    "feature_agglomeration",
+    "polynomial",
+    "quantile",
+    "kbins",
+]
+
+__all__ = [
+    "Transformer",
+    "SimpleImputer",
+    "StandardScaler",
+    "MinMaxScaler",
+    "RobustScaler",
+    "Normalizer",
+    "LabelEncoder",
+    "OrdinalEncoder",
+    "OneHotEncoder",
+    "VarianceThreshold",
+    "SelectKBest",
+    "SelectPercentile",
+    "f_classif",
+    "mutual_info_classif",
+    "PCA",
+    "TruncatedSVD",
+    "GaussianRandomProjection",
+    "FeatureAgglomeration",
+    "PolynomialFeatures",
+    "QuantileTransformer",
+    "KBinsDiscretizer",
+    "DATA_PREPROCESSORS",
+    "FEATURE_PREPROCESSORS",
+]

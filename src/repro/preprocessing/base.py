@@ -1,0 +1,24 @@
+"""Transformer base class."""
+
+from __future__ import annotations
+
+from repro.models.base import BaseEstimator
+
+
+class Transformer(BaseEstimator):
+    """Stateless-after-fit transformer contract: ``fit`` learns statistics,
+    ``transform`` applies them, ``fit_transform`` chains both."""
+
+    def fit(self, X, y=None):
+        raise NotImplementedError
+
+    def transform(self, X):
+        raise NotImplementedError
+
+    def fit_transform(self, X, y=None):
+        return self.fit(X, y).transform(X)
+
+    def transform_flops(self, n_samples: int) -> float:
+        """Estimated FLOPs to transform ``n_samples`` rows (inference-energy
+        accounting for preprocessing steps inside deployed pipelines)."""
+        return float(n_samples) * float(getattr(self, "complexity_", 10.0))

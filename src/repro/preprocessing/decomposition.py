@@ -1,0 +1,133 @@
+"""Dimensionality reduction feature preprocessors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.rng import check_random_state
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class PCA(Transformer):
+    """Principal component analysis via SVD of the centred data."""
+
+    def __init__(self, n_components=None, whiten=False):
+        self.n_components = n_components
+        self.whiten = whiten
+
+    def _resolve_k(self, n: int, d: int, explained: np.ndarray) -> int:
+        if self.n_components is None:
+            return min(n, d)
+        if isinstance(self.n_components, float):
+            if not 0.0 < self.n_components <= 1.0:
+                raise ValueError("fractional n_components must be in (0, 1]")
+            ratio = np.cumsum(explained) / max(explained.sum(), 1e-12)
+            return int(np.searchsorted(ratio, self.n_components) + 1)
+        return max(1, min(int(self.n_components), min(n, d)))
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        n, d = X.shape
+        self.mean_ = X.mean(axis=0)
+        Xc = X - self.mean_
+        _, S, Vt = np.linalg.svd(Xc, full_matrices=False)
+        explained = S**2 / max(n - 1, 1)
+        k = self._resolve_k(n, d, explained)
+        self.components_ = Vt[:k]
+        self.explained_variance_ = explained[:k]
+        self.explained_variance_ratio_ = explained[:k] / max(
+            explained.sum(), 1e-12
+        )
+        self.singular_values_ = S[:k]
+        self.complexity_ = 2.0 * d * k
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "components_")
+        X = check_array(X)
+        Z = (X - self.mean_) @ self.components_.T
+        if self.whiten:
+            Z /= np.sqrt(np.maximum(self.explained_variance_, 1e-12))
+        return Z
+
+
+class TruncatedSVD(Transformer):
+    """SVD projection without centring (sparse-friendly in spirit)."""
+
+    def __init__(self, n_components=2):
+        self.n_components = n_components
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        _, S, Vt = np.linalg.svd(X, full_matrices=False)
+        k = min(self.n_components, Vt.shape[0])
+        self.components_ = Vt[:k]
+        self.singular_values_ = S[:k]
+        self.complexity_ = 2.0 * X.shape[1] * k
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "components_")
+        X = check_array(X)
+        return X @ self.components_.T
+
+
+class GaussianRandomProjection(Transformer):
+    """Johnson–Lindenstrauss random projection."""
+
+    def __init__(self, n_components=16, random_state=None):
+        self.n_components = n_components
+        self.random_state = random_state
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        rng = check_random_state(self.random_state)
+        d = X.shape[1]
+        k = min(self.n_components, max(d, 1))
+        self.components_ = rng.normal(0.0, 1.0 / np.sqrt(k), size=(d, k))
+        self.complexity_ = 2.0 * d * k
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "components_")
+        X = check_array(X)
+        return X @ self.components_
+
+
+class FeatureAgglomeration(Transformer):
+    """Group correlated features and replace each group by its mean —
+    a cheap stand-in for ASKL's feature-agglomeration preprocessor."""
+
+    def __init__(self, n_clusters=8):
+        self.n_clusters = n_clusters
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        d = X.shape[1]
+        k = max(1, min(self.n_clusters, d))
+        # Greedy correlation clustering: order columns by correlation to the
+        # first principal direction and chunk them.
+        sigma = X.std(axis=0)
+        safe = np.where(sigma > 1e-12, sigma, 1.0)
+        Z = (X - X.mean(axis=0)) / safe
+        corr = Z.T @ Z[:, 0] / max(len(X) - 1, 1)
+        order = np.argsort(corr)
+        self.labels_ = np.empty(d, dtype=int)
+        for i, chunk in enumerate(np.array_split(order, k)):
+            self.labels_[chunk] = i
+        self.n_clusters_ = k
+        self.complexity_ = float(d)
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "labels_")
+        X = check_array(X)
+        out = np.empty((X.shape[0], self.n_clusters_))
+        for i in range(self.n_clusters_):
+            out[:, i] = X[:, self.labels_ == i].mean(axis=1)
+        return out

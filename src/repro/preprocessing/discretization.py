@@ -1,0 +1,60 @@
+"""Quantile transforms and binning."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class QuantileTransformer(Transformer):
+    """Map each feature to its empirical CDF (uniform output)."""
+
+    def __init__(self, n_quantiles=100):
+        self.n_quantiles = n_quantiles
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        if self.n_quantiles < 2:
+            raise ValueError("n_quantiles must be >= 2")
+        q = min(self.n_quantiles, X.shape[0])
+        probs = np.linspace(0.0, 1.0, q)
+        self.references_ = probs
+        self.quantiles_ = np.quantile(X, probs, axis=0)
+        self.complexity_ = float(np.log2(q + 1)) * X.shape[1]
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "quantiles_")
+        X = check_array(X)
+        out = np.empty_like(X)
+        for j in range(X.shape[1]):
+            out[:, j] = np.interp(
+                X[:, j], self.quantiles_[:, j], self.references_
+            )
+        return out
+
+
+class KBinsDiscretizer(Transformer):
+    """Equal-frequency binning to ordinal codes."""
+
+    def __init__(self, n_bins=5):
+        self.n_bins = n_bins
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        if self.n_bins < 2:
+            raise ValueError("n_bins must be >= 2")
+        probs = np.linspace(0, 1, self.n_bins + 1)[1:-1]
+        self.bin_edges_ = np.quantile(X, probs, axis=0)
+        self.complexity_ = float(np.log2(self.n_bins)) * X.shape[1]
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "bin_edges_")
+        X = check_array(X)
+        out = np.empty_like(X)
+        for j in range(X.shape[1]):
+            out[:, j] = np.searchsorted(self.bin_edges_[:, j], X[:, j])
+        return out

@@ -1,0 +1,106 @@
+"""Categorical encoding."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class LabelEncoder(Transformer):
+    """Map arbitrary labels to 0..K-1 codes."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, y, _=None):
+        self.classes_ = np.unique(np.asarray(y))
+        return self
+
+    def transform(self, y):
+        check_is_fitted(self, "classes_")
+        y = np.asarray(y)
+        codes = np.searchsorted(self.classes_, y)
+        bad = (codes >= len(self.classes_)) | (self.classes_[np.minimum(
+            codes, len(self.classes_) - 1)] != y)
+        if np.any(bad):
+            raise ValueError("transform saw labels unseen during fit")
+        return codes
+
+    def inverse_transform(self, codes):
+        check_is_fitted(self, "classes_")
+        return self.classes_[np.asarray(codes, dtype=int)]
+
+
+class OrdinalEncoder(Transformer):
+    """Per-column integer codes; unseen categories map to -1."""
+
+    def __init__(self, columns=None):
+        self.columns = columns
+
+    def fit(self, X, y=None):
+        X = check_array(X, allow_nan=True)
+        cols = self.columns if self.columns is not None else range(X.shape[1])
+        self.categories_ = {int(j): np.unique(X[:, j]) for j in cols}
+        self.complexity_ = float(len(self.categories_))
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "categories_")
+        X = check_array(X, allow_nan=True).copy()
+        for j, cats in self.categories_.items():
+            codes = np.searchsorted(cats, X[:, j])
+            codes = np.clip(codes, 0, len(cats) - 1)
+            unseen = cats[codes] != X[:, j]
+            out = codes.astype(float)
+            out[unseen] = -1.0
+            X[:, j] = out
+        return X
+
+
+class OneHotEncoder(Transformer):
+    """One-hot expansion of selected (categorical) columns.
+
+    Numeric columns pass through unchanged; unseen categories encode as the
+    all-zero vector.  ``max_levels`` guards against blowing up the width on
+    high-cardinality columns (rare-level bucketing).
+    """
+
+    def __init__(self, columns=None, max_levels=16):
+        self.columns = columns
+        self.max_levels = max_levels
+
+    def fit(self, X, y=None):
+        X = check_array(X, allow_nan=True)
+        d = X.shape[1]
+        cols = list(self.columns) if self.columns is not None else list(range(d))
+        self.encoded_columns_ = []
+        self.categories_ = {}
+        for j in cols:
+            vals, counts = np.unique(X[:, j], return_counts=True)
+            if len(vals) > self.max_levels:
+                top = np.argsort(counts)[::-1][: self.max_levels]
+                vals = np.sort(vals[top])
+            self.encoded_columns_.append(int(j))
+            self.categories_[int(j)] = vals
+        self.passthrough_ = [j for j in range(d) if j not in self.categories_]
+        self.n_features_in_ = d
+        width = len(self.passthrough_) + sum(
+            len(v) for v in self.categories_.values()
+        )
+        self.n_features_out_ = width
+        self.complexity_ = float(width)
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "categories_")
+        X = check_array(X, allow_nan=True)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("feature count changed between fit and transform")
+        blocks = [X[:, self.passthrough_]] if self.passthrough_ else []
+        for j in self.encoded_columns_:
+            cats = self.categories_[j]
+            block = (X[:, j][:, None] == cats[None, :]).astype(float)
+            blocks.append(block)
+        return np.hstack(blocks) if blocks else np.empty((X.shape[0], 0))

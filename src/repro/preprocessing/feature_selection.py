@@ -1,0 +1,108 @@
+"""Feature selection (ASKL feature preprocessors; FLAML's feature pruning)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.validation import check_array, check_is_fitted, check_X_y
+
+
+class VarianceThreshold(Transformer):
+    """Drop features whose variance is below ``threshold``."""
+
+    def __init__(self, threshold=0.0):
+        self.threshold = threshold
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        var = X.var(axis=0)
+        support = var > self.threshold
+        if not support.any():
+            support[np.argmax(var)] = True  # always keep at least one column
+        self.support_ = support
+        self.complexity_ = float(X.shape[1])
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "support_")
+        X = check_array(X)
+        return X[:, self.support_]
+
+
+def f_classif(X, y) -> np.ndarray:
+    """One-way ANOVA F statistic per feature."""
+    X, y = check_X_y(X, y)
+    classes = np.unique(y)
+    overall = X.mean(axis=0)
+    between = np.zeros(X.shape[1])
+    within = np.zeros(X.shape[1])
+    for c in classes:
+        Xc = X[y == c]
+        between += len(Xc) * (Xc.mean(axis=0) - overall) ** 2
+        within += ((Xc - Xc.mean(axis=0)) ** 2).sum(axis=0)
+    df_between = max(len(classes) - 1, 1)
+    df_within = max(len(X) - len(classes), 1)
+    return (between / df_between) / np.maximum(within / df_within, 1e-12)
+
+
+def mutual_info_classif(X, y, n_bins: int = 8) -> np.ndarray:
+    """Histogram-estimated mutual information between each feature and y."""
+    X, y = check_X_y(X, y)
+    classes, y_codes = np.unique(y, return_inverse=True)
+    n, d = X.shape
+    py = np.bincount(y_codes) / n
+    mi = np.zeros(d)
+    for j in range(d):
+        col = X[:, j]
+        edges = np.quantile(col, np.linspace(0, 1, n_bins + 1)[1:-1])
+        bins = np.searchsorted(edges, col)
+        joint = np.zeros((n_bins, len(classes)))
+        for b, c in zip(bins, y_codes):
+            joint[b, c] += 1
+        joint /= n
+        px = joint.sum(axis=1)
+        outer = px[:, None] * py[None, :]
+        nz = joint > 0
+        mi[j] = float(np.sum(joint[nz] * np.log(joint[nz] / outer[nz])))
+    return np.maximum(mi, 0.0)
+
+
+class SelectKBest(Transformer):
+    """Keep the ``k`` features with the highest score."""
+
+    def __init__(self, k=10, score_func=f_classif):
+        self.k = k
+        self.score_func = score_func
+
+    def fit(self, X, y=None):
+        if y is None:
+            raise ValueError("SelectKBest requires labels")
+        X, y = check_X_y(X, y)
+        scores = self.score_func(X, y)
+        k = max(1, min(self.k, X.shape[1]))
+        top = np.argsort(scores)[::-1][:k]
+        support = np.zeros(X.shape[1], dtype=bool)
+        support[top] = True
+        self.support_ = support
+        self.scores_ = scores
+        self.complexity_ = float(X.shape[1])
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "support_")
+        X = check_array(X)
+        return X[:, self.support_]
+
+
+class SelectPercentile(SelectKBest):
+    """Keep the top ``percentile`` % of features by score."""
+
+    def __init__(self, percentile=50.0, score_func=f_classif):
+        super().__init__(k=1, score_func=score_func)
+        self.percentile = percentile
+
+    def fit(self, X, y=None):
+        X_arr = check_array(X)
+        self.k = max(1, int(round(self.percentile / 100.0 * X_arr.shape[1])))
+        return super().fit(X, y)

@@ -1,0 +1,46 @@
+"""Missing-value imputation (one of ASKL's data preprocessors)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class SimpleImputer(Transformer):
+    """Column-wise imputation: mean, median, most_frequent or constant."""
+
+    def __init__(self, strategy="mean", fill_value=0.0):
+        self.strategy = strategy
+        self.fill_value = fill_value
+
+    def fit(self, X, y=None):
+        if self.strategy not in ("mean", "median", "most_frequent", "constant"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        X = check_array(X, allow_nan=True)
+        d = X.shape[1]
+        stats = np.empty(d)
+        for j in range(d):
+            col = X[:, j]
+            valid = col[np.isfinite(col)]
+            if self.strategy == "constant" or len(valid) == 0:
+                stats[j] = self.fill_value
+            elif self.strategy == "mean":
+                stats[j] = valid.mean()
+            elif self.strategy == "median":
+                stats[j] = np.median(valid)
+            else:  # most_frequent
+                vals, counts = np.unique(valid, return_counts=True)
+                stats[j] = vals[np.argmax(counts)]
+        self.statistics_ = stats
+        self.complexity_ = float(d)
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "statistics_")
+        X = check_array(X, allow_nan=True).copy()
+        bad = ~np.isfinite(X)
+        if bad.any():
+            X[bad] = np.broadcast_to(self.statistics_, X.shape)[bad]
+        return X

@@ -1,0 +1,57 @@
+"""Polynomial feature expansion."""
+
+from __future__ import annotations
+
+from itertools import combinations, combinations_with_replacement
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class PolynomialFeatures(Transformer):
+    """Degree-2 (or higher) polynomial/interaction expansion.
+
+    ``max_output_features`` caps the width so pipelines on wide datasets do
+    not explode — the energy model still charges for what *is* computed.
+    """
+
+    def __init__(self, degree=2, interaction_only=False,
+                 max_output_features=512):
+        self.degree = degree
+        self.interaction_only = interaction_only
+        self.max_output_features = max_output_features
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        if self.degree < 1:
+            raise ValueError("degree must be >= 1")
+        d = X.shape[1]
+        combos: list[tuple[int, ...]] = [(j,) for j in range(d)]
+        comb_fn = (
+            combinations if self.interaction_only
+            else combinations_with_replacement
+        )
+        for deg in range(2, self.degree + 1):
+            combos.extend(comb_fn(range(d), deg))
+        self.combinations_ = combos[: self.max_output_features]
+        self.n_features_in_ = d
+        self.n_features_out_ = len(self.combinations_)
+        self.complexity_ = float(
+            sum(len(c) for c in self.combinations_)
+        )
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "combinations_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError("feature count changed between fit and transform")
+        out = np.empty((X.shape[0], len(self.combinations_)))
+        for i, combo in enumerate(self.combinations_):
+            col = X[:, combo[0]].copy()
+            for j in combo[1:]:
+                col *= X[:, j]
+            out[:, i] = col
+        return out

@@ -1,0 +1,96 @@
+"""Feature scaling (ASKL data preprocessors: rescaling family)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.preprocessing.base import Transformer
+from repro.utils.validation import check_array, check_is_fitted
+
+
+class StandardScaler(Transformer):
+    """Zero-mean unit-variance scaling."""
+
+    def __init__(self, with_mean=True, with_std=True):
+        self.with_mean = with_mean
+        self.with_std = with_std
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
+        scale = X.std(axis=0) if self.with_std else np.ones(X.shape[1])
+        self.scale_ = np.where(scale > 1e-12, scale, 1.0)
+        self.complexity_ = 2.0 * X.shape[1]
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        return (X - self.mean_) / self.scale_
+
+
+class MinMaxScaler(Transformer):
+    """Rescale each feature to ``feature_range``."""
+
+    def __init__(self, feature_range=(0.0, 1.0)):
+        self.feature_range = feature_range
+
+    def fit(self, X, y=None):
+        lo, hi = self.feature_range
+        if hi <= lo:
+            raise ValueError("feature_range must be increasing")
+        X = check_array(X)
+        self.data_min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.data_min_
+        self.data_range_ = np.where(span > 1e-12, span, 1.0)
+        self.complexity_ = 2.0 * X.shape[1]
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "data_range_")
+        X = check_array(X)
+        lo, hi = self.feature_range
+        unit = (X - self.data_min_) / self.data_range_
+        return unit * (hi - lo) + lo
+
+
+class RobustScaler(Transformer):
+    """Median/IQR scaling, resilient to outliers."""
+
+    def __init__(self, quantile_range=(25.0, 75.0)):
+        self.quantile_range = quantile_range
+
+    def fit(self, X, y=None):
+        q_lo, q_hi = self.quantile_range
+        if not 0 <= q_lo < q_hi <= 100:
+            raise ValueError("invalid quantile_range")
+        X = check_array(X)
+        self.center_ = np.median(X, axis=0)
+        iqr = np.percentile(X, q_hi, axis=0) - np.percentile(X, q_lo, axis=0)
+        self.scale_ = np.where(iqr > 1e-12, iqr, 1.0)
+        self.complexity_ = 2.0 * X.shape[1]
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "scale_")
+        X = check_array(X)
+        return (X - self.center_) / self.scale_
+
+
+class Normalizer(Transformer):
+    """Row-wise L2 normalisation."""
+
+    def __init__(self):
+        pass
+
+    def fit(self, X, y=None):
+        X = check_array(X)
+        self.n_features_in_ = X.shape[1]
+        self.complexity_ = 3.0 * X.shape[1]
+        return self
+
+    def transform(self, X):
+        check_is_fitted(self, "n_features_in_")
+        X = check_array(X)
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        return X / np.maximum(norms, 1e-12)

@@ -1,0 +1,60 @@
+"""The six AutoML systems the paper benchmarks, plus the common base."""
+
+from repro.systems.autogluon import AutoGluonModel, AutoGluonSystem, default_portfolio
+from repro.systems.autosklearn import AutoSklearnSystem
+from repro.systems.base import (
+    AutoMLSystem,
+    Deadline,
+    FitResult,
+    PipelineEvaluator,
+    StrategyCard,
+    DEFAULT_TIME_SCALE,
+)
+from repro.systems.caml import CamlConstraints, CamlParameters, CamlSystem
+from repro.systems.flaml import FlamlSystem
+from repro.systems.tabpfn import TabPFNSystem
+from repro.systems.tpot import TpotSystem
+
+#: name -> constructor for every benchmarked system
+SYSTEM_REGISTRY = {
+    "CAML": CamlSystem,
+    "AutoGluon": AutoGluonSystem,
+    "AutoSklearn1": lambda **kw: AutoSklearnSystem(version=1, **kw),
+    "AutoSklearn2": lambda **kw: AutoSklearnSystem(version=2, **kw),
+    "FLAML": FlamlSystem,
+    "TabPFN": TabPFNSystem,
+    "TPOT": TpotSystem,
+}
+
+
+def make_system(name: str, **kwargs) -> AutoMLSystem:
+    """Instantiate a benchmarked AutoML system by its paper name."""
+    try:
+        factory = SYSTEM_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; available: {sorted(SYSTEM_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+__all__ = [
+    "AutoMLSystem",
+    "FitResult",
+    "StrategyCard",
+    "Deadline",
+    "PipelineEvaluator",
+    "DEFAULT_TIME_SCALE",
+    "CamlSystem",
+    "CamlParameters",
+    "CamlConstraints",
+    "AutoGluonSystem",
+    "AutoGluonModel",
+    "default_portfolio",
+    "AutoSklearnSystem",
+    "FlamlSystem",
+    "TabPFNSystem",
+    "TpotSystem",
+    "SYSTEM_REGISTRY",
+    "make_system",
+]

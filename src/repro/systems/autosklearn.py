@@ -1,0 +1,145 @@
+"""Auto-sklearn 1 & 2 [Feurer et al. 2015, 2022].
+
+Both search the *full* space (data + feature preprocessors + 15 models) with
+random-forest-surrogate BO and build a Caruana ensemble from the top
+pipelines evaluated during search.
+
+* **ASKL1** warm-starts BO from a metafeature-matched meta-database (the
+  offline 140x24h search, reproduced at laptop scale and booked to the
+  development stage).
+* **ASKL2** replaces metafeatures with a greedy portfolio and adds a
+  successive-halving-style fidelity schedule.
+
+Budget discipline (Table 7): the search honours the budget, but the
+*ensembling step afterwards is not counted* — with large validation sets it
+dominates, which is why ASKL1 measured 176s for a 30s budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ensemble.caruana import CaruanaEnsemble
+from repro.hpo.bo import BayesianOptimizer
+from repro.hpo.successive_halving import fidelity_schedule, stratified_subset
+from repro.metalearning.portfolio import portfolio_from_meta_database
+from repro.metalearning.warmstart import MetaDatabase
+from repro.pipeline.spaces import build_space
+from repro.systems.base import (
+    AutoMLSystem,
+    Deadline,
+    PipelineEvaluator,
+    StrategyCard,
+)
+
+
+class AutoSklearnSystem(AutoMLSystem):
+    """BO over the full pipeline space + Caruana top-k ensembling."""
+
+    system_name = "AutoSklearn1"
+    min_budget_s = 30.0   # 'we benchmark AutoSklearn 1 & 2 starting at 30s'
+    parallel_fraction = 0.4
+    budget_discipline = (
+        "search-only: post-search ensembling is not budgeted (big overruns)"
+    )
+
+    def __init__(self, *, version: int = 1,
+                 meta_database: MetaDatabase | None = None,
+                 ensemble_size: int = 50, ensemble_top_k: int | None = None,
+                 **kwargs):
+        super().__init__(**kwargs)
+        if version not in (1, 2):
+            raise ValueError("version must be 1 or 2")
+        self.version = version
+        self.system_name = f"AutoSklearn{version}"
+        self.meta_database = meta_database
+        self.ensemble_size = ensemble_size
+        # ASKL1 ensembles over more of its library than ASKL2, which is part
+        # of why its post-search (un-budgeted) step overruns hardest (Table 7)
+        self.ensemble_top_k = (
+            ensemble_top_k if ensemble_top_k is not None
+            else (25 if version == 1 else 12)
+        )
+
+    def strategy_card(self) -> StrategyCard:
+        return StrategyCard(
+            system="ASKL",
+            search_space="data/feature p. & models",
+            search_init="warm starting",
+            search="BO (random forest)",
+            ensembling="Caruana",
+        )
+
+    def _warm_configs(self, X, y) -> list[dict]:
+        if self.meta_database is None:
+            return []
+        if self.version == 1:
+            return self.meta_database.suggest(X, y, n_suggestions=5)
+        portfolio = portfolio_from_meta_database(self.meta_database, size=5)
+        return list(portfolio)
+
+    def _search(self, X, y, deadline: Deadline, categorical_mask, rng):
+        space = build_space()   # the full 15-model space
+        evaluator = PipelineEvaluator(
+            X, y,
+            holdout_fraction=0.33,
+            categorical_mask=categorical_mask,
+            random_state=rng,
+        )
+        optimizer = BayesianOptimizer(
+            space, n_init=6, random_state=int(rng.integers(0, 2**31 - 1)),
+        )
+        warm = self._warm_configs(X, y)
+        if warm:
+            optimizer.warm_start(warm)
+        n_classes = len(np.unique(y))
+
+        best_score = -np.inf
+        while not deadline.expired():
+            config = optimizer.ask()
+            try:
+                if self.version == 2:
+                    score = self._evaluate_multifidelity(
+                        config, evaluator, deadline, n_classes, rng
+                    )
+                else:
+                    score, _ = evaluator.evaluate_config(
+                        config, deadline=deadline
+                    )
+            except Exception:
+                score = -1.0
+            optimizer.tell(config, score)
+            best_score = max(best_score, score)
+
+        if not evaluator.models:
+            return None, {"n_evaluations": evaluator.n_evaluations}
+
+        # --- un-budgeted ensembling step (Table 7's overrun source) ---------
+        X_tr, X_val, y_tr, y_val = evaluator._split()
+        library = evaluator.top_models(self.ensemble_top_k)
+        ensemble = CaruanaEnsemble(max_rounds=self.ensemble_size)
+        ensemble.fit(library, X_val, y_val)
+        return ensemble, {
+            "n_evaluations": evaluator.n_evaluations,
+            "best_val_score": float(max(best_score, ensemble.val_score_)),
+            "ensemble_members": ensemble.n_members,
+            "warm_started": bool(warm),
+        }
+
+    def _evaluate_multifidelity(self, config, evaluator, deadline,
+                                n_classes, rng) -> float:
+        """ASKL2's successive-halving budget allocation for one config."""
+        X_tr, _, y_tr, _ = evaluator._split()
+        sizes = fidelity_schedule(len(y_tr), n_classes, base_per_class=20)
+        score = -1.0
+        incumbent = max((s for s, _ in evaluator.models), default=-np.inf)
+        for i, size in enumerate(sizes):
+            if deadline.expired():
+                break
+            idx = stratified_subset(y_tr, size, rng)
+            score, _ = evaluator.evaluate_config(
+                config, train_idx=idx, keep=(size == sizes[-1]),
+            )
+            if i == 0 and np.isfinite(incumbent) and score < incumbent - 0.2:
+                break
+        return score

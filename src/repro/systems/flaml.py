@@ -1,0 +1,179 @@
+"""FLAML — fast and lightweight AutoML [Wang et al., MLSys 2021].
+
+Cost-frugal search: start from the cheapest possible models (e.g. a random
+forest with 5 trees of at most 10 leaves) trained on a *small* subsample;
+increase model complexity while it keeps paying off, then increase the
+sample size and repeat (Sec 2.2).  No ensembling — the deployed artefact is
+one deliberately small model, which is why FLAML owns the bottom of the
+paper's inference-energy axis.
+
+Budget discipline: FLAML 'finishes evaluating the last model that was
+started before hitting the time limit' (Sec 3.10) — a ~10-30% overrun at
+small budgets (Table 7: 12.88s for a 10s budget).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.spaces import LIGHTWEIGHT_CLASSIFIERS, build_space
+from repro.systems.base import (
+    AutoMLSystem,
+    Deadline,
+    PipelineEvaluator,
+    StrategyCard,
+)
+
+#: Complexity ladder per model family: each entry is the config overrides of
+#: one rung; search climbs a rung only while accuracy keeps improving.
+_COMPLEXITY_LADDERS: dict[str, list[dict]] = {
+    "decision_tree": [
+        {"max_depth": 3, "min_samples_leaf": 10},
+        {"max_depth": 6, "min_samples_leaf": 4},
+        {"max_depth": 10, "min_samples_leaf": 2},
+        {"max_depth": 14, "min_samples_leaf": 1},
+    ],
+    "random_forest": [
+        {"n_estimators": 5, "max_depth": 4, "min_samples_leaf": 8},
+        {"n_estimators": 10, "max_depth": 6, "min_samples_leaf": 4},
+        {"n_estimators": 25, "max_depth": 10, "min_samples_leaf": 2},
+        {"n_estimators": 60, "max_depth": 14, "min_samples_leaf": 1},
+    ],
+    "extra_trees": [
+        {"n_estimators": 5, "max_depth": 4, "min_samples_leaf": 8},
+        {"n_estimators": 15, "max_depth": 8, "min_samples_leaf": 4},
+        {"n_estimators": 40, "max_depth": 12, "min_samples_leaf": 2},
+    ],
+    "gradient_boosting": [
+        {"gb_n_estimators": 5, "gb_max_depth": 2, "gb_learning_rate": 0.3},
+        {"gb_n_estimators": 15, "gb_max_depth": 3, "gb_learning_rate": 0.15},
+        {"gb_n_estimators": 40, "gb_max_depth": 4, "gb_learning_rate": 0.1},
+    ],
+    "logistic_regression": [
+        {"lr_C": 0.1},
+        {"lr_C": 1.0},
+        {"lr_C": 10.0},
+    ],
+    "sgd": [
+        {"sgd_loss": "hinge", "sgd_alpha": 1e-3},
+        {"sgd_loss": "log", "sgd_alpha": 1e-4},
+    ],
+}
+
+#: Sample-size ladder (fraction of the training partition).
+_SAMPLE_LADDER = [0.1, 0.25, 0.5, 1.0]
+
+
+class FlamlSystem(AutoMLSystem):
+    """Cost-based search over lightweight models."""
+
+    system_name = "FLAML"
+    min_budget_s = 0.0
+    parallel_fraction = 0.5
+    budget_discipline = (
+        "soft: finishes the evaluation started before the limit"
+    )
+
+    def __init__(self, *, feature_pruning: bool = True, **kwargs):
+        super().__init__(**kwargs)
+        self.feature_pruning = feature_pruning
+
+    def strategy_card(self) -> StrategyCard:
+        return StrategyCard(
+            system=self.system_name,
+            search_space="models",
+            search_init="low complexity models",
+            search="cost-based",
+            ensembling="-",
+        )
+
+    def _search(self, X, y, deadline: Deadline, categorical_mask, rng):
+        X = np.asarray(X, dtype=float)
+        evaluator = PipelineEvaluator(
+            X, y,
+            holdout_fraction=0.33,
+            categorical_mask=categorical_mask,
+            random_state=rng,
+        )
+        n_train = int(len(np.asarray(y)) * 0.67)
+        ladders = {
+            name: list(rungs) for name, rungs in _COMPLEXITY_LADDERS.items()
+            if name in LIGHTWEIGHT_CLASSIFIERS
+        }
+        best_score, best_model, best_cheap = -np.inf, None, None
+        n_evals = 0
+        for frac in _SAMPLE_LADDER:
+            sample_cap = max(20, int(frac * n_train))
+            evaluator.sample_cap = sample_cap
+            # round-robin the families; climb each ladder while it improves
+            rung_of = {name: 0 for name in ladders}
+            improving = {name: True for name in ladders}
+            while any(improving.values()):
+                if deadline.expired():
+                    break
+                for name in list(ladders):
+                    if not improving[name]:
+                        continue
+                    if rung_of[name] >= len(ladders[name]):
+                        improving[name] = False
+                        continue
+                    # FLAML's soft budget: start the eval if any time is left
+                    if deadline.expired():
+                        improving = {k: False for k in improving}
+                        break
+                    config = {"classifier": name,
+                              "imputation": "mean", "scaling": "standard",
+                              **ladders[name][rung_of[name]]}
+                    if self.feature_pruning and X.shape[1] > 32:
+                        # FLAML 'performs well for large number of features
+                        # ... they designed a feature pruning strategy'
+                        config["feature_preprocessor"] = "select_k_best"
+                        config["fp_fraction"] = 0.4
+                    try:
+                        score, model = evaluator.evaluate_config(config)
+                    except Exception:
+                        improving[name] = False
+                        continue
+                    n_evals += 1
+                    rung_of[name] += 1
+                    if score > best_score:
+                        best_score, best_model = score, model
+                        best_cheap = config
+                    else:
+                        # complexity stopped paying off for this family
+                        improving[name] = False
+            if deadline.expired():
+                break
+        # Remaining budget: local hyperparameter refinement around the best
+        # config (FLAML's randomized direct search), still cost-aware —
+        # FLAML keeps searching until the limit and only finishes the
+        # evaluation it already started (Table 7).
+        evaluator.sample_cap = None
+        space = build_space(
+            LIGHTWEIGHT_CLASSIFIERS,
+            include_feature_preprocessors=False,
+            include_data_preprocessors=False,
+        )
+        while best_cheap is not None and not deadline.expired():
+            candidate = dict(best_cheap)
+            candidate.update(
+                space.perturb(
+                    {k: v for k, v in best_cheap.items()
+                     if k in space.hyperparameters},
+                    rng,
+                )
+            )
+            try:
+                score, model = evaluator.evaluate_config(candidate)
+            except Exception:
+                continue
+            n_evals += 1
+            if score > best_score:
+                best_score, best_model, best_cheap = score, model, candidate
+        if best_model is None:
+            return None, {"n_evaluations": n_evals}
+        return best_model, {
+            "n_evaluations": n_evals,
+            "best_val_score": float(best_score),
+            "best_config": best_cheap,
+        }

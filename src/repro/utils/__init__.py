@@ -1,0 +1,22 @@
+"""Shared utilities: seeded RNG handling, array validation, clocks."""
+
+from repro.utils.rng import check_random_state, spawn_seeds
+from repro.utils.validation import (
+    check_array,
+    check_X_y,
+    check_is_fitted,
+    column_or_1d,
+)
+from repro.utils.timer import Stopwatch, VirtualClock, WallClock
+
+__all__ = [
+    "check_random_state",
+    "spawn_seeds",
+    "check_array",
+    "check_X_y",
+    "check_is_fitted",
+    "column_or_1d",
+    "Stopwatch",
+    "VirtualClock",
+    "WallClock",
+]

@@ -1,0 +1,44 @@
+"""Random-state plumbing.
+
+Every stochastic component in the package accepts a ``random_state`` argument
+and funnels it through :func:`check_random_state`, mirroring the convention of
+the scientific-Python stack so that whole experiment grids are reproducible
+from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def check_random_state(random_state) -> np.random.Generator:
+    """Coerce ``random_state`` into a :class:`numpy.random.Generator`.
+
+    Parameters
+    ----------
+    random_state:
+        ``None`` (fresh entropy), an ``int`` seed, a ``Generator`` (returned
+        as-is), or a legacy ``RandomState`` (wrapped via its bit generator).
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, np.random.RandomState):
+        return np.random.default_rng(random_state.randint(0, 2**31 - 1))
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise TypeError(
+        f"random_state must be None, int, Generator or RandomState, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(random_state, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from ``random_state``.
+
+    Used to hand each member of an ensemble / each parallel worker its own
+    stream without correlated draws.
+    """
+    rng = check_random_state(random_state)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]

@@ -1,0 +1,62 @@
+"""Input validation helpers shared by all estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+
+def check_array(X, *, dtype=np.float64, allow_nan: bool = False,
+                ensure_2d: bool = True, min_samples: int = 1) -> np.ndarray:
+    """Validate and coerce ``X`` to a numeric ndarray.
+
+    Raises ``ValueError`` on wrong dimensionality, empty input, or (unless
+    ``allow_nan``) non-finite values.
+    """
+    X = np.asarray(X, dtype=dtype)
+    if ensure_2d:
+        if X.ndim == 1:
+            X = X.reshape(-1, 1)
+        if X.ndim != 2:
+            raise ValueError(f"expected 2D array, got {X.ndim}D")
+    if X.shape[0] < min_samples:
+        raise ValueError(
+            f"at least {min_samples} sample(s) required, got {X.shape[0]}"
+        )
+    if not allow_nan and not np.isfinite(X).all():
+        raise ValueError("input contains NaN or infinity")
+    return X
+
+
+def column_or_1d(y) -> np.ndarray:
+    """Flatten a column vector to 1D; reject anything wider."""
+    y = np.asarray(y)
+    if y.ndim == 2 and y.shape[1] == 1:
+        y = y.ravel()
+    if y.ndim != 1:
+        raise ValueError(f"expected 1D labels, got shape {y.shape}")
+    return y
+
+
+def check_X_y(X, y, *, allow_nan: bool = False):
+    """Validate a feature matrix / label vector pair of consistent length."""
+    X = check_array(X, allow_nan=allow_nan)
+    y = column_or_1d(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent lengths: {X.shape[0]} != {y.shape[0]}"
+        )
+    return X, y
+
+
+def check_is_fitted(estimator, attributes) -> None:
+    """Raise :class:`NotFittedError` unless all ``attributes`` exist."""
+    if isinstance(attributes, str):
+        attributes = [attributes]
+    missing = [a for a in attributes if getattr(estimator, a, None) is None]
+    if missing:
+        raise NotFittedError(
+            f"{type(estimator).__name__} is not fitted; call fit() first "
+            f"(missing: {', '.join(missing)})"
+        )

@@ -1,0 +1,40 @@
+"""Shared fixtures: small, fast synthetic classification problems."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.metrics import train_test_split
+
+
+@pytest.fixture(scope="session")
+def binary_data():
+    """A linearly-separable-ish binary problem."""
+    X, y = make_classification(240, 8, 2, class_sep=1.6, random_state=0)
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def multiclass_data():
+    """A 4-class problem with mild nonlinearity."""
+    X, y = make_classification(
+        320, 10, 4, class_sep=1.6, nonlinearity=0.3, random_state=1
+    )
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def split_binary(binary_data):
+    X, y = binary_data
+    return train_test_split(X, y, test_size=0.3, random_state=2)
+
+
+@pytest.fixture(scope="session")
+def split_multiclass(multiclass_data):
+    X, y = multiclass_data
+    return train_test_split(X, y, test_size=0.3, random_state=3)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

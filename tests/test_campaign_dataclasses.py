@@ -1,0 +1,107 @@
+"""Figure 5/6/7 and Table 3 dataclasses (render + derived metrics) without
+running full campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaigns import Figure7, GpuComparisonRow, Table3
+from repro.experiments.figures import (
+    Figure5,
+    Figure5Point,
+    Figure6,
+    Figure6Point,
+)
+from repro.experiments.results import ResultsStore, RunRecord
+
+
+class TestFigure5:
+    def _fig(self):
+        points = []
+        for cores, kwh in ((1, 1.0), (2, 1.5), (4, 2.0), (8, 2.7)):
+            points.append(Figure5Point("CAML", cores, 60.0, 0.8, kwh * 1e-3))
+        for cores, kwh in ((1, 3.0), (2, 2.0), (4, 1.5), (8, 1.2)):
+            points.append(Figure5Point("AG", cores, 60.0, 0.85, kwh * 1e-3))
+        return Figure5(points)
+
+    def test_energy_ratio(self):
+        fig = self._fig()
+        assert fig.energy_ratio("CAML", 8) == pytest.approx(2.7)
+        assert fig.energy_ratio("AG", 8) == pytest.approx(0.4)
+
+    def test_pareto_core_count(self):
+        fig = self._fig()
+        assert fig.pareto_core_count("CAML") == 1
+        assert fig.pareto_core_count("AG") == 8
+
+    def test_render(self):
+        assert "8-core/1-core" in self._fig().render()
+
+    def test_missing_system_ratio_nan(self):
+        assert np.isnan(self._fig().energy_ratio("nope", 8))
+
+
+class TestFigure6:
+    def _fig(self):
+        return Figure6([
+            Figure6Point("CAML", 30.0, 0.85, 1.0e-13),
+            Figure6Point("CAML(inf<=1e-9s)", 30.0, 0.80, 3.0e-14),
+            Figure6Point("AutoGluon", 30.0, 0.88, 1.0e-12),
+            Figure6Point("AutoGluon(refit)", 30.0, 0.86, 2.0e-13),
+        ])
+
+    def test_saving(self):
+        fig = self._fig()
+        assert fig.saving_vs("CAML(inf<=1e-9s)", "CAML") == pytest.approx(0.7)
+        assert fig.saving_vs("AutoGluon(refit)",
+                             "AutoGluon") == pytest.approx(0.8)
+
+    def test_accuracy_cost(self):
+        fig = self._fig()
+        assert fig.accuracy_cost(
+            "CAML(inf<=1e-9s)", "CAML") == pytest.approx(0.05)
+
+    def test_missing_label_nan(self):
+        assert np.isnan(self._fig().saving_vs("x", "y"))
+
+    def test_render(self):
+        assert "inference-optimised" in self._fig().render()
+
+
+class TestTable3:
+    def test_render_contains_ratios(self):
+        t3 = Table3([GpuComparisonRow("TabPFN", 1.37, 0.96, 0.13, 0.07)])
+        text = t3.render()
+        assert "TabPFN" in text
+        assert "0.13" in text
+
+
+class TestFigure7:
+    def test_render_and_amortization(self):
+        from repro.devtuning.tuner import TuningResult
+        from repro.energy.tracker import EnergyReport
+
+        energy = EnergyReport(
+            kwh=2.0, duration_s=100.0, cpu_kwh=2.0, dram_kwh=0.0,
+            gpu_kwh=0.0, machine="xeon-gold-6132",
+        )
+        result = TuningResult(
+            search_budget_s=10.0, best_config={}, best_parameters=None,
+            best_objective=0.5, trials=[], development_energy=energy,
+            default_scores={}, mean_balanced_accuracy=0.8,
+        )
+
+        def _rec(kwh):
+            return RunRecord(
+                system="CAML", dataset="d", configured_seconds=10.0,
+                seed=0, balanced_accuracy=0.8, execution_kwh=kwh,
+                actual_seconds=10.0, inference_kwh_per_instance=1e-13,
+                inference_seconds_per_instance=1e-6,
+            )
+
+        tuned = ResultsStore([_rec(0.001)])
+        baseline = ResultsStore([_rec(0.003)])
+        fig = Figure7({10.0: result}, tuned, baseline)
+        assert fig.development_kwh(10.0) == 2.0
+        # 2.0 kWh / 0.002 kWh-per-run saving = 1000 runs
+        assert fig.amortization_runs(10.0) == pytest.approx(1000.0)
+        assert "development" in fig.render()

@@ -1,0 +1,79 @@
+"""CLI entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_systems_command(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    assert "CAML" in out and "TabPFN" in out
+    assert "budget discipline" in out
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "credit-g" in out and "covertype" in out
+
+
+def test_run_command(capsys):
+    assert main([
+        "run", "--system", "FLAML", "--dataset", "credit-g",
+        "--budget", "10", "--time-scale", "0.004",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "balanced accuracy" in out
+    assert "execution kWh" in out
+
+
+def test_run_rejects_unknown_system():
+    with pytest.raises(SystemExit):
+        main(["run", "--system", "H2O", "--dataset", "credit-g"])
+
+
+def test_recommend_command(capsys):
+    assert main([
+        "recommend", "--budget", "5", "--classes", "3",
+    ]) == 0
+    assert "TabPFN" in capsys.readouterr().out
+
+
+def test_recommend_priority(capsys):
+    assert main([
+        "recommend", "--budget", "300", "--classes", "2",
+        "--priority", "accuracy",
+    ]) == 0
+    assert "AutoGluon" in capsys.readouterr().out
+
+
+def test_recommend_dev_route(capsys):
+    assert main([
+        "recommend", "--budget", "60", "--classes", "2",
+        "--executions", "100000", "--dev-compute",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "CAML(tuned)" in out
+    assert "tune the AutoML parameters first" in out
+
+
+def test_grid_command_writes_results(tmp_path, capsys):
+    out_path = tmp_path / "res.json"
+    assert main([
+        "grid", "--systems", "FLAML", "--datasets", "credit-g",
+        "--budgets", "10", "--runs", "1",
+        "--time-scale", "0.004", "--quiet",
+        "--out", str(out_path),
+    ]) == 0
+    payload = json.loads(out_path.read_text())
+    assert len(payload) == 1
+    assert payload[0]["system"] == "FLAML"
+    assert "Figure 3" in capsys.readouterr().out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

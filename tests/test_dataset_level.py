@@ -1,0 +1,88 @@
+"""Dataset-level analysis (Sec 3.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.dataset_level import (
+    DatasetLevelReport,
+    DatasetWinner,
+    characteristic_trends,
+    dataset_level_analysis,
+)
+from repro.experiments.results import ResultsStore, RunRecord
+
+
+def _rec(system, dataset, budget, acc, exec_kwh=1e-3):
+    return RunRecord(
+        system=system, dataset=dataset, configured_seconds=budget, seed=0,
+        balanced_accuracy=acc, execution_kwh=exec_kwh, actual_seconds=budget,
+        inference_kwh_per_instance=1e-13,
+        inference_seconds_per_instance=1e-6,
+    )
+
+
+@pytest.fixture
+def store():
+    store = ResultsStore()
+    # at 10s: TabPFN wins credit-g, FLAML wins kc1
+    store.add(_rec("TabPFN", "credit-g", 10.0, 0.9))
+    store.add(_rec("FLAML", "credit-g", 10.0, 0.8))
+    store.add(_rec("AutoGluon", "credit-g", 10.0, 0.7))
+    store.add(_rec("TabPFN", "kc1", 10.0, 0.6))
+    store.add(_rec("FLAML", "kc1", 10.0, 0.85))
+    store.add(_rec("AutoGluon", "kc1", 10.0, 0.7))
+    # at 300s: AutoGluon wins both
+    for ds in ("credit-g", "kc1"):
+        store.add(_rec("TabPFN", ds, 300.0, 0.7))
+        store.add(_rec("FLAML", ds, 300.0, 0.8))
+        store.add(_rec("AutoGluon", ds, 300.0, 0.9, exec_kwh=2e-3))
+    return store
+
+
+def test_winners_per_budget(store):
+    report = dataset_level_analysis(store)
+    counts10 = report.win_counts(10.0)
+    assert counts10 == {"TabPFN": 1, "FLAML": 1}
+    counts300 = report.win_counts(300.0)
+    assert counts300 == {"AutoGluon": 2}
+
+
+def test_ensemble_fraction_grows_with_budget(store):
+    """The paper's trend: ensembles win the long budgets."""
+    report = dataset_level_analysis(store)
+    assert report.ensemble_win_fraction(10.0) == 0.0
+    assert report.ensemble_win_fraction(300.0) == 1.0
+
+
+def test_margins_computed(store):
+    report = dataset_level_analysis(store)
+    w = next(x for x in report.winners
+             if x.dataset == "credit-g" and x.budget_s == 10.0)
+    assert w.margin == pytest.approx(0.1)
+    assert w.runner_up == "FLAML"
+
+
+def test_execution_std_present(store):
+    report = dataset_level_analysis(store)
+    assert "AutoGluon" in report.execution_std
+    assert report.execution_std["AutoGluon"] >= 0.0
+
+
+def test_render(store):
+    text = dataset_level_analysis(store).render()
+    assert "winner" in text
+    assert "@10s wins" in text
+
+
+def test_characteristic_trends(store):
+    report = dataset_level_analysis(store)
+    stats = characteristic_trends(report)
+    # TabPFN's single win is on credit-g (1000 paper rows < 5k)
+    assert stats["tabpfn_small_row_fraction"] == 1.0
+    assert "ensemble_many_class_score" in stats
+
+
+def test_empty_store():
+    report = dataset_level_analysis(ResultsStore())
+    assert report.winners == []
+    assert np.isnan(report.ensemble_win_fraction(10.0))

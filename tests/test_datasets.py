@@ -1,0 +1,193 @@
+"""Tests for the synthetic generator, Table 2 registry and loaders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_REGISTRY,
+    DEV_POOL_SIZE,
+    compute_metafeatures,
+    dev_pool_specs,
+    get_spec,
+    list_datasets,
+    load_dataset,
+    load_suite,
+    make_classification,
+    METAFEATURE_NAMES,
+)
+from repro.exceptions import DatasetError
+
+
+class TestMakeClassification:
+    def test_shapes(self):
+        X, y = make_classification(100, 7, 3, random_state=0)
+        assert X.shape == (100, 7)
+        assert y.shape == (100,)
+
+    def test_all_classes_present(self):
+        _, y = make_classification(60, 5, 4, imbalance=0.6, random_state=1)
+        assert set(np.unique(y)) == {0, 1, 2, 3}
+
+    def test_every_class_at_least_twice(self):
+        _, y = make_classification(
+            40, 4, 5, imbalance=0.8, random_state=2
+        )
+        _, counts = np.unique(y, return_counts=True)
+        assert counts.min() >= 2
+
+    def test_deterministic(self):
+        X1, y1 = make_classification(50, 4, 2, random_state=5)
+        X2, y2 = make_classification(50, 4, 2, random_state=5)
+        assert np.array_equal(X1, X2)
+        assert np.array_equal(y1, y2)
+
+    def test_different_seeds_differ(self):
+        X1, _ = make_classification(50, 4, 2, random_state=5)
+        X2, _ = make_classification(50, 4, 2, random_state=6)
+        assert not np.array_equal(X1, X2)
+
+    def test_class_sep_affects_separability(self):
+        from repro.models import LogisticRegression
+
+        for sep, lo, hi in ((0.1, 0.3, 0.9), (3.0, 0.9, 1.01)):
+            X, y = make_classification(400, 6, 2, class_sep=sep,
+                                       random_state=3)
+            acc = LogisticRegression().fit(X, y).score(X, y)
+            assert lo <= acc <= hi
+
+    def test_categorical_columns_are_small_ints(self):
+        X, _ = make_classification(200, 6, 2, n_categorical=2,
+                                   random_state=4)
+        for col in (4, 5):
+            vals = np.unique(X[:, col])
+            assert len(vals) <= 8
+            assert np.allclose(vals, np.round(vals))
+
+    def test_label_noise_reduces_fit(self):
+        from repro.models import DecisionTreeClassifier
+
+        X0, y0 = make_classification(300, 6, 2, label_noise=0.0,
+                                     random_state=7)
+        Xn, yn = make_classification(300, 6, 2, label_noise=0.4,
+                                     random_state=7)
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0)
+        acc_clean = tree.fit(X0, y0).score(X0, y0)
+        acc_noisy = DecisionTreeClassifier(
+            max_depth=3, random_state=0).fit(Xn, yn).score(Xn, yn)
+        assert acc_noisy < acc_clean
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_samples=1, n_classes=2),
+        dict(n_classes=1),
+        dict(label_noise=1.0),
+        dict(imbalance=1.0),
+        dict(n_features=3, n_categorical=4),
+    ])
+    def test_invalid_arguments(self, kwargs):
+        base = dict(n_samples=50, n_features=5, n_classes=2)
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            make_classification(**base)
+
+
+class TestRegistry:
+    def test_39_datasets(self):
+        assert len(list_datasets()) == 39
+        assert len(DATASET_REGISTRY) == 39
+
+    def test_table2_metadata_preserved(self):
+        spec = get_spec("covertype")
+        assert spec.openml_id == 1596
+        assert spec.paper_instances == 581012
+        assert spec.paper_features == 54
+        assert spec.paper_classes == 7
+
+    def test_scaled_sizes_bounded(self):
+        for name in list_datasets():
+            spec = get_spec(name)
+            assert 100 <= spec.n_samples <= 1500
+            assert 2 <= spec.n_features <= 64
+            assert 2 <= spec.n_classes <= 12
+
+    def test_class_limit_effect_preserved(self):
+        # dionis (355) and helena (100 classes) must stay above TabPFN's 10
+        assert get_spec("dionis").n_classes > 10
+        assert get_spec("helena").n_classes > 10
+
+    def test_row_ordering_roughly_preserved(self):
+        big = get_spec("covertype").n_samples       # 581k rows
+        small = get_spec("credit-g").n_samples      # 1k rows
+        assert big > small
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            get_spec("not-a-dataset")
+
+    def test_dev_pool_size_and_binary(self):
+        specs = dev_pool_specs()
+        assert len(specs) == DEV_POOL_SIZE == 124
+        assert all(s.n_classes == 2 for s in specs)
+        assert all(s.is_dev_pool for s in specs)
+
+    def test_dev_pool_deterministic(self):
+        a = dev_pool_specs(5)
+        b = dev_pool_specs(5)
+        assert [s.name for s in a] == [s.name for s in b]
+        assert [s.seed for s in a] == [s.seed for s in b]
+
+
+class TestLoaders:
+    def test_split_is_66_34(self):
+        ds = load_dataset("credit-g")
+        total = len(ds.y_train) + len(ds.y_test)
+        assert total == ds.spec.n_samples
+        assert abs(len(ds.y_test) / total - 0.34) < 0.05
+
+    def test_cached_load_same_object(self):
+        a = load_dataset("vehicle")
+        b = load_dataset("vehicle")
+        assert a is b
+
+    def test_split_seed_changes_split(self):
+        a = load_dataset("vehicle", split_seed=0)
+        b = load_dataset("vehicle", split_seed=1)
+        assert not np.array_equal(a.y_train, b.y_train)
+
+    def test_load_suite_subset(self):
+        suite = load_suite(["credit-g", "kc1"])
+        assert [d.name for d in suite] == ["credit-g", "kc1"]
+
+    def test_subsample_caps_training(self):
+        ds = load_dataset("segment")
+        sub = ds.subsample(50, random_state=0)
+        assert len(sub.y_train) <= 56   # per-class rounding slack
+        assert np.array_equal(sub.X_test, ds.X_test)
+
+    def test_subsample_noop_when_large(self):
+        ds = load_dataset("credit-g")
+        assert ds.subsample(10**6) is ds
+
+    def test_categorical_mask_matches_spec(self):
+        for name in ("car", "credit-g"):
+            ds = load_dataset(name)
+            assert ds.categorical_mask.sum() == ds.spec.n_categorical
+
+
+class TestMetafeatures:
+    def test_vector_length_matches_names(self, binary_data):
+        X, y = binary_data
+        mf = compute_metafeatures(X, y)
+        assert mf.shape == (len(METAFEATURE_NAMES),)
+
+    def test_values_finite(self, multiclass_data):
+        X, y = multiclass_data
+        assert np.all(np.isfinite(compute_metafeatures(X, y)))
+
+    def test_class_count_reported(self, multiclass_data):
+        X, y = multiclass_data
+        mf = compute_metafeatures(X, y)
+        assert mf[METAFEATURE_NAMES.index("n_classes")] == 4
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            compute_metafeatures(np.zeros((0, 3)), np.array([]))

@@ -1,0 +1,152 @@
+"""Development-stage tuning (Sec 2.5): objective, parameter space,
+representative selection, the tuner loop."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import dev_pool_specs
+from repro.devtuning import (
+    DevelopmentTuner,
+    SAMPLING_CHOICES,
+    aggregate_improvement,
+    build_automl_parameter_space,
+    config_to_caml_parameters,
+    default_parameters,
+    n_tuned_parameters,
+    relative_improvement,
+    select_representative_datasets,
+)
+from repro.pipeline.spaces import ALL_CLASSIFIERS
+
+
+class TestObjective:
+    def test_positive_when_better(self):
+        assert relative_improvement(0.9, 0.8) > 0
+
+    def test_negative_when_worse(self):
+        assert relative_improvement(0.7, 0.8) < 0
+
+    def test_zero_when_equal(self):
+        assert relative_improvement(0.8, 0.8) == 0.0
+
+    def test_normalised_by_max(self):
+        # (0.9-0.6)/0.9
+        assert relative_improvement(0.9, 0.6) == pytest.approx(0.3 / 0.9)
+
+    def test_zero_scores_safe(self):
+        assert relative_improvement(0.0, 0.0) == 0.0
+
+    def test_aggregate_sums(self):
+        total = aggregate_improvement([0.9, 0.7], [0.8, 0.8])
+        expected = relative_improvement(0.9, 0.8) + relative_improvement(
+            0.7, 0.8
+        )
+        assert total == pytest.approx(expected)
+
+    def test_aggregate_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            aggregate_improvement([0.9], [0.8, 0.7])
+
+
+class TestParameterSpace:
+    def test_contains_all_six_system_parameters(self):
+        space = build_automl_parameter_space()
+        for name in ("holdout_fraction", "evaluation_fraction", "sampling",
+                     "refit", "resample_validation", "incremental_training"):
+            assert name in space.hyperparameters
+
+    def test_contains_per_classifier_flags(self):
+        space = build_automl_parameter_space()
+        for clf in ALL_CLASSIFIERS:
+            assert f"use_{clf}" in space.hyperparameters
+
+    def test_parameter_count(self):
+        # 15 inclusion flags + 6 system parameters (scaled-down analogue of
+        # the paper's 192)
+        assert n_tuned_parameters() == 21
+
+    def test_config_to_parameters_roundtrip(self, rng):
+        space = build_automl_parameter_space()
+        for _ in range(20):
+            config = space.sample(rng)
+            params = config_to_caml_parameters(config)
+            assert params.classifiers   # never empty
+            assert 0.1 <= params.holdout_fraction <= 0.5
+            assert params.sample_cap in SAMPLING_CHOICES
+
+    def test_all_excluded_falls_back(self):
+        config = {f"use_{c}": False for c in ALL_CLASSIFIERS}
+        params = config_to_caml_parameters(config)
+        assert params.classifiers == ["decision_tree"]
+
+    def test_default_parameters_full_space(self):
+        params = default_parameters()
+        assert set(params.classifiers) == set(ALL_CLASSIFIERS)
+        assert params.holdout_fraction == pytest.approx(0.33)
+
+
+class TestRepresentativeSelection:
+    def test_selects_k(self):
+        specs = dev_pool_specs(30)
+        chosen = select_representative_datasets(specs, k=5)
+        assert len(chosen) == 5
+        assert len({s.name for s in chosen}) == 5
+
+    def test_k_larger_than_pool_returns_all(self):
+        specs = dev_pool_specs(4)
+        assert len(select_representative_datasets(specs, k=10)) == 4
+
+    def test_spread_over_sizes(self):
+        """Representatives should span the size range, not cluster."""
+        specs = dev_pool_specs(60)
+        chosen = select_representative_datasets(specs, k=8)
+        sizes = sorted(s.paper_instances for s in chosen)
+        assert sizes[-1] / sizes[0] > 10
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            select_representative_datasets(dev_pool_specs(5), k=0)
+
+    def test_deterministic(self):
+        specs = dev_pool_specs(30)
+        a = select_representative_datasets(specs, k=5)
+        b = select_representative_datasets(specs, k=5)
+        assert [s.name for s in a] == [s.name for s in b]
+
+
+class TestTuner:
+    @pytest.fixture(scope="class")
+    def result(self):
+        tuner = DevelopmentTuner(
+            search_budget_s=8.0, top_k=3, n_bo_iterations=4,
+            runs_per_dataset=1, time_scale=0.003, random_state=0,
+        )
+        return tuner.tune(dev_pool_specs(12))
+
+    def test_returns_best_parameters(self, result):
+        assert result.best_parameters.classifiers
+        assert result.n_trials == 4
+
+    def test_development_energy_tracked(self, result):
+        """The Figure 7 'development kWh' bubble must be real energy."""
+        assert result.development_energy.kwh > 0
+        assert result.development_energy.duration_s > 0
+
+    def test_default_scores_recorded(self, result):
+        assert len(result.default_scores) == 3
+        assert all(0 <= v <= 1 for v in result.default_scores.values())
+
+    def test_amortization_math(self, result):
+        runs = result.amortization_runs(
+            tuned_execution_kwh=0.001, default_execution_kwh=0.002
+        )
+        assert runs == pytest.approx(result.development_energy.kwh / 0.001)
+
+    def test_amortization_infinite_when_no_saving(self, result):
+        assert result.amortization_runs(0.002, 0.001) == float("inf")
+
+    def test_invalid_tuner_args(self):
+        with pytest.raises(ValueError):
+            DevelopmentTuner(runs_per_dataset=0)
+        with pytest.raises(ValueError):
+            DevelopmentTuner(n_bo_iterations=0)

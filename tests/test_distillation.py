@@ -1,0 +1,79 @@
+"""Ensemble distillation (Sec 5 / ref [17])."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import StackingEnsemble, distill, distillation_report
+from repro.models import DecisionTreeClassifier, GaussianNB, LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def teacher_and_data():
+    from repro.datasets import make_classification
+    from repro.metrics import train_test_split
+
+    X, y = make_classification(400, 8, 3, class_sep=1.5, nonlinearity=0.3,
+                               random_state=0)
+    X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.3,
+                                              random_state=1)
+    teacher = StackingEnsemble(
+        [
+            ("tree", DecisionTreeClassifier(max_depth=6, random_state=0)),
+            ("nb", GaussianNB()),
+            ("lr", LogisticRegression()),
+        ],
+        n_folds=3, random_state=0,
+    ).fit(X_tr, y_tr)
+    return teacher, X_tr, X_te, y_tr, y_te
+
+
+class TestDistill:
+    def test_tree_student_agrees_with_teacher(self, teacher_and_data):
+        teacher, X_tr, X_te, _, _ = teacher_and_data
+        student = distill(teacher, X_tr, random_state=0)
+        agreement = np.mean(teacher.predict(X_te) == student.predict(X_te))
+        assert agreement > 0.75
+
+    def test_student_cuts_inference_energy(self, teacher_and_data):
+        """The point of distillation: one small model replaces the stack."""
+        teacher, X_tr, X_te, _, y_te = teacher_and_data
+        student = distill(teacher, X_tr, random_state=0)
+        report = distillation_report(teacher, student, X_te, y_te)
+        assert report["energy_reduction"] > 0.5
+        assert report["student_kwh_per_instance"] < (
+            report["teacher_kwh_per_instance"]
+        )
+
+    def test_student_accuracy_close_to_teacher(self, teacher_and_data):
+        teacher, X_tr, X_te, _, y_te = teacher_and_data
+        student = distill(teacher, X_tr, random_state=0)
+        report = distillation_report(teacher, student, X_te, y_te)
+        assert report["student_accuracy"] >= report["teacher_accuracy"] - 0.1
+
+    def test_mlp_student(self, teacher_and_data):
+        teacher, X_tr, X_te, _, _ = teacher_and_data
+        student = distill(teacher, X_tr, student="mlp", random_state=0)
+        assert student.predict(X_te).shape == (len(X_te),)
+
+    def test_unknown_student(self, teacher_and_data):
+        teacher, X_tr, *_ = teacher_and_data
+        with pytest.raises(ValueError):
+            distill(teacher, X_tr, student="gbdt")
+
+    def test_proba_normalised(self, teacher_and_data):
+        teacher, X_tr, X_te, _, _ = teacher_and_data
+        student = distill(teacher, X_tr, random_state=0)
+        proba = student.predict_proba(X_te)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba.min() >= 0
+
+    def test_no_augmentation(self, teacher_and_data):
+        teacher, X_tr, X_te, _, _ = teacher_and_data
+        student = distill(teacher, X_tr, augment_factor=0.0, random_state=0)
+        assert student.predict(X_te).shape == (len(X_te),)
+
+    def test_deterministic(self, teacher_and_data):
+        teacher, X_tr, X_te, _, _ = teacher_and_data
+        a = distill(teacher, X_tr, random_state=5).predict(X_te)
+        b = distill(teacher, X_tr, random_state=5).predict(X_te)
+        assert np.array_equal(a, b)

@@ -1,0 +1,101 @@
+"""CAML extensions: early stopping (Sec 3.8) and the soft CO2-aware
+objective (Sec 1, ref [47])."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.systems import CamlConstraints, CamlSystem
+
+FAST = dict(time_scale=0.004, random_state=0)
+
+
+@pytest.fixture(scope="module")
+def ds():
+    return load_dataset("kc1")   # small dataset, the overfit-prone kind
+
+
+class TestEarlyStopping:
+    def test_early_stop_saves_energy(self, ds):
+        # at 5min the kc1 search has long converged (Table 6's overfitting
+        # regime), so stopping on a stale incumbent saves real energy
+        full = CamlSystem(**FAST)
+        full.fit(ds.X_train, ds.y_train, budget_s=300,
+                 categorical_mask=ds.categorical_mask)
+        early = CamlSystem(early_stop_rounds=3, **FAST)
+        early.fit(ds.X_train, ds.y_train, budget_s=300,
+                  categorical_mask=ds.categorical_mask)
+        assert (
+            early.fit_result_.execution_kwh
+            < full.fit_result_.execution_kwh
+        )
+        assert (
+            early.fit_result_.actual_seconds
+            < full.fit_result_.actual_seconds
+        )
+
+    def test_early_stop_accuracy_within_noise(self, ds):
+        full = CamlSystem(**FAST)
+        full.fit(ds.X_train, ds.y_train, budget_s=60,
+                 categorical_mask=ds.categorical_mask)
+        early = CamlSystem(early_stop_rounds=5, **FAST)
+        early.fit(ds.X_train, ds.y_train, budget_s=60,
+                  categorical_mask=ds.categorical_mask)
+        assert early.score(ds.X_test, ds.y_test) >= (
+            full.score(ds.X_test, ds.y_test) - 0.12
+        )
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            CamlSystem(early_stop_rounds=0)
+
+    def test_still_produces_model(self, ds):
+        system = CamlSystem(early_stop_rounds=1, **FAST)
+        system.fit(ds.X_train, ds.y_train, budget_s=30,
+                   categorical_mask=ds.categorical_mask)
+        assert system.predict(ds.X_test).shape == ds.y_test.shape
+
+
+class TestEnergyObjective:
+    def test_weight_steers_to_greener_models(self, ds):
+        inf = []
+        for weight in (0.0, 0.5):
+            kwhs = []
+            for seed in range(3):
+                system = CamlSystem(
+                    constraints=CamlConstraints(
+                        energy_objective_weight=weight),
+                    time_scale=0.004, random_state=seed,
+                )
+                system.fit(ds.X_train, ds.y_train, budget_s=30,
+                           categorical_mask=ds.categorical_mask)
+                kwhs.append(system.inference_kwh_per_instance())
+            inf.append(np.mean(kwhs))
+        assert inf[1] <= inf[0] * 1.5   # greener or comparable, never wilder
+
+    def test_zero_weight_is_noop_adjustment(self, ds):
+        system = CamlSystem(**FAST)
+        assert system._energy_adjusted(0.7, None) == 0.7
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            CamlConstraints(energy_objective_weight=-1.0)
+
+    def test_penalty_monotone_in_energy(self, ds):
+        system = CamlSystem(
+            constraints=CamlConstraints(energy_objective_weight=1.0),
+            **FAST,
+        )
+        system.fit(ds.X_train, ds.y_train, budget_s=20,
+                   categorical_mask=ds.categorical_mask)
+
+        class _Fake:
+            def __init__(self, flops):
+                self._f = flops
+
+            def inference_flops(self, n):
+                return self._f * n
+
+        cheap = system._energy_adjusted(0.8, _Fake(10.0))
+        pricey = system._energy_adjusted(0.8, _Fake(1e9))
+        assert cheap > pricey

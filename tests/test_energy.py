@@ -1,0 +1,262 @@
+"""Energy substrate: machines, RAPL counter, tracker, cost model, CO2,
+parallel model."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.energy import (
+    CO2_KG_PER_KWH,
+    DEFAULT_MACHINE,
+    EUR_PER_KWH,
+    EnergyTracker,
+    JOULES_PER_KWH,
+    MachineProfile,
+    RaplCounter,
+    T4_GPU,
+    XEON_GOLD_6132,
+    XEON_T4_MACHINE,
+    amdahl_speedup,
+    budget_bound_execution,
+    co2_kg,
+    cost_eur,
+    estimate_inference,
+    get_machine,
+    gpu_supported_fraction,
+    kwh_per_prediction,
+    parallel_execution,
+)
+from repro.exceptions import ReproError
+
+
+class TestMachines:
+    def test_power_grows_with_cores(self):
+        m = XEON_GOLD_6132
+        assert m.power(8) > m.power(1) > m.power(0)
+
+    def test_power_rejects_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            XEON_GOLD_6132.power(29)
+        with pytest.raises(ValueError):
+            XEON_GOLD_6132.power(-1)
+
+    def test_energy_kwh_linearity_in_time(self):
+        m = XEON_GOLD_6132
+        assert m.energy_kwh(20.0, 2) == pytest.approx(2 * m.energy_kwh(10.0, 2))
+
+    def test_energy_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            XEON_GOLD_6132.energy_kwh(-1.0)
+
+    def test_gpu_idle_charged_when_attached(self):
+        with_gpu = XEON_T4_MACHINE.power(1, gpu_active=False)
+        active = XEON_T4_MACHINE.power(1, gpu_active=True)
+        assert active - with_gpu == pytest.approx(
+            T4_GPU.active_watts - T4_GPU.idle_watts
+        )
+
+    def test_get_machine(self):
+        assert get_machine("xeon-gold-6132") is XEON_GOLD_6132
+        with pytest.raises(ValueError):
+            get_machine("cray-1")
+
+    def test_paper_machine_shapes(self):
+        assert XEON_GOLD_6132.n_cores == 28
+        assert XEON_T4_MACHINE.n_cores == 8
+        assert XEON_T4_MACHINE.gpu is not None
+
+
+class TestRaplCounter:
+    def test_counter_increases_with_work(self):
+        counter = RaplCounter(XEON_GOLD_6132)
+        _ = sum(i * i for i in range(400_000))   # burn CPU
+        sample = counter.read()
+        assert sample.package_joules > 0
+        assert sample.total_joules >= sample.package_joules
+
+    def test_inject_joules(self):
+        counter = RaplCounter(XEON_GOLD_6132)
+        before = counter.read().total_joules
+        counter.inject_joules(package=100.0, dram=10.0, gpu=5.0)
+        after = counter.read()
+        assert after.total_joules - before >= 115.0 - 1e-6
+
+    def test_inject_rejects_negative(self):
+        with pytest.raises(ValueError):
+            RaplCounter().inject_joules(package=-1.0)
+
+    def test_kwh_conversion(self):
+        counter = RaplCounter()
+        counter.inject_joules(package=JOULES_PER_KWH)
+        assert counter.read_kwh() >= 1.0
+
+
+class TestTracker:
+    def test_context_manager_produces_report(self):
+        with EnergyTracker() as tracker:
+            _ = sum(i * i for i in range(200_000))
+        rep = tracker.report
+        assert rep.kwh > 0
+        assert rep.duration_s > 0
+        assert rep.machine == DEFAULT_MACHINE.name
+
+    def test_double_start_rejected(self):
+        tracker = EnergyTracker().start()
+        with pytest.raises(ReproError):
+            tracker.start()
+        tracker.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ReproError):
+            EnergyTracker().stop()
+
+    def test_report_addition(self):
+        with EnergyTracker() as t1:
+            time.sleep(0.005)
+        with EnergyTracker() as t2:
+            time.sleep(0.005)
+        total = t1.report + t2.report
+        assert total.kwh == pytest.approx(t1.report.kwh + t2.report.kwh)
+
+    def test_report_addition_requires_same_machine(self):
+        with EnergyTracker() as t1:
+            pass
+        with EnergyTracker(machine=XEON_T4_MACHINE) as t2:
+            pass
+        with pytest.raises(ValueError):
+            _ = t1.report + t2.report
+
+    def test_co2_and_cost_derived(self):
+        with EnergyTracker() as t:
+            _ = sum(range(100_000))
+        assert t.report.co2_kg == pytest.approx(
+            t.report.kwh * CO2_KG_PER_KWH
+        )
+        assert t.report.cost_eur == pytest.approx(t.report.kwh * EUR_PER_KWH)
+
+
+class TestCo2:
+    def test_paper_constants(self):
+        # Germany 0.222 kg/kWh, EU 0.20 EUR/kWh (paper Sec 3.6)
+        assert CO2_KG_PER_KWH == 0.222
+        assert EUR_PER_KWH == 0.20
+
+    def test_conversions(self):
+        assert co2_kg(10) == pytest.approx(2.22)
+        assert cost_eur(10) == pytest.approx(2.0)
+
+    def test_reject_negative(self):
+        with pytest.raises(ValueError):
+            co2_kg(-1)
+        with pytest.raises(ValueError):
+            cost_eur(-1)
+
+    def test_custom_intensity(self):
+        assert co2_kg(1.0, intensity=0.5) == 0.5
+
+
+class TestCostModel:
+    def _models(self, split_binary):
+        from repro.models import LogisticRegression, RandomForestClassifier
+
+        X_tr, _, y_tr, _ = split_binary
+        lr = LogisticRegression().fit(X_tr, y_tr)
+        rf = RandomForestClassifier(n_estimators=30, random_state=0)
+        rf.fit(X_tr, y_tr)
+        return lr, rf
+
+    def test_estimate_scales_with_samples(self, split_binary):
+        lr, _ = self._models(split_binary)
+        small = estimate_inference(lr, 100)
+        big = estimate_inference(lr, 1000)
+        assert big.kwh == pytest.approx(10 * small.kwh)
+
+    def test_forest_more_expensive_than_linear(self, split_binary):
+        lr, rf = self._models(split_binary)
+        assert (
+            estimate_inference(rf, 1000).kwh
+            > estimate_inference(lr, 1000).kwh
+        )
+
+    def test_gpu_speeds_up_pfn(self, split_binary):
+        from repro.models import PriorFittedNetwork
+
+        X_tr, _, y_tr, _ = split_binary
+        pfn = PriorFittedNetwork().fit(X_tr, y_tr)
+        cpu = estimate_inference(pfn, 1000, XEON_T4_MACHINE, use_gpu=False)
+        gpu = estimate_inference(pfn, 1000, XEON_T4_MACHINE, use_gpu=True)
+        # Table 3: both time and energy drop hard on the GPU
+        assert gpu.seconds < 0.3 * cpu.seconds
+        assert gpu.kwh < 0.5 * cpu.kwh
+
+    def test_gpu_hurts_tree_ensembles(self, split_binary):
+        _, rf = self._models(split_binary)
+        cpu = estimate_inference(rf, 1000, XEON_T4_MACHINE, use_gpu=False)
+        gpu = estimate_inference(rf, 1000, XEON_T4_MACHINE, use_gpu=True)
+        # trees barely use the GPU; idle draw makes things worse
+        assert gpu.kwh > cpu.kwh * 0.9
+
+    def test_gpu_fraction_lookup(self, split_binary):
+        lr, rf = self._models(split_binary)
+        assert gpu_supported_fraction(rf) == pytest.approx(0.10)
+        assert gpu_supported_fraction(lr) == 0.0
+
+    def test_kwh_per_prediction_positive(self, split_binary):
+        lr, _ = self._models(split_binary)
+        assert kwh_per_prediction(lr) > 0
+
+    def test_negative_samples_rejected(self, split_binary):
+        lr, _ = self._models(split_binary)
+        with pytest.raises(ValueError):
+            estimate_inference(lr, -5)
+
+
+class TestParallelModel:
+    def test_amdahl_identity(self):
+        assert amdahl_speedup(0.9, 1) == 1.0
+
+    def test_amdahl_bounds(self):
+        assert amdahl_speedup(0.5, 1000) < 2.001
+        assert amdahl_speedup(1.0, 8) == pytest.approx(8.0)
+
+    def test_amdahl_invalid(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(1.5, 2)
+        with pytest.raises(ValueError):
+            amdahl_speedup(0.5, 0)
+
+    def test_more_cores_less_time(self):
+        one = parallel_execution(100.0, 1, 0.85)
+        eight = parallel_execution(100.0, 8, 0.85)
+        assert eight.wall_seconds < one.wall_seconds
+
+    def test_budget_bound_energy_sublinear_in_cores(self):
+        """Fig 5 / O4: a budget-bound search (CAML) on 8 cores costs more
+        energy than on 1 core, but well under 8x."""
+        one = budget_bound_execution(100.0, 1, 0.25)
+        eight = budget_bound_execution(100.0, 8, 0.25)
+        ratio = eight.kwh / one.kwh
+        assert 1.5 < ratio < 4.0   # the paper measures ~2.7x for CAML
+
+    def test_budget_bound_wall_time_is_budget(self):
+        run = budget_bound_execution(60.0, 4, 0.25)
+        assert run.wall_seconds == 60.0
+
+    def test_budget_bound_invalid(self):
+        with pytest.raises(ValueError):
+            budget_bound_execution(-1.0, 2, 0.5)
+        with pytest.raises(ValueError):
+            budget_bound_execution(1.0, 99, 0.5)
+
+    def test_parallel_workload_saves_energy_on_many_cores(self):
+        """AutoGluon's bagging: multi-core is *more* energy efficient."""
+        one = parallel_execution(100.0, 1, 0.95)
+        eight = parallel_execution(100.0, 8, 0.95)
+        assert eight.kwh < one.kwh
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            parallel_execution(-1.0, 2, 0.5)
+        with pytest.raises(ValueError):
+            parallel_execution(1.0, 2, 0.5, cache_reuse=1.0)

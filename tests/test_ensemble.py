@@ -1,0 +1,195 @@
+"""Caruana selection, bagging (+refit), stacking."""
+
+import numpy as np
+import pytest
+
+from repro.ensemble import BaggedModel, CaruanaEnsemble, StackingEnsemble
+from repro.metrics import balanced_accuracy_score, train_test_split
+from repro.models import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def library(split_binary_module):
+    X_tr, X_val, y_tr, y_val = split_binary_module
+    models = [
+        DecisionTreeClassifier(max_depth=3, random_state=0).fit(X_tr, y_tr),
+        LogisticRegression().fit(X_tr, y_tr),
+        GaussianNB().fit(X_tr, y_tr),
+        RandomForestClassifier(n_estimators=10, random_state=0).fit(X_tr, y_tr),
+    ]
+    return models, X_tr, X_val, y_tr, y_val
+
+
+@pytest.fixture(scope="module")
+def split_binary_module():
+    from repro.datasets import make_classification
+
+    X, y = make_classification(240, 8, 2, class_sep=1.4, random_state=0)
+    return train_test_split(X, y, test_size=0.3, random_state=2)
+
+
+class TestCaruana:
+    def test_weights_sum_to_one(self, library):
+        models, _, X_val, _, y_val = library
+        ens = CaruanaEnsemble(max_rounds=20).fit(models, X_val, y_val)
+        assert ens.weights_.sum() == pytest.approx(1.0)
+        assert np.all(ens.weights_ >= 0)
+
+    def test_sorted_init_keeps_multiple_members(self, library):
+        """O1's precondition: the selected ensemble has several members."""
+        models, _, X_val, _, y_val = library
+        ens = CaruanaEnsemble(max_rounds=20, sorted_init=3)
+        ens.fit(models, X_val, y_val)
+        assert ens.n_members >= 3
+
+    def test_ensemble_at_least_as_good_as_on_val(self, library):
+        models, _, X_val, _, y_val = library
+        ens = CaruanaEnsemble(max_rounds=30).fit(models, X_val, y_val)
+        solo = max(
+            balanced_accuracy_score(y_val, m.predict(X_val)) for m in models
+        )
+        assert ens.val_score_ >= solo - 0.05
+
+    def test_inference_flops_sum_members(self, library):
+        models, _, X_val, _, y_val = library
+        ens = CaruanaEnsemble(max_rounds=10).fit(models, X_val, y_val)
+        expected = sum(m.inference_flops(50) for m in ens.members_)
+        assert ens.inference_flops(50) == pytest.approx(expected)
+
+    def test_predict_proba_normalised(self, library):
+        models, _, X_val, _, y_val = library
+        ens = CaruanaEnsemble(max_rounds=10).fit(models, X_val, y_val)
+        proba = ens.predict_proba(X_val)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            CaruanaEnsemble().fit([], np.zeros((2, 2)), [0, 1])
+
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            CaruanaEnsemble(max_rounds=0)
+
+    def test_partial_class_models_aligned(self, split_binary_module):
+        """Models fit on subsets missing a class still ensemble correctly."""
+        X_tr, X_val, y_tr, y_val = split_binary_module
+        only0 = y_tr == 0
+        m_partial = DecisionTreeClassifier(random_state=0).fit(
+            X_tr[only0], y_tr[only0]
+        )
+        m_full = LogisticRegression().fit(X_tr, y_tr)
+        ens = CaruanaEnsemble(max_rounds=5).fit(
+            [m_partial, m_full], X_val, y_val
+        )
+        proba = ens.predict_proba(X_val)
+        assert proba.shape == (len(X_val), 2)
+
+
+class TestBagging:
+    def test_oof_shape_and_coverage(self, split_binary_module):
+        X_tr, _, y_tr, _ = split_binary_module
+        bag = BaggedModel(
+            DecisionTreeClassifier(max_depth=3, random_state=0),
+            n_folds=4, random_state=0,
+        ).fit(X_tr, y_tr)
+        assert bag.oof_proba_.shape == (len(y_tr), 2)
+        # every row received an out-of-fold prediction
+        assert np.all(bag.oof_proba_.sum(axis=1) > 0.99)
+
+    def test_one_model_per_fold(self, split_binary_module):
+        X_tr, _, y_tr, _ = split_binary_module
+        bag = BaggedModel(GaussianNB(), n_folds=5).fit(X_tr, y_tr)
+        assert len(bag.fold_models_) == 5
+        assert len(bag.ensemble_members) == 5
+
+    def test_refit_collapses_to_single_model(self, split_binary_module):
+        """Figure 6's AutoGluon refit: bag -> one model -> ~k-fold less
+        inference energy."""
+        X_tr, _, y_tr, _ = split_binary_module
+        bag = BaggedModel(
+            DecisionTreeClassifier(max_depth=4, random_state=0), n_folds=5
+        ).fit(X_tr, y_tr)
+        flops_before = bag.inference_flops(100)
+        bag.refit(X_tr, y_tr)
+        assert bag.is_refit
+        assert len(bag.ensemble_members) == 1
+        assert bag.inference_flops(100) < flops_before / 2
+
+    def test_refit_preserves_predict_interface(self, split_binary_module):
+        X_tr, X_te, y_tr, y_te = split_binary_module
+        bag = BaggedModel(GaussianNB(), n_folds=3).fit(X_tr, y_tr)
+        bag.refit(X_tr, y_tr)
+        assert balanced_accuracy_score(y_te, bag.predict(X_te)) > 0.6
+
+    def test_invalid_folds(self):
+        with pytest.raises(ValueError):
+            BaggedModel(GaussianNB(), n_folds=1)
+
+    def test_bagged_accuracy_reasonable(self, split_binary_module):
+        X_tr, X_te, y_tr, y_te = split_binary_module
+        bag = BaggedModel(
+            DecisionTreeClassifier(max_depth=4, random_state=0), n_folds=4
+        ).fit(X_tr, y_tr)
+        assert balanced_accuracy_score(y_te, bag.predict(X_te)) > 0.7
+
+
+class TestStacking:
+    def _stack(self, X_tr, y_tr, **kw):
+        base = [
+            ("tree", DecisionTreeClassifier(max_depth=4, random_state=0)),
+            ("nb", GaussianNB()),
+            ("lr", LogisticRegression()),
+        ]
+        return StackingEnsemble(base, n_folds=3, **kw).fit(X_tr, y_tr)
+
+    def test_two_layers_built(self, split_binary_module):
+        X_tr, _, y_tr, _ = split_binary_module
+        stack = self._stack(X_tr, y_tr)
+        assert len(stack.layer1_) == 3
+        assert 1 <= len(stack.layer2_) <= 3
+
+    def test_accuracy(self, split_binary_module):
+        X_tr, X_te, y_tr, y_te = split_binary_module
+        stack = self._stack(X_tr, y_tr)
+        assert balanced_accuracy_score(y_te, stack.predict(X_te)) > 0.75
+
+    def test_inference_flops_counts_both_layers(self, split_binary_module):
+        """O1: stacking carries every fold model of every layer."""
+        X_tr, _, y_tr, _ = split_binary_module
+        stack = self._stack(X_tr, y_tr)
+        layer1 = sum(b.inference_flops(100) for b in stack.layer1_)
+        assert stack.inference_flops(100) > layer1
+
+    def test_no_stacking_mode(self, split_binary_module):
+        X_tr, _, y_tr, _ = split_binary_module
+        stack = self._stack(X_tr, y_tr, use_stacking=False)
+        assert stack.layer2_ == []
+        assert stack.final_models == stack.layer1_
+
+    def test_refit_shrinks_members(self, split_binary_module):
+        X_tr, _, y_tr, _ = split_binary_module
+        stack = self._stack(X_tr, y_tr)
+        n_before = len(stack.ensemble_members)
+        stack.refit(X_tr, y_tr)
+        assert len(stack.ensemble_members) < n_before
+
+    def test_budget_cuts_layer1(self, split_binary_module):
+        X_tr, _, y_tr, _ = split_binary_module
+        base = [
+            ("t1", DecisionTreeClassifier(max_depth=4, random_state=0)),
+            ("t2", DecisionTreeClassifier(max_depth=5, random_state=1)),
+            ("t3", DecisionTreeClassifier(max_depth=6, random_state=2)),
+        ]
+        stack = StackingEnsemble(
+            base, n_folds=3, min_layer1=1, random_state=0
+        ).fit(X_tr, y_tr, budget_left=lambda: -1.0)
+        assert len(stack.layer1_) == 1   # only the mandatory minimum
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(ValueError):
+            StackingEnsemble([])

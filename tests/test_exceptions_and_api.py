@@ -1,0 +1,75 @@
+"""Exception hierarchy and public-API surface checks."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        for exc in (
+            exceptions.NotFittedError,
+            exceptions.BudgetExhaustedError,
+            exceptions.ConfigurationError,
+            exceptions.ConstraintViolationError,
+            exceptions.DatasetError,
+            exceptions.TrialPruned,
+        ):
+            assert issubclass(exc, exceptions.ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(exceptions.ReproError, Exception)
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.datasets
+        import repro.energy
+        import repro.ensemble
+        import repro.experiments
+        import repro.hpo
+        import repro.metalearning
+        import repro.metrics
+        import repro.models
+        import repro.pipeline
+        import repro.preprocessing
+        import repro.systems
+        import repro.utils
+
+        for module in (
+            repro.analysis, repro.datasets, repro.energy, repro.ensemble,
+            repro.experiments, repro.hpo, repro.metalearning, repro.metrics,
+            repro.models, repro.pipeline, repro.preprocessing, repro.systems,
+            repro.utils,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_public_callables_documented(self):
+        """Every public class/function in the top-level API has a docstring."""
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name} lacks a docstring"
+
+    def test_every_module_documented(self):
+        import pkgutil
+
+        import repro as pkg
+
+        for info in pkgutil.walk_packages(pkg.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue   # importing it runs the CLI
+            module = __import__(info.name, fromlist=["_"])
+            assert module.__doc__, f"{info.name} lacks a module docstring"

@@ -1,0 +1,103 @@
+"""Failure injection: AutoML systems must survive crashing pipelines,
+degenerate data and hostile configurations — crashed evaluations count as
+failures, never as silent wins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.hpo.bo import BayesianOptimizer
+from repro.pipeline import build_space
+from repro.systems import CamlSystem, FlamlSystem
+from repro.systems.base import PipelineEvaluator
+
+FAST = dict(time_scale=0.004, random_state=0)
+
+
+class TestCrashingPipelines:
+    def test_bo_survives_crashing_objective(self):
+        space = build_space(["gaussian_nb", "decision_tree"])
+        opt = BayesianOptimizer(space, n_init=3, random_state=0)
+        for i in range(12):
+            config = opt.ask()
+            if config["classifier"] == "gaussian_nb":
+                opt.tell(config, float("nan"))   # simulated crash
+            else:
+                opt.tell(config, 0.7)
+        # crashed configs are recorded as failures, best is a real score
+        assert opt.best.score == pytest.approx(0.7)
+
+    def test_caml_survives_exploding_feature_values(self):
+        X, y = make_classification(200, 6, 2, random_state=0)
+        X[0, 0] = 1e308   # near-overflow value
+        X[1, 1] = -1e308
+        system = CamlSystem(**FAST)
+        system.fit(X, y, budget_s=10)
+        assert system.predict(X[:5]).shape == (5,)
+
+    def test_evaluator_charges_crashed_evaluations(self, binary_data):
+        X, y = binary_data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        with pytest.raises(Exception):
+            ev.evaluate_config({"classifier": "no-such-model"})
+        # the config never became a model, so nothing was stored
+        assert ev.models == []
+
+
+class TestDegenerateData:
+    def test_constant_features(self):
+        X = np.ones((120, 5))
+        y = np.array([0, 1] * 60)
+        system = FlamlSystem(**FAST)
+        system.fit(X, y, budget_s=10)
+        # nothing to learn: accuracy ~ chance, but no crash
+        assert system.predict(X).shape == (120,)
+
+    def test_tiny_dataset(self):
+        X, y = make_classification(24, 3, 2, random_state=1)
+        system = CamlSystem(**FAST)
+        system.fit(X, y, budget_s=10)
+        assert set(system.predict(X)).issubset({0, 1})
+
+    def test_many_classes_few_rows(self):
+        X, y = make_classification(80, 5, 8, random_state=2)
+        system = CamlSystem(**FAST)
+        system.fit(X, y, budget_s=20)
+        assert system.score(X, y) > 1.0 / 8
+
+    def test_single_feature(self):
+        X, y = make_classification(150, 1, 2, n_informative=1,
+                                   random_state=3)
+        system = FlamlSystem(**FAST)
+        system.fit(X, y, budget_s=10)
+        assert system.predict(X).shape == (150,)
+
+    def test_heavy_imbalance(self):
+        X, y = make_classification(300, 6, 2, imbalance=0.85,
+                                   random_state=4)
+        system = CamlSystem(**FAST)
+        system.fit(X, y, budget_s=15)
+        # balanced accuracy must beat the all-majority baseline (0.5)
+        assert system.score(X, y) > 0.5
+
+
+class TestHostileConfigurations:
+    def test_zero_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            CamlSystem(time_scale=0.0)
+
+    def test_nan_labels_rejected(self, binary_data):
+        X, y = binary_data
+        system = CamlSystem(**FAST)
+        with pytest.raises(Exception):
+            system.fit(X, np.full(len(y), np.nan), budget_s=10)
+
+    def test_mismatched_lengths_fail_loudly(self, binary_data):
+        X, y = binary_data
+        from repro.exceptions import BudgetExhaustedError, ReproError
+
+        system = CamlSystem(**FAST)
+        # every candidate evaluation fails, so the search must report a
+        # budget-exhausted error rather than silently deploying nothing
+        with pytest.raises((ValueError, ReproError, BudgetExhaustedError)):
+            system.fit(X, y[:-5], budget_s=10)

@@ -1,0 +1,239 @@
+"""HPO engines: random search, BO, successive halving, pruning, NSGA-II."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrialPruned
+from repro.hpo import (
+    BayesianOptimizer,
+    Individual,
+    MedianPruner,
+    NSGAII,
+    RandomSearch,
+    SuccessiveHalving,
+    crowding_distance,
+    dominates,
+    fast_non_dominated_sort,
+    fidelity_schedule,
+    stratified_subset,
+)
+from repro.pipeline import Categorical, ConfigSpace, Float
+
+
+def quad_space():
+    space = ConfigSpace()
+    space.add(Float("x", -2.0, 2.0))
+    space.add(Float("y", -2.0, 2.0))
+    return space
+
+
+def quad_score(config):
+    # maximum (=0) at x=1, y=-0.5
+    return -((config["x"] - 1.0) ** 2) - (config["y"] + 0.5) ** 2
+
+
+class TestRandomSearch:
+    def test_finds_decent_point(self):
+        rs = RandomSearch(quad_space(), random_state=0)
+        for _ in range(60):
+            c = rs.ask()
+            rs.tell(c, quad_score(c))
+        assert rs.best.score > -0.5
+
+    def test_best_none_before_tell(self):
+        assert RandomSearch(quad_space()).best is None
+
+
+class TestBayesianOptimizer:
+    def test_beats_random_on_budget(self):
+        def run(opt_cls, seed, **kw):
+            opt = opt_cls(quad_space(), random_state=seed, **kw)
+            for _ in range(35):
+                c = opt.ask()
+                opt.tell(c, quad_score(c))
+            return opt.best.score
+
+        bo_scores = [run(BayesianOptimizer, s, n_init=8) for s in range(3)]
+        rs_scores = [run(RandomSearch, s) for s in range(3)]
+        assert np.mean(bo_scores) >= np.mean(rs_scores) - 0.05
+
+    def test_warm_start_evaluated_first(self):
+        opt = BayesianOptimizer(quad_space(), n_init=5, random_state=0)
+        warm = [{"x": 1.0, "y": -0.5}]
+        opt.warm_start(warm)
+        assert opt.ask() == warm[0]
+
+    def test_nan_score_treated_as_failure(self):
+        opt = BayesianOptimizer(quad_space(), n_init=2, random_state=0)
+        c = opt.ask()
+        opt.tell(c, float("nan"))
+        assert opt.trials[0].score == -1.0
+
+    def test_invalid_n_init(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(quad_space(), n_init=0)
+
+    def test_surrogate_phase_produces_valid_configs(self):
+        space = quad_space()
+        opt = BayesianOptimizer(space, n_init=3, random_state=1)
+        for _ in range(10):
+            c = opt.ask()
+            space.validate(c)
+            opt.tell(c, quad_score(c))
+
+    def test_conditional_space_supported(self):
+        space = ConfigSpace()
+        space.add(Categorical("algo", ("a", "b")))
+        space.add(Float("p", 0.0, 1.0))
+        space.add_condition("p", "algo", ("a",))
+        opt = BayesianOptimizer(space, n_init=4, random_state=0)
+        for _ in range(12):
+            c = opt.ask()
+            score = c.get("p", 0.5)
+            opt.tell(c, score)
+        assert opt.best.score > 0.5
+
+
+class TestSuccessiveHalving:
+    def test_fidelity_schedule_geometric(self):
+        sizes = fidelity_schedule(1000, n_classes=2, base_per_class=10)
+        assert sizes[0] == 20
+        assert sizes[-1] == 1000
+        assert all(b > a for a, b in zip(sizes, sizes[1:]))
+
+    def test_fidelity_schedule_small_data(self):
+        assert fidelity_schedule(15, n_classes=2) == [15]
+
+    def test_fidelity_schedule_invalid(self):
+        with pytest.raises(ValueError):
+            fidelity_schedule(0, 2)
+        with pytest.raises(ValueError):
+            fidelity_schedule(10, 2, eta=1)
+
+    def test_stratified_subset_balanced(self):
+        y = np.array([0] * 90 + [1] * 10)
+        idx = stratified_subset(y, 20, random_state=0)
+        sub = y[idx]
+        assert np.sum(sub == 1) >= 5
+
+    def test_stratified_subset_full_when_n_large(self):
+        y = np.array([0, 1] * 5)
+        assert len(stratified_subset(y, 100)) == 10
+
+    def test_halving_finds_best_candidate(self):
+        y = np.arange(64) % 2
+        candidates = [{"value": v} for v in (0.1, 0.5, 0.9, 0.3)]
+
+        def evaluate(config, idx):
+            return config["value"] + 0.001 * len(idx)
+
+        sh = SuccessiveHalving(candidates, random_state=0)
+        best, score = sh.run(y, evaluate, n_classes=2)
+        assert best["value"] == 0.9
+        assert len(sh.rungs) >= 1
+
+    def test_halving_survivors_shrink(self):
+        y = np.arange(200) % 2
+        candidates = [{"value": v} for v in np.linspace(0, 1, 8)]
+        sh = SuccessiveHalving(candidates, random_state=0)
+        sh.run(y, lambda c, idx: c["value"], n_classes=2)
+        alive_counts = [len(r.survivors) for r in sh.rungs]
+        assert alive_counts[-1] <= alive_counts[0]
+
+    def test_crashing_candidate_dropped(self):
+        y = np.arange(40) % 2
+
+        def evaluate(config, idx):
+            if config["value"] == 0.9:
+                raise RuntimeError("boom")
+            return config["value"]
+
+        sh = SuccessiveHalving(
+            [{"value": 0.9}, {"value": 0.2}], random_state=0
+        )
+        best, _ = sh.run(y, evaluate, n_classes=2)
+        assert best["value"] == 0.2
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving([])
+
+
+class TestMedianPruner:
+    def test_prunes_below_median(self):
+        pruner = MedianPruner(n_warmup_trials=2, n_warmup_steps=0)
+        # two completed good trials
+        for tid, vals in ((0, [1.0, 2.0]), (1, [1.1, 2.1])):
+            for step, v in enumerate(vals):
+                pruner.report(tid, step, v)
+            pruner.complete(tid)
+        with pytest.raises(TrialPruned):
+            pruner.report(2, 0, 0.1)
+
+    def test_no_pruning_during_warmup(self):
+        pruner = MedianPruner(n_warmup_trials=5, n_warmup_steps=0)
+        pruner.report(0, 0, -100.0)   # no peers yet: must not raise
+
+    def test_step_ordering_enforced(self):
+        pruner = MedianPruner()
+        pruner.report(0, 0, 1.0)
+        with pytest.raises(ValueError):
+            pruner.report(0, 2, 1.0)
+
+    def test_invalid_warmup(self):
+        with pytest.raises(ValueError):
+            MedianPruner(n_warmup_trials=0)
+
+
+class TestNSGAII:
+    def test_dominates(self):
+        a = Individual({}, score=1.0, complexity=1.0)
+        b = Individual({}, score=0.5, complexity=2.0)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_non_dominated_sort_fronts(self):
+        pop = [
+            Individual({}, score=1.0, complexity=1.0),
+            Individual({}, score=0.9, complexity=0.5),
+            Individual({}, score=0.1, complexity=9.0),
+        ]
+        fronts = fast_non_dominated_sort(pop)
+        assert len(fronts[0]) == 2        # the first two are Pareto-optimal
+        assert pop[2].rank == 1
+
+    def test_crowding_extremes_infinite(self):
+        front = [
+            Individual({}, score=s, complexity=c)
+            for s, c in ((0.1, 3.0), (0.5, 2.0), (0.9, 1.0))
+        ]
+        crowding_distance(front)
+        ranked = sorted(front, key=lambda i: i.score)
+        assert ranked[0].crowding == np.inf
+        assert ranked[-1].crowding == np.inf
+
+    def test_evolution_improves_population(self):
+        space = quad_space()
+        ga = NSGAII(space, population_size=10, random_state=0)
+        configs = ga.next_generation()
+        first_best = -np.inf
+        for gen in range(6):
+            evaluated = [
+                Individual(c, score=quad_score(c), complexity=1.0)
+                for c in configs
+            ]
+            if gen == 0:
+                first_best = max(i.score for i in evaluated)
+            ga.tell(evaluated)
+            configs = ga.next_generation()
+        assert ga.best.score >= first_best
+
+    def test_population_size_respected(self):
+        ga = NSGAII(quad_space(), population_size=6, random_state=0)
+        configs = ga.next_generation()
+        ga.tell([Individual(c, score=0.0, complexity=1.0) for c in configs])
+        assert len(ga.population) == 6
+
+    def test_invalid_population(self):
+        with pytest.raises(ValueError):
+            NSGAII(quad_space(), population_size=1)

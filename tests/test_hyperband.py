@@ -1,0 +1,94 @@
+"""Hyperband multi-fidelity search."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import Hyperband, bracket_schedule
+from repro.pipeline import ConfigSpace, Float
+
+
+def _space():
+    space = ConfigSpace()
+    space.add(Float("x", 0.0, 1.0))
+    return space
+
+
+class TestBracketSchedule:
+    def test_bracket_count(self):
+        brackets = bracket_schedule(243, 3, eta=3)
+        # s_max = log3(81) = 4 -> 5 brackets
+        assert len(brackets) == 5
+
+    def test_first_bracket_most_aggressive(self):
+        brackets = bracket_schedule(243, 3, eta=3)
+        assert brackets[0].n_configs >= brackets[-1].n_configs
+        assert len(brackets[0].budgets) > len(brackets[-1].budgets)
+
+    def test_budgets_increase_within_bracket(self):
+        for bracket in bracket_schedule(100, 5, eta=2):
+            assert list(bracket.budgets) == sorted(bracket.budgets)
+
+    def test_last_bracket_full_fidelity_only(self):
+        brackets = bracket_schedule(100, 5, eta=3)
+        assert brackets[-1].budgets == (1.0,)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bracket_schedule(10, 0)
+        with pytest.raises(ValueError):
+            bracket_schedule(5, 10)
+        with pytest.raises(ValueError):
+            bracket_schedule(100, 5, eta=1)
+
+
+class TestHyperband:
+    def test_finds_good_config(self):
+        y = np.arange(400) % 2
+        hb = Hyperband(_space(), min_fidelity=20, random_state=0)
+
+        def evaluate(config, idx):
+            # reward x near 0.8, with more data giving a cleaner signal
+            noise = 0.5 / np.sqrt(len(idx))
+            return -abs(config["x"] - 0.8) + noise * 0.0
+
+        result = hb.run(y, evaluate)
+        assert result.best_config is not None
+        assert abs(result.best_config["x"] - 0.8) < 0.25
+        assert result.n_evaluations > 0
+
+    def test_budget_left_stops_early(self):
+        y = np.arange(200) % 2
+        hb = Hyperband(_space(), min_fidelity=20, random_state=0)
+        calls = {"n": 0}
+
+        def evaluate(config, idx):
+            calls["n"] += 1
+            return config["x"]
+
+        budget = iter([1.0, 1.0, -1.0] + [-1.0] * 1000)
+        result = hb.run(y, evaluate, budget_left=lambda: next(budget))
+        assert calls["n"] <= 3
+
+    def test_crashing_configs_skipped(self):
+        y = np.arange(120) % 2
+        hb = Hyperband(_space(), min_fidelity=20, random_state=1)
+
+        def evaluate(config, idx):
+            if config["x"] < 0.5:
+                raise RuntimeError("boom")
+            return config["x"]
+
+        result = hb.run(y, evaluate)
+        assert result.best_config["x"] >= 0.5
+
+    def test_uses_growing_fidelities(self):
+        y = np.arange(300) % 2
+        sizes = []
+        hb = Hyperband(_space(), min_fidelity=10, random_state=2)
+
+        def evaluate(config, idx):
+            sizes.append(len(idx))
+            return config["x"]
+
+        hb.run(y, evaluate)
+        assert max(sizes) > min(sizes)

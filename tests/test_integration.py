@@ -1,0 +1,199 @@
+"""Cross-module integration tests: the paper's observations O1-O4 must hold
+end-to-end on the scaled benchmark, and the campaign drivers must produce
+coherent artefacts."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import (
+    ExperimentConfig,
+    figure3,
+    figure4,
+    run_grid,
+    run_single,
+)
+from repro.experiments.campaigns import (
+    run_gpu_experiment,
+    run_inference_constraint_experiment,
+    run_parallelism_experiment,
+)
+
+FASTSCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    config = ExperimentConfig(
+        systems=("TabPFN", "CAML", "FLAML", "AutoGluon"),
+        datasets=("credit-g", "phoneme"),
+        budgets=(10.0, 60.0),
+        n_runs=2,
+        time_scale=FASTSCALE,
+    )
+    return run_grid(config)
+
+
+class TestObservationO1:
+    """Ensembling systems need >= an order of magnitude more inference
+    energy than single-model systems."""
+
+    def test_autogluon_vs_caml_inference(self, small_grid):
+        ag = small_grid.mean_over_runs(
+            "inference_kwh_per_instance", system="AutoGluon", budget=60.0)
+        caml = small_grid.mean_over_runs(
+            "inference_kwh_per_instance", system="CAML", budget=60.0)
+        assert ag > 5 * caml
+
+    def test_autogluon_many_members(self, small_grid):
+        members = [
+            r.n_ensemble_members
+            for r in small_grid.filter(system="AutoGluon").records
+        ]
+        assert min(members) >= 4
+
+
+class TestObservationO2:
+    """TabPFN is the most energy-efficient below a prediction-count
+    crossover; above it the cheap-model searchers win."""
+
+    def test_tabpfn_cheapest_execution(self, small_grid):
+        tab = small_grid.mean_over_runs(
+            "execution_kwh", system="TabPFN", budget=60.0)
+        for other in ("CAML", "FLAML", "AutoGluon"):
+            assert tab < small_grid.mean_over_runs(
+                "execution_kwh", system=other, budget=60.0)
+
+    def test_tabpfn_most_expensive_inference(self, small_grid):
+        tab = small_grid.mean_over_runs(
+            "inference_kwh_per_instance", system="TabPFN", budget=60.0)
+        for other in ("CAML", "FLAML", "AutoGluon"):
+            assert tab > small_grid.mean_over_runs(
+                "inference_kwh_per_instance", system=other, budget=60.0)
+
+    def test_crossover_exists(self, small_grid):
+        fig = figure4(small_grid)
+        assert fig.crossovers
+        n_cross = min(fig.crossovers.values())
+        assert fig.winner_at(max(n_cross / 10, 1)) == "TabPFN"
+
+
+class TestObservationO3:
+    """Inference-time constraints cut inference energy at a small accuracy
+    cost (Figure 6)."""
+
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        return run_inference_constraint_experiment(
+            datasets=("credit-g", "segment"), budgets=(30.0,), n_runs=3,
+            time_scale=FASTSCALE,
+        )
+
+    def test_caml_constraint_saves_energy(self, fig6):
+        tightest = min(
+            (lab for lab in {p.label for p in fig6.points}
+             if lab.startswith("CAML(inf")),
+        )
+        saving = fig6.saving_vs(tightest, "CAML")
+        assert saving > 0.2   # paper: up to 69%
+
+    def test_constrained_models_respect_the_limit(self, fig6):
+        from repro.energy.machines import DEFAULT_MACHINE, JOULES_PER_KWH
+
+        for p in fig6.points:
+            if not p.label.startswith("CAML(inf"):
+                continue
+            limit = float(p.label.split("<=")[1].rstrip("s)"))
+            per_inst_seconds = (
+                p.inference_kwh_per_instance * JOULES_PER_KWH
+                / DEFAULT_MACHINE.power(1)
+            )
+            assert per_inst_seconds <= limit * 1.1
+
+    def test_autogluon_refit_saves_energy(self, fig6):
+        saving = fig6.saving_vs("AutoGluon(refit)", "AutoGluon")
+        assert saving > 0.4   # paper: up to 79%
+
+    def test_refit_autogluon_still_above_plain_caml(self, fig6):
+        """Even refit AutoGluon costs more inference energy than CAML."""
+        def mean_inf(label):
+            return np.mean([
+                p.inference_kwh_per_instance for p in fig6.points
+                if p.label == label
+            ])
+
+        assert mean_inf("AutoGluon(refit)") > mean_inf("CAML")
+
+
+class TestObservationO4:
+    """Parallelism: 1 core Pareto for CAML, multi-core for AutoGluon."""
+
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_parallelism_experiment(
+            datasets=("credit-g",), budgets=(30.0,), n_runs=1,
+            core_counts=(1, 8), time_scale=FASTSCALE,
+        )
+
+    def test_caml_one_core_energy_optimal(self, fig5):
+        assert fig5.pareto_core_count("CAML") == 1
+        ratio = fig5.energy_ratio("CAML", 8)
+        assert 1.5 < ratio < 4.0   # paper: up to 2.7x
+
+    def test_autogluon_multicore_energy_optimal(self, fig5):
+        assert fig5.pareto_core_count("AutoGluon") == 8
+        assert fig5.energy_ratio("AutoGluon", 8) < 1.0
+
+
+class TestGpuTable3:
+    @pytest.fixture(scope="class")
+    def t3(self):
+        return run_gpu_experiment(
+            budget_s=60.0, n_runs=1, time_scale=FASTSCALE,
+        )
+
+    def test_tabpfn_inference_wins_on_gpu(self, t3):
+        row = next(r for r in t3.rows if r.system == "TabPFN")
+        assert row.inference_energy_ratio < 0.5   # paper: 0.13
+        assert row.inference_time_ratio < 0.3     # paper: 0.07
+
+    def test_autogluon_loses_on_gpu(self, t3):
+        row = next(r for r in t3.rows if r.system == "AutoGluon")
+        assert row.execution_energy_ratio > 1.0   # paper: 1.35
+        assert row.inference_energy_ratio > 1.0   # paper: 2.39
+
+
+class TestFigure3Shape:
+    def test_accuracy_grows_with_budget_for_searchers(self, small_grid):
+        fig = figure3(small_grid)
+        for system in ("CAML",):
+            accs = {
+                p.budget_s: p.balanced_accuracy
+                for p in fig.points if p.system == system
+            }
+            assert accs[60.0] >= accs[10.0] - 0.03
+
+    def test_execution_energy_grows_with_budget(self, small_grid):
+        fig = figure3(small_grid)
+        for system in ("CAML", "FLAML"):
+            kwh = {
+                p.budget_s: p.execution_kwh
+                for p in fig.points if p.system == system
+            }
+            assert kwh[60.0] > kwh[10.0]
+
+
+class TestEndToEndQuickstart:
+    """The README quickstart must work exactly as documented."""
+
+    def test_quickstart(self):
+        from repro import balanced_accuracy_score, load_dataset, make_system
+
+        ds = load_dataset("credit-g")
+        automl = make_system("CAML", random_state=0, time_scale=FASTSCALE)
+        automl.fit(ds.X_train, ds.y_train, budget_s=30,
+                   categorical_mask=ds.categorical_mask)
+        acc = balanced_accuracy_score(ds.y_test, automl.predict(ds.X_test))
+        assert acc > 0.6
+        assert automl.fit_result_.execution_kwh > 0
+        assert automl.inference_kwh_per_instance() > 0

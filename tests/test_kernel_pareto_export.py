@@ -1,0 +1,158 @@
+"""Kernel-approximation model, Pareto analysis, and raw-result export."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ParetoPoint,
+    hypervolume_2d,
+    is_pareto_optimal,
+    pareto_front,
+    store_to_points,
+)
+from repro.experiments import (
+    ResultsStore,
+    RunRecord,
+    export_aggregate_csv,
+    export_raw_csv,
+    load_raw_csv,
+)
+from repro.models import KernelApproxSVC, RBFSampler
+
+
+class TestRBFSampler:
+    def test_output_shape_and_range(self, rng):
+        X = rng.normal(0, 1, (50, 4))
+        Z = RBFSampler(n_components=16, random_state=0).fit_transform(X)
+        assert Z.shape == (50, 16)
+        # cos features scaled by sqrt(2/n)
+        assert np.abs(Z).max() <= np.sqrt(2.0 / 16) + 1e-9
+
+    def test_kernel_approximation_quality(self, rng):
+        """Inner products of features approximate the RBF kernel."""
+        X = rng.normal(0, 1, (40, 3))
+        gamma = 0.5
+        Z = RBFSampler(gamma=gamma, n_components=2048,
+                       random_state=0).fit_transform(X)
+        approx = Z @ Z.T
+        d2 = (
+            np.sum(X**2, axis=1)[:, None] - 2 * X @ X.T
+            + np.sum(X**2, axis=1)[None, :]
+        )
+        exact = np.exp(-gamma * d2)
+        assert np.abs(approx - exact).mean() < 0.05
+
+    def test_invalid_params(self, rng):
+        X = rng.normal(0, 1, (10, 2))
+        with pytest.raises(ValueError):
+            RBFSampler(n_components=0).fit(X)
+        with pytest.raises(ValueError):
+            RBFSampler(gamma=0.0).fit(X)
+
+
+class TestKernelApproxSVC:
+    def test_learns_nonlinear_boundary(self, rng):
+        X = rng.uniform(-1, 1, (500, 2))
+        y = (np.linalg.norm(X, axis=1) < 0.6).astype(int)  # circular
+        svc = KernelApproxSVC(gamma=2.0, n_components=128,
+                              random_state=0).fit(X, y)
+        assert svc.score(X, y) > 0.85
+
+    def test_inference_cost_independent_of_train_size(self, rng):
+        X = rng.normal(0, 1, (600, 4))
+        y = (X[:, 0] > 0).astype(int)
+        small = KernelApproxSVC(random_state=0).fit(X[:100], y[:100])
+        big = KernelApproxSVC(random_state=0).fit(X, y)
+        assert small.inference_flops(10) == big.inference_flops(10)
+
+    def test_proba_contract(self, split_multiclass):
+        X_tr, X_te, y_tr, _ = split_multiclass
+        svc = KernelApproxSVC(random_state=0).fit(X_tr, y_tr)
+        proba = svc.predict_proba(X_te)
+        assert proba.shape == (len(X_te), 4)
+        assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+
+class TestPareto:
+    def _points(self):
+        return [
+            ParetoPoint("cheap-weak", accuracy=0.6, energy=1.0),
+            ParetoPoint("balanced", accuracy=0.8, energy=3.0),
+            ParetoPoint("pricey-strong", accuracy=0.9, energy=10.0),
+            ParetoPoint("dominated", accuracy=0.7, energy=5.0),
+        ]
+
+    def test_front_members(self):
+        front = pareto_front(self._points())
+        labels = [p.label for p in front]
+        assert labels == ["cheap-weak", "balanced", "pricey-strong"]
+
+    def test_dominated_excluded(self):
+        assert not is_pareto_optimal("dominated", self._points())
+        assert is_pareto_optimal("balanced", self._points())
+
+    def test_dominates_semantics(self):
+        a = ParetoPoint("a", 0.8, 1.0)
+        b = ParetoPoint("b", 0.8, 2.0)
+        assert a.dominates(b)
+        assert not b.dominates(a)
+        assert not a.dominates(a)
+
+    def test_hypervolume_grows_with_better_front(self):
+        base = [ParetoPoint("x", 0.5, 5.0)]
+        better = [ParetoPoint("x", 0.9, 1.0)]
+        assert hypervolume_2d(better, ref_energy=10.0) > hypervolume_2d(
+            base, ref_energy=10.0
+        )
+
+    def test_hypervolume_empty(self):
+        assert hypervolume_2d([]) == 0.0
+
+    def test_store_to_points(self):
+        store = ResultsStore()
+        for system, acc, inf in (("CAML", 0.8, 1e-13), ("TabPFN", 0.7, 1e-11)):
+            store.add(RunRecord(
+                system=system, dataset="d", configured_seconds=10.0, seed=0,
+                balanced_accuracy=acc, execution_kwh=1e-3,
+                actual_seconds=10.0, inference_kwh_per_instance=inf,
+                inference_seconds_per_instance=1e-6,
+            ))
+        points = store_to_points(store, budget=10.0)
+        assert {p.label for p in points} == {"CAML", "TabPFN"}
+        # CAML dominates here: better accuracy AND less energy
+        assert is_pareto_optimal("CAML", points)
+        assert not is_pareto_optimal("TabPFN", points)
+
+
+class TestExport:
+    def _store(self):
+        store = ResultsStore()
+        for seed in (0, 1):
+            store.add(RunRecord(
+                system="CAML", dataset="credit-g", configured_seconds=10.0,
+                seed=seed, balanced_accuracy=0.8 + 0.01 * seed,
+                execution_kwh=1e-3, actual_seconds=10.5,
+                inference_kwh_per_instance=1e-13,
+                inference_seconds_per_instance=1e-6,
+            ))
+        return store
+
+    def test_raw_roundtrip(self, tmp_path):
+        store = self._store()
+        path = tmp_path / "raw.csv"
+        n = export_raw_csv(store, path)
+        assert n == 2
+        loaded = load_raw_csv(path)
+        assert len(loaded) == 2
+        assert loaded.records[0].system == "CAML"
+        assert loaded.records[1].balanced_accuracy == pytest.approx(0.81)
+        assert loaded.records[0].failed is False
+
+    def test_aggregate_csv(self, tmp_path):
+        store = self._store()
+        path = tmp_path / "agg.csv"
+        rows = export_aggregate_csv(store, path)
+        assert rows == 1
+        content = path.read_text()
+        assert "balanced_accuracy_mean" in content
+        assert "CAML" in content

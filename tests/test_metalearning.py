@@ -1,0 +1,152 @@
+"""KMeans, warm-start meta-database, ASKL2 portfolio."""
+
+import numpy as np
+import pytest
+
+from repro.metalearning import (
+    KMeans,
+    MetaDatabase,
+    MetaEntry,
+    Portfolio,
+    build_meta_database,
+    greedy_portfolio,
+    portfolio_from_meta_database,
+)
+from repro.pipeline import build_space
+
+
+class TestKMeans:
+    def _blobs(self, rng):
+        centers = np.array([[-5, -5], [5, 5], [5, -5]])
+        X = np.vstack([
+            rng.normal(c, 0.5, (40, 2)) for c in centers
+        ])
+        return X
+
+    def test_recovers_blobs(self, rng):
+        X = self._blobs(rng)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        # each blob should map to a single cluster
+        labels = km.labels_
+        for i in range(3):
+            blob = labels[i * 40:(i + 1) * 40]
+            assert len(np.unique(blob)) == 1
+
+    def test_centers_near_truth(self, rng):
+        X = self._blobs(rng)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        dists = []
+        for truth in ([-5, -5], [5, 5], [5, -5]):
+            d = np.min(np.linalg.norm(km.cluster_centers_ - truth, axis=1))
+            dists.append(d)
+        assert max(dists) < 1.0
+
+    def test_predict_consistent_with_fit(self, rng):
+        X = self._blobs(rng)
+        km = KMeans(n_clusters=3, random_state=0).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_inertia_decreases_with_k(self, rng):
+        X = self._blobs(rng)
+        i2 = KMeans(n_clusters=2, random_state=0).fit(X).inertia_
+        i3 = KMeans(n_clusters=3, random_state=0).fit(X).inertia_
+        assert i3 < i2
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=5).fit(np.zeros((3, 2)))
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            KMeans(n_clusters=0).fit(np.zeros((5, 2)))
+
+    def test_deterministic(self, rng):
+        X = self._blobs(rng)
+        a = KMeans(3, random_state=7).fit(X).labels_
+        b = KMeans(3, random_state=7).fit(X).labels_
+        assert np.array_equal(a, b)
+
+
+class TestMetaDatabase:
+    def _db(self):
+        space = build_space(["decision_tree", "gaussian_nb"],
+                            include_feature_preprocessors=False)
+        return build_meta_database(
+            space, n_repository_datasets=3, n_trials_per_dataset=3,
+            top_k=2, random_state=0,
+        )
+
+    def test_build_records_energy(self):
+        db = self._db()
+        assert len(db.entries) == 3
+        assert db.development_energy is not None
+        assert db.development_energy.kwh > 0
+
+    def test_entries_have_ranked_configs(self):
+        db = self._db()
+        for entry in db.entries:
+            assert 1 <= len(entry.best_configs) <= 2
+            scores = entry.best_scores
+            assert scores == sorted(scores, reverse=True)
+
+    def test_suggest_returns_configs(self, binary_data):
+        X, y = binary_data
+        db = self._db()
+        suggestions = db.suggest(X, y, n_suggestions=3)
+        assert 1 <= len(suggestions) <= 3
+        assert all("classifier" in c for c in suggestions)
+
+    def test_suggest_empty_db(self, binary_data):
+        X, y = binary_data
+        assert MetaDatabase().suggest(X, y) == []
+
+    def test_invalid_build_args(self):
+        space = build_space(["gaussian_nb"])
+        with pytest.raises(ValueError):
+            build_meta_database(space, n_repository_datasets=0)
+
+
+class TestPortfolio:
+    def test_greedy_cover_picks_complementary(self):
+        # config 0 great on dataset 0, config 1 great on dataset 1,
+        # config 2 mediocre everywhere
+        perf = np.array([
+            [1.0, 0.0, 0.4],
+            [0.0, 1.0, 0.4],
+        ])
+        configs = [{"id": i} for i in range(3)]
+        p = greedy_portfolio(perf, configs, size=2)
+        ids = {c["id"] for c in p}
+        assert ids == {0, 1}
+
+    def test_first_pick_is_best_average(self):
+        perf = np.array([
+            [0.5, 0.9],
+            [0.5, 0.8],
+        ])
+        p = greedy_portfolio(perf, [{"id": 0}, {"id": 1}], size=1)
+        assert p.configs[0]["id"] == 1
+
+    def test_size_clamped(self):
+        perf = np.ones((2, 2))
+        p = greedy_portfolio(perf, [{"id": 0}, {"id": 1}], size=10)
+        assert len(p) == 2
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            greedy_portfolio(np.ones(3), [{}], 1)
+        with pytest.raises(ValueError):
+            greedy_portfolio(np.ones((2, 2)), [{}], 1)
+        with pytest.raises(ValueError):
+            greedy_portfolio(np.ones((2, 1)), [{}], 0)
+
+    def test_portfolio_from_meta_database(self):
+        db = MetaDatabase(entries=[
+            MetaEntry("d0", np.zeros(3), [{"classifier": "a"}], [0.9]),
+            MetaEntry("d1", np.zeros(3), [{"classifier": "b"}], [0.8]),
+        ])
+        p = portfolio_from_meta_database(db, size=2)
+        assert len(p) == 2
+
+    def test_empty_database_portfolio(self):
+        assert len(portfolio_from_meta_database(MetaDatabase())) == 0

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    accuracy_score,
+    balanced_accuracy_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+)
+
+
+def test_accuracy_perfect():
+    assert accuracy_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+
+def test_accuracy_half():
+    assert accuracy_score([0, 0, 1, 1], [0, 1, 0, 1]) == 0.5
+
+
+def test_balanced_accuracy_equals_accuracy_when_balanced():
+    y = [0, 0, 1, 1]
+    p = [0, 1, 0, 1]
+    assert balanced_accuracy_score(y, p) == pytest.approx(accuracy_score(y, p))
+
+
+def test_balanced_accuracy_handles_imbalance():
+    # 9 of class 0, 1 of class 1; predicting all-zero gives bacc 0.5
+    y = [0] * 9 + [1]
+    p = [0] * 10
+    assert balanced_accuracy_score(y, p) == pytest.approx(0.5)
+
+
+def test_balanced_accuracy_multiclass():
+    y = [0, 0, 1, 1, 2, 2]
+    p = [0, 0, 1, 0, 2, 2]
+    # recalls: 1.0, 0.5, 1.0
+    assert balanced_accuracy_score(y, p) == pytest.approx(2.5 / 3)
+
+
+def test_balanced_accuracy_ignores_classes_absent_from_truth():
+    y = [0, 0, 1]
+    p = [0, 2, 1]   # class 2 never appears in y_true
+    assert balanced_accuracy_score(y, p) == pytest.approx(0.75)
+
+
+def test_metrics_reject_length_mismatch():
+    with pytest.raises(ValueError):
+        balanced_accuracy_score([0, 1], [0])
+
+
+def test_metrics_reject_empty():
+    with pytest.raises(ValueError):
+        accuracy_score([], [])
+
+
+def test_confusion_matrix_shape_and_counts():
+    cm = confusion_matrix([0, 0, 1, 2], [0, 1, 1, 2])
+    assert cm.shape == (3, 3)
+    assert cm[0, 0] == 1 and cm[0, 1] == 1
+    assert cm[1, 1] == 1 and cm[2, 2] == 1
+    assert cm.sum() == 4
+
+
+def test_confusion_matrix_custom_labels():
+    cm = confusion_matrix([0, 1], [1, 1], labels=[1, 0])
+    assert cm[1, 0] == 1  # true 0 predicted 1
+
+
+def test_f1_macro_perfect():
+    assert f1_score([0, 1, 1], [0, 1, 1]) == pytest.approx(1.0)
+
+
+def test_f1_micro_equals_accuracy_multiclass():
+    y = [0, 1, 2, 0, 1, 2]
+    p = [0, 2, 1, 0, 0, 2]
+    assert f1_score(y, p, average="micro") == pytest.approx(
+        accuracy_score(y, p)
+    )
+
+
+def test_f1_invalid_average():
+    with pytest.raises(ValueError):
+        f1_score([0, 1], [0, 1], average="weighted")
+
+
+def test_log_loss_confident_correct_is_small():
+    proba = np.array([[0.99, 0.01], [0.01, 0.99]])
+    assert log_loss([0, 1], proba) < 0.05
+
+
+def test_log_loss_confident_wrong_is_large():
+    proba = np.array([[0.01, 0.99], [0.99, 0.01]])
+    assert log_loss([0, 1], proba) > 2.0
+
+
+def test_log_loss_1d_proba_binary():
+    # 1D proba is interpreted as P(class 1)
+    val = log_loss([1, 0], np.array([0.9, 0.1]))
+    assert val == pytest.approx(-np.log(0.9), rel=1e-6)
+
+
+def test_log_loss_column_mismatch():
+    with pytest.raises(ValueError):
+        log_loss([0, 1, 2], np.ones((3, 2)) / 2)

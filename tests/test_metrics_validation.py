@@ -1,0 +1,90 @@
+import numpy as np
+import pytest
+
+from repro.metrics import KFold, StratifiedKFold, cross_val_score, train_test_split
+from repro.models import DecisionTreeClassifier
+
+
+def test_train_test_split_sizes():
+    X = np.arange(100).reshape(-1, 1).astype(float)
+    y = np.array([0, 1] * 50)
+    X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_size=0.34,
+                                              random_state=0)
+    assert len(X_te) == 34
+    assert len(X_tr) == 66
+    assert len(y_tr) == 66 and len(y_te) == 34
+
+
+def test_train_test_split_stratified_keeps_classes():
+    y = np.array([0] * 90 + [1] * 10)
+    X = np.zeros((100, 2))
+    _, _, y_tr, y_te = train_test_split(X, y, test_size=0.3, random_state=1)
+    assert set(np.unique(y_tr)) == {0, 1}
+    assert set(np.unique(y_te)) == {0, 1}
+
+
+def test_train_test_split_no_overlap():
+    X = np.arange(60).reshape(-1, 1).astype(float)
+    y = np.array([0, 1, 2] * 20)
+    X_tr, X_te, _, _ = train_test_split(X, y, random_state=2)
+    assert not set(X_tr[:, 0]) & set(X_te[:, 0])
+    assert len(X_tr) + len(X_te) == 60
+
+
+def test_train_test_split_invalid_size():
+    with pytest.raises(ValueError):
+        train_test_split(np.zeros((4, 1)), [0, 1, 0, 1], test_size=1.5)
+
+
+def test_train_test_split_unstratified():
+    X = np.arange(20).reshape(-1, 1).astype(float)
+    y = np.array([0, 1] * 10)
+    X_tr, X_te, _, _ = train_test_split(X, y, stratify=False, random_state=0)
+    assert len(X_tr) + len(X_te) == 20
+
+
+def test_kfold_covers_everything_once():
+    kf = KFold(5, random_state=0)
+    X = np.zeros((23, 2))
+    seen = []
+    for train, test in kf.split(X):
+        assert len(set(train) & set(test)) == 0
+        seen.extend(test.tolist())
+    assert sorted(seen) == list(range(23))
+
+
+def test_kfold_rejects_too_few_samples():
+    with pytest.raises(ValueError):
+        list(KFold(5).split(np.zeros((3, 1))))
+
+
+def test_kfold_rejects_bad_n_splits():
+    with pytest.raises(ValueError):
+        KFold(1)
+
+
+def test_stratified_kfold_balances_classes():
+    y = np.array([0] * 40 + [1] * 10)
+    X = np.zeros((50, 1))
+    for train, test in StratifiedKFold(5, random_state=0).split(X, y):
+        # every test fold should contain both classes
+        assert set(np.unique(y[test])) == {0, 1}
+
+
+def test_stratified_kfold_partition():
+    y = np.array([0, 1, 2] * 10)
+    X = np.zeros((30, 1))
+    seen = []
+    for train, test in StratifiedKFold(3, random_state=1).split(X, y):
+        seen.extend(test.tolist())
+    assert sorted(seen) == list(range(30))
+
+
+def test_cross_val_score_returns_per_fold(binary_data):
+    X, y = binary_data
+    scores = cross_val_score(
+        DecisionTreeClassifier(max_depth=3, random_state=0), X, y,
+        cv=StratifiedKFold(4, random_state=0),
+    )
+    assert scores.shape == (4,)
+    assert np.all(scores > 0.5)   # better than chance on separable data

@@ -1,0 +1,248 @@
+"""Linear models, naive Bayes, kNN, MLP, discriminants, dummy, base."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.metrics import balanced_accuracy_score
+from repro.models import (
+    BernoulliNB,
+    DummyClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LinearDiscriminantAnalysis,
+    LogisticRegression,
+    MLPClassifier,
+    MultinomialNB,
+    QuadraticDiscriminantAnalysis,
+    RidgeClassifier,
+    SGDClassifier,
+    clone,
+)
+
+LINEAR_FRIENDLY_MIN = 0.8
+
+
+@pytest.mark.parametrize("model", [
+    LogisticRegression(),
+    SGDClassifier(loss="hinge", random_state=0),
+    SGDClassifier(loss="log", random_state=0),
+    RidgeClassifier(),
+    GaussianNB(),
+    LinearDiscriminantAnalysis(),
+])
+def test_linear_friendly_models_on_separable_data(model, split_binary):
+    X_tr, X_te, y_tr, y_te = split_binary
+    model.fit(X_tr, y_tr)
+    assert balanced_accuracy_score(y_te, model.predict(X_te)) > LINEAR_FRIENDLY_MIN
+
+
+@pytest.mark.parametrize("model", [
+    LogisticRegression(),
+    SGDClassifier(random_state=0),
+    RidgeClassifier(),
+    GaussianNB(),
+    MultinomialNB(),
+    BernoulliNB(),
+    KNeighborsClassifier(),
+    MLPClassifier(max_iter=10, random_state=0),
+    LinearDiscriminantAnalysis(),
+    QuadraticDiscriminantAnalysis(),
+    DummyClassifier(),
+])
+def test_proba_contract(model, split_multiclass):
+    """predict_proba: right shape, normalised, classes_ aligned."""
+    X_tr, X_te, y_tr, _ = split_multiclass
+    model.fit(X_tr, y_tr)
+    proba = model.predict_proba(X_te)
+    assert proba.shape == (len(X_te), 4)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+    assert proba.min() >= -1e-12
+    preds = model.predict(X_te)
+    assert set(preds).issubset(set(model.classes_))
+
+
+@pytest.mark.parametrize("model", [
+    LogisticRegression(),
+    GaussianNB(),
+    KNeighborsClassifier(),
+    MLPClassifier(random_state=0),
+])
+def test_unfitted_raises(model):
+    with pytest.raises(NotFittedError):
+        model.predict(np.zeros((2, 3)))
+
+
+class TestLogisticRegression:
+    def test_regularisation_shrinks_weights(self, binary_data):
+        X, y = binary_data
+        tight = LogisticRegression(C=1e-3).fit(X, y)
+        loose = LogisticRegression(C=1e3).fit(X, y)
+        assert np.linalg.norm(tight.coef_) < np.linalg.norm(loose.coef_)
+
+    def test_decision_function_shape(self, split_multiclass):
+        X_tr, X_te, y_tr, _ = split_multiclass
+        lr = LogisticRegression().fit(X_tr, y_tr)
+        assert lr.decision_function(X_te).shape == (len(X_te), 4)
+
+
+class TestSGD:
+    def test_invalid_loss(self, binary_data):
+        X, y = binary_data
+        with pytest.raises(ValueError):
+            SGDClassifier(loss="squared").fit(X, y)
+
+    def test_deterministic(self, binary_data):
+        X, y = binary_data
+        a = SGDClassifier(random_state=5).fit(X, y).predict(X)
+        b = SGDClassifier(random_state=5).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+
+class TestNaiveBayes:
+    def test_gaussian_recovers_means(self, rng):
+        X0 = rng.normal(-2, 1, (100, 2))
+        X1 = rng.normal(2, 1, (100, 2))
+        X = np.vstack([X0, X1])
+        y = np.array([0] * 100 + [1] * 100)
+        nb = GaussianNB().fit(X, y)
+        assert np.allclose(nb.theta_[0], -2, atol=0.5)
+        assert np.allclose(nb.theta_[1], 2, atol=0.5)
+
+    def test_multinomial_handles_negative_inputs(self, binary_data):
+        X, y = binary_data  # contains negatives
+        nb = MultinomialNB().fit(X, y)
+        assert np.isfinite(nb.predict_proba(X)).all()
+
+    def test_bernoulli_binarises(self, rng):
+        X = rng.normal(0, 1, (200, 4))
+        y = (X[:, 0] > 0).astype(int)
+        nb = BernoulliNB().fit(X, y)
+        assert nb.score(X, y) > 0.9
+
+
+class TestKNN:
+    def test_k1_memorises_training(self, binary_data):
+        X, y = binary_data
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert knn.score(X, y) == pytest.approx(1.0)
+
+    def test_distance_weighting(self, split_binary):
+        X_tr, X_te, y_tr, y_te = split_binary
+        knn = KNeighborsClassifier(n_neighbors=9, weights="distance")
+        knn.fit(X_tr, y_tr)
+        assert balanced_accuracy_score(y_te, knn.predict(X_te)) > 0.7
+
+    def test_invalid_weights(self, binary_data):
+        X, y = binary_data
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(weights="magic").fit(X, y)
+
+    def test_invalid_k(self, binary_data):
+        X, y = binary_data
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0).fit(X, y)
+
+    def test_k_larger_than_train_clamped(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        knn = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        assert knn.predict(X).shape == (3,)
+
+    def test_inference_flops_scale_with_train_size(self, binary_data):
+        X, y = binary_data
+        small = KNeighborsClassifier().fit(X[:50], y[:50])
+        big = KNeighborsClassifier().fit(X, y)
+        assert big.inference_flops(10) > small.inference_flops(10)
+
+
+class TestMLP:
+    def test_learns_nonlinear_boundary(self, rng):
+        X = rng.uniform(-1, 1, (400, 2))
+        y = ((X[:, 0] * X[:, 1]) > 0).astype(int)  # XOR-like
+        mlp = MLPClassifier(hidden_layer_sizes=(32,), max_iter=60,
+                            random_state=0).fit(X, y)
+        assert mlp.score(X, y) > 0.85
+
+    def test_two_hidden_layers(self, binary_data):
+        X, y = binary_data
+        mlp = MLPClassifier(hidden_layer_sizes=(16, 8), max_iter=60,
+                            learning_rate=3e-3, random_state=0).fit(X, y)
+        assert mlp.score(X, y) > 0.7
+
+    def test_invalid_layer_size(self, binary_data):
+        X, y = binary_data
+        with pytest.raises(ValueError):
+            MLPClassifier(hidden_layer_sizes=(0,)).fit(X, y)
+
+    def test_deterministic(self, binary_data):
+        X, y = binary_data
+        a = MLPClassifier(max_iter=5, random_state=2).fit(X, y).predict(X)
+        b = MLPClassifier(max_iter=5, random_state=2).fit(X, y).predict(X)
+        assert np.array_equal(a, b)
+
+
+class TestDiscriminants:
+    def test_qda_beats_lda_on_unequal_covariances(self, rng):
+        X0 = rng.normal(0, 0.5, (150, 2))
+        X1 = rng.normal(0, 3.0, (150, 2))
+        X1 = X1[np.linalg.norm(X1, axis=1) > 2.0]
+        X = np.vstack([X0, X1])
+        y = np.array([0] * len(X0) + [1] * len(X1))
+        lda = LinearDiscriminantAnalysis().fit(X, y).score(X, y)
+        qda = QuadraticDiscriminantAnalysis().fit(X, y).score(X, y)
+        assert qda > lda
+
+    def test_lda_single_member_class(self):
+        X = np.array([[0.0, 0.0], [1.0, 1.0], [5.0, 5.0]])
+        y = np.array([0, 0, 1])
+        lda = LinearDiscriminantAnalysis().fit(X, y)
+        assert np.isfinite(lda.predict_proba(X)).all()
+
+
+class TestDummy:
+    def test_prior_strategy(self, binary_data):
+        X, y = binary_data
+        dummy = DummyClassifier().fit(X, y)
+        majority = np.bincount(y).argmax()
+        assert np.all(dummy.predict(X) == majority)
+
+    def test_uniform_probabilities(self, binary_data):
+        X, y = binary_data
+        dummy = DummyClassifier(strategy="uniform").fit(X, y)
+        assert np.allclose(dummy.predict_proba(X[:3]), 0.5)
+
+    def test_stratified_draws_both_classes(self, binary_data):
+        X, y = binary_data
+        dummy = DummyClassifier(strategy="stratified",
+                                random_state=0).fit(X, y)
+        assert len(set(dummy.predict(X))) == 2
+
+    def test_invalid_strategy(self, binary_data):
+        X, y = binary_data
+        with pytest.raises(ValueError):
+            DummyClassifier(strategy="best").fit(X, y)
+
+
+class TestBaseEstimator:
+    def test_get_set_params_roundtrip(self):
+        lr = LogisticRegression(C=2.0)
+        params = lr.get_params()
+        assert params["C"] == 2.0
+        lr.set_params(C=5.0)
+        assert lr.C == 5.0
+
+    def test_set_invalid_param(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().set_params(gamma=1.0)
+
+    def test_clone_is_unfitted_copy(self, binary_data):
+        X, y = binary_data
+        lr = LogisticRegression(C=3.0).fit(X, y)
+        cl = clone(lr)
+        assert cl.C == 3.0
+        with pytest.raises(NotFittedError):
+            cl.predict(X)
+
+    def test_repr_contains_params(self):
+        assert "C=2.0" in repr(LogisticRegression(C=2.0))

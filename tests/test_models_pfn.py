@@ -1,0 +1,76 @@
+"""PriorFittedNetwork — the TabPFN stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_classification
+from repro.exceptions import ConfigurationError
+from repro.models import PriorFittedNetwork
+
+
+def test_fits_small_table_well(split_binary):
+    X_tr, X_te, y_tr, y_te = split_binary
+    pfn = PriorFittedNetwork().fit(X_tr, y_tr)
+    assert pfn.score(X_te, y_te) > 0.7
+
+
+def test_rejects_more_than_10_classes():
+    X, y = make_classification(300, 6, 12, random_state=0)
+    with pytest.raises(ConfigurationError, match="10 classes"):
+        PriorFittedNetwork().fit(X, y)
+
+
+def test_accepts_exactly_10_classes():
+    X, y = make_classification(400, 8, 10, random_state=1)
+    pfn = PriorFittedNetwork().fit(X, y)
+    assert pfn.predict(X[:5]).shape == (5,)
+
+
+def test_no_training_happens_weights_are_fixed(split_binary):
+    """The 'pre-trained' weights must not depend on the data."""
+    X_tr, _, y_tr, _ = split_binary
+    a = PriorFittedNetwork().fit(X_tr, y_tr)
+    b = PriorFittedNetwork().fit(X_tr[::-1] * 3.0, y_tr[::-1])
+    for wa, wb in zip(a._weights, b._weights):
+        assert np.array_equal(wa, wb)
+
+
+def test_inference_flops_grow_with_support_size():
+    X, y = make_classification(900, 6, 2, random_state=2)
+    small = PriorFittedNetwork().fit(X[:100], y[:100])
+    big = PriorFittedNetwork().fit(X, y)
+    assert big.inference_flops(10) > small.inference_flops(10)
+
+
+def test_inference_flops_dominate_cheap_models(split_binary):
+    from repro.models import LogisticRegression
+
+    X_tr, _, y_tr, _ = split_binary
+    pfn = PriorFittedNetwork().fit(X_tr, y_tr)
+    lr = LogisticRegression().fit(X_tr, y_tr)
+    # the paper's core asymmetry: orders of magnitude more inference compute
+    assert pfn.inference_flops(100) > 100 * lr.inference_flops(100)
+
+
+def test_degrades_beyond_meta_training_domain():
+    """Outside its 1k-row training domain the prediction blends to the prior."""
+    X, y = make_classification(3000, 6, 2, class_sep=2.5, random_state=3)
+    inside = PriorFittedNetwork().fit(X[:500], y[:500])
+    outside = PriorFittedNetwork().fit(X, y)
+    p_in = inside.predict_proba(X[:100]).max(axis=1).mean()
+    p_out = outside.predict_proba(X[:100]).max(axis=1).mean()
+    assert p_out < p_in  # less confident out of domain
+
+
+def test_proba_normalised(split_multiclass):
+    X_tr, X_te, y_tr, _ = split_multiclass
+    pfn = PriorFittedNetwork().fit(X_tr, y_tr)
+    proba = pfn.predict_proba(X_te)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_wide_input_truncated():
+    X, y = make_classification(150, 10, 2, random_state=4)
+    X_wide = np.hstack([X, np.zeros((150, 200))])
+    pfn = PriorFittedNetwork(max_features=100).fit(X_wide, y)
+    assert pfn.predict(X_wide[:5]).shape == (5,)

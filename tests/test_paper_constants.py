@@ -1,0 +1,113 @@
+"""Cross-checks against numbers stated verbatim in the paper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.guideline import (
+    AMORTIZATION_RUNS,
+    SMALL_BUDGET_S,
+    TABPFN_MAX_CLASSES,
+)
+from repro.datasets.registry import DATASET_REGISTRY, DEV_POOL_SIZE, _TABLE2
+from repro.energy.co2 import CO2_KG_PER_KWH, EUR_PER_KWH
+from repro.energy.machines import XEON_GOLD_6132, XEON_T4_MACHINE
+from repro.experiments.config import PAPER_BUDGETS, PAPER_SYSTEMS
+from repro.models.pfn import MAX_CLASSES, META_TRAIN_MAX_ROWS
+from repro.pipeline.spaces import ALL_CLASSIFIERS
+from repro.systems import make_system
+
+
+class TestPaperNumbers:
+    def test_39_amlb_datasets(self):
+        """Sec 3.1: 'We evaluate all systems on the 39 datasets'."""
+        assert len(_TABLE2) == 39
+
+    def test_dev_pool_124_datasets(self):
+        """Sec 3.7: '124 binary classification datasets from OpenML'."""
+        assert DEV_POOL_SIZE == 124
+
+    def test_budgets_10s_30s_1m_5m(self):
+        """Sec 3.2: 'search times 10s, 30s, 1min, and 5min'."""
+        assert PAPER_BUDGETS == (10.0, 30.0, 60.0, 300.0)
+
+    def test_seven_benchmarked_systems(self):
+        assert len(PAPER_SYSTEMS) == 7
+
+    def test_askl_search_space_15_models(self):
+        """Sec 2.3: 'ASKL supports the search space of 15 models'."""
+        assert len(ALL_CLASSIFIERS) == 15
+
+    def test_tabpfn_10_class_limit(self):
+        """Sec 3.2: 'the official implementation of TabPFN only supports up
+        to 10 classes'."""
+        assert MAX_CLASSES == TABPFN_MAX_CLASSES == 10
+
+    def test_tabpfn_1k_row_domain(self):
+        """Sec 3.2: '(mainly developed for datasets with up to 1k
+        instances)'."""
+        assert META_TRAIN_MAX_ROWS == 1000
+
+    def test_amortization_885_runs(self):
+        """Sec 3.7: 'amortizes when the tuned AutoML system has run 885
+        times'."""
+        assert AMORTIZATION_RUNS == 885
+
+    def test_small_budget_threshold_10s(self):
+        """Sec 3.9: 'for search budgets smaller than 10s'."""
+        assert SMALL_BUDGET_S == 10.0
+
+    def test_co2_and_price_constants(self):
+        """Sec 3.6: 0.20 EUR/kWh (Eurostat) and 0.222 kg CO2/kWh
+        (Germany)."""
+        assert EUR_PER_KWH == 0.20
+        assert CO2_KG_PER_KWH == 0.222
+
+    def test_machine_shapes(self):
+        """Sec 3.1: 28-core Xeon Gold 6132; 8-core Xeon + 1x T4."""
+        assert XEON_GOLD_6132.n_cores == 28
+        assert XEON_T4_MACHINE.n_cores == 8
+        assert XEON_T4_MACHINE.gpu.name == "nvidia-t4"
+
+    def test_caml_10_random_inits(self):
+        """Sec 2.3: 'CAML first evaluates 10 random ML pipelines'."""
+        assert make_system("CAML").n_init == 10
+
+    def test_askl_min_budget_30s_tpot_1min(self):
+        """Sec 3.2: ASKL benchmarked from 30s, TPOT from 1min."""
+        assert make_system("AutoSklearn1").min_budget_s == 30.0
+        assert make_system("AutoSklearn2").min_budget_s == 30.0
+        assert make_system("TPOT").min_budget_s == 60.0
+
+    def test_askl_caruana_50_rounds(self):
+        """Sec 2.2: ensembling 'the top 50 ML pipelines' (50 greedy
+        rounds)."""
+        assert make_system("AutoSklearn1").ensemble_size == 50
+
+
+class TestTable2Verbatim:
+    @pytest.mark.parametrize("name,oml_id,rows,feats,classes", [
+        ("robert", 41165, 10000, 7200, 10),
+        ("Fashion-MNIST", 40996, 70000, 784, 10),
+        ("dionis", 41167, 416188, 60, 355),
+        ("helena", 41169, 65196, 27, 100),
+        ("airlines", 1169, 539383, 7, 2),
+        ("blood-transfusion-service-center", 1464, 748, 4, 2),
+    ])
+    def test_rows(self, name, oml_id, rows, feats, classes):
+        spec = DATASET_REGISTRY[name]
+        assert spec.openml_id == oml_id
+        assert spec.paper_instances == rows
+        assert spec.paper_features == feats
+        assert spec.paper_classes == classes
+
+    def test_feature_ordering_roughly_descending(self):
+        """Table 2 is printed in (near-)descending feature order; verify the
+        broad ordering without requiring strict sortedness (the paper's own
+        listing swaps a couple of adjacent rows, e.g. vehicle/segment)."""
+        feats = [spec[3] for spec in _TABLE2]
+        inversions = sum(
+            1 for a, b in zip(feats, feats[1:]) if b > a
+        )
+        assert feats[0] == max(feats)
+        assert feats[-1] == min(feats)
+        assert inversions <= 2

@@ -1,0 +1,45 @@
+"""The one-call paper reproduction driver."""
+
+import pytest
+
+from repro.experiments.paper import PRESETS, reproduce_paper
+
+
+def test_presets_exist():
+    assert set(PRESETS) == {"smoke", "default", "full"}
+    assert PRESETS["full"].n_runs == 10
+    assert len(PRESETS["full"].datasets) == 39
+
+
+def test_unknown_preset():
+    with pytest.raises(ValueError):
+        reproduce_paper("mega")
+
+
+@pytest.fixture(scope="module")
+def smoke():
+    return reproduce_paper("smoke", include_campaigns=False)
+
+
+def test_smoke_reproduction_sections(smoke):
+    for key in ("table1", "table2", "figure3", "figure4", "table4",
+                "table6", "table7", "dataset_level"):
+        assert key in smoke.sections, key
+
+
+def test_smoke_report_text(smoke):
+    report = smoke.report
+    assert "Figure 3" in report
+    assert "Table 4" in report
+    assert "Dataset-level" in report
+
+
+def test_smoke_store_populated(smoke):
+    # 3 systems x 2 datasets x 2 budgets x 1 run
+    assert len(smoke.store) == 12
+
+
+def test_save(tmp_path, smoke):
+    path = tmp_path / "report.txt"
+    smoke.save(path)
+    assert path.read_text().startswith("Table 1")

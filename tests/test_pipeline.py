@@ -1,0 +1,140 @@
+"""Pipeline and config -> pipeline factory tests."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, NotFittedError
+from repro.models import DecisionTreeClassifier, LogisticRegression
+from repro.pipeline import (
+    ALL_CLASSIFIERS,
+    Pipeline,
+    build_pipeline,
+    build_space,
+    clone_pipeline,
+)
+from repro.preprocessing import SelectKBest, StandardScaler
+
+
+class TestPipeline:
+    def _pipe(self):
+        return Pipeline([
+            ("scaler", StandardScaler()),
+            ("clf", LogisticRegression()),
+        ])
+
+    def test_fit_predict(self, split_binary):
+        X_tr, X_te, y_tr, y_te = split_binary
+        pipe = self._pipe().fit(X_tr, y_tr)
+        assert pipe.score(X_te, y_te) > 0.8
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Pipeline([("a", StandardScaler()), ("a", LogisticRegression())])
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            self._pipe().predict(np.zeros((2, 3)))
+
+    def test_named_steps(self):
+        pipe = self._pipe()
+        assert isinstance(pipe.named_steps["scaler"], StandardScaler)
+
+    def test_supervised_transformer_in_pipeline(self, split_binary):
+        X_tr, X_te, y_tr, y_te = split_binary
+        pipe = Pipeline([
+            ("select", SelectKBest(k=4)),
+            ("clf", LogisticRegression()),
+        ]).fit(X_tr, y_tr)
+        assert pipe.predict(X_te).shape == y_te.shape
+
+    def test_inference_flops_includes_preprocessing(self, split_binary):
+        X_tr, _, y_tr, _ = split_binary
+        pipe = self._pipe().fit(X_tr, y_tr)
+        clf_only = pipe.named_steps["clf"].inference_flops(100)
+        assert pipe.inference_flops(100) > clf_only
+
+    def test_set_params_nested(self):
+        pipe = self._pipe()
+        pipe.set_params(clf__C=9.0)
+        assert pipe.named_steps["clf"].C == 9.0
+
+    def test_set_params_invalid(self):
+        with pytest.raises(ValueError):
+            self._pipe().set_params(whatever=1)
+
+    def test_clone_pipeline_unfitted(self, split_binary):
+        X_tr, _, y_tr, _ = split_binary
+        pipe = self._pipe().fit(X_tr, y_tr)
+        fresh = clone_pipeline(pipe)
+        with pytest.raises(NotFittedError):
+            fresh.predict(X_tr)
+
+    def test_proba_normalised(self, split_multiclass):
+        X_tr, X_te, y_tr, _ = split_multiclass
+        pipe = Pipeline([
+            ("scaler", StandardScaler()),
+            ("clf", DecisionTreeClassifier(max_depth=4, random_state=0)),
+        ]).fit(X_tr, y_tr)
+        assert np.allclose(pipe.predict_proba(X_te).sum(axis=1), 1.0)
+
+
+class TestBuildPipeline:
+    @pytest.mark.parametrize("classifier", ALL_CLASSIFIERS)
+    def test_every_classifier_buildable_and_fittable(
+        self, classifier, split_binary
+    ):
+        X_tr, X_te, y_tr, y_te = split_binary
+        config = {"classifier": classifier, "imputation": "mean",
+                  "scaling": "standard"}
+        pipe = build_pipeline(config, n_features=X_tr.shape[1],
+                              random_state=0)
+        pipe.fit(X_tr, y_tr)
+        assert pipe.predict(X_te).shape == y_te.shape
+
+    def test_unknown_classifier(self):
+        with pytest.raises(ConfigurationError):
+            build_pipeline({"classifier": "svm-rbf"}, n_features=4)
+
+    def test_unknown_scaler(self):
+        with pytest.raises(ConfigurationError):
+            build_pipeline(
+                {"classifier": "gaussian_nb", "scaling": "weird"},
+                n_features=4,
+            )
+
+    def test_categorical_mask_adds_one_hot(self, split_binary):
+        X_tr, _, y_tr, _ = split_binary
+        mask = np.zeros(X_tr.shape[1], dtype=bool)
+        mask[-1] = True
+        pipe = build_pipeline(
+            {"classifier": "decision_tree"}, n_features=X_tr.shape[1],
+            categorical_mask=mask, random_state=0,
+        )
+        assert "one_hot" in pipe.named_steps
+        pipe.fit(X_tr, y_tr)
+
+    @pytest.mark.parametrize("fp", [
+        "pca", "truncated_svd", "select_k_best", "select_percentile",
+        "variance_threshold", "random_projection", "feature_agglomeration",
+        "polynomial", "quantile", "kbins",
+    ])
+    def test_every_feature_preprocessor(self, fp, split_binary):
+        X_tr, X_te, y_tr, _ = split_binary
+        config = {"classifier": "decision_tree",
+                  "feature_preprocessor": fp, "fp_fraction": 0.5}
+        pipe = build_pipeline(config, n_features=X_tr.shape[1],
+                              random_state=0)
+        pipe.fit(X_tr, y_tr)
+        assert pipe.predict(X_te).shape == (len(X_te),)
+
+    def test_none_feature_preprocessor_passthrough(self, split_binary):
+        X_tr, _, y_tr, _ = split_binary
+        pipe = build_pipeline(
+            {"classifier": "decision_tree", "feature_preprocessor": "none"},
+            n_features=X_tr.shape[1], random_state=0,
+        )
+        assert "feature_preprocessor" not in pipe.named_steps

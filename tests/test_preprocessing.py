@@ -1,0 +1,313 @@
+"""Tests for the data/feature preprocessor families."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.preprocessing import (
+    FeatureAgglomeration,
+    GaussianRandomProjection,
+    KBinsDiscretizer,
+    LabelEncoder,
+    MinMaxScaler,
+    Normalizer,
+    OneHotEncoder,
+    OrdinalEncoder,
+    PCA,
+    PolynomialFeatures,
+    QuantileTransformer,
+    RobustScaler,
+    SelectKBest,
+    SelectPercentile,
+    SimpleImputer,
+    StandardScaler,
+    TruncatedSVD,
+    VarianceThreshold,
+    f_classif,
+    mutual_info_classif,
+)
+
+
+class TestImputer:
+    def _data(self):
+        X = np.array([[1.0, 2.0], [np.nan, 4.0], [3.0, np.nan]])
+        return X
+
+    def test_mean(self):
+        out = SimpleImputer("mean").fit_transform(self._data())
+        assert out[1, 0] == pytest.approx(2.0)
+        assert out[2, 1] == pytest.approx(3.0)
+
+    def test_median(self):
+        X = np.array([[1.0], [2.0], [100.0], [np.nan]])
+        out = SimpleImputer("median").fit_transform(X)
+        assert out[3, 0] == pytest.approx(2.0)
+
+    def test_most_frequent(self):
+        X = np.array([[1.0], [1.0], [2.0], [np.nan]])
+        out = SimpleImputer("most_frequent").fit_transform(X)
+        assert out[3, 0] == 1.0
+
+    def test_constant(self):
+        out = SimpleImputer("constant", fill_value=-5.0).fit_transform(
+            self._data()
+        )
+        assert out[1, 0] == -5.0
+
+    def test_all_missing_column_uses_fill(self):
+        X = np.array([[np.nan], [np.nan]])
+        out = SimpleImputer("mean", fill_value=0.0).fit_transform(X)
+        assert np.all(out == 0.0)
+
+    def test_no_nan_left(self):
+        out = SimpleImputer().fit_transform(self._data())
+        assert np.isfinite(out).all()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            SimpleImputer("magic").fit(self._data())
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            SimpleImputer().transform(self._data())
+
+
+class TestScalers:
+    def test_standard_scaler_zero_mean_unit_std(self, rng):
+        X = rng.normal(5.0, 3.0, (200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standard_scaler_constant_column_safe(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_minmax_range(self, rng):
+        X = rng.normal(0, 10, (100, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 - 1e-12
+        assert Z.max() <= 1.0 + 1e-12
+
+    def test_minmax_custom_range(self, rng):
+        X = rng.normal(0, 1, (50, 2))
+        Z = MinMaxScaler(feature_range=(-1, 1)).fit_transform(X)
+        assert Z.min() == pytest.approx(-1.0)
+        assert Z.max() == pytest.approx(1.0)
+
+    def test_minmax_invalid_range(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(feature_range=(1, 0)).fit(np.zeros((3, 1)))
+
+    def test_robust_scaler_outlier_resistant(self, rng):
+        X = rng.normal(0, 1, (200, 1))
+        X[0] = 1e6
+        Z = RobustScaler().fit_transform(X)
+        # the bulk of the data should stay in a small range
+        assert np.percentile(np.abs(Z), 90) < 3.0
+
+    def test_robust_invalid_quantiles(self):
+        with pytest.raises(ValueError):
+            RobustScaler(quantile_range=(80, 20)).fit(np.zeros((5, 1)))
+
+    def test_normalizer_unit_rows(self, rng):
+        X = rng.normal(0, 5, (40, 3))
+        Z = Normalizer().fit_transform(X)
+        assert np.allclose(np.linalg.norm(Z, axis=1), 1.0)
+
+
+class TestEncoders:
+    def test_label_encoder_roundtrip(self):
+        enc = LabelEncoder().fit([5, 3, 3, 9])
+        codes = enc.transform([3, 5, 9])
+        assert codes.tolist() == [0, 1, 2]
+        assert enc.inverse_transform(codes).tolist() == [3, 5, 9]
+
+    def test_label_encoder_unseen_raises(self):
+        enc = LabelEncoder().fit([1, 2])
+        with pytest.raises(ValueError):
+            enc.transform([3])
+
+    def test_ordinal_encoder_codes(self):
+        X = np.array([[10.0], [20.0], [10.0]])
+        out = OrdinalEncoder().fit_transform(X)
+        assert out[:, 0].tolist() == [0.0, 1.0, 0.0]
+
+    def test_ordinal_encoder_unseen_is_minus_one(self):
+        enc = OrdinalEncoder().fit(np.array([[1.0], [2.0]]))
+        out = enc.transform(np.array([[3.0]]))
+        assert out[0, 0] == -1.0
+
+    def test_one_hot_width(self):
+        X = np.array([[0.0, 1.0], [1.0, 2.0], [2.0, 1.0]])
+        enc = OneHotEncoder(columns=[0]).fit(X)
+        out = enc.transform(X)
+        # passthrough col 1 + 3 levels of col 0
+        assert out.shape == (3, 4)
+        assert enc.n_features_out_ == 4
+
+    def test_one_hot_unseen_category_all_zero(self):
+        X = np.array([[0.0], [1.0]])
+        enc = OneHotEncoder(columns=[0]).fit(X)
+        out = enc.transform(np.array([[7.0]]))
+        assert np.all(out == 0.0)
+
+    def test_one_hot_max_levels_bucketing(self, rng):
+        X = rng.integers(0, 40, size=(200, 1)).astype(float)
+        enc = OneHotEncoder(columns=[0], max_levels=8).fit(X)
+        assert enc.transform(X).shape[1] == 8
+
+    def test_one_hot_feature_count_guard(self):
+        enc = OneHotEncoder(columns=[0]).fit(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            enc.transform(np.zeros((3, 3)))
+
+
+class TestFeatureSelection:
+    def _supervised(self, rng):
+        X = rng.normal(0, 1, (300, 5))
+        y = (X[:, 2] > 0).astype(int)  # only column 2 is informative
+        return X, y
+
+    def test_variance_threshold_drops_constants(self):
+        X = np.column_stack([np.ones(20), np.arange(20.0)])
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape == (20, 1)
+
+    def test_variance_threshold_keeps_at_least_one(self):
+        X = np.ones((10, 3))
+        out = VarianceThreshold().fit_transform(X)
+        assert out.shape[1] == 1
+
+    def test_f_classif_finds_informative(self, rng):
+        X, y = self._supervised(rng)
+        scores = f_classif(X, y)
+        assert np.argmax(scores) == 2
+
+    def test_mutual_info_finds_informative(self, rng):
+        X, y = self._supervised(rng)
+        scores = mutual_info_classif(X, y)
+        assert np.argmax(scores) == 2
+
+    def test_select_k_best_keeps_informative(self, rng):
+        X, y = self._supervised(rng)
+        sel = SelectKBest(k=1).fit(X, y)
+        assert sel.support_[2]
+        assert sel.transform(X).shape == (300, 1)
+
+    def test_select_k_best_clamps_k(self, rng):
+        X, y = self._supervised(rng)
+        out = SelectKBest(k=99).fit_transform(X, y)
+        assert out.shape == (300, 5)
+
+    def test_select_k_best_requires_labels(self):
+        with pytest.raises(ValueError):
+            SelectKBest(k=1).fit(np.zeros((5, 2)))
+
+    def test_select_percentile(self, rng):
+        X, y = self._supervised(rng)
+        out = SelectPercentile(percentile=40).fit_transform(X, y)
+        assert out.shape == (300, 2)
+
+
+class TestDecomposition:
+    def test_pca_orthogonal_components(self, rng):
+        X = rng.normal(0, 1, (100, 6))
+        pca = PCA(n_components=3).fit(X)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(3), atol=1e-8)
+
+    def test_pca_variance_ordering(self, rng):
+        X = rng.normal(0, 1, (120, 5)) * np.array([10, 5, 2, 1, 0.5])
+        pca = PCA().fit(X)
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-9)
+
+    def test_pca_fractional_components(self, rng):
+        X = rng.normal(0, 1, (80, 6)) * np.array([10, 1, 0.1, 0.1, 0.1, 0.1])
+        pca = PCA(n_components=0.9).fit(X)
+        assert pca.components_.shape[0] <= 2
+
+    def test_pca_reconstruction_improves_with_k(self, rng):
+        X = rng.normal(0, 1, (60, 5))
+        errs = []
+        for k in (1, 5):
+            pca = PCA(n_components=k).fit(X)
+            Z = pca.transform(X)
+            recon = Z @ pca.components_ + pca.mean_
+            errs.append(np.mean((X - recon) ** 2))
+        assert errs[1] < errs[0]
+        assert errs[1] == pytest.approx(0.0, abs=1e-12)
+
+    def test_truncated_svd_shape(self, rng):
+        X = rng.normal(0, 1, (50, 8))
+        out = TruncatedSVD(n_components=3).fit_transform(X)
+        assert out.shape == (50, 3)
+
+    def test_truncated_svd_invalid(self):
+        with pytest.raises(ValueError):
+            TruncatedSVD(n_components=0).fit(np.zeros((4, 2)))
+
+    def test_random_projection_shape_and_determinism(self, rng):
+        X = rng.normal(0, 1, (40, 10))
+        a = GaussianRandomProjection(4, random_state=0).fit_transform(X)
+        b = GaussianRandomProjection(4, random_state=0).fit_transform(X)
+        assert a.shape == (40, 4)
+        assert np.array_equal(a, b)
+
+    def test_feature_agglomeration_reduces_width(self, rng):
+        X = rng.normal(0, 1, (60, 12))
+        out = FeatureAgglomeration(n_clusters=4).fit_transform(X)
+        assert out.shape == (60, 4)
+
+
+class TestDiscretization:
+    def test_quantile_transform_uniformises(self, rng):
+        X = rng.exponential(2.0, (500, 1))
+        Z = QuantileTransformer(n_quantiles=100).fit_transform(X)
+        assert Z.min() >= 0 and Z.max() <= 1
+        # roughly uniform: middle quantile near 0.5
+        assert abs(np.median(Z) - 0.5) < 0.05
+
+    def test_quantile_invalid(self):
+        with pytest.raises(ValueError):
+            QuantileTransformer(n_quantiles=1).fit(np.zeros((5, 1)))
+
+    def test_kbins_codes_range(self, rng):
+        X = rng.normal(0, 1, (200, 2))
+        Z = KBinsDiscretizer(n_bins=4).fit_transform(X)
+        assert set(np.unique(Z)).issubset({0.0, 1.0, 2.0, 3.0})
+
+    def test_kbins_invalid(self):
+        with pytest.raises(ValueError):
+            KBinsDiscretizer(n_bins=1).fit(np.zeros((5, 1)))
+
+
+class TestPolynomial:
+    def test_degree2_width(self):
+        X = np.ones((5, 3))
+        poly = PolynomialFeatures(degree=2).fit(X)
+        # 3 linear + 6 degree-2 combos with replacement
+        assert poly.n_features_out_ == 9
+
+    def test_interaction_only(self):
+        X = np.ones((5, 3))
+        poly = PolynomialFeatures(degree=2, interaction_only=True).fit(X)
+        # 3 linear + 3 pairwise
+        assert poly.n_features_out_ == 6
+
+    def test_values_correct(self):
+        X = np.array([[2.0, 3.0]])
+        out = PolynomialFeatures(degree=2).fit_transform(X)
+        assert set(np.round(out[0], 6)) == {2.0, 3.0, 4.0, 6.0, 9.0}
+
+    def test_width_cap(self, rng):
+        X = rng.normal(0, 1, (10, 40))
+        poly = PolynomialFeatures(degree=2, max_output_features=64).fit(X)
+        assert poly.n_features_out_ == 64
+
+    def test_feature_count_guard(self):
+        poly = PolynomialFeatures().fit(np.zeros((4, 2)))
+        with pytest.raises(ValueError):
+            poly.transform(np.zeros((4, 3)))

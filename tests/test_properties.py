@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.amortization import SystemEnergyProfile, crossover_point
+from repro.datasets import make_classification
+from repro.energy.machines import XEON_GOLD_6132
+from repro.metrics import balanced_accuracy_score, confusion_matrix
+from repro.pipeline import Categorical, ConfigSpace, Float, Integer
+
+# keep hypothesis fast and deterministic in CI
+FAST = settings(max_examples=30, deadline=None)
+
+
+labels = st.lists(st.integers(0, 4), min_size=1, max_size=60)
+
+
+@given(y=labels)
+@FAST
+def test_balanced_accuracy_perfect_prediction_is_one(y):
+    assert balanced_accuracy_score(y, y) == 1.0
+
+
+@given(y=labels, p=labels)
+@FAST
+def test_balanced_accuracy_bounded(y, p):
+    p = (p * ((len(y) // len(p)) + 1))[: len(y)]
+    score = balanced_accuracy_score(y, p)
+    assert 0.0 <= score <= 1.0
+
+
+@given(y=labels)
+@FAST
+def test_confusion_matrix_total_equals_samples(y):
+    p = list(reversed(y))
+    cm = confusion_matrix(y, p)
+    assert cm.sum() == len(y)
+
+
+@given(
+    y=labels.filter(lambda v: len(set(v)) >= 2),
+    shift=st.integers(1, 4),
+)
+@FAST
+def test_balanced_accuracy_permutation_invariant(y, shift):
+    """Relabelling classes consistently must not change the score."""
+    y = np.asarray(y)
+    p = np.roll(y, 1)
+    score_a = balanced_accuracy_score(y, p)
+    score_b = balanced_accuracy_score(y + 10 * shift, p + 10 * shift)
+    assert np.isclose(score_a, score_b)
+
+
+@given(
+    n=st.integers(20, 80),
+    d=st.integers(2, 8),
+    k=st.integers(2, 4),
+    seed=st.integers(0, 10_000),
+)
+@FAST
+def test_make_classification_invariants(n, d, k, seed):
+    X, y = make_classification(n, d, k, random_state=seed)
+    assert X.shape == (n, d)
+    assert np.isfinite(X).all()
+    assert set(np.unique(y)) == set(range(k))
+    counts = np.bincount(y, minlength=k)
+    assert counts.min() >= 2
+
+
+@st.composite
+def config_spaces(draw):
+    space = ConfigSpace()
+    space.add(Categorical("c", tuple(
+        draw(st.lists(st.text(min_size=1, max_size=3), min_size=2,
+                      max_size=4, unique=True))
+    )))
+    lo = draw(st.integers(0, 10))
+    hi = lo + draw(st.integers(1, 20))
+    space.add(Integer("i", lo, hi))
+    flo = draw(st.floats(0.001, 1.0))
+    space.add(Float("f", flo, flo + draw(st.floats(0.1, 5.0))))
+    return space
+
+
+@given(space=config_spaces(), seed=st.integers(0, 9999))
+@FAST
+def test_config_space_sample_validates(space, seed):
+    config = space.sample(seed)
+    space.validate(config)
+
+
+@given(space=config_spaces(), seed=st.integers(0, 9999))
+@FAST
+def test_config_space_perturb_stays_valid(space, seed):
+    rng = np.random.default_rng(seed)
+    config = space.sample(rng)
+    for _ in range(5):
+        config = space.perturb(config, rng)
+        space.validate(config)
+
+
+@given(space=config_spaces(), seed=st.integers(0, 9999))
+@FAST
+def test_config_space_encoding_in_unit_interval(space, seed):
+    vec = space.encode(space.sample(seed))
+    active = vec[vec >= 0]
+    assert np.all(active <= 1.0 + 1e-9)
+
+
+@given(
+    seconds=st.floats(0.0, 1e4),
+    cores=st.integers(1, 28),
+)
+@FAST
+def test_machine_energy_nonnegative_and_monotone(seconds, cores):
+    e = XEON_GOLD_6132.energy_kwh(seconds, cores)
+    assert e >= 0.0
+    assert XEON_GOLD_6132.energy_kwh(seconds, cores) <= (
+        XEON_GOLD_6132.energy_kwh(seconds, 28) + 1e-12
+    )
+
+
+@given(
+    exec_a=st.floats(1e-8, 1e-1),
+    inf_a=st.floats(1e-15, 1e-8),
+    exec_b=st.floats(1e-8, 1e-1),
+    inf_b=st.floats(1e-15, 1e-8),
+)
+@FAST
+def test_crossover_is_an_equality_point(exec_a, inf_a, exec_b, inf_b):
+    a = SystemEnergyProfile("a", exec_a, inf_a)
+    b = SystemEnergyProfile("b", exec_b, inf_b)
+    n = crossover_point(a, b)
+    if n is not None:
+        assert np.isclose(a.total_kwh(n), b.total_kwh(n), rtol=1e-6)
+
+
+@given(
+    n=st.integers(10, 200),
+    k=st.integers(2, 5),
+    seed=st.integers(0, 999),
+)
+@FAST
+def test_stratified_subset_preserves_all_classes(n, k, seed):
+    from repro.hpo import stratified_subset
+
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, k, size=n)
+    for c in range(k):
+        if not np.any(y == c):
+            y[c] = c   # ensure presence
+    idx = stratified_subset(y, max(2 * k, n // 3), random_state=seed)
+    assert set(np.unique(y[idx])) == set(np.unique(y))
+
+
+@given(
+    values=st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=30),
+)
+@FAST
+def test_caruana_weights_always_normalised(values):
+    """Caruana weights sum to 1 for any library of (dummy) models."""
+    from repro.ensemble import CaruanaEnsemble
+    from repro.models import DummyClassifier
+
+    X = np.arange(20, dtype=float).reshape(-1, 1)
+    y = np.array([0, 1] * 10)
+    models = [
+        DummyClassifier(strategy="prior").fit(X, y)
+        for _ in range(min(len(values), 4))
+    ]
+    ens = CaruanaEnsemble(max_rounds=5, sorted_init=2).fit(models, X, y)
+    assert np.isclose(ens.weights_.sum(), 1.0)
+
+
+@given(
+    depth=st.integers(1, 8),
+    seed=st.integers(0, 99),
+)
+@FAST
+def test_tree_probabilities_always_valid(depth, seed):
+    from repro.models import DecisionTreeClassifier
+
+    X, y = make_classification(80, 5, 3, random_state=seed)
+    tree = DecisionTreeClassifier(max_depth=depth, random_state=seed)
+    proba = tree.fit(X, y).predict_proba(X)
+    assert np.all(proba >= 0)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert tree.get_depth() <= depth

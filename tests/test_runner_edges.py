@@ -1,0 +1,47 @@
+"""Runner edge cases: failure records, GPU cells, system kwargs."""
+
+import pytest
+
+from repro.datasets import load_dataset
+from repro.experiments import run_single
+from repro.systems import CamlParameters
+
+
+def test_system_kwargs_forwarded():
+    ds = load_dataset("credit-g")
+    params = CamlParameters(classifiers=["gaussian_nb"])
+    rec = run_single(
+        "CAML", ds, 10.0, seed=0, time_scale=0.004,
+        system_kwargs={"params": params},
+    )
+    assert not rec.failed
+    assert rec.balanced_accuracy > 0.5
+
+
+def test_gpu_cell_records_flag():
+    ds = load_dataset("credit-g")
+    rec = run_single("TabPFN", ds, 10.0, seed=0, time_scale=0.004,
+                     use_gpu=True)
+    assert rec.used_gpu
+    assert rec.inference_kwh_per_instance > 0
+
+
+def test_multicore_cell_records_cores():
+    ds = load_dataset("credit-g")
+    rec = run_single("CAML", ds, 10.0, seed=0, time_scale=0.004, n_cores=4)
+    assert rec.n_cores == 4
+
+
+def test_budget_below_minimum_raises():
+    ds = load_dataset("credit-g")
+    with pytest.raises(ValueError, match="below"):
+        run_single("TPOT", ds, 10.0, seed=0, time_scale=0.004)
+
+
+def test_failure_record_scores_prior():
+    ds = load_dataset("dionis")   # >10 classes after scaling
+    rec = run_single("TabPFN", ds, 10.0, seed=0, time_scale=0.004)
+    assert rec.failed
+    assert rec.execution_kwh == 0.0
+    # prior baseline on a 12-class problem: bacc ~ 1/12
+    assert rec.balanced_accuracy < 0.3

@@ -1,0 +1,206 @@
+"""ConfigSpace framework + the concrete AutoML spaces."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.pipeline import (
+    ALL_CLASSIFIERS,
+    Categorical,
+    ConfigSpace,
+    Float,
+    Integer,
+    LIGHTWEIGHT_CLASSIFIERS,
+    build_space,
+)
+
+
+class TestHyperparameters:
+    def test_categorical_sample_in_choices(self, rng):
+        hp = Categorical("x", ("a", "b", "c"))
+        for _ in range(20):
+            assert hp.sample(rng) in ("a", "b", "c")
+
+    def test_categorical_perturb_changes_value(self, rng):
+        hp = Categorical("x", ("a", "b"))
+        assert hp.perturb("a", rng) == "b"
+
+    def test_categorical_single_choice_perturb_noop(self, rng):
+        hp = Categorical("x", ("only",))
+        assert hp.perturb("only", rng) == "only"
+
+    def test_categorical_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Categorical("x", ())
+
+    def test_categorical_encode(self):
+        hp = Categorical("x", ("a", "b", "c"))
+        assert hp.encode("a") == 0.0
+        assert hp.encode("c") == 1.0
+
+    def test_categorical_encode_unknown(self):
+        with pytest.raises(ConfigurationError):
+            Categorical("x", ("a",)).encode("z")
+
+    def test_integer_bounds(self, rng):
+        hp = Integer("n", 3, 9)
+        vals = [hp.sample(rng) for _ in range(50)]
+        assert min(vals) >= 3 and max(vals) <= 9
+
+    def test_integer_log_bounds(self, rng):
+        hp = Integer("n", 1, 1000, log=True)
+        vals = [hp.sample(rng) for _ in range(100)]
+        assert min(vals) >= 1 and max(vals) <= 1000
+        # log sampling should produce plenty of small values
+        assert sum(v < 100 for v in vals) > 30
+
+    def test_integer_invalid_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Integer("n", 5, 2)
+
+    def test_integer_log_needs_positive(self):
+        with pytest.raises(ConfigurationError):
+            Integer("n", 0, 5, log=True)
+
+    def test_integer_perturb_in_bounds(self, rng):
+        hp = Integer("n", 0, 10)
+        for _ in range(30):
+            assert 0 <= hp.perturb(5, rng) <= 10
+
+    def test_integer_encode(self):
+        hp = Integer("n", 0, 10)
+        assert hp.encode(0) == 0.0
+        assert hp.encode(10) == 1.0
+        assert hp.encode(5) == 0.5
+
+    def test_float_bounds(self, rng):
+        hp = Float("f", -1.0, 1.0)
+        vals = [hp.sample(rng) for _ in range(40)]
+        assert min(vals) >= -1.0 and max(vals) <= 1.0
+
+    def test_float_log_sampling(self, rng):
+        hp = Float("f", 1e-4, 1.0, log=True)
+        vals = [hp.sample(rng) for _ in range(100)]
+        assert all(1e-4 <= v <= 1.0 for v in vals)
+        assert sum(v < 1e-2 for v in vals) > 20
+
+    def test_float_log_needs_positive(self):
+        with pytest.raises(ConfigurationError):
+            Float("f", 0.0, 1.0, log=True)
+
+    def test_float_perturb_in_bounds(self, rng):
+        hp = Float("f", 0.0, 1.0)
+        for _ in range(30):
+            assert 0.0 <= hp.perturb(0.5, rng) <= 1.0
+
+
+class TestConfigSpace:
+    def _space(self):
+        space = ConfigSpace()
+        space.add(Categorical("model", ("tree", "linear")))
+        space.add(Integer("depth", 1, 10))
+        space.add(Float("C", 0.01, 10.0, log=True))
+        space.add_condition("depth", "model", ("tree",))
+        space.add_condition("C", "model", ("linear",))
+        return space
+
+    def test_duplicate_hp_rejected(self):
+        space = ConfigSpace()
+        space.add(Integer("a", 0, 1))
+        with pytest.raises(ConfigurationError):
+            space.add(Float("a", 0, 1))
+
+    def test_condition_unknown_names(self):
+        space = ConfigSpace()
+        space.add(Integer("a", 0, 1))
+        with pytest.raises(ConfigurationError):
+            space.add_condition("a", "missing", (1,))
+        with pytest.raises(ConfigurationError):
+            space.add_condition("missing", "a", (1,))
+
+    def test_sample_respects_conditions(self, rng):
+        space = self._space()
+        for _ in range(30):
+            config = space.sample(rng)
+            if config["model"] == "tree":
+                assert "depth" in config and "C" not in config
+            else:
+                assert "C" in config and "depth" not in config
+
+    def test_perturb_keeps_validity(self, rng):
+        space = self._space()
+        config = space.sample(rng)
+        for _ in range(20):
+            config = space.perturb(config, rng)
+            space.validate(config)
+
+    def test_encode_fixed_width(self, rng):
+        space = self._space()
+        for _ in range(10):
+            vec = space.encode(space.sample(rng))
+            assert vec.shape == (3,)
+            # inactive slots are -1
+            assert np.sum(vec == -1.0) == 1
+
+    def test_validate_rejects_out_of_bounds(self):
+        space = self._space()
+        with pytest.raises(ConfigurationError):
+            space.validate({"model": "tree", "depth": 99})
+
+    def test_validate_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            self._space().validate({"nope": 1})
+
+    def test_len(self):
+        assert len(self._space()) == 3
+
+
+class TestBuiltSpaces:
+    def test_full_space_has_15_classifiers(self):
+        space = build_space()
+        assert set(
+            space.hyperparameters["classifier"].choices
+        ) == set(ALL_CLASSIFIERS)
+        assert len(ALL_CLASSIFIERS) == 15
+
+    def test_caml_space_has_no_feature_preprocessors(self):
+        space = build_space(include_feature_preprocessors=False)
+        assert "feature_preprocessor" not in space.hyperparameters
+        assert "imputation" in space.hyperparameters
+
+    def test_flaml_space_models_only(self):
+        space = build_space(
+            LIGHTWEIGHT_CLASSIFIERS,
+            include_feature_preprocessors=False,
+            include_data_preprocessors=False,
+        )
+        assert "scaling" not in space.hyperparameters
+        assert set(space.hyperparameters["classifier"].choices) == set(
+            LIGHTWEIGHT_CLASSIFIERS
+        )
+
+    def test_unknown_classifier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_space(["transformer-xxl"])
+
+    def test_samples_are_buildable(self, rng, split_binary):
+        from repro.pipeline import build_pipeline
+
+        X_tr, _, y_tr, _ = split_binary
+        space = build_space()
+        for _ in range(10):
+            config = space.sample(rng)
+            pipe = build_pipeline(config, n_features=X_tr.shape[1],
+                                  random_state=0)
+            pipe.fit(X_tr[:60], y_tr[:60])
+
+    def test_conditional_params_only_for_their_model(self, rng):
+        space = build_space()
+        for _ in range(40):
+            config = space.sample(rng)
+            if config["classifier"] != "mlp":
+                assert "mlp_hidden" not in config
+            if config["classifier"] not in (
+                "decision_tree", "random_forest", "extra_trees"
+            ):
+                assert "max_depth" not in config

@@ -1,0 +1,131 @@
+"""systems.base internals: Deadline, PipelineEvaluator, FitResult."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetExhaustedError
+from repro.systems.base import Deadline, FitResult, PipelineEvaluator
+
+
+class TestDeadline:
+    def test_left_decreases(self):
+        deadline = Deadline(1.0)
+        first = deadline.left()
+        time.sleep(0.01)
+        assert deadline.left() < first
+
+    def test_expired(self):
+        deadline = Deadline(0.0)
+        time.sleep(0.001)
+        assert deadline.expired()
+
+    def test_not_expired(self):
+        assert not Deadline(10.0).expired()
+
+    def test_elapsed_nonnegative(self):
+        assert Deadline(1.0).elapsed() >= 0.0
+
+
+class TestFitResult:
+    def _result(self, configured=10.0, actual=12.0):
+        return FitResult(
+            system="X", configured_seconds=configured,
+            actual_seconds=actual, execution_kwh=1e-3,
+            n_evaluations=5, best_val_score=0.8,
+        )
+
+    def test_overrun_ratio(self):
+        assert self._result().overrun_ratio == pytest.approx(1.2)
+
+    def test_overrun_zero_budget(self):
+        assert self._result(configured=0.0).overrun_ratio == 1.0
+
+
+class TestPipelineEvaluator:
+    @pytest.fixture
+    def data(self, binary_data):
+        return binary_data
+
+    def test_basic_evaluation(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        score, pipe = ev.evaluate_config(
+            {"classifier": "gaussian_nb"})
+        assert 0.0 <= score <= 1.0
+        assert ev.n_evaluations == 1
+        assert len(ev.models) == 1
+
+    def test_keep_false_does_not_store(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        ev.evaluate_config({"classifier": "gaussian_nb"}, keep=False)
+        assert ev.models == []
+
+    def test_expired_deadline_raises(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        deadline = Deadline(0.0)
+        time.sleep(0.001)
+        with pytest.raises(BudgetExhaustedError):
+            ev.evaluate_config({"classifier": "gaussian_nb"},
+                               deadline=deadline)
+
+    def test_sample_cap_limits_training(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, sample_cap=30, random_state=0)
+        score, _ = ev.evaluate_config({"classifier": "decision_tree"})
+        assert 0.0 <= score <= 1.0
+
+    def test_resample_validation_changes_split(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, resample_validation=True,
+                               random_state=0)
+        a = ev._split()
+        b = ev._split()
+        assert not np.array_equal(a[3], b[3])
+
+    def test_fixed_validation_caches_split(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, resample_validation=False,
+                               random_state=0)
+        a = ev._split()
+        b = ev._split()
+        assert a is b
+
+    def test_invalid_holdout(self, data):
+        X, y = data
+        with pytest.raises(ValueError):
+            PipelineEvaluator(X, y, holdout_fraction=1.5)
+
+    def test_top_models_sorted(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        for clf in ("gaussian_nb", "decision_tree", "ridge"):
+            ev.evaluate_config({"classifier": clf})
+        top = ev.top_models(2)
+        assert len(top) == 2
+        scores = sorted((s for s, _ in ev.models), reverse=True)
+        best_score, best_model = ev.best
+        assert best_score == scores[0]
+
+    def test_refit_on_all_uses_everything(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        pipe = ev.refit_on_all({"classifier": "gaussian_nb"})
+        assert pipe.predict(X).shape == y.shape
+
+    def test_eval_time_cap_marks_failure(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, eval_time_cap=0.0, random_state=0)
+        score, _ = ev.evaluate_config({"classifier": "gaussian_nb"})
+        assert score == -1.0   # charged but scored as a failure
+
+    def test_train_idx_subsets(self, data):
+        X, y = data
+        ev = PipelineEvaluator(X, y, random_state=0)
+        score, _ = ev.evaluate_config(
+            {"classifier": "gaussian_nb"}, train_idx=np.arange(20),
+        )
+        assert 0.0 <= score <= 1.0

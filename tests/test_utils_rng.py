@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro.utils.rng import check_random_state, spawn_seeds
+
+
+def test_none_gives_generator():
+    assert isinstance(check_random_state(None), np.random.Generator)
+
+
+def test_int_seed_is_deterministic():
+    a = check_random_state(7).integers(0, 1000, 5)
+    b = check_random_state(7).integers(0, 1000, 5)
+    assert np.array_equal(a, b)
+
+
+def test_generator_passthrough():
+    gen = np.random.default_rng(3)
+    assert check_random_state(gen) is gen
+
+
+def test_legacy_randomstate_wrapped():
+    rs = np.random.RandomState(5)
+    assert isinstance(check_random_state(rs), np.random.Generator)
+
+
+def test_numpy_integer_accepted():
+    gen = check_random_state(np.int64(11))
+    assert isinstance(gen, np.random.Generator)
+
+
+def test_invalid_type_raises():
+    with pytest.raises(TypeError):
+        check_random_state("seed")
+
+
+def test_spawn_seeds_count_and_range():
+    seeds = spawn_seeds(0, 10)
+    assert len(seeds) == 10
+    assert all(0 <= s < 2**31 for s in seeds)
+
+
+def test_spawn_seeds_distinct():
+    seeds = spawn_seeds(1, 50)
+    assert len(set(seeds)) == 50
+
+
+def test_spawn_seeds_deterministic():
+    assert spawn_seeds(9, 4) == spawn_seeds(9, 4)

@@ -1,0 +1,43 @@
+import time
+
+import pytest
+
+from repro.utils.timer import Stopwatch, VirtualClock, WallClock
+
+
+def test_wall_clock_monotonic():
+    clock = WallClock()
+    a = clock.now()
+    b = clock.now()
+    assert b >= a
+
+
+def test_virtual_clock_scales_time():
+    clock = VirtualClock(scale=100.0)
+    t0 = clock.now()
+    time.sleep(0.02)
+    assert clock.now() - t0 >= 1.0  # 0.02s real -> >=2 budget seconds
+
+
+def test_virtual_clock_rejects_nonpositive_scale():
+    with pytest.raises(ValueError):
+        VirtualClock(scale=0.0)
+
+
+def test_virtual_clock_advance():
+    clock = VirtualClock(scale=1.0)
+    before = clock.now()
+    clock.advance(5.0)
+    assert clock.now() - before >= 5.0
+
+
+def test_virtual_clock_advance_rejects_negative():
+    with pytest.raises(ValueError):
+        VirtualClock().advance(-1.0)
+
+
+def test_stopwatch_measures_elapsed():
+    with Stopwatch() as sw:
+        time.sleep(0.01)
+    assert sw.elapsed >= 0.005
+    assert sw.cpu_elapsed >= 0.0

@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.exceptions import NotFittedError
+from repro.utils.validation import (
+    check_array,
+    check_is_fitted,
+    check_X_y,
+    column_or_1d,
+)
+
+
+def test_check_array_reshapes_1d():
+    out = check_array([1.0, 2.0, 3.0])
+    assert out.shape == (3, 1)
+
+
+def test_check_array_rejects_3d():
+    with pytest.raises(ValueError, match="2D"):
+        check_array(np.zeros((2, 2, 2)))
+
+
+def test_check_array_rejects_nan_by_default():
+    with pytest.raises(ValueError, match="NaN"):
+        check_array([[1.0, np.nan]])
+
+
+def test_check_array_allows_nan_when_asked():
+    out = check_array([[1.0, np.nan]], allow_nan=True)
+    assert np.isnan(out[0, 1])
+
+
+def test_check_array_rejects_inf():
+    with pytest.raises(ValueError):
+        check_array([[np.inf, 0.0]])
+
+
+def test_check_array_min_samples():
+    with pytest.raises(ValueError, match="sample"):
+        check_array(np.zeros((1, 3)), min_samples=2)
+
+
+def test_column_or_1d_flattens_column():
+    assert column_or_1d(np.zeros((4, 1))).shape == (4,)
+
+
+def test_column_or_1d_rejects_matrix():
+    with pytest.raises(ValueError):
+        column_or_1d(np.zeros((4, 2)))
+
+
+def test_check_X_y_length_mismatch():
+    with pytest.raises(ValueError, match="inconsistent"):
+        check_X_y(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_check_X_y_roundtrip():
+    X, y = check_X_y([[1.0], [2.0]], [0, 1])
+    assert X.shape == (2, 1)
+    assert y.shape == (2,)
+
+
+class _Obj:
+    fitted_ = None
+
+
+def test_check_is_fitted_raises():
+    with pytest.raises(NotFittedError):
+        check_is_fitted(_Obj(), "fitted_")
+
+
+def test_check_is_fitted_passes():
+    obj = _Obj()
+    obj.fitted_ = 1
+    check_is_fitted(obj, "fitted_")
+
+
+def test_check_is_fitted_string_attribute():
+    obj = _Obj()
+    obj.fitted_ = "yes"
+    check_is_fitted(obj, ["fitted_"])
