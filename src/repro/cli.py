@@ -4,7 +4,9 @@
 
     python -m repro run --system CAML --dataset credit-g --budget 30
     python -m repro grid --systems CAML FLAML --datasets credit-g kc1 \\
-        --budgets 10 30 --runs 2 --out results.json
+        --budgets 10 30 --runs 2 --out results.json \\
+        --workers 4 --cache-dir .repro-cache \\
+        --journal campaign.jsonl --resume
     python -m repro recommend --budget 300 --classes 2 --priority accuracy
     python -m repro datasets
     python -m repro systems
@@ -52,7 +54,14 @@ def _cmd_grid(args) -> int:
         n_runs=args.runs,
         time_scale=args.time_scale,
     )
-    store = run_grid(config, verbose=not args.quiet)
+    if args.resume and not args.journal:
+        print("--resume requires --journal", file=sys.stderr)
+        return 2
+    store = run_grid(
+        config, verbose=not args.quiet,
+        workers=args.workers, cache_dir=args.cache_dir,
+        resume=args.resume, journal_path=args.journal,
+    )
     if args.out:
         store.save(args.out)
         print(f"wrote {len(store)} records to {args.out}")
@@ -156,6 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
                         dest="time_scale")
     p_grid.add_argument("--out", default=None)
     p_grid.add_argument("--quiet", action="store_true")
+    p_grid.add_argument("--workers", type=int, default=1,
+                        help="process-pool size (1 = serial, identical "
+                             "results)")
+    p_grid.add_argument("--cache-dir", default=None, dest="cache_dir",
+                        help="content-addressed result cache; warm cells "
+                             "are not re-executed")
+    p_grid.add_argument("--journal", default=None,
+                        help="JSONL checkpoint log for crash-safe resume")
+    p_grid.add_argument("--resume", action="store_true",
+                        help="fold cells already in --journal into the "
+                             "results instead of re-running them")
     p_grid.set_defaults(func=_cmd_grid)
 
     p_rec = sub.add_parser("recommend",

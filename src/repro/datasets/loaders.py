@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from functools import lru_cache
 
@@ -22,10 +23,35 @@ class Dataset:
     y_train: np.ndarray
     y_test: np.ndarray
     categorical_mask: np.ndarray = field(default=None)
+    _fingerprint: str | None = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
         return self.spec.name
+
+    def fingerprint(self) -> str:
+        """Stable content digest over the materialised arrays.
+
+        Two Dataset objects fingerprint identically iff their train/test
+        partitions hold the same values in the same dtype and shape —
+        regardless of how they were produced.  Used as the dataset
+        component of runtime cache keys, so cached cell results survive
+        re-materialisation but never alias a different split or subsample.
+        """
+        if self._fingerprint is None:
+            h = hashlib.sha256()
+            h.update(self.spec.name.encode())
+            for arr in (self.X_train, self.X_test,
+                        self.y_train, self.y_test):
+                a = np.ascontiguousarray(arr)
+                h.update(str(a.dtype).encode())
+                h.update(str(a.shape).encode())
+                h.update(a.tobytes())
+            if self.categorical_mask is not None:
+                h.update(np.ascontiguousarray(
+                    self.categorical_mask).tobytes())
+            self._fingerprint = h.hexdigest()[:16]
+        return self._fingerprint
 
     @property
     def n_classes(self) -> int:

@@ -32,6 +32,7 @@ from repro.energy.parallel import (
 )
 from repro.energy.rapl import RaplCounter, RaplSample
 from repro.energy.tracker import ZERO_REPORT, EnergyReport, EnergyTracker
+from repro.energy.train_cost import FIT_OVERHEAD_SECONDS, estimate_fit_seconds
 
 __all__ = [
     "EnergyTracker",
@@ -61,4 +62,6 @@ __all__ = [
     "parallel_execution",
     "budget_bound_execution",
     "ParallelRun",
+    "estimate_fit_seconds",
+    "FIT_OVERHEAD_SECONDS",
 ]

@@ -1,0 +1,139 @@
+"""Deterministic training-cost model: simulated seconds per pipeline fit.
+
+Budget accounting used to read ``time.monotonic`` around every candidate
+evaluation, which tied the benchmark to machine speed and load: the same
+seed could afford 40 evaluations on an idle laptop and 12 on a busy CI
+runner, and CAML's strict-adherence guarantee flaked whenever one small fit
+stalled.  Instead, every fit is charged a *modelled* cost — a deterministic
+function of the model family, its size hyperparameters and the training-set
+shape — so a campaign consumes exactly the same budget on any machine.
+That determinism is also what lets the parallel campaign executor
+(:mod:`repro.runtime`) produce bit-identical results to the serial path.
+
+The coefficients below are calibrated against measured wall times of this
+package's own estimators (seconds per sample×feature cell, per ensemble
+member / epoch where applicable), so the simulated clock advances at
+roughly the rate the real one used to.  Absolute accuracy is irrelevant —
+as with the power model in :mod:`repro.energy.machines`, what matters is
+that every system is charged through the same meter.
+"""
+
+from __future__ import annotations
+
+#: fixed cost per fit call: config resolution, pipeline assembly, the
+#: validation-split predict — all the work that does not scale with data.
+FIT_OVERHEAD_SECONDS = 8e-4
+
+#: seconds per (sample × feature) cell for one "component" of the family
+#: (one tree, one boosting stage, one epoch; 1 for single-shot models).
+FAMILY_UNIT_COST = {
+    "decision_tree": 4.0e-6,
+    "random_forest": 1.3e-6,       # per tree (sqrt feature subsampling)
+    "extra_trees": 2.3e-6,         # per tree
+    "gradient_boosting": 2.7e-6,   # per boosting stage
+    "adaboost": 2.9e-7,            # per stump stage
+    "logistic_regression": 2.1e-6,
+    "sgd": 5.5e-7,
+    "ridge": 1.0e-7,
+    "gaussian_nb": 6.0e-8,
+    "multinomial_nb": 5.0e-8,
+    "bernoulli_nb": 4.0e-8,
+    "knn": 3.0e-8,                 # fit just stores the data
+    "mlp": 3.8e-8,                 # per epoch at the reference width
+    "lda": 7.5e-8,
+    "qda": 9.0e-8,
+}
+
+#: reference MLP width the per-epoch coefficient was calibrated at.
+_MLP_REFERENCE_WIDTH = 64.0
+
+#: estimator class name -> family key, for charging model instances
+#: (e.g. AutoGluon's portfolio) through the same table as config dicts.
+_CLASS_TO_FAMILY = {
+    "DecisionTreeClassifier": "decision_tree",
+    "RandomForestClassifier": "random_forest",
+    "ExtraTreesClassifier": "extra_trees",
+    "GradientBoostingClassifier": "gradient_boosting",
+    "AdaBoostClassifier": "adaboost",
+    "LogisticRegression": "logistic_regression",
+    "SGDClassifier": "sgd",
+    "RidgeClassifier": "ridge",
+    "GaussianNB": "gaussian_nb",
+    "MultinomialNB": "multinomial_nb",
+    "BernoulliNB": "bernoulli_nb",
+    "KNeighborsClassifier": "knn",
+    "MLPClassifier": "mlp",
+    "LinearDiscriminantAnalysis": "lda",
+    "QuadraticDiscriminantAnalysis": "qda",
+    "PriorFittedNetwork": "knn",   # fit stores the support set
+}
+
+#: extra multiplier on the data term for feature preprocessors that do real
+#: linear algebra; anything absent costs the default 1.0.
+_FEATURE_PREPROCESSOR_FACTOR = {
+    "none": 1.0,
+    "polynomial": 2.5,
+    "pca": 1.4,
+    "truncated_svd": 1.4,
+    "quantile": 1.3,
+    "feature_agglomeration": 1.3,
+    "kbins": 1.2,
+}
+
+#: families charged per ensemble member / iteration, with the config key
+#: and the default used by ``pipeline.spaces._make_classifier``.
+_MEMBER_KEYS = {
+    "random_forest": ("n_estimators", 50),
+    "extra_trees": ("n_estimators", 50),
+    "gradient_boosting": ("gb_n_estimators", 30),
+    "adaboost": ("ab_n_estimators", 30),
+    "mlp": ("mlp_epochs", 20),
+}
+
+
+def _config_members(family: str, config: dict) -> float:
+    if family not in _MEMBER_KEYS:
+        return 1.0
+    key, default = _MEMBER_KEYS[family]
+    members = float(config.get(key, default))
+    if family == "mlp":
+        width = float(config.get("mlp_hidden", 32))
+        layers = float(config.get("mlp_layers", 1))
+        members *= layers * width / _MLP_REFERENCE_WIDTH
+    return max(members, 1.0)
+
+
+def _estimator_members(family: str, model) -> float:
+    members = float(getattr(model, "n_estimators", 1) or 1)
+    if family == "mlp":
+        hidden = getattr(model, "hidden_layer_sizes", (32,)) or (32,)
+        members = float(getattr(model, "max_iter", 20) or 20)
+        members *= sum(hidden) / _MLP_REFERENCE_WIDTH
+    return max(members, 1.0)
+
+
+def estimate_fit_seconds(config_or_model, n_samples: int,
+                         n_features: int) -> float:
+    """Simulated seconds to fit one candidate on ``n_samples × n_features``.
+
+    ``config_or_model`` is either a search-space config dict (with a
+    ``"classifier"`` key) or an estimator instance.  Unknown families are
+    charged the median coefficient rather than rejected, so the clock always
+    advances — a search can never stall on an unchargeable candidate.
+    """
+    n_samples = max(int(n_samples), 1)
+    n_features = max(int(n_features), 1)
+    fallback = 5.0e-7
+    if isinstance(config_or_model, dict):
+        family = config_or_model.get("classifier", "")
+        unit = FAMILY_UNIT_COST.get(family, fallback)
+        members = _config_members(family, config_or_model)
+        fp = config_or_model.get("feature_preprocessor", "none")
+        factor = _FEATURE_PREPROCESSOR_FACTOR.get(fp, 1.0)
+    else:
+        family = _CLASS_TO_FAMILY.get(type(config_or_model).__name__, "")
+        unit = FAMILY_UNIT_COST.get(family, fallback)
+        members = _estimator_members(family, config_or_model)
+        factor = 1.0
+    data_term = unit * members * n_samples * n_features * factor
+    return FIT_OVERHEAD_SECONDS + data_term

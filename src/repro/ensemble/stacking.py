@@ -39,36 +39,41 @@ class StackingEnsemble(BaseEstimator, ClassifierMixin):
         self.max_layer2 = max_layer2
         self.random_state = random_state
 
-    def fit(self, X, y, *, budget_left=None):
+    def fit(self, X, y, *, budget_left=None, charge=None):
         """Fit layer by layer.
 
         ``budget_left()`` (seconds) implements AutoGluon's *soft* budget: at
         least ``min_layer1`` bags and one stacking model always train (which
         is why small budgets overrun, Table 7); beyond that, a new bag only
         starts if its projected cost fits the remaining budget.
+
+        ``charge(estimator, n_samples, n_features)`` is the caller's
+        simulated clock (see :mod:`repro.energy.train_cost`): it must charge
+        and return the modelled cost of one bag.  Projections then use those
+        deterministic costs; without it no time is booked and only
+        ``budget_left`` gates the plan.
         """
         X = np.asarray(X, dtype=float)
         y = np.asarray(y)
         self.classes_ = np.unique(y)
         self.layer1_: list[BaggedModel] = []
         oof_blocks = []
-        import time as _time
 
-        bag_times: list[float] = []
+        bag_costs: list[float] = []
         for i, (name, est) in enumerate(self.base_estimators):
             if budget_left is not None and len(self.layer1_) >= self.min_layer1:
                 projected = (
-                    sum(bag_times) / len(bag_times) if bag_times else 0.0
+                    sum(bag_costs) / len(bag_costs) if bag_costs else 0.0
                 )
                 if budget_left() < projected:
                     break
-            t0 = _time.monotonic()
             bag = BaggedModel(
                 clone(est), n_folds=self.n_folds,
                 random_state=self.random_state,
             )
             bag.fit(X, y)
-            bag_times.append(_time.monotonic() - t0)
+            if charge is not None:
+                bag_costs.append(charge(est, len(y), X.shape[1]))
             self.layer1_.append(bag)
             oof_blocks.append(bag.oof_proba_)
         self.layer2_: list[BaggedModel] = []
@@ -84,6 +89,8 @@ class StackingEnsemble(BaseEstimator, ClassifierMixin):
                     random_state=self.random_state,
                 )
                 bag.fit(X_stack, y)
+                if charge is not None:
+                    charge(est, len(y), X_stack.shape[1])
                 self.layer2_.append(bag)
         self._fitted = True
         return self

@@ -33,7 +33,7 @@ from repro.experiments.export import (
 )
 from repro.experiments.paper import PRESETS, PaperReproduction, reproduce_paper
 from repro.experiments.results import ResultsStore, RunRecord
-from repro.experiments.runner import run_grid, run_single
+from repro.experiments.runner import grid_cells, run_grid, run_single
 from repro.experiments.tables import (
     Table4,
     table1,
@@ -53,6 +53,7 @@ __all__ = [
     "BENCH_DATASETS",
     "ResultsStore",
     "RunRecord",
+    "grid_cells",
     "run_grid",
     "run_single",
     "figure3",

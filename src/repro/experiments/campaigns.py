@@ -34,20 +34,25 @@ def run_parallelism_experiment(
     n_runs: int = 2,
     time_scale: float = 0.01,
     base_seed: int = 11,
+    workers: int = 1,
 ) -> Figure5:
     """Sec 3.3's sweep: CAML and AutoGluon across 1/2/4/8 cores."""
+    from repro.runtime import CellSpec, execute_cells
+
+    cells = [
+        CellSpec(
+            system=system, dataset=ds_name, budget_s=budget,
+            seed=base_seed + 131 * run, time_scale=time_scale,
+            n_cores=cores,
+        )
+        for ds_name in datasets
+        for system in systems
+        for budget in budgets
+        for cores in core_counts
+        for run in range(n_runs)
+    ]
     store = ResultsStore()
-    for ds_name in datasets:
-        dataset = load_dataset(ds_name)
-        for system in systems:
-            for budget in budgets:
-                for cores in core_counts:
-                    for run in range(n_runs):
-                        store.add(run_single(
-                            system, dataset, budget,
-                            seed=base_seed + 131 * run,
-                            time_scale=time_scale, n_cores=cores,
-                        ))
+    store.extend(r for r in execute_cells(cells, workers=workers) if r)
     return figure5(store)
 
 
@@ -62,6 +67,7 @@ def run_inference_constraint_experiment(
     n_runs: int = 2,
     time_scale: float = 0.01,
     base_seed: int = 23,
+    workers: int = 1,
 ) -> Figure6:
     """Sec 3.4's sweep.
 
@@ -71,41 +77,47 @@ def run_inference_constraint_experiment(
     the same *relative* tightness: unconstrained CAML models land between
     ~3e-10 and ~2e-8 s/instance, and the grid cuts across that range.
     """
+    from repro.runtime import CellSpec, execute_cells
     from repro.systems.caml import CamlConstraints
 
-    points: list[Figure6Point] = []
-
-    def add_points(label: str, system_kwargs: dict, system: str):
-        for ds_name in datasets:
-            dataset = load_dataset(ds_name)
-            for budget in budgets:
-                for run in range(n_runs):
-                    rec = run_single(
-                        system, dataset, budget,
-                        seed=base_seed + 733 * run,
-                        time_scale=time_scale,
-                        system_kwargs=system_kwargs,
-                    )
-                    points.append(Figure6Point(
-                        label=label,
-                        budget_s=budget,
-                        balanced_accuracy=rec.balanced_accuracy,
-                        inference_kwh_per_instance=(
-                            rec.inference_kwh_per_instance),
-                    ))
-
-    add_points("CAML", {}, "CAML")
-    for limit in constraint_values:
-        add_points(
+    configurations: list[tuple[str, dict, str]] = [("CAML", {}, "CAML")]
+    configurations += [
+        (
             f"CAML(inf<={limit:g}s)",
             {"constraints": CamlConstraints(
                 inference_time_per_instance=limit)},
             "CAML",
         )
-    add_points("AutoGluon", {}, "AutoGluon")
-    add_points(
-        "AutoGluon(refit)", {"optimize_for_inference": True}, "AutoGluon",
-    )
+        for limit in constraint_values
+    ]
+    configurations += [
+        ("AutoGluon", {}, "AutoGluon"),
+        ("AutoGluon(refit)", {"optimize_for_inference": True}, "AutoGluon"),
+    ]
+    labels: list[str] = []
+    cells = []
+    for label, system_kwargs, system in configurations:
+        for ds_name in datasets:
+            for budget in budgets:
+                for run in range(n_runs):
+                    labels.append(label)
+                    cells.append(CellSpec(
+                        system=system, dataset=ds_name, budget_s=budget,
+                        seed=base_seed + 733 * run,
+                        time_scale=time_scale,
+                        system_kwargs=system_kwargs,
+                    ))
+    records = execute_cells(cells, workers=workers)
+    points = [
+        Figure6Point(
+            label=label,
+            budget_s=cell.budget_s,
+            balanced_accuracy=rec.balanced_accuracy,
+            inference_kwh_per_instance=rec.inference_kwh_per_instance,
+        )
+        for label, cell, rec in zip(labels, cells, records)
+        if rec is not None
+    ]
     return Figure6(points)
 
 
@@ -244,6 +256,7 @@ def run_gpu_experiment(
     n_runs: int = 2,
     time_scale: float = 0.01,
     base_seed: int = 41,
+    workers: int = 1,
 ) -> Table3:
     """Sec 3.5: run with and without the accelerator, report the quotients.
 
@@ -251,19 +264,27 @@ def run_gpu_experiment(
     quotient isolates the accelerator's effect, as in the paper.
     """
     from repro.energy.machines import XEON_T4_MACHINE
+    from repro.runtime import CellSpec, execute_cells
 
-    dataset = load_dataset(dataset_name)
-    rows = []
+    modes: list[tuple[str, str]] = []
+    specs = []
     for system in systems:
-        cells = {"cpu": [], "gpu": []}
         for mode, use_gpu in (("cpu", False), ("gpu", True)):
             for run in range(n_runs):
-                cells[mode].append(run_single(
-                    system, dataset, budget_s,
+                modes.append((system, mode))
+                specs.append(CellSpec(
+                    system=system, dataset=dataset_name, budget_s=budget_s,
                     seed=base_seed + 389 * run,
                     time_scale=time_scale, use_gpu=use_gpu,
                     system_kwargs={"machine": XEON_T4_MACHINE},
                 ))
+    records = execute_cells(specs, workers=workers)
+    rows = []
+    for system in systems:
+        cells = {"cpu": [], "gpu": []}
+        for (rec_system, mode), rec in zip(modes, records):
+            if rec_system == system and rec is not None:
+                cells[mode].append(rec)
 
         def mean(records, attr):
             return float(np.mean([getattr(r, attr) for r in records]))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.datasets.loaders import Dataset, load_dataset
+from repro.datasets.loaders import Dataset
 from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultsStore, RunRecord
@@ -86,37 +86,63 @@ def run_single(
         )
 
 
+def grid_cells(config: ExperimentConfig, *, n_cores: int = 1,
+               use_gpu: bool = False,
+               system_kwargs: dict[str, dict] | None = None) -> list:
+    """Flatten a config into cell specs, preserving the historical loop
+    order (datasets -> systems -> budgets -> runs) and seed schedule."""
+    from repro.runtime import CellSpec
+
+    system_kwargs = system_kwargs or {}
+    return [
+        CellSpec(
+            system=system_name, dataset=ds_name, budget_s=budget,
+            seed=config.base_seed + 1009 * run,
+            time_scale=config.time_scale, n_cores=n_cores,
+            use_gpu=use_gpu,
+            system_kwargs=system_kwargs.get(system_name),
+        )
+        for ds_name in config.datasets
+        for system_name in config.systems
+        for budget in config.budgets
+        for run in range(config.n_runs)
+    ]
+
+
 def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
              use_gpu: bool = False, verbose: bool = False,
-             system_kwargs: dict[str, dict] | None = None) -> ResultsStore:
-    """Run the full campaign described by ``config``."""
-    store = ResultsStore()
-    system_kwargs = system_kwargs or {}
-    for ds_name in config.datasets:
-        dataset = load_dataset(ds_name)
-        for system_name in config.systems:
-            for budget in config.budgets:
-                for run in range(config.n_runs):
-                    seed = config.base_seed + 1009 * run
-                    try:
-                        record = run_single(
-                            system_name, dataset, budget,
-                            seed=seed, time_scale=config.time_scale,
-                            n_cores=n_cores, use_gpu=use_gpu,
-                            system_kwargs=system_kwargs.get(system_name),
-                        )
-                    except ValueError as exc:
-                        # budget below the system's minimum: skip the cell,
-                        # like the paper's Figure 3 does
-                        if "does not support budgets below" in str(exc):
-                            continue
-                        raise
-                    store.add(record)
-                    if verbose:
-                        print(
-                            f"[{system_name} | {ds_name} | {budget:.0f}s "
-                            f"| run {run}] bacc="
-                            f"{record.balanced_accuracy:.3f} "
-                            f"exec={record.execution_kwh:.2e} kWh"
-                        )
-    return store
+             system_kwargs: dict[str, dict] | None = None,
+             workers: int = 1, cache_dir=None, resume: bool = False,
+             journal_path=None, progress=None) -> ResultsStore:
+    """Run the full campaign described by ``config``.
+
+    ``workers`` fans cells out over a process pool (``1`` = in-process
+    serial execution with identical results), ``cache_dir`` enables the
+    content-addressed result cache, and ``journal_path`` + ``resume``
+    give crash-safe restart from the JSONL checkpoint log.  ``progress``
+    is an optional callback receiving a
+    :class:`repro.runtime.ProgressEvent` after every finished cell.
+    """
+    from repro.runtime import CampaignExecutor, CampaignJournal, ResultCache
+
+    if resume and journal_path is None:
+        raise ValueError("resume=True requires a journal_path")
+    callback = progress
+    if callback is None and verbose:
+        def callback(event):
+            print(event.render())
+
+    executor = CampaignExecutor(
+        workers=workers,
+        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        journal=(
+            CampaignJournal(journal_path)
+            if journal_path is not None else None
+        ),
+        resume=resume,
+        progress_callback=callback,
+    )
+    return executor.run(grid_cells(
+        config, n_cores=n_cores, use_gpu=use_gpu,
+        system_kwargs=system_kwargs,
+    ))

@@ -1,0 +1,40 @@
+"""Campaign runtime: cached, journalled, parallel cell execution.
+
+The benchmark grid is a bag of independent cells (system x dataset x
+budget x seed).  This package turns the naive nested-loop runner into a
+restartable campaign engine:
+
+- :mod:`repro.runtime.cells` — the cell unit of work and its
+  content-addressed cache key;
+- :mod:`repro.runtime.cache` — an on-disk result cache so re-running a
+  campaign only executes cells whose inputs changed;
+- :mod:`repro.runtime.journal` — an append-only JSONL checkpoint log for
+  crash-safe resume;
+- :mod:`repro.runtime.progress` — throughput/ETA/energy telemetry;
+- :mod:`repro.runtime.executor` — the process-pool executor with
+  per-cell retries and failure quarantine.
+
+Because every system charges a *simulated* clock (see
+:mod:`repro.energy.train_cost`), a cell's result is a pure function of
+its spec — which is what makes both the cache and ``workers=N``
+bit-identical to the serial runner.
+"""
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.cells import CACHE_KEY_VERSION, CellSpec
+from repro.runtime.executor import CampaignExecutor, RetryPolicy, execute_cells
+from repro.runtime.journal import CampaignJournal, JournalState
+from repro.runtime.progress import ProgressEvent, ProgressTracker
+
+__all__ = [
+    "CACHE_KEY_VERSION",
+    "CellSpec",
+    "ResultCache",
+    "CampaignJournal",
+    "JournalState",
+    "ProgressEvent",
+    "ProgressTracker",
+    "CampaignExecutor",
+    "RetryPolicy",
+    "execute_cells",
+]

@@ -1,0 +1,75 @@
+"""Content-addressed on-disk cache of cell results.
+
+Keys come from :meth:`CellSpec.cache_key` (dataset fingerprint + system
++ budget + seed + scaling + kwargs digest), so a warm cache turns a
+re-run of the same campaign into pure I/O: zero cells execute.  Entries
+are sharded two hex characters deep and written atomically
+(tmp + ``os.replace``); a corrupt or truncated entry reads as a miss,
+never as an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.results import RunRecord
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ResultCache:
+    """``root/<key[:2]>/<key>.json`` store of :class:`RunRecord` payloads."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self):
+        self.root = Path(self.root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> RunRecord | None:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            record = RunRecord(**payload["record"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: RunRecord) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps({"key": key, "record": asdict(record)})
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(payload)
+        os.replace(tmp, path)
+        self.stats.writes += 1
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> None:
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)

@@ -1,0 +1,74 @@
+"""The unit of campaign work and its content-addressed identity."""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+#: bump when the meaning of a cached record changes (new RunRecord
+#: fields, changed budget semantics, ...) so stale caches go cold
+CACHE_KEY_VERSION = "cell-v1"
+
+
+def _stable_repr(obj) -> str:
+    """Deterministic, order-independent textual form for kwargs digests.
+
+    dicts are serialised in sorted key order and floats through ``repr``
+    (round-trip exact); any other object falls back to its ``repr``,
+    which for the dataclass configs used as system kwargs (machines,
+    constraint bundles) lists every field.
+    """
+    if isinstance(obj, dict):
+        inner = ",".join(
+            f"{_stable_repr(k)}:{_stable_repr(obj[k])}"
+            for k in sorted(obj, key=repr)
+        )
+        return "{" + inner + "}"
+    if isinstance(obj, (list, tuple)):
+        return "[" + ",".join(_stable_repr(v) for v in obj) + "]"
+    if isinstance(obj, (set, frozenset)):
+        return "{" + ",".join(sorted(_stable_repr(v) for v in obj)) + "}"
+    if isinstance(obj, float):
+        return repr(obj)
+    return repr(obj)
+
+
+@dataclass
+class CellSpec:
+    """One benchmark cell: everything :func:`run_single` needs.
+
+    The spec carries the dataset *name*; the executor materialises the
+    dataset and folds its :meth:`Dataset.fingerprint` into the cache key
+    so a cached result can never alias a different materialisation.
+    """
+
+    system: str
+    dataset: str
+    budget_s: float
+    seed: int
+    time_scale: float = 0.02
+    n_cores: int = 1
+    use_gpu: bool = False
+    system_kwargs: dict | None = field(default=None)
+
+    def cache_key(self, dataset_fingerprint: str) -> str:
+        """sha256 over every input that can change the cell's result."""
+        payload = "|".join((
+            CACHE_KEY_VERSION,
+            self.dataset,
+            dataset_fingerprint,
+            self.system,
+            repr(float(self.budget_s)),
+            str(int(self.seed)),
+            repr(float(self.time_scale)),
+            str(int(self.n_cores)),
+            str(bool(self.use_gpu)),
+            _stable_repr(self.system_kwargs or {}),
+        ))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def label(self) -> str:
+        return (
+            f"{self.system}|{self.dataset}|{self.budget_s:g}s"
+            f"|seed={self.seed}"
+        )

@@ -1,0 +1,356 @@
+"""The campaign executor: cache -> journal -> (pool of) workers.
+
+``workers=1`` runs cells in-process, in order — byte-for-byte the old
+serial runner.  ``workers>1`` fans cells out over a process pool;
+because every cell is a pure function of its :class:`CellSpec` (budget
+accounting runs on the simulated clock), the pooled results are
+identical to the serial ones, just reassembled into the original cell
+order.
+
+Failure handling, outermost to innermost:
+
+- a budget below the system's minimum *skips* the cell (the cell does
+  not exist in the grid, mirroring the paper's Figure 3);
+- :func:`run_single` already degrades unsupported tasks to the
+  class-prior baseline record;
+- anything escaping that (worker crash, timeout, pickling trouble) is
+  retried ``max_retries`` times with backoff, then *quarantined*: the
+  cell is recorded as a failed prior-baseline record so one pathological
+  cell cannot sink a multi-hour campaign.
+
+Per-cell timeouts are enforced in pooled mode only — a single-process
+run has no supervisor to interrupt it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+from repro.datasets.loaders import Dataset, load_dataset
+from repro.experiments.results import ResultsStore, RunRecord
+from repro.metrics.classification import balanced_accuracy_score
+from repro.models.dummy import DummyClassifier
+from repro.runtime.cells import CellSpec
+from repro.runtime.progress import ProgressTracker
+
+#: substring marking "this cell does not exist in the grid" (the system
+#: registry hides min budgets behind factory lambdas, so the exception
+#: message is the one uniform signal)
+_MIN_BUDGET_MARKER = "does not support budgets below"
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded retries with linear backoff, then quarantine."""
+
+    max_retries: int = 1
+    retry_backoff_s: float = 0.0
+    cell_timeout_s: float | None = None
+
+
+@dataclass
+class _Pending:
+    index: int
+    spec: CellSpec
+    key: str
+    attempts: int = 0
+
+
+def _baseline_record(spec: CellSpec, dataset: Dataset,
+                     note: str) -> RunRecord:
+    """Quarantine fallback: the same class-prior record run_single emits
+    for unsupported tasks, so downstream aggregation needs no new case."""
+    baseline = DummyClassifier().fit(dataset.X_train, dataset.y_train)
+    acc = balanced_accuracy_score(
+        dataset.y_test, baseline.predict(dataset.X_test)
+    )
+    return RunRecord(
+        system=spec.system,
+        dataset=spec.dataset,
+        configured_seconds=spec.budget_s,
+        seed=spec.seed,
+        balanced_accuracy=float(acc),
+        execution_kwh=0.0,
+        actual_seconds=0.0,
+        inference_kwh_per_instance=0.0,
+        inference_seconds_per_instance=0.0,
+        n_cores=spec.n_cores,
+        used_gpu=spec.use_gpu,
+        failed=True,
+        note=note,
+    )
+
+
+def _execute_cell(spec: CellSpec) -> dict:
+    """Worker entry point (module-level so it pickles).
+
+    Never raises: outcomes are tagged dicts so the parent can separate
+    'the cell is a skip' / 'the cell errored' from pool-level crashes.
+    """
+    from repro.experiments.runner import run_single
+
+    try:
+        dataset = load_dataset(spec.dataset)
+        record = run_single(
+            spec.system, dataset, spec.budget_s,
+            seed=spec.seed, time_scale=spec.time_scale,
+            n_cores=spec.n_cores, use_gpu=spec.use_gpu,
+            system_kwargs=spec.system_kwargs,
+        )
+    except ValueError as exc:
+        if _MIN_BUDGET_MARKER in str(exc):
+            return {"status": "skip", "note": str(exc), "pid": os.getpid()}
+        return {
+            "status": "error", "error": traceback.format_exc(),
+            "pid": os.getpid(),
+        }
+    except Exception:
+        return {
+            "status": "error", "error": traceback.format_exc(),
+            "pid": os.getpid(),
+        }
+    from dataclasses import asdict
+
+    return {"status": "ok", "record": asdict(record), "pid": os.getpid()}
+
+
+class CampaignExecutor:
+    """Runs a list of cells through cache, journal and workers."""
+
+    def __init__(self, *, workers: int = 1, cache=None, journal=None,
+                 resume: bool = False, policy: RetryPolicy | None = None,
+                 progress_callback=None):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.cache = cache
+        self.journal = journal
+        self.resume = resume
+        self.policy = policy or RetryPolicy()
+        self.progress_callback = progress_callback
+        self.tracker: ProgressTracker | None = None
+
+    # -- orchestration ---------------------------------------------------------
+    def run(self, cells) -> ResultsStore:
+        cells = list(cells)
+        results: list[RunRecord | None] = [None] * len(cells)
+        self.tracker = ProgressTracker(
+            len(cells), callback=self.progress_callback
+        )
+        prior = self._load_prior_state()
+        pending: list[_Pending] = []
+        for index, spec in enumerate(cells):
+            fingerprint = load_dataset(spec.dataset).fingerprint()
+            key = spec.cache_key(fingerprint)
+            if key in prior.completed:
+                results[index] = prior.completed[key]
+                self.tracker.update(
+                    record=results[index], kind="resumed",
+                    label=spec.label(),
+                )
+                continue
+            if key in prior.skipped:
+                self.tracker.update(kind="skipped", label=spec.label())
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                results[index] = cached
+                self._journal_cell(index, key, cached)
+                self.tracker.update(
+                    record=cached, kind="cached", label=spec.label(),
+                )
+                continue
+            pending.append(_Pending(index, spec, key))
+        if pending:
+            if self.workers == 1:
+                self._run_serial(pending, results)
+            else:
+                self._run_pooled(pending, results)
+        if self.journal is not None:
+            self.journal.close()
+        #: positional view kept for execute_cells (None = skipped cell)
+        self.last_results = results
+        return ResultsStore([r for r in results if r is not None])
+
+    def _load_prior_state(self):
+        from repro.runtime.journal import CampaignJournal, JournalState
+
+        if self.resume and self.journal is not None:
+            state = CampaignJournal.load(self.journal.path)
+        else:
+            state = JournalState()
+        if self.journal is not None:
+            self.journal.open_campaign(self.tracker.total)
+        return state
+
+    # -- bookkeeping shared by both paths --------------------------------------
+    def _journal_cell(self, index: int, key: str,
+                      record: RunRecord) -> None:
+        if self.journal is not None:
+            self.journal.record_cell(index, key, record)
+
+    def _commit(self, item: _Pending, record: RunRecord,
+                results: list, worker: int | None) -> None:
+        if self.cache is not None:
+            self.cache.put(item.key, record)
+        self._journal_cell(item.index, item.key, record)
+        results[item.index] = record
+        self.tracker.update(
+            record=record, kind="executed", worker=worker,
+            label=item.spec.label(),
+        )
+
+    def _commit_skip(self, item: _Pending, note: str) -> None:
+        if self.journal is not None:
+            self.journal.record_skip(item.index, item.key, note)
+        self.tracker.update(kind="skipped", label=item.spec.label())
+
+    def _note_failure(self, item: _Pending, error: str) -> None:
+        item.attempts += 1
+        if self.journal is not None:
+            self.journal.record_failure(
+                item.index, item.key, item.attempts, error
+            )
+
+    def _exhausted(self, item: _Pending) -> bool:
+        return item.attempts > self.policy.max_retries
+
+    def _quarantine(self, item: _Pending, results: list, error: str,
+                    worker: int | None = None) -> None:
+        dataset = load_dataset(item.spec.dataset)
+        note = (
+            f"quarantined after {item.attempts} attempt(s): "
+            + error.strip().splitlines()[-1]
+        )
+        self._commit(
+            item, _baseline_record(item.spec, dataset, note),
+            results, worker,
+        )
+
+    def _backoff(self, item: _Pending) -> None:
+        if self.policy.retry_backoff_s > 0:
+            time.sleep(self.policy.retry_backoff_s * item.attempts)
+
+    # -- serial path (workers=1): the old runner, cell by cell ----------------
+    def _run_serial(self, pending: list[_Pending], results: list) -> None:
+        for item in pending:
+            while True:
+                outcome = _execute_cell(item.spec)
+                if outcome["status"] == "ok":
+                    self._commit(
+                        item, RunRecord(**outcome["record"]), results,
+                        outcome.get("pid"),
+                    )
+                    break
+                if outcome["status"] == "skip":
+                    self._commit_skip(item, outcome["note"])
+                    break
+                self._note_failure(item, outcome["error"])
+                if self._exhausted(item):
+                    self._quarantine(
+                        item, results, outcome["error"],
+                        outcome.get("pid"),
+                    )
+                    break
+                self._backoff(item)
+
+    # -- pooled path (workers>1) ----------------------------------------------
+    def _run_pooled(self, pending: list[_Pending], results: list) -> None:
+        remaining = list(pending)
+        while remaining:
+            remaining = self._pool_round(remaining, results)
+
+    def _pool_round(self, remaining: list[_Pending],
+                    results: list) -> list[_Pending]:
+        """One pool lifetime; returns cells that still need a round.
+
+        A timeout or a broken pool kills the whole pool (the stuck
+        worker cannot be interrupted any other way); already-finished
+        futures are harvested first so their work is not wasted.
+        """
+        retry: list[_Pending] = []
+        pool = ProcessPoolExecutor(max_workers=self.workers)
+        futures = {id(item): pool.submit(_execute_cell, item.spec)
+                   for item in remaining}
+        poisoned = False
+        try:
+            for position, item in enumerate(remaining):
+                future = futures[id(item)]
+                if poisoned:
+                    if future.done() and not future.cancelled():
+                        try:
+                            self._handle_outcome(
+                                item, future.result(), results, retry
+                            )
+                        except Exception:
+                            retry.append(item)
+                    else:
+                        retry.append(item)
+                    continue
+                try:
+                    outcome = future.result(
+                        timeout=self.policy.cell_timeout_s
+                    )
+                except FuturesTimeoutError:
+                    self._note_failure(item, "cell timeout")
+                    if self._exhausted(item):
+                        self._quarantine(item, results, "cell timeout")
+                    else:
+                        retry.append(item)
+                    poisoned = True
+                except BrokenProcessPool:
+                    self._note_failure(item, "worker process died")
+                    if self._exhausted(item):
+                        self._quarantine(
+                            item, results, "worker process died"
+                        )
+                    else:
+                        retry.append(item)
+                    poisoned = True
+                else:
+                    self._handle_outcome(item, outcome, results, retry)
+        finally:
+            pool.shutdown(wait=not poisoned, cancel_futures=True)
+        if retry:
+            self._backoff(max(retry, key=lambda i: i.attempts))
+        return retry
+
+    def _handle_outcome(self, item: _Pending, outcome: dict,
+                        results: list, retry: list[_Pending]) -> None:
+        if outcome["status"] == "ok":
+            self._commit(
+                item, RunRecord(**outcome["record"]), results,
+                outcome.get("pid"),
+            )
+        elif outcome["status"] == "skip":
+            self._commit_skip(item, outcome["note"])
+        else:
+            self._note_failure(item, outcome["error"])
+            if self._exhausted(item):
+                self._quarantine(
+                    item, results, outcome["error"], outcome.get("pid")
+                )
+            else:
+                retry.append(item)
+
+
+def execute_cells(cells, *, workers: int = 1, cache=None, journal=None,
+                  resume: bool = False, policy: RetryPolicy | None = None,
+                  progress_callback=None) -> list[RunRecord | None]:
+    """Positional convenience: run ``cells`` and return one slot per
+    cell, ``None`` where the cell was skipped.  Campaign drivers that
+    need to pair records with the loop variables that produced them
+    (labels, core counts, GPU modes) index into this instead of a
+    flattened :class:`ResultsStore`."""
+    executor = CampaignExecutor(
+        workers=workers, cache=cache, journal=journal, resume=resume,
+        policy=policy, progress_callback=progress_callback,
+    )
+    executor.run(cells)
+    return executor.last_results

@@ -1,0 +1,117 @@
+"""Append-only JSONL checkpoint journal for crash-safe campaigns.
+
+Every finished cell is appended as one JSON line and flushed+fsynced
+before the executor moves on, so a killed campaign loses at most the
+cell that was in flight.  On resume the journal is replayed: completed
+cells are folded straight into the results store and only the remainder
+executes.  A torn final line (the crash artefact) is tolerated and
+ignored on load.
+
+Event types::
+
+    {"type": "campaign", "n_cells": N}
+    {"type": "cell", "index": i, "key": k, "record": {...}}
+    {"type": "skip", "index": i, "key": k, "note": "..."}
+    {"type": "failure", "index": i, "key": k, "attempt": n, "error": "..."}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.results import RunRecord
+
+
+@dataclass
+class JournalState:
+    """What a replayed journal knows about an earlier (partial) run."""
+
+    completed: dict[str, RunRecord] = field(default_factory=dict)
+    skipped: set[str] = field(default_factory=set)
+    failures: list[dict] = field(default_factory=list)
+    n_cells: int | None = None
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+
+class CampaignJournal:
+    """Appender/replayer for one campaign's JSONL checkpoint file."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = None
+
+    # -- writing ---------------------------------------------------------------
+    def _append(self, event: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(event) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def open_campaign(self, n_cells: int) -> None:
+        self._append({"type": "campaign", "n_cells": n_cells})
+
+    def record_cell(self, index: int, key: str, record: RunRecord) -> None:
+        self._append({
+            "type": "cell", "index": index, "key": key,
+            "record": asdict(record),
+        })
+
+    def record_skip(self, index: int, key: str, note: str) -> None:
+        self._append({
+            "type": "skip", "index": index, "key": key, "note": note,
+        })
+
+    def record_failure(self, index: int, key: str, attempt: int,
+                       error: str) -> None:
+        self._append({
+            "type": "failure", "index": index, "key": key,
+            "attempt": attempt, "error": error,
+        })
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay ----------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> JournalState:
+        """Replay a journal; a torn/corrupt tail stops the replay there."""
+        state = JournalState()
+        path = Path(path)
+        if not path.exists():
+            return state
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+                kind = event["type"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                break   # torn tail from a crash mid-append
+            if kind == "campaign":
+                state.n_cells = event.get("n_cells")
+            elif kind == "cell":
+                try:
+                    record = RunRecord(**event["record"])
+                except (KeyError, TypeError):
+                    break
+                state.completed[event["key"]] = record
+            elif kind == "skip":
+                state.skipped.add(event["key"])
+            elif kind == "failure":
+                state.failures.append(event)
+        return state

@@ -1,0 +1,131 @@
+"""Campaign telemetry: throughput, ETA and cumulative energy.
+
+The tracker is pure bookkeeping over wall-clock timestamps — it never
+feeds back into budget accounting (which runs on the simulated clock in
+:mod:`repro.energy.train_cost`), so telemetry cannot perturb results.
+Each update emits a :class:`ProgressEvent` to the optional callback;
+``repro grid`` wires that to stderr-style line printing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker counters keyed by the executing process id."""
+
+    cells: int = 0
+    failed: int = 0
+    execution_kwh: float = 0.0
+
+
+@dataclass
+class ProgressEvent:
+    """Snapshot emitted after every finished cell."""
+
+    done: int
+    total: int
+    executed: int
+    cached: int
+    resumed: int
+    skipped: int
+    failed: int
+    elapsed_s: float
+    cells_per_second: float
+    eta_s: float
+    execution_kwh: float
+    workers: dict[int, WorkerStats] = field(default_factory=dict)
+    label: str = ""
+
+    def render(self) -> str:
+        eta = f"{self.eta_s:.0f}s" if self.eta_s == self.eta_s else "?"
+        parts = [
+            f"[{self.done}/{self.total}]",
+            f"{self.cells_per_second:.2f} cells/s",
+            f"eta {eta}",
+            f"energy {self.execution_kwh:.2e} kWh",
+        ]
+        if self.cached or self.resumed:
+            parts.append(f"cached {self.cached}+{self.resumed}")
+        if self.failed:
+            parts.append(f"failed {self.failed}")
+        if self.label:
+            parts.append(self.label)
+        return " ".join(parts)
+
+
+class ProgressTracker:
+    """Accumulates counters and streams events to ``callback``."""
+
+    def __init__(self, total: int, callback=None, clock=time.monotonic):
+        self.total = total
+        self.callback = callback
+        self._clock = clock
+        self._t0 = clock()
+        self.executed = 0
+        self.cached = 0
+        self.resumed = 0
+        self.skipped = 0
+        self.failed = 0
+        self.execution_kwh = 0.0
+        self.workers: dict[int, WorkerStats] = {}
+
+    @property
+    def done(self) -> int:
+        return self.executed + self.cached + self.resumed + self.skipped
+
+    def update(self, *, record=None, kind: str = "executed",
+               worker: int | None = None, label: str = "") -> ProgressEvent:
+        """Register one finished cell.
+
+        ``kind`` is one of ``executed``/``cached``/``resumed``/``skipped``.
+        """
+        if kind == "executed":
+            self.executed += 1
+        elif kind == "cached":
+            self.cached += 1
+        elif kind == "resumed":
+            self.resumed += 1
+        elif kind == "skipped":
+            self.skipped += 1
+        else:
+            raise ValueError(f"unknown progress kind {kind!r}")
+        failed = bool(record is not None and record.failed)
+        if failed:
+            self.failed += 1
+        if record is not None:
+            self.execution_kwh += record.execution_kwh
+        if worker is not None:
+            stats = self.workers.setdefault(worker, WorkerStats())
+            stats.cells += 1
+            stats.failed += int(failed)
+            if record is not None:
+                stats.execution_kwh += record.execution_kwh
+        event = self.snapshot(label=label)
+        if self.callback is not None:
+            self.callback(event)
+        return event
+
+    def snapshot(self, label: str = "") -> ProgressEvent:
+        elapsed = max(self._clock() - self._t0, 1e-9)
+        rate = self.done / elapsed
+        remaining = self.total - self.done
+        eta = remaining / rate if rate > 0 else float("nan")
+        return ProgressEvent(
+            done=self.done,
+            total=self.total,
+            executed=self.executed,
+            cached=self.cached,
+            resumed=self.resumed,
+            skipped=self.skipped,
+            failed=self.failed,
+            elapsed_s=elapsed,
+            cells_per_second=rate,
+            eta_s=eta,
+            execution_kwh=self.execution_kwh,
+            workers=dict(self.workers),
+            label=label,
+        )

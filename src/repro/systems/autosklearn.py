@@ -84,6 +84,7 @@ class AutoSklearnSystem(AutoMLSystem):
             X, y,
             holdout_fraction=0.33,
             categorical_mask=categorical_mask,
+            deadline=deadline,
             random_state=rng,
         )
         optimizer = BayesianOptimizer(

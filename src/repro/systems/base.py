@@ -19,12 +19,12 @@ power draw.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.energy.cost_model import InferenceEstimate, estimate_inference
+from repro.energy.train_cost import estimate_fit_seconds
 from repro.energy.machines import DEFAULT_MACHINE, MachineProfile, XEON_T4_MACHINE
 from repro.energy.parallel import (
     amdahl_speedup,
@@ -74,17 +74,31 @@ class FitResult:
 
 
 class Deadline:
-    """Budget bookkeeping in real (scaled) seconds."""
+    """Budget bookkeeping in simulated (scaled) seconds.
+
+    The clock is deterministic: it advances only when work is charged to it
+    via :meth:`charge` — the modelled cost of a pipeline fit (see
+    :mod:`repro.energy.train_cost`) — never by reading the wall clock.  The
+    same seed therefore consumes the same budget on any machine under any
+    load, which keeps the strict-adherence disciplines reproducible and
+    lets the parallel campaign executor match the serial path bit for bit.
+    """
 
     def __init__(self, real_budget: float):
         self.real_budget = real_budget
-        self._t0 = time.monotonic()
+        self._consumed = 0.0
+
+    def charge(self, seconds: float) -> None:
+        """Advance the simulated clock by ``seconds`` of modelled work."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self._consumed += seconds
 
     def elapsed(self) -> float:
-        return time.monotonic() - self._t0
+        return self._consumed
 
     def left(self) -> float:
-        return self.real_budget - self.elapsed()
+        return self.real_budget - self._consumed
 
     def expired(self) -> bool:
         return self.left() <= 0
@@ -103,7 +117,7 @@ class PipelineEvaluator:
                  resample_validation: bool = False,
                  sample_cap: int | None = None,
                  eval_time_cap: float | None = None,
-                 categorical_mask=None,
+                 categorical_mask=None, deadline: Deadline | None = None,
                  metric=balanced_accuracy_score, random_state=None):
         if not 0.0 < holdout_fraction < 1.0:
             raise ValueError("holdout_fraction must be in (0, 1)")
@@ -114,6 +128,8 @@ class PipelineEvaluator:
         self.sample_cap = sample_cap
         self.eval_time_cap = eval_time_cap
         self.categorical_mask = categorical_mask
+        #: every evaluation's modelled cost is charged to this clock
+        self.deadline = deadline
         self.metric = metric
         self._rng = check_random_state(random_state)
         self._split_cache = None
@@ -151,15 +167,22 @@ class PipelineEvaluator:
         if train_idx is not None:
             X_tr, y_tr = X_tr[train_idx], y_tr[train_idx]
         X_tr, y_tr = self._subsample(X_tr, y_tr)
+        # Charge the modelled cost up front: a fit that fails still consumed
+        # budget, and charging before the attempt guarantees the simulated
+        # clock advances even when the evaluation raises.
+        fit_seconds = estimate_fit_seconds(
+            config, len(y_tr), self.X.shape[1]
+        )
+        clock = deadline if deadline is not None else self.deadline
+        if clock is not None:
+            clock.charge(fit_seconds)
         pipeline = build_pipeline(
             config,
             n_features=self.X.shape[1],
             categorical_mask=self.categorical_mask,
             random_state=int(self._rng.integers(0, 2**31 - 1)),
         )
-        t0 = time.monotonic()
         pipeline.fit(X_tr, y_tr)
-        fit_seconds = time.monotonic() - t0
         if self.eval_time_cap is not None and fit_seconds > self.eval_time_cap:
             # the evaluation ran over its cap: charge it but score as failure
             self.n_evaluations += 1
@@ -173,6 +196,10 @@ class PipelineEvaluator:
     def refit_on_all(self, config: dict) -> object:
         """Refit a configuration on train+validation (the 'refit' AutoML
         parameter of Table 5)."""
+        if self.deadline is not None:
+            self.deadline.charge(estimate_fit_seconds(
+                config, len(self.y), self.X.shape[1]
+            ))
         pipeline = build_pipeline(
             config,
             n_features=self.X.shape[1],
@@ -265,23 +292,23 @@ class AutoMLSystem:
         real_budget = budget_s * self.time_scale * speedup
         self._configured_budget_s = budget_s
         deadline = Deadline(real_budget)
-        cpu0 = time.process_time()
         model, info = self._search(
             X, y, deadline, categorical_mask, rng
         )
-        cpu_seconds = time.process_time() - cpu0
-        wall_seconds = deadline.elapsed()
+        # All work the search performed was charged to the simulated clock,
+        # so the consumed budget is deterministic for a fixed seed.
+        consumed_seconds = deadline.elapsed()
         if model is None:
             raise BudgetExhaustedError(
                 f"{self.system_name} evaluated no pipeline within {budget_s}s"
             )
         self.model_ = model
 
-        # Convert scaled real time back to budget time.  The single-core
-        # work observed is cpu_seconds; on n cores it occupied
-        # cpu/speedup budget-seconds of wall time.
-        single_core_budget_seconds = cpu_seconds / self.time_scale
-        actual_seconds = wall_seconds / self.time_scale / speedup
+        # Convert scaled simulated time back to budget time.  The
+        # single-core work is the consumed charge; on n cores it occupied
+        # consumed/speedup budget-seconds of wall time.
+        single_core_budget_seconds = consumed_seconds / self.time_scale
+        actual_seconds = consumed_seconds / self.time_scale / speedup
         if self.budget_bound:
             # the machine draws n-core power for the whole (busy) budget
             run = budget_bound_execution(

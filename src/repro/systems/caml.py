@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.energy.cost_model import estimate_inference
+from repro.energy.train_cost import estimate_fit_seconds
 from repro.hpo.bo import BayesianOptimizer
 from repro.hpo.successive_halving import fidelity_schedule, stratified_subset
 from repro.pipeline.spaces import ALL_CLASSIFIERS, build_space
@@ -136,6 +137,7 @@ class CamlSystem(AutoMLSystem):
             resample_validation=self.params.resample_validation,
             sample_cap=self.params.sample_cap,
             categorical_mask=categorical_mask,
+            deadline=deadline,
             random_state=rng,
         )
         optimizer = BayesianOptimizer(
@@ -219,17 +221,19 @@ class CamlSystem(AutoMLSystem):
         eval_start = deadline.elapsed()
         score, model = -1.0, None
         incumbent = max((s for s, _ in evaluator.models), default=-np.inf)
-        last_rung_time = 0.0
+        n_features = evaluator.X.shape[1]
         for i, size in enumerate(sizes):
             if deadline.expired():
                 break
             if deadline.elapsed() - eval_start > eval_cap and model is not None:
                 break
-            # strict adherence: skip the next (roughly 2x costlier) rung if
-            # its projected time would cross the deadline
-            if last_rung_time > 0 and deadline.left() < 2.5 * last_rung_time:
+            # strict adherence: the simulated cost of the next rung is known
+            # exactly, so skip it whenever it would cross the deadline.  The
+            # very first rung of a search is exempt — CAML always deploys at
+            # least one evaluated pipeline.
+            projected = estimate_fit_seconds(config, size, n_features)
+            if projected > deadline.left() and evaluator.n_evaluations > 0:
                 break
-            rung_t0 = deadline.elapsed()
             idx = stratified_subset(y_tr, size, rng)
             try:
                 score, model = evaluator.evaluate_config(
@@ -238,7 +242,6 @@ class CamlSystem(AutoMLSystem):
                 )
             except Exception:
                 return -1.0, None
-            last_rung_time = deadline.elapsed() - rung_t0
             if model is not None and self._violates_constraints(model):
                 # constraint violations are pruned as early as possible
                 return -1.0, None

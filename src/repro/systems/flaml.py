@@ -93,6 +93,7 @@ class FlamlSystem(AutoMLSystem):
             X, y,
             holdout_fraction=0.33,
             categorical_mask=categorical_mask,
+            deadline=deadline,
             random_state=rng,
         )
         n_train = int(len(np.asarray(y)) * 0.67)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.energy.train_cost import estimate_fit_seconds
 from repro.hpo.genetic import Individual, NSGAII
 from repro.metrics.validation import cross_val_score
 from repro.pipeline.spaces import build_pipeline, build_space
@@ -45,7 +46,7 @@ class TpotSystem(AutoMLSystem):
             ensembling="-",
         )
 
-    def _evaluate(self, config, X, y, rng) -> Individual:
+    def _evaluate(self, config, X, y, deadline, rng) -> Individual:
         pipeline = build_pipeline(
             config, n_features=X.shape[1],
             categorical_mask=self._categorical_mask,
@@ -58,6 +59,14 @@ class TpotSystem(AutoMLSystem):
             X_cv, y_cv = X[idx], y[idx]
         else:
             X_cv, y_cv = X, y
+        # charge the k CV fits plus the final deployment fit up front — a
+        # crashing individual still consumed its training budget
+        fold_train = int(len(y_cv) * (self.cv_folds - 1) / self.cv_folds)
+        deadline.charge(
+            self.cv_folds
+            * estimate_fit_seconds(config, fold_train, X.shape[1])
+            + estimate_fit_seconds(config, len(y), X.shape[1])
+        )
         try:
             from repro.metrics.validation import StratifiedKFold
 
@@ -94,7 +103,7 @@ class TpotSystem(AutoMLSystem):
             configs = ga.next_generation()
             evaluated = []
             for config in configs:
-                ind = self._evaluate(config, X, y, rng)
+                ind = self._evaluate(config, X, y, deadline, rng)
                 n_evals += 1
                 evaluated.append(ind)
                 if best is None or ind.score > best.score:

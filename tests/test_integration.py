@@ -21,6 +21,10 @@ from repro.experiments.campaigns import (
 
 FASTSCALE = 0.004
 
+# the module fixture alone runs a 32-cell campaign (~minutes); tier-1
+# deselects the whole module via pyproject's `-m 'not slow'`
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def small_grid():

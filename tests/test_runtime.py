@@ -1,0 +1,257 @@
+"""Campaign runtime: cells, cache, journal, progress, executor."""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.datasets.loaders import load_dataset
+from repro.experiments import ExperimentConfig, grid_cells, run_grid
+from repro.experiments.results import RunRecord
+from repro.runtime import (
+    CampaignExecutor,
+    CampaignJournal,
+    CellSpec,
+    ResultCache,
+    RetryPolicy,
+)
+
+#: cheap cells (sub-second each) shared across tests
+FAST = dict(budget_s=10.0, seed=7, time_scale=0.004)
+
+
+def _cells(systems=("TabPFN", "CAML"), datasets=("credit-g",)):
+    return [
+        CellSpec(system=s, dataset=d, **FAST)
+        for d in datasets for s in systems
+    ]
+
+
+def _record(**over):
+    base = dict(
+        system="CAML", dataset="credit-g", configured_seconds=10.0,
+        seed=7, balanced_accuracy=0.7, execution_kwh=1e-5,
+        actual_seconds=0.1, inference_kwh_per_instance=1e-12,
+        inference_seconds_per_instance=1e-6,
+    )
+    return RunRecord(**{**base, **over})
+
+
+class TestCellSpec:
+    def test_cache_key_is_stable(self):
+        a = CellSpec("CAML", "credit-g", **FAST)
+        b = CellSpec("CAML", "credit-g", **FAST)
+        assert a.cache_key("fp") == b.cache_key("fp")
+
+    @pytest.mark.parametrize("change", [
+        {"system": "FLAML"},
+        {"dataset": "kc1"},
+        {"budget_s": 30.0},
+        {"seed": 8},
+        {"time_scale": 0.005},
+        {"n_cores": 2},
+        {"use_gpu": True},
+        {"system_kwargs": {"population_size": 9}},
+    ])
+    def test_cache_key_covers_every_input(self, change):
+        base = CellSpec("CAML", "credit-g", **FAST)
+        other = CellSpec(**{**asdict(base), **change})
+        assert base.cache_key("fp") != other.cache_key("fp")
+
+    def test_cache_key_covers_dataset_fingerprint(self):
+        spec = CellSpec("CAML", "credit-g", **FAST)
+        assert spec.cache_key("fp-a") != spec.cache_key("fp-b")
+
+    def test_kwargs_digest_is_order_independent(self):
+        a = CellSpec("CAML", "credit-g", **FAST,
+                     system_kwargs={"x": 1, "y": 2})
+        b = CellSpec("CAML", "credit-g", **FAST,
+                     system_kwargs={"y": 2, "x": 1})
+        assert a.cache_key("fp") == b.cache_key("fp")
+
+
+class TestDatasetFingerprint:
+    def test_deterministic_across_materialisations(self):
+        assert (load_dataset("credit-g").fingerprint()
+                == load_dataset("credit-g").fingerprint())
+
+    def test_differs_across_datasets_and_splits(self):
+        base = load_dataset("credit-g").fingerprint()
+        assert base != load_dataset("kc1").fingerprint()
+        assert base != load_dataset(
+            "credit-g", split_seed=1).fingerprint()
+
+    def test_subsample_changes_fingerprint(self):
+        ds = load_dataset("credit-g")
+        assert ds.subsample(20, random_state=0).fingerprint() \
+            != ds.fingerprint()
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("ab" + "0" * 62, _record())
+        assert cache.get("ab" + "0" * 62) == _record()
+        assert cache.stats.hits == 1 and cache.stats.writes == 1
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("ff" + "0" * 62) is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, _record())
+        cache._path(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+
+
+class TestJournal:
+    def test_replay_round_trips_records(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        record = _record()
+        with CampaignJournal(path) as journal:
+            journal.open_campaign(3)
+            journal.record_cell(0, "k0", record)
+            journal.record_skip(1, "k1", "below min budget")
+            journal.record_failure(2, "k2", 1, "boom")
+        state = CampaignJournal.load(path)
+        assert state.n_cells == 3
+        assert state.completed["k0"] == record
+        assert state.skipped == {"k1"}
+        assert state.failures[0]["error"] == "boom"
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        record = _record()
+        with CampaignJournal(path) as journal:
+            journal.record_cell(0, "k0", record)
+        with open(path, "a") as fh:
+            fh.write('{"type": "cell", "index": 1, "key')   # crash artefact
+        state = CampaignJournal.load(path)
+        assert list(state.completed) == ["k0"]
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        assert len(CampaignJournal.load(tmp_path / "absent.jsonl")) == 0
+
+
+class TestExecutor:
+    def test_warm_cache_rerun_executes_zero_cells(self, tmp_path):
+        cells = _cells()
+        cache = ResultCache(tmp_path / "cache")
+        cold = CampaignExecutor(workers=1, cache=cache)
+        cold_store = cold.run(cells)
+        assert cold.tracker.executed == len(cells)
+        warm = CampaignExecutor(workers=1, cache=cache)
+        warm_store = warm.run(cells)
+        assert warm.tracker.executed == 0
+        assert warm.tracker.cached == len(cells)
+        assert [asdict(r) for r in warm_store.records] \
+            == [asdict(r) for r in cold_store.records]
+
+    def test_below_min_budget_cell_is_skipped(self):
+        cells = _cells(systems=("TabPFN", "TPOT"))   # TPOT needs >= 60s
+        executor = CampaignExecutor(workers=1)
+        store = executor.run(cells)
+        assert [r.system for r in store.records] == ["TabPFN"]
+        assert executor.tracker.skipped == 1
+        assert executor.last_results[1] is None
+
+    def test_crash_resume_completes_only_remaining(self, tmp_path):
+        cells = _cells(datasets=("credit-g",
+                                 "blood-transfusion-service-center"))
+        reference = CampaignExecutor(workers=1).run(cells)
+        journal_path = tmp_path / "campaign.jsonl"
+        # simulate the crash: a first campaign only got through 2 cells
+        CampaignExecutor(
+            workers=1, journal=CampaignJournal(journal_path),
+        ).run(cells[:2])
+        resumed = CampaignExecutor(
+            workers=1, journal=CampaignJournal(journal_path), resume=True,
+        )
+        store = resumed.run(cells)
+        assert resumed.tracker.resumed == 2
+        assert resumed.tracker.executed == len(cells) - 2
+        assert [asdict(r) for r in store.records] \
+            == [asdict(r) for r in reference.records]
+
+    def test_quarantine_after_retries(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        calls = []
+
+        def explode(*args, **kwargs):
+            calls.append(1)
+            raise RuntimeError("injected worker crash")
+
+        monkeypatch.setattr(runner_mod, "run_single", explode)
+        journal_path = tmp_path / "j.jsonl"
+        executor = CampaignExecutor(
+            workers=1, journal=CampaignJournal(journal_path),
+            policy=RetryPolicy(max_retries=2, retry_backoff_s=0.0),
+        )
+        store = executor.run(_cells(systems=("CAML",)))
+        assert len(calls) == 3   # first try + 2 retries
+        record = store.records[0]
+        assert record.failed
+        assert "quarantined" in record.note
+        assert 0.0 <= record.balanced_accuracy <= 0.6   # prior baseline
+        events = [json.loads(line) for line
+                  in journal_path.read_text().splitlines()]
+        assert sum(e["type"] == "failure" for e in events) == 3
+
+    def test_progress_telemetry(self):
+        events = []
+        executor = CampaignExecutor(
+            workers=1, progress_callback=events.append,
+        )
+        executor.run(_cells())
+        assert [e.done for e in events] == [1, 2]
+        final = events[-1]
+        assert final.total == 2 and final.executed == 2
+        assert final.execution_kwh > 0
+        assert final.cells_per_second > 0
+        assert sum(w.cells for w in final.workers.values()) == 2
+        assert sum(w.execution_kwh for w in final.workers.values()) \
+            == pytest.approx(final.execution_kwh)
+        assert "cells/s" in final.render()
+
+    def test_pooled_results_identical_to_serial(self):
+        cells = _cells(datasets=("credit-g",
+                                 "blood-transfusion-service-center"))
+        serial = CampaignExecutor(workers=1).run(cells)
+        pooled = CampaignExecutor(workers=2).run(cells)
+        assert [asdict(r) for r in pooled.records] \
+            == [asdict(r) for r in serial.records]
+
+
+class TestRunGridIntegration:
+    CONFIG = ExperimentConfig(
+        systems=("TabPFN", "CAML"), datasets=("credit-g",),
+        budgets=(10.0,), n_runs=2, time_scale=0.004,
+    )
+
+    def test_grid_cells_preserves_order_and_seeds(self):
+        cells = grid_cells(self.CONFIG)
+        assert [c.seed for c in cells] == [7, 1016, 7, 1016]
+        assert [c.system for c in cells] \
+            == ["TabPFN", "TabPFN", "CAML", "CAML"]
+
+    def test_run_grid_with_cache_and_journal(self, tmp_path):
+        store = run_grid(
+            self.CONFIG, workers=1, cache_dir=tmp_path / "cache",
+            journal_path=tmp_path / "j.jsonl",
+        )
+        assert len(store) == self.CONFIG.n_cells
+        rerun = run_grid(
+            self.CONFIG, workers=1, cache_dir=tmp_path / "cache",
+            journal_path=tmp_path / "j2.jsonl",
+        )
+        assert [asdict(r) for r in rerun.records] \
+            == [asdict(r) for r in store.records]
+
+    def test_run_grid_resume_requires_journal(self):
+        with pytest.raises(ValueError):
+            run_grid(self.CONFIG, resume=True)

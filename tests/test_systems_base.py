@@ -10,22 +10,33 @@ from repro.systems.base import Deadline, FitResult, PipelineEvaluator
 
 
 class TestDeadline:
-    def test_left_decreases(self):
+    def test_left_decreases_only_when_charged(self):
         deadline = Deadline(1.0)
         first = deadline.left()
-        time.sleep(0.01)
-        assert deadline.left() < first
+        time.sleep(0.01)   # wall time must NOT advance the simulated clock
+        assert deadline.left() == first
+        deadline.charge(0.25)
+        assert deadline.left() == pytest.approx(0.75)
 
     def test_expired(self):
-        deadline = Deadline(0.0)
-        time.sleep(0.001)
+        assert Deadline(0.0).expired()
+        deadline = Deadline(0.5)
+        deadline.charge(0.5)
         assert deadline.expired()
 
     def test_not_expired(self):
         assert not Deadline(10.0).expired()
 
-    def test_elapsed_nonnegative(self):
-        assert Deadline(1.0).elapsed() >= 0.0
+    def test_elapsed_accumulates_charges(self):
+        deadline = Deadline(1.0)
+        assert deadline.elapsed() == 0.0
+        deadline.charge(0.1)
+        deadline.charge(0.2)
+        assert deadline.elapsed() == pytest.approx(0.3)
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(1.0).charge(-0.1)
 
 
 class TestFitResult:
