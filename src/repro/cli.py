@@ -8,6 +8,7 @@
         --workers 4 --cache-dir .repro-cache \\
         --journal campaign.jsonl --resume
     python -m repro recommend --budget 300 --classes 2 --priority accuracy
+    python -m repro lint src benchmarks examples --format json
     python -m repro datasets
     python -m repro systems
 """
@@ -102,6 +103,29 @@ def _cmd_reproduce(args) -> int:
     else:
         print(repro_result.report)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.lint import (
+        lint_paths,
+        load_baseline,
+        partition,
+        render_json,
+        render_text,
+        write_baseline,
+    )
+
+    result = lint_paths(args.paths)
+    if args.write_baseline:
+        write_baseline(args.baseline, result.findings)
+        print(f"wrote {len(result.findings)} finding(s) to "
+              f"{args.baseline}")
+        return 0
+    new, baselined = partition(result.findings,
+                               load_baseline(args.baseline))
+    render = render_json if args.format == "json" else render_text
+    print(render(new, baselined))
+    return 1 if new else 0
 
 
 def _cmd_datasets(_args) -> int:
@@ -199,6 +223,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--out", default=None)
     p_rep.add_argument("--quiet", action="store_true")
     p_rep.set_defaults(func=_cmd_reproduce)
+
+    p_lint = sub.add_parser(
+        "lint", help="check the repro invariants (GRN001-GRN006)")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint "
+                             "(default: src)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text",
+                        help="report format (both are stable-sorted)")
+    p_lint.add_argument("--baseline", default=".repro-lint-baseline.json",
+                        help="grandfathered-findings file; only NEW "
+                             "findings fail the run")
+    p_lint.add_argument("--write-baseline", action="store_true",
+                        dest="write_baseline",
+                        help="rewrite --baseline from the current "
+                             "findings and exit 0")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_ds = sub.add_parser("datasets", help="list the Table 2 suite")
     p_ds.set_defaults(func=_cmd_datasets)

@@ -9,8 +9,9 @@ SMAC explores mixed categorical/conditional spaces.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
-from scipy import stats
 
 from repro.hpo.random_search import Trial
 from repro.models.forest import RandomForestRegressor
@@ -109,4 +110,19 @@ class BayesianOptimizer:
     def _expected_improvement(self, mu, sigma, best_y) -> np.ndarray:
         sigma = np.maximum(sigma, 1e-9)
         z = (mu - best_y - self.xi) / sigma
-        return (mu - best_y - self.xi) * stats.norm.cdf(z) + sigma * stats.norm.pdf(z)
+        return (mu - best_y - self.xi) * _norm_cdf(z) + sigma * _norm_pdf(z)
+
+
+_INV_SQRT2 = 1.0 / math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+_erf = np.vectorize(math.erf, otypes=[float])
+
+
+def _norm_cdf(z: np.ndarray) -> np.ndarray:
+    """Standard normal CDF via erf — exact, no scipy."""
+    return 0.5 * (1.0 + _erf(np.asarray(z, dtype=float) * _INV_SQRT2))
+
+
+def _norm_pdf(z: np.ndarray) -> np.ndarray:
+    z = np.asarray(z, dtype=float)
+    return _INV_SQRT_2PI * np.exp(-0.5 * z * z)

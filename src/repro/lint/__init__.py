@@ -1,0 +1,54 @@
+"""``repro.lint`` — AST-based invariant checker for the reproduction.
+
+The package's correctness story (pure campaign cells, charge-only
+simulated clock, numpy-only from-scratch stack, strict layer DAG) lives
+here as executable rules rather than prose:
+
+==========  =====================================================
+GRN001      only stdlib + numpy + repro imports under ``src/repro``
+GRN002      imports must follow the layer DAG (no upward/sibling)
+GRN003      no global RNG (``np.random.*`` draws, stdlib ``random``)
+GRN004      no wall-clock reads outside the measurement allowlist
+GRN005      estimator contract (fit ⇒ predict/transform, get/set_params,
+            random_state where randomness is drawn)
+GRN006      no mutable default args, no pass-only ``except Exception``
+==========  =====================================================
+
+Run it as ``repro lint [paths...]`` or programmatically::
+
+    from repro.lint import lint_paths
+    result = lint_paths(["src/repro"])
+    assert not result.findings
+
+Inline waivers (``# repro-lint: disable=GRN004``) silence a single
+line; the committed baseline file (``.repro-lint-baseline.json``)
+grandfathers known findings so CI fails only on *new* ones.
+"""
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE,
+    load_baseline,
+    partition,
+    write_baseline,
+)
+from repro.lint.core import FileContext, Finding, ProjectRule, Rule
+from repro.lint.engine import LintEngine, LintResult, lint_paths
+from repro.lint.reporters import render_json, render_text
+from repro.lint.rules import ALL_RULES
+
+__all__ = [
+    "ALL_RULES",
+    "DEFAULT_BASELINE",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "ProjectRule",
+    "Rule",
+    "lint_paths",
+    "load_baseline",
+    "partition",
+    "render_json",
+    "render_text",
+    "write_baseline",
+]

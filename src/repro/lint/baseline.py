@@ -1,0 +1,63 @@
+"""Baseline file: grandfathered findings.
+
+The baseline is a committed JSON document listing findings that predate
+a rule (or are accepted for now).  ``repro lint`` fails only on *new*
+findings — current findings whose line-free fingerprint (path, code,
+message) is not covered by a baseline entry.  Matching is by multiset:
+two identical violations in a file need two baseline entries, so fixing
+one of them cannot hide a freshly introduced twin.
+
+Entries are written sorted so the file is byte-stable across machines
+and diffs stay reviewable.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.lint.core import Finding
+
+#: default location, repo-root relative (committed)
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Fingerprint multiset from a baseline file; empty if absent."""
+    path = Path(path)
+    if not path.exists():
+        return Counter()
+    payload = json.loads(path.read_text())
+    entries = payload.get("findings", [])
+    return Counter(
+        (e["path"], e["code"], e["message"]) for e in entries
+    )
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, stable)."""
+    entries = sorted(
+        ({"path": f.path, "code": f.code, "message": f.message}
+         for f in findings),
+        key=lambda e: (e["path"], e["code"], e["message"]),
+    )
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True)
+                          + "\n")
+
+
+def partition(findings: list[Finding],
+              baseline: Counter) -> tuple[list[Finding], list[Finding]]:
+    """Split ``findings`` into (new, baselined) against the multiset."""
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in sorted(findings):
+        key = finding.fingerprint()
+        if budget[key] > 0:
+            budget[key] -= 1
+            old.append(finding)
+        else:
+            new.append(finding)
+    return new, old

@@ -1,0 +1,188 @@
+"""Core data model of the invariant checker.
+
+A lint run turns every analysed file into a :class:`FileContext` (parsed
+AST + resolved dotted module name + inline waivers), feeds each context
+to every registered rule, and collects :class:`Finding` objects.  Rules
+come in two flavours:
+
+- :class:`Rule` — looks at one file at a time (imports, clock reads, …);
+- :class:`ProjectRule` — runs once over *all* contexts after parsing, for
+  invariants that need a cross-file view (the estimator contract has to
+  resolve inheritance across modules).
+
+Waivers are inline comments::
+
+    x = time.time()  # repro-lint: disable=GRN004
+    # repro-lint: disable-file=GRN001   (anywhere in the file)
+
+The checker is deliberately stdlib-only (``ast`` + ``tokenize``): it has
+to hold the whole tree to the numpy-only dependency rule it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: inline waiver:  ``# repro-lint: disable=GRN001,GRN004``
+_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Z0-9,\s]+?)\s*(?:#|$)"
+)
+#: whole-file waiver:  ``# repro-lint: disable-file=GRN001``
+_FILE_WAIVER_RE = re.compile(
+    r"#\s*repro-lint:\s*disable-file=([A-Z0-9,\s]+?)\s*(?:#|$)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Ordering is (path, line, col, code) so sorted findings are stable
+    across machines — the contract the JSON reporter and the baseline
+    file rely on.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-free identity used by the baseline: findings keep
+        matching their grandfathered entry when unrelated edits shift
+        them up or down the file."""
+        return (self.path, self.code, self.message)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass
+class FileContext:
+    """A parsed source file plus everything rules need to judge it."""
+
+    path: str                      # posix-relative display path
+    module: str | None             # dotted name, e.g. "repro.hpo.bo"
+    tree: ast.AST
+    source: str
+    line_waivers: dict[int, set[str]] = field(default_factory=dict)
+    file_waivers: set[str] = field(default_factory=set)
+
+    @property
+    def package(self) -> str | None:
+        """Top-level subpackage within ``repro`` (``"hpo"`` for
+        ``repro.hpo.bo``; the module's own name for top-level modules
+        like ``repro.cli``); ``None`` outside the repro tree."""
+        if self.module is None or not self.module.startswith("repro"):
+            return None
+        parts = self.module.split(".")
+        if len(parts) == 1:
+            return "__init__"
+        return parts[1]
+
+    def waived(self, finding: Finding) -> bool:
+        if finding.code in self.file_waivers:
+            return True
+        return finding.code in self.line_waivers.get(finding.line, ())
+
+
+class Rule:
+    """Per-file rule.  Subclasses set ``code``/``name``/``rationale`` and
+    implement :meth:`check_file`."""
+
+    code: str = "GRN000"
+    name: str = "abstract-rule"
+    rationale: str = ""
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            code=self.code,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Rule that needs to see every file before it can judge any of
+    them.  :meth:`check_file` is never called."""
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        return []
+
+    def check_project(self, contexts: list[FileContext]) -> list[Finding]:
+        raise NotImplementedError
+
+
+def parse_waivers(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Extract per-line and whole-file waivers from ``source``.
+
+    Scans text rather than tokens so waivers survive in files the parser
+    rejects (a syntax-error finding can still be waived).
+    """
+    line_waivers: dict[int, set[str]] = {}
+    file_waivers: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "repro-lint" not in text:
+            continue
+        match = _FILE_WAIVER_RE.search(text)
+        if match:
+            file_waivers.update(_codes(match.group(1)))
+        match = _WAIVER_RE.search(text)
+        if match:
+            line_waivers.setdefault(lineno, set()).update(
+                _codes(match.group(1))
+            )
+    return line_waivers, file_waivers
+
+
+def _codes(raw: str) -> set[str]:
+    return {c.strip() for c in raw.split(",") if c.strip()}
+
+
+def module_name_for(path: Path) -> str | None:
+    """Resolve ``path`` to a dotted module name by walking up through
+    ``__init__.py`` packages (``src/repro/hpo/bo.py`` → ``repro.hpo.bo``).
+    Returns ``None`` for scripts that live outside any package
+    (``benchmarks/bench_fig5_parallelism.py``)."""
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if len(parts) == 1:
+        return None
+    parts.reverse()
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``ast.Attribute``/``ast.Name`` chain as ``"a.b.c"``;
+    ``None`` when the chain bottoms out in a call or subscript."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+

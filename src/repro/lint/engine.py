@@ -1,0 +1,140 @@
+"""The lint engine: file discovery, parsing, rule dispatch, waivers.
+
+A run is::
+
+    engine = LintEngine()                      # all registered rules
+    result = engine.run(["src", "benchmarks"]) # or explicit .py files
+    result.findings                            # sorted, waivers applied
+
+File discovery is sorted and ignores hidden directories and common
+build/cache trees, so the same tree produces the same finding order on
+every machine (the baseline and CI-diff guarantee).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.core import (
+    FileContext,
+    Finding,
+    ProjectRule,
+    module_name_for,
+    parse_waivers,
+)
+from repro.lint.rules import ALL_RULES
+
+#: directory names never descended into
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".venv", "venv", "build", "dist",
+    ".pytest_cache", ".mypy_cache", "node_modules",
+})
+
+#: synthetic code for files the parser rejects
+PARSE_ERROR_CODE = "GRN000"
+
+
+@dataclass
+class LintResult:
+    """Findings of one run, waivers already applied."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    waived: int = 0
+
+
+class LintEngine:
+    """Runs a set of rules over a set of paths."""
+
+    def __init__(self, rules=None, root: str | Path | None = None):
+        self.rules = [cls() for cls in (rules or ALL_RULES)]
+        #: paths in findings are reported relative to this root
+        self.root = Path(root) if root is not None else Path.cwd()
+
+    # -- discovery -------------------------------------------------------------
+    def collect_files(self, paths) -> list[Path]:
+        files: list[Path] = []
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                files.extend(
+                    p for p in sorted(path.rglob("*.py"))
+                    if not _SKIP_DIRS & set(p.parts)
+                )
+            elif path.suffix == ".py":
+                files.append(path)
+        # stable order + dedupe (a file listed twice is checked once)
+        unique = sorted(set(files), key=lambda p: p.as_posix())
+        return unique
+
+    # -- the run ---------------------------------------------------------------
+    def run(self, paths) -> LintResult:
+        result = LintResult()
+        contexts: list[FileContext] = []
+        for path in self.collect_files(paths):
+            ctx, finding = self._parse(path)
+            result.files_checked += 1
+            if finding is not None:
+                result.findings.append(finding)
+            if ctx is not None:
+                contexts.append(ctx)
+
+        raw: list[Finding] = list(result.findings)
+        by_path = {ctx.path: ctx for ctx in contexts}
+        for rule in self.rules:
+            if isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(contexts))
+            else:
+                for ctx in contexts:
+                    raw.extend(rule.check_file(ctx))
+
+        kept: list[Finding] = []
+        for finding in raw:
+            ctx = by_path.get(finding.path)
+            if ctx is not None and ctx.waived(finding):
+                result.waived += 1
+            else:
+                kept.append(finding)
+        result.findings = sorted(kept)
+        return result
+
+    def _parse(self, path: Path):
+        display = self._display_path(path)
+        source = path.read_text(encoding="utf-8", errors="replace")
+        line_waivers, file_waivers = parse_waivers(source)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            finding = Finding(
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code=PARSE_ERROR_CODE,
+                message=f"syntax error: {exc.msg}",
+            )
+            if PARSE_ERROR_CODE in file_waivers:
+                return None, None
+            return None, finding
+        ctx = FileContext(
+            path=display,
+            module=module_name_for(path),
+            tree=tree,
+            source=source,
+            line_waivers=line_waivers,
+            file_waivers=file_waivers,
+        )
+        return ctx, None
+
+    def _display_path(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(
+                self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+
+def lint_paths(paths, rules=None, root=None) -> LintResult:
+    """One-call façade: lint ``paths`` with the registered rules."""
+    return LintEngine(rules=rules, root=root).run(paths)

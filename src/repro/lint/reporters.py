@@ -1,0 +1,51 @@
+"""Finding reporters.
+
+Both formats emit findings sorted by (path, line, col, code) — the
+:class:`~repro.lint.core.Finding` dataclass ordering — so output is
+byte-stable across machines and CI diffs are deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.core import Finding
+
+
+def render_text(new: list[Finding], baselined: list[Finding]) -> str:
+    """Human-readable report: one ``path:line:col: CODE message`` line
+    per finding, new findings first, then a summary line."""
+    lines = []
+    for finding in sorted(new):
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.code} {finding.message}"
+        )
+    for finding in sorted(baselined):
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.code} {finding.message} [baselined]"
+        )
+    total = len(new) + len(baselined)
+    if total == 0:
+        lines.append("repro lint: clean (0 findings)")
+    else:
+        lines.append(
+            f"repro lint: {total} finding(s) — {len(new)} new, "
+            f"{len(baselined)} baselined"
+        )
+    return "\n".join(lines)
+
+
+def render_json(new: list[Finding], baselined: list[Finding]) -> str:
+    """Machine-readable report (stable key order, sorted findings)."""
+    payload = {
+        "new": [f.to_dict() for f in sorted(new)],
+        "baselined": [f.to_dict() for f in sorted(baselined)],
+        "summary": {
+            "total": len(new) + len(baselined),
+            "new": len(new),
+            "baselined": len(baselined),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

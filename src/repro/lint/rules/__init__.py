@@ -1,0 +1,31 @@
+"""Rule registry.
+
+``ALL_RULES`` is the canonical ordered list; the engine instantiates it
+once per run.  Order is by code so reporter output groups naturally.
+"""
+
+from repro.lint.rules.clock import WallClockRule
+from repro.lint.rules.contracts import EstimatorContractRule
+from repro.lint.rules.hygiene import HygieneRule
+from repro.lint.rules.imports import ForbiddenImportRule
+from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.randomness import GlobalRngRule
+
+ALL_RULES = (
+    ForbiddenImportRule,
+    LayeringRule,
+    GlobalRngRule,
+    WallClockRule,
+    EstimatorContractRule,
+    HygieneRule,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ForbiddenImportRule",
+    "LayeringRule",
+    "GlobalRngRule",
+    "WallClockRule",
+    "EstimatorContractRule",
+    "HygieneRule",
+]

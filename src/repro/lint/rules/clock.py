@@ -1,0 +1,108 @@
+"""GRN004 — no wall-clock reads outside the measurement boundary.
+
+PR 1 moved all budget accounting onto a charge-only simulated clock
+(:mod:`repro.energy.train_cost`): a cell's cost is *computed*, never
+*timed*, which is what makes cached, resumed, and pooled runs
+bit-identical.  A stray ``time.monotonic()`` in a budget path silently
+turns a deterministic quantity back into a measurement.  Wall-clock
+access is therefore confined to the modules whose entire job is to
+observe the real machine:
+
+- ``repro/energy/rapl.py`` and ``repro/energy/tracker.py`` — the
+  CodeCarbon-style energy samplers timestamp real hardware counters;
+- ``repro/runtime/progress.py`` — operator telemetry (cells/s, ETA);
+- ``repro/utils/timer.py`` — the clock abstraction itself
+  (``WallClock`` / ``VirtualClock`` are the sanctioned entry points).
+
+Everything else must take a clock (or sleep hook) as an injectable
+parameter; referencing ``time.monotonic`` as a *default value* is fine,
+calling it inline is not.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import FileContext, Finding, Rule, dotted_name
+
+#: functions in the ``time`` module that read (or block on) the real clock
+FORBIDDEN_TIME = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "sleep",
+})
+
+#: ``datetime`` constructors that read the real clock (``datetime.now``
+#: only when argless — with an explicit tz it is still wall clock, so it
+#: is flagged regardless of arguments for ``utcnow``/``today``)
+FORBIDDEN_DATETIME = frozenset({"now", "utcnow", "today"})
+
+#: modules allowed to observe the real machine
+ALLOWED_PATH_SUFFIXES = (
+    "repro/energy/rapl.py",
+    "repro/energy/tracker.py",
+    "repro/runtime/progress.py",
+    "repro/utils/timer.py",
+)
+
+
+class WallClockRule(Rule):
+    code = "GRN004"
+    name = "no-wall-clock"
+    rationale = (
+        "budget accounting runs on the simulated clock; wall-clock "
+        "calls outside the energy-measurement modules make results "
+        "depend on machine speed and break bit-identical parallelism"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        if ctx.path.endswith(ALLOWED_PATH_SUFFIXES):
+            return []
+        from_time = self._from_time_names(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in from_time:
+                findings.append(self._time_finding(
+                    ctx, node, from_time[func.id]
+                ))
+                continue
+            dotted = dotted_name(func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if parts[0] == "time" and len(parts) == 2 \
+                    and parts[1] in FORBIDDEN_TIME:
+                findings.append(self._time_finding(ctx, node, parts[1]))
+            elif parts[-1] in FORBIDDEN_DATETIME and len(parts) >= 2 \
+                    and parts[-2] in ("datetime", "date"):
+                if parts[-1] == "now" and (node.args or node.keywords):
+                    continue  # tz-aware now(tz) is an explicit choice
+                findings.append(self.finding(
+                    ctx, node,
+                    f"wall-clock read '{dotted}()' outside the "
+                    f"measurement allowlist",
+                ))
+        return findings
+
+    def _time_finding(self, ctx: FileContext, node: ast.Call,
+                      name: str) -> Finding:
+        what = "blocking call" if name == "sleep" else "wall-clock read"
+        return self.finding(
+            ctx, node,
+            f"{what} 'time.{name}()' outside the measurement allowlist; "
+            f"inject a clock/sleep hook instead",
+        )
+
+    @staticmethod
+    def _from_time_names(tree: ast.AST) -> dict[str, str]:
+        """Local names bound by ``from time import monotonic [as m]``."""
+        names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module == "time":
+                for item in node.names:
+                    if item.name in FORBIDDEN_TIME:
+                        names[item.asname or item.name] = item.name
+        return names

@@ -1,0 +1,144 @@
+"""GRN005 — the estimator contract.
+
+Every layer above the model zoo — pipelines, HPO, ensembling, the six
+AutoML systems — composes estimators through the scikit-learn-style
+surface (``fit`` + ``predict``/``transform``, ``get_params``/
+``set_params``, explicit ``random_state``).  A model that drifts from
+the contract fails at a distance: ``clone`` silently drops parameters,
+BO cannot perturb it, and a missing ``random_state`` reintroduces
+hidden nondeterminism.  The rule resolves inheritance *across* the
+``repro.models`` / ``repro.preprocessing`` modules (mixins live in
+``models.base``), so it is a project rule, not a per-file one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import FileContext, Finding, ProjectRule
+
+#: packages whose public classes must honour the contract
+CONTRACT_PACKAGES = ("models", "preprocessing")
+
+#: names whose presence in a class body marks it as drawing randomness
+RNG_MARKERS = frozenset({"check_random_state", "spawn_seeds"})
+
+
+@dataclass
+class _ClassInfo:
+    name: str
+    module: str
+    path: str
+    lineno: int
+    col: int
+    bases: list[str] = field(default_factory=list)
+    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
+    draws_randomness: bool = False
+
+
+class EstimatorContractRule(ProjectRule):
+    code = "GRN005"
+    name = "estimator-contract"
+    rationale = (
+        "everything above the model zoo composes estimators through "
+        "fit/predict|transform, get_params/set_params and an explicit "
+        "random_state; contract drift breaks clone, HPO and determinism"
+    )
+
+    def check_project(self, contexts: list[FileContext]) -> list[Finding]:
+        table = self._collect(contexts)
+        findings = []
+        for info in table.values():
+            if info.name.startswith("_"):
+                continue
+            resolved = self._resolve(info, table)
+            if "fit" not in resolved:
+                continue
+            findings.extend(self._judge(info, resolved))
+        return findings
+
+    # -- class table -----------------------------------------------------------
+    def _collect(self, contexts: list[FileContext]) -> dict[str, _ClassInfo]:
+        table: dict[str, _ClassInfo] = {}
+        for ctx in contexts:
+            pkg = ctx.package
+            if pkg not in CONTRACT_PACKAGES:
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                info = _ClassInfo(
+                    name=node.name, module=ctx.module or "?",
+                    path=ctx.path, lineno=node.lineno,
+                    col=node.col_offset,
+                )
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        info.bases.append(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        info.bases.append(base.attr)
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        info.methods[item.name] = item
+                for sub in ast.walk(node):
+                    if isinstance(sub, ast.Name) and sub.id in RNG_MARKERS:
+                        info.draws_randomness = True
+                table[info.name] = info
+        return table
+
+    def _resolve(self, info: _ClassInfo,
+                 table: dict[str, _ClassInfo]) -> dict[str, _ClassInfo]:
+        """Method name -> owning class, walking base names transitively
+        through the in-package class table (closest definition wins)."""
+        resolved: dict[str, _ClassInfo] = {}
+        seen: set[str] = set()
+        stack = [info.name]
+        while stack:
+            name = stack.pop(0)
+            if name in seen or name not in table:
+                continue
+            seen.add(name)
+            current = table[name]
+            for method in current.methods:
+                resolved.setdefault(method, current)
+            stack.extend(current.bases)
+        return resolved
+
+    # -- the contract ----------------------------------------------------------
+    def _judge(self, info: _ClassInfo, resolved: dict[str, _ClassInfo]):
+        def finding(message: str) -> Finding:
+            return Finding(
+                path=info.path, line=info.lineno, col=info.col,
+                code=self.code, message=message,
+            )
+
+        if not ({"predict", "predict_proba", "transform"} & resolved.keys()):
+            yield finding(
+                f"{info.name} defines fit() but neither predict() nor "
+                f"transform(); it cannot be composed by pipelines or "
+                f"ensembles"
+            )
+        for accessor in ("get_params", "set_params"):
+            if accessor not in resolved:
+                yield finding(
+                    f"{info.name} defines fit() but not {accessor}(); "
+                    f"clone/HPO need full parameter introspection "
+                    f"(inherit repro.models.base.BaseEstimator)"
+                )
+        if info.draws_randomness:
+            init = resolved.get("__init__")
+            if init is None or not self._accepts_random_state(
+                    init.methods["__init__"]):
+                yield finding(
+                    f"{info.name} draws randomness but its __init__ does "
+                    f"not accept random_state; seeds cannot reach it"
+                )
+
+    @staticmethod
+    def _accepts_random_state(init: ast.FunctionDef) -> bool:
+        args = init.args
+        names = [a.arg for a in args.posonlyargs + args.args
+                 + args.kwonlyargs]
+        return "random_state" in names or args.kwarg is not None

@@ -1,0 +1,105 @@
+"""GRN006 — silent-failure hygiene.
+
+Two classic Python traps that have bitten AutoML harnesses before:
+
+- a mutable default argument (``def f(x=[])``) is shared across *all*
+  calls, so one campaign cell's state leaks into the next — the exact
+  cross-cell coupling the pure-cell architecture forbids;
+- ``except:`` / ``except Exception: pass`` swallows errors invisibly;
+  a quarantine path that records *why* a cell failed is fine, a handler
+  whose whole body is ``pass`` means a broken pipeline scores as a
+  healthy one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import FileContext, Finding, Rule
+
+#: calls producing a fresh mutable object per *definition*, not per call
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "defaultdict", "OrderedDict", "Counter",
+    "deque",
+})
+
+
+class HygieneRule(Rule):
+    code = "GRN006"
+    name = "silent-failure-hygiene"
+    rationale = (
+        "mutable defaults leak state across campaign cells; pass-only "
+        "exception handlers score broken pipelines as healthy ones"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                findings.extend(self._check_defaults(ctx, node))
+            elif isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(ctx, node))
+        return findings
+
+    def _check_defaults(self, ctx: FileContext, node: ast.AST):
+        args = node.args
+        for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]:
+            if self._is_mutable(default):
+                name = getattr(node, "name", "<lambda>")
+                yield self.finding(
+                    ctx, default,
+                    f"mutable default argument in {name}(); the object "
+                    f"is shared across every call — default to None and "
+                    f"construct inside",
+                )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_FACTORIES
+        )
+
+    def _check_handler(self, ctx: FileContext, node: ast.ExceptHandler):
+        if node.type is None:
+            yield self.finding(
+                ctx, node,
+                "bare 'except:' catches SystemExit/KeyboardInterrupt; "
+                "name the exception (and record the failure)",
+            )
+            return
+        if not self._is_broad(node.type):
+            return
+        if all(self._is_noop(stmt) for stmt in node.body):
+            yield self.finding(
+                ctx, node,
+                "'except Exception: pass' swallows the failure "
+                "invisibly; record it (quarantine note, score "
+                "sentinel) or narrow the exception",
+            )
+
+    @staticmethod
+    def _is_broad(type_node: ast.AST) -> bool:
+        name = None
+        if isinstance(type_node, ast.Name):
+            name = type_node.id
+        elif isinstance(type_node, ast.Attribute):
+            name = type_node.attr
+        return name in ("Exception", "BaseException")
+
+    @staticmethod
+    def _is_noop(stmt: ast.stmt) -> bool:
+        if isinstance(stmt, ast.Pass):
+            return True
+        return (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and (stmt.value.value is Ellipsis
+                 or isinstance(stmt.value.value, str))
+        )

@@ -1,0 +1,50 @@
+"""GRN001 — the numpy-only third-party surface.
+
+DESIGN.md's substitution table promises that everything the paper's six
+AutoML systems are built on is reimplemented from scratch on numpy; the
+energy comparisons are only meaningful because no hidden C++/BLAS-heavy
+dependency does the work for one system and not another.  Any import
+under ``src/repro`` that is neither stdlib, numpy, nor the package
+itself breaks that promise.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+
+from repro.lint.core import FileContext, Finding, Rule
+
+#: import roots that do not count as third-party
+ALLOWED_ROOTS = frozenset({"numpy", "repro"}) | frozenset(
+    sys.stdlib_module_names
+)
+
+
+class ForbiddenImportRule(Rule):
+    code = "GRN001"
+    name = "numpy-only-imports"
+    rationale = (
+        "src/repro may import only the stdlib, numpy and itself; the "
+        "from-scratch substitution table is what makes cross-system "
+        "energy profiles comparable"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                roots = {item.name.split(".")[0] for item in node.names}
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                roots = {(node.module or "").split(".")[0]}
+            else:
+                continue
+            for root in sorted(roots - ALLOWED_ROOTS):
+                findings.append(self.finding(
+                    ctx, node,
+                    f"third-party import '{root}' outside the numpy-only "
+                    f"surface of src/repro",
+                ))
+        return findings

@@ -1,0 +1,94 @@
+"""GRN003 — no global random state.
+
+Every campaign cell must be a pure function of its :class:`CellSpec`;
+``repro grid --workers N`` is bit-identical to serial only because all
+randomness flows through explicit ``numpy.random.Generator`` objects
+seeded from the spec (``repro.utils.rng.check_random_state``).  A single
+``np.random.seed()`` / ``np.random.rand()`` / stdlib-``random`` call
+reintroduces process-global state that silently varies with execution
+order, breaking cache keys, resume, and the Fig 5 parallelism results.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import FileContext, Finding, Rule, dotted_name
+
+#: attributes of ``numpy.random`` that are explicit-state constructors or
+#: types, not draws from the hidden global RandomState
+ALLOWED_NP_RANDOM = frozenset({
+    "Generator", "RandomState", "default_rng", "SeedSequence",
+    "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: modules whose *purpose* is to own RNG plumbing
+EXEMPT_PATH_SUFFIXES = ("repro/utils/rng.py",)
+
+
+class GlobalRngRule(Rule):
+    code = "GRN003"
+    name = "no-global-rng"
+    rationale = (
+        "all randomness must flow through seeded Generators from "
+        "repro.utils.rng; global RNG state varies with execution order "
+        "and breaks bit-identical parallel campaigns"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        if ctx.path.endswith(EXEMPT_PATH_SUFFIXES):
+            return []
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                findings.extend(self._check_import(ctx, node))
+            elif isinstance(node, ast.Attribute):
+                findings.extend(self._check_attribute(ctx, node))
+        return findings
+
+    def _check_import(self, ctx: FileContext, node: ast.AST):
+        """Flag the stdlib ``random`` module outright and
+        ``from numpy.random import <global draw>``."""
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "random" or item.name.startswith("random."):
+                    yield self.finding(
+                        ctx, node,
+                        "stdlib 'random' is process-global state; use a "
+                        "seeded numpy Generator via "
+                        "repro.utils.rng.check_random_state",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                yield self.finding(
+                    ctx, node,
+                    "stdlib 'random' is process-global state; use a "
+                    "seeded numpy Generator via "
+                    "repro.utils.rng.check_random_state",
+                )
+            elif node.module in ("numpy.random", "numpy.random.mtrand"):
+                for item in node.names:
+                    if item.name not in ALLOWED_NP_RANDOM:
+                        yield self.finding(
+                            ctx, node,
+                            f"'numpy.random.{item.name}' draws from the "
+                            f"global RandomState; seed a Generator "
+                            f"instead",
+                        )
+
+    def _check_attribute(self, ctx: FileContext, node: ast.Attribute):
+        """Flag ``np.random.<draw>`` attribute chains."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) < 3 or parts[1] != "random":
+            return
+        if parts[0] not in ("np", "numpy"):
+            return
+        if parts[2] not in ALLOWED_NP_RANDOM:
+            yield self.finding(
+                ctx, node,
+                f"'{parts[0]}.random.{parts[2]}' draws from the global "
+                f"RandomState; seed a Generator instead",
+            )

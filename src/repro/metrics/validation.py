@@ -98,7 +98,7 @@ def cross_val_score(estimator, X, y, *, cv=None, scoring=None) -> np.ndarray:
     convergence, so this is load-bearing for Figure 3.
     """
     from repro.metrics.classification import balanced_accuracy_score
-    from repro.models.base import clone
+    from repro.utils.cloning import clone
 
     X = np.asarray(X)
     y = column_or_1d(y)

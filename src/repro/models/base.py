@@ -8,12 +8,14 @@ interface.
 
 from __future__ import annotations
 
-import copy
 import inspect
 
 import numpy as np
 
+from repro.utils.cloning import clone
 from repro.utils.validation import check_is_fitted
+
+__all__ = ["BaseEstimator", "ClassifierMixin", "RegressorMixin", "clone"]
 
 
 class BaseEstimator:
@@ -49,16 +51,6 @@ class BaseEstimator:
     def __repr__(self) -> str:
         params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
         return f"{type(self).__name__}({params})"
-
-
-def clone(estimator):
-    """Return an unfitted copy of ``estimator`` with identical parameters."""
-    klass = type(estimator)
-    params = {
-        k: clone(v) if isinstance(v, BaseEstimator) else copy.deepcopy(v)
-        for k, v in estimator.get_params().items()
-    }
-    return klass(**params)
 
 
 class ClassifierMixin:

@@ -31,6 +31,7 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.datasets.loaders import Dataset, load_dataset
 from repro.experiments.results import ResultsStore, RunRecord
@@ -47,11 +48,18 @@ _MIN_BUDGET_MARKER = "does not support budgets below"
 
 @dataclass
 class RetryPolicy:
-    """Bounded retries with linear backoff, then quarantine."""
+    """Bounded retries with linear backoff, then quarantine.
+
+    ``sleep`` is the blocking hook the backoff runs through; it defaults
+    to :func:`time.sleep` (referenced, not called, so the executor stays
+    wall-clock-free) and tests inject a no-op to make retry paths
+    instant.
+    """
 
     max_retries: int = 1
     retry_backoff_s: float = 0.0
     cell_timeout_s: float | None = None
+    sleep: Callable[[float], None] = time.sleep
 
 
 @dataclass
@@ -235,7 +243,7 @@ class CampaignExecutor:
 
     def _backoff(self, item: _Pending) -> None:
         if self.policy.retry_backoff_s > 0:
-            time.sleep(self.policy.retry_backoff_s * item.attempts)
+            self.policy.sleep(self.policy.retry_backoff_s * item.attempts)
 
     # -- serial path (workers=1): the old runner, cell by cell ----------------
     def _run_serial(self, pending: list[_Pending], results: list) -> None:

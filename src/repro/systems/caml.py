@@ -185,17 +185,23 @@ class CamlSystem(AutoMLSystem):
 
         if best_model is None:
             return None, {"n_evaluations": evaluator.n_evaluations}
+        refit_error = None
         if self.params.refit and best_config is not None:
             try:
                 best_model = evaluator.refit_on_all(best_config)
-            except Exception:
-                pass  # keep the validated model if the refit fails
-        return best_model, {
+            except Exception as exc:
+                # keep the validated model, but surface why the refit
+                # was abandoned instead of swallowing it
+                refit_error = f"{type(exc).__name__}: {exc}"
+        info = {
             "n_evaluations": evaluator.n_evaluations,
             "best_val_score": float(best_score),
             "best_config": best_config,
             "constraints": self.constraints,
         }
+        if refit_error is not None:
+            info["refit_error"] = refit_error
+        return best_model, info
 
     def _evaluate_incremental(self, config, evaluator, deadline, n_classes,
                               eval_cap, rng):

@@ -1,5 +1,7 @@
-"""Shared utilities: seeded RNG handling, array validation, clocks."""
+"""Shared utilities: seeded RNG handling, array validation, clocks,
+estimator cloning."""
 
+from repro.utils.cloning import clone
 from repro.utils.rng import check_random_state, spawn_seeds
 from repro.utils.validation import (
     check_array,
@@ -10,6 +12,7 @@ from repro.utils.validation import (
 from repro.utils.timer import Stopwatch, VirtualClock, WallClock
 
 __all__ = [
+    "clone",
     "check_random_state",
     "spawn_seeds",
     "check_array",

@@ -1,0 +1,27 @@
+"""Estimator cloning.
+
+Lives in ``utils`` (layer 1) rather than ``models`` so that the
+validation-split machinery in ``repro.metrics`` can clone estimators
+without importing upward into the model zoo — ``clone`` only needs the
+``get_params`` duck type, not the :class:`~repro.models.base.BaseEstimator`
+class itself.  ``repro.models.base`` re-exports it, so the historical
+``from repro.models import clone`` spelling keeps working.
+"""
+
+from __future__ import annotations
+
+import copy
+
+
+def clone(estimator):
+    """Return an unfitted copy of ``estimator`` with identical parameters.
+
+    Parameters exposing ``get_params`` (nested estimators) are cloned
+    recursively; everything else is deep-copied.
+    """
+    klass = type(estimator)
+    params = {
+        k: clone(v) if hasattr(v, "get_params") else copy.deepcopy(v)
+        for k, v in estimator.get_params().items()
+    }
+    return klass(**params)

@@ -1,0 +1,486 @@
+"""The repro invariant checker (GRN001-GRN006).
+
+Each rule gets a violating fixture (fires) and a conforming one (stays
+silent), plus inline-waiver and baseline coverage; the self-lint test at
+the bottom holds the real tree to the same standard.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (
+    LintEngine,
+    lint_paths,
+    load_baseline,
+    partition,
+    render_json,
+    render_text,
+    write_baseline,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path, relpath: str, source: str, extra=None):
+    """Write ``source`` at ``relpath`` inside a synthetic package tree
+    (``__init__.py`` created for every ``repro``-rooted directory) and
+    lint the whole tree."""
+    files = {relpath: source, **(extra or {})}
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+        if rel.startswith("repro/"):
+            package_dir = tmp_path / "repro"
+            (package_dir / "__init__.py").touch()
+            for part in Path(rel).parent.parts[1:]:
+                package_dir = package_dir / part
+                (package_dir / "__init__.py").touch()
+    return LintEngine(root=tmp_path).run([tmp_path])
+
+
+def codes(result) -> list[str]:
+    return [f.code for f in result.findings]
+
+
+# -- GRN001: numpy-only imports ------------------------------------------------
+class TestForbiddenImports:
+    def test_fires_on_third_party_import(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/foo.py",
+            "import pandas\nfrom sklearn.tree import DecisionTree\n",
+        )
+        grn1 = [f for f in result.findings if f.code == "GRN001"]
+        assert len(grn1) == 2
+        assert "'pandas'" in grn1[0].message
+        assert "'sklearn'" in grn1[1].message
+        assert grn1[0].line == 1
+
+    def test_silent_on_stdlib_numpy_and_repro(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/foo.py",
+            "import json\nimport numpy as np\n"
+            "from repro.utils.rng import check_random_state\n",
+        )
+        assert "GRN001" not in codes(result)
+
+    def test_ignores_files_outside_the_repro_package(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "benchmarks/bench_foo.py", "import matplotlib\n",
+        )
+        assert "GRN001" not in codes(result)
+
+
+# -- GRN002: layer DAG ---------------------------------------------------------
+class TestLayering:
+    def test_fires_on_upward_import(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/utils/helper.py",
+            "from repro.systems.base import AutoMLSystem\n",
+        )
+        grn2 = [f for f in result.findings if f.code == "GRN002"]
+        assert len(grn2) == 1
+        assert "upward" in grn2[0].message
+
+    def test_fires_on_sibling_import(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/ensemble/foo.py",
+            "from repro.hpo.bo import BayesianOptimizer\n",
+        )
+        grn2 = [f for f in result.findings if f.code == "GRN002"]
+        assert len(grn2) == 1
+        assert "sibling" in grn2[0].message
+
+    def test_resolves_relative_imports(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/sub.py",
+            "from ..systems import base\n",
+        )
+        assert "GRN002" in codes(result)
+
+    def test_silent_on_downward_and_same_package(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/systems/foo.py",
+            "from repro.models.tree import DecisionTreeClassifier\n"
+            "from repro.systems.base import AutoMLSystem\n"
+            "from repro.utils.rng import check_random_state\n",
+        )
+        assert "GRN002" not in codes(result)
+
+    def test_allowed_same_rank_edges(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/preprocessing/foo.py",
+            "from repro.models.base import BaseEstimator\n",
+        )
+        assert "GRN002" not in codes(result)
+
+    def test_unassigned_package_is_itself_a_finding(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/mystery/foo.py", "import json\n",
+        )
+        grn2 = [f for f in result.findings if f.code == "GRN002"]
+        assert grn2 and "no layer assignment" in grn2[0].message
+
+
+# -- GRN003: no global RNG -----------------------------------------------------
+class TestGlobalRng:
+    @pytest.mark.parametrize("source", [
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import numpy as np\nx = np.random.rand(3)\n",
+        "import random\n",
+        "from random import choice\n",
+        "from numpy.random import randint\n",
+    ])
+    def test_fires_on_global_state(self, tmp_path, source):
+        result = lint_snippet(tmp_path, "repro/models/foo.py", source)
+        assert "GRN003" in codes(result)
+
+    def test_silent_on_generator_plumbing(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/foo.py",
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "ok = isinstance(rng, np.random.Generator)\n"
+            "legacy = np.random.RandomState\n",
+        )
+        assert "GRN003" not in codes(result)
+
+    def test_rng_module_is_exempt(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/utils/rng.py",
+            "import numpy as np\nnp.random.seed(0)\n",
+        )
+        assert "GRN003" not in codes(result)
+
+
+# -- GRN004: no wall clock -----------------------------------------------------
+class TestWallClock:
+    @pytest.mark.parametrize("source", [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.monotonic()\n",
+        "import time\ntime.sleep(1)\n",
+        "from time import perf_counter\nt = perf_counter()\n",
+        "from datetime import datetime\nts = datetime.now()\n",
+        "import datetime\nts = datetime.datetime.utcnow()\n",
+    ])
+    def test_fires_on_wall_clock_calls(self, tmp_path, source):
+        result = lint_snippet(tmp_path, "repro/hpo/foo.py", source)
+        assert "GRN004" in codes(result)
+
+    def test_silent_on_injectable_default_reference(self, tmp_path):
+        # referencing time.monotonic as a default is the sanctioned
+        # injection idiom — only *calls* read the clock
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\n"
+            "def track(clock=time.monotonic):\n"
+            "    return clock()\n",
+        )
+        assert "GRN004" not in codes(result)
+
+    def test_silent_on_tz_aware_now(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "from datetime import datetime, timezone\n"
+            "ts = datetime.now(timezone.utc)\n",
+        )
+        assert "GRN004" not in codes(result)
+
+    def test_measurement_modules_are_allowlisted(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/utils/timer.py",
+            "import time\nt = time.monotonic()\n",
+        )
+        assert "GRN004" not in codes(result)
+
+
+# -- GRN005: estimator contract ------------------------------------------------
+class TestEstimatorContract:
+    def test_fires_on_fit_without_predict_or_transform(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/custom.py",
+            "class Broken:\n"
+            "    def fit(self, X, y):\n"
+            "        return self\n"
+            "    def get_params(self):\n"
+            "        return {}\n"
+            "    def set_params(self, **p):\n"
+            "        return self\n",
+        )
+        grn5 = [f for f in result.findings if f.code == "GRN005"]
+        assert len(grn5) == 1
+        assert "neither predict() nor transform()" in grn5[0].message
+
+    def test_fires_on_missing_param_introspection(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/custom.py",
+            "class NoParams:\n"
+            "    def fit(self, X, y):\n"
+            "        return self\n"
+            "    def predict(self, X):\n"
+            "        return X\n",
+        )
+        messages = [f.message for f in result.findings
+                    if f.code == "GRN005"]
+        assert any("get_params" in m for m in messages)
+        assert any("set_params" in m for m in messages)
+
+    def test_fires_on_randomness_without_random_state(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/custom.py",
+            "from repro.utils.rng import check_random_state\n"
+            "class Unseeded:\n"
+            "    def __init__(self, k=3):\n"
+            "        self.k = k\n"
+            "    def fit(self, X, y):\n"
+            "        rng = check_random_state(None)\n"
+            "        return self\n"
+            "    def predict(self, X):\n"
+            "        return X\n"
+            "    def get_params(self):\n"
+            "        return {}\n"
+            "    def set_params(self, **p):\n"
+            "        return self\n",
+        )
+        grn5 = [f for f in result.findings if f.code == "GRN005"]
+        assert len(grn5) == 1
+        assert "random_state" in grn5[0].message
+
+    def test_contract_resolves_inheritance_across_files(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/custom.py",
+            "from repro.models.base import BaseEstimator, ClassifierMixin\n"
+            "from repro.utils.rng import check_random_state\n"
+            "class Fine(BaseEstimator, ClassifierMixin):\n"
+            "    def __init__(self, random_state=None):\n"
+            "        self.random_state = random_state\n"
+            "    def fit(self, X, y):\n"
+            "        self._rng = check_random_state(self.random_state)\n"
+            "        return self\n",
+            extra={"repro/models/base.py": (
+                "class BaseEstimator:\n"
+                "    def get_params(self):\n"
+                "        return {}\n"
+                "    def set_params(self, **p):\n"
+                "        return self\n"
+                "class ClassifierMixin:\n"
+                "    def predict(self, X):\n"
+                "        return X\n"
+            )},
+        )
+        assert "GRN005" not in codes(result)
+
+    def test_private_helpers_are_exempt(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/models/custom.py",
+            "class _Node:\n"
+            "    def fit(self, X, y):\n"
+            "        return self\n",
+        )
+        assert "GRN005" not in codes(result)
+
+
+# -- GRN006: hygiene -----------------------------------------------------------
+class TestHygiene:
+    def test_fires_on_mutable_default(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/utils/foo.py",
+            "def collect(items=[]):\n    return items\n",
+        )
+        grn6 = [f for f in result.findings if f.code == "GRN006"]
+        assert len(grn6) == 1
+        assert "mutable default" in grn6[0].message
+
+    def test_fires_on_swallowing_handlers(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/utils/foo.py",
+            "def run(f):\n"
+            "    try:\n"
+            "        f()\n"
+            "    except Exception:\n"
+            "        pass\n"
+            "    try:\n"
+            "        f()\n"
+            "    except:\n"
+            "        pass\n",
+        )
+        grn6 = [f for f in result.findings if f.code == "GRN006"]
+        assert len(grn6) == 2
+
+    def test_silent_on_handled_exceptions(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/utils/foo.py",
+            "def run(f, y=None):\n"
+            "    try:\n"
+            "        return f()\n"
+            "    except Exception:\n"
+            "        return -1.0\n"
+            "def g(x=(1, 2)):\n"
+            "    return x\n",
+        )
+        assert "GRN006" not in codes(result)
+
+
+# -- waivers -------------------------------------------------------------------
+class TestWaivers:
+    def test_inline_waiver_silences_one_line(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=GRN004\n"
+            "b = time.time()\n",
+        )
+        grn4 = [f for f in result.findings if f.code == "GRN004"]
+        assert len(grn4) == 1 and grn4[0].line == 3
+        assert result.waived == 1
+
+    def test_file_waiver_silences_whole_file(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "# repro-lint: disable-file=GRN004\n"
+            "import time\n"
+            "a = time.time()\n"
+            "b = time.monotonic()\n",
+        )
+        assert "GRN004" not in codes(result)
+        assert result.waived == 2
+
+    def test_waiver_only_silences_named_codes(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\n"
+            "a = time.time()  # repro-lint: disable=GRN003\n",
+        )
+        assert "GRN004" in codes(result)
+
+
+# -- baseline ------------------------------------------------------------------
+class TestBaseline:
+    def test_baselined_findings_do_not_fail(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\na = time.time()\n",
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, result.findings)
+        new, old = partition(result.findings,
+                             load_baseline(baseline_path))
+        assert new == [] and len(old) == 1
+
+    def test_multiset_semantics_catch_a_fresh_twin(self, tmp_path):
+        one = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\na = time.time()\n",
+        )
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, one.findings)
+        two = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\na = time.time()\nb = time.time()\n",
+        )
+        new, old = partition(two.findings, load_baseline(baseline_path))
+        assert len(old) == 1 and len(new) == 1
+
+    def test_missing_baseline_means_everything_is_new(self, tmp_path):
+        result = lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time\na = time.time()\n",
+        )
+        new, old = partition(
+            result.findings, load_baseline(tmp_path / "absent.json")
+        )
+        assert len(new) == 1 and old == []
+
+
+# -- reporters -----------------------------------------------------------------
+class TestReporters:
+    def _findings(self, tmp_path):
+        return lint_snippet(
+            tmp_path, "repro/hpo/foo.py",
+            "import time, random\na = time.time()\n",
+        ).findings
+
+    def test_json_output_is_stable_and_sorted(self, tmp_path):
+        findings = self._findings(tmp_path)
+        first = render_json(findings, [])
+        second = render_json(list(reversed(findings)), [])
+        assert first == second
+        payload = json.loads(first)
+        keys = [(f["path"], f["line"], f["col"], f["code"])
+                for f in payload["new"]]
+        assert keys == sorted(keys)
+
+    def test_text_report_carries_location_and_summary(self, tmp_path):
+        findings = self._findings(tmp_path)
+        text = render_text(findings, [])
+        assert "repro/hpo/foo.py:2:4: GRN004" in text
+        assert f"{len(findings)} new" in text
+
+    def test_clean_report(self):
+        assert "clean" in render_text([], [])
+
+
+# -- syntax errors -------------------------------------------------------------
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    result = lint_snippet(tmp_path, "repro/utils/bad.py", "def broken(:\n")
+    assert codes(result) == ["GRN000"]
+
+
+# -- CLI -----------------------------------------------------------------------
+class TestLintCommand:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "clean.py"
+        target.write_text("import json\n")
+        assert main(["lint", str(target),
+                     "--baseline", str(tmp_path / "b.json")]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_new_findings_exit_nonzero(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        assert main(["lint", str(target),
+                     "--baseline", str(tmp_path / "b.json")]) == 1
+        assert "GRN004" in capsys.readouterr().out
+
+    def test_write_baseline_then_pass(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert main(["lint", str(target),
+                     "--baseline", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "[baselined]" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        main(["lint", str(target), "--format", "json",
+              "--baseline", str(tmp_path / "b.json")])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+
+
+# -- the point of it all: the real tree is invariant-clean --------------------
+class TestSelfLint:
+    def test_src_repro_has_zero_findings(self):
+        result = lint_paths([REPO_ROOT / "src" / "repro"],
+                            root=REPO_ROOT)
+        assert result.findings == [], render_text(result.findings, [])
+
+    def test_benchmarks_and_examples_are_clean_too(self):
+        result = lint_paths(
+            [REPO_ROOT / "benchmarks", REPO_ROOT / "examples"],
+            root=REPO_ROOT,
+        )
+        assert result.findings == [], render_text(result.findings, [])
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
+        assert sum(baseline.values()) == 0

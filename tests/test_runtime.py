@@ -202,6 +202,26 @@ class TestExecutor:
                   in journal_path.read_text().splitlines()]
         assert sum(e["type"] == "failure" for e in events) == 3
 
+    def test_retry_backoff_runs_through_injected_sleep(
+            self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected worker crash")
+
+        monkeypatch.setattr(runner_mod, "run_single", explode)
+        naps = []
+        executor = CampaignExecutor(
+            workers=1,
+            policy=RetryPolicy(max_retries=2, retry_backoff_s=10.0,
+                               sleep=naps.append),
+        )
+        store = executor.run(_cells(systems=("CAML",)))
+        # linear backoff: 10s after attempt 1, 20s after attempt 2 —
+        # recorded by the hook, zero real seconds slept
+        assert naps == [10.0, 20.0]
+        assert store.records[0].failed
+
     def test_progress_telemetry(self):
         events = []
         executor = CampaignExecutor(
