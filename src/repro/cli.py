@@ -47,6 +47,20 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _render_worker_table(event) -> str:
+    """Per-worker live state from the last ProgressEvent: pid, cells
+    completed, failures, warm dataset-cache hits, current cell."""
+    rows = [
+        [pid, stats.cells, stats.failed, stats.warm_hits,
+         stats.current or "idle"]
+        for pid, stats in sorted(event.workers.items())
+    ]
+    return format_table(
+        ["worker (pid)", "cells", "failed", "warm hits", "current cell"],
+        rows,
+    )
+
+
 def _cmd_grid(args) -> int:
     config = ExperimentConfig(
         systems=tuple(args.systems),
@@ -58,11 +72,22 @@ def _cmd_grid(args) -> int:
     if args.resume and not args.journal:
         print("--resume requires --journal", file=sys.stderr)
         return 2
+    last_event = None
+
+    def progress(event):
+        nonlocal last_event
+        last_event = event
+        if not args.quiet:
+            print(event.render())
+
     store = run_grid(
         config, verbose=not args.quiet,
         workers=args.workers, cache_dir=args.cache_dir,
         resume=args.resume, journal_path=args.journal,
+        progress=progress,
     )
+    if last_event is not None and last_event.workers and not args.quiet:
+        print(_render_worker_table(last_event))
     if args.out:
         store.save(args.out)
         print(f"wrote {len(store)} records to {args.out}")

@@ -125,6 +125,15 @@ def load_dataset(name: str, *, split_seed: int = 0,
     return _cached(name, split_seed)
 
 
+def dataset_cache_hits() -> int:
+    """Cumulative in-process hits on the materialised-dataset cache.
+
+    Campaign workers report this in their outcome dicts, making warm
+    per-worker dataset reuse across pool lifetimes observable.
+    """
+    return _cached.cache_info().hits
+
+
 def load_suite(names=None, *, split_seed: int = 0) -> list[Dataset]:
     """Load the full 39-dataset Table 2 suite (or a named subset)."""
     names = list(names) if names is not None else list_datasets()

@@ -13,6 +13,13 @@ from repro.models.base import BaseEstimator, ClassifierMixin
 from repro.utils.validation import check_is_fitted, check_X_y
 
 
+def _norm_expansion_limit(n_features: int) -> float:
+    """Largest |x| for which the ``a²-2ab+b²`` expansion stays finite:
+    squares, their feature-sums and the cross term must all fit in a
+    float64 with headroom for the subtraction."""
+    return float(np.sqrt(np.finfo(float).max / (4.0 * max(n_features, 1))))
+
+
 class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
     """Brute-force kNN with uniform or distance weighting."""
 
@@ -29,10 +36,38 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
             raise ValueError("n_neighbors must be >= 1")
         self._X = X
         self._codes = self._encode_labels(y)
-        self._sq_norms = np.sum(X**2, axis=1)
+        self._limit = _norm_expansion_limit(X.shape[1])
+        # Norm expansion overflows on extreme feature values (xb² → inf,
+        # inf - inf → NaN → argpartition picks arbitrary neighbours);
+        # precompute the norms only when the training side is in range.
+        if np.abs(X).max(initial=0.0) <= self._limit:
+            self._sq_norms = np.sum(X**2, axis=1)
+        else:
+            self._sq_norms = None
         # Every prediction computes n_train × n_features distances.
         self.complexity_ = 3.0 * X.shape[0] * X.shape[1]
         return self
+
+    def _distances(self, xb: np.ndarray) -> np.ndarray:
+        """Squared distances from a batch to every training row.
+
+        The fast ``a²-2ab+b²`` path needs every operand finite; when the
+        training set or the batch carries near-overflow values, fall back
+        to direct pairwise differences with overflow saturating to +inf
+        (an out-of-range point is simply maximally distant — finite
+        neighbours still rank correctly and nothing turns into NaN).
+        """
+        if self._sq_norms is not None \
+                and np.abs(xb).max(initial=0.0) <= self._limit:
+            return (
+                np.sum(xb**2, axis=1)[:, None]
+                - 2.0 * xb @ self._X.T
+                + self._sq_norms[None, :]
+            )
+        with np.errstate(over="ignore", invalid="ignore"):
+            diff = xb[:, None, :] - self._X[None, :, :]
+            d2 = np.sum(diff * diff, axis=-1)
+        return np.where(np.isnan(d2), np.inf, d2)
 
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, "_X")
@@ -44,11 +79,7 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         out = np.zeros((X.shape[0], n_classes))
         for start in range(0, X.shape[0], self.batch_size):
             xb = X[start:start + self.batch_size]
-            d2 = (
-                np.sum(xb**2, axis=1)[:, None]
-                - 2.0 * xb @ self._X.T
-                + self._sq_norms[None, :]
-            )
+            d2 = self._distances(xb)
             nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
             rows = np.arange(len(xb))[:, None]
             labels = self._codes[nn]

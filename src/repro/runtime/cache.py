@@ -39,6 +39,14 @@ class ResultCache:
     def __post_init__(self):
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # a crash between tmp.write_text and os.replace strands the tmp
+        # file forever (its pid never comes back); opening the cache is
+        # the safe moment to sweep them
+        self._sweep_tmp()
+
+    def _sweep_tmp(self) -> None:
+        for orphan in self.root.glob("*/*.tmp.*"):
+            orphan.unlink(missing_ok=True)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -73,3 +81,4 @@ class ResultCache:
     def clear(self) -> None:
         for entry in self.root.glob("*/*.json"):
             entry.unlink(missing_ok=True)
+        self._sweep_tmp()

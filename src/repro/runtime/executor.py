@@ -1,11 +1,31 @@
 """The campaign executor: cache -> journal -> (pool of) workers.
 
 ``workers=1`` runs cells in-process, in order — byte-for-byte the old
-serial runner.  ``workers>1`` fans cells out over a process pool;
-because every cell is a pure function of its :class:`CellSpec` (budget
-accounting runs on the simulated clock), the pooled results are
-identical to the serial ones, just reassembled into the original cell
-order.
+serial runner.  ``workers>1`` streams cells through one persistent
+:class:`~concurrent.futures.ProcessPoolExecutor`; because every cell is
+a pure function of its :class:`CellSpec` (budget accounting runs on the
+simulated clock), the pooled results are identical to the serial ones —
+results are keyed by cell *index*, never by arrival order.
+
+The pooled scheduler is completion-order streaming:
+
+- submission is bounded (a small multiple of the worker count) so a
+  multi-thousand-cell campaign never holds thousands of live futures;
+- every finished cell is committed to cache + journal the moment it
+  completes, regardless of where it sits in the grid — a slow first
+  cell cannot widen the crash-loss window of cells that already ran;
+- the pool persists across retries, so per-worker warm state
+  (the ``load_dataset`` lru_cache) survives and is reported back as
+  ``warm_hits`` in each outcome dict;
+- per-cell deadlines are measured from a *worker-reported start
+  timestamp* (posted on a multiprocessing queue the instant the cell
+  begins executing), so queue wait never counts toward
+  ``cell_timeout_s``;
+- a timed-out cell is abandoned (its future is left running and its
+  result discarded) and retried/quarantined without touching sibling
+  in-flight futures; the pool is replaced only when it actually breaks
+  (:class:`BrokenProcessPool`) or — as a last-resort liveness fallback —
+  when every worker is wedged on an abandoned cell.
 
 Failure handling, outermost to innermost:
 
@@ -24,16 +44,19 @@ run has no supervisor to interrupt it.
 
 from __future__ import annotations
 
+import itertools
+import multiprocessing
 import os
+import queue as queue_mod
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeoutError
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.datasets.loaders import Dataset, load_dataset
+from repro.datasets.loaders import Dataset, dataset_cache_hits, load_dataset
 from repro.experiments.results import ResultsStore, RunRecord
 from repro.metrics.classification import balanced_accuracy_score
 from repro.models.dummy import DummyClassifier
@@ -45,21 +68,32 @@ from repro.runtime.progress import ProgressTracker
 #: message is the one uniform signal)
 _MIN_BUDGET_MARKER = "does not support budgets below"
 
+#: how many futures may be in flight per *available* worker; 2 keeps a
+#: submission queued behind every busy worker without ballooning memory
+_INFLIGHT_PER_WORKER = 2
+
 
 @dataclass
 class RetryPolicy:
     """Bounded retries with linear backoff, then quarantine.
 
-    ``sleep`` is the blocking hook the backoff runs through; it defaults
-    to :func:`time.sleep` (referenced, not called, so the executor stays
-    wall-clock-free) and tests inject a no-op to make retry paths
-    instant.
+    ``sleep`` is the blocking hook the backoff runs through and
+    ``clock`` the monotonic source the pooled scheduler checks per-cell
+    deadlines against; both default to the real ``time`` functions
+    (referenced, not called, so the executor stays wall-clock-free) and
+    tests inject fakes to make retry/timeout paths instant.
+
+    ``poll_interval_s`` bounds how long the pooled scheduler blocks
+    waiting for a completion when deadlines are armed — it is the
+    resolution of timeout enforcement, not a busy-wait.
     """
 
     max_retries: int = 1
     retry_backoff_s: float = 0.0
     cell_timeout_s: float | None = None
     sleep: Callable[[float], None] = time.sleep
+    clock: Callable[[], float] = time.monotonic
+    poll_interval_s: float = 0.05
 
 
 @dataclass
@@ -95,14 +129,32 @@ def _baseline_record(spec: CellSpec, dataset: Dataset,
     )
 
 
-def _execute_cell(spec: CellSpec) -> dict:
+#: worker-side start-event channel, installed by the pool initializer
+_START_CHANNEL = None
+
+
+def _init_worker(channel) -> None:
+    global _START_CHANNEL
+    _START_CHANNEL = channel
+
+
+def _execute_cell(spec: CellSpec, token: int | None = None) -> dict:
     """Worker entry point (module-level so it pickles).
 
     Never raises: outcomes are tagged dicts so the parent can separate
     'the cell is a skip' / 'the cell errored' from pool-level crashes.
+    ``token`` identifies this submission; the worker echoes it on the
+    start channel (with a :func:`worker_now` timestamp) so the parent
+    can start the cell's deadline only once it is actually executing.
     """
     from repro.experiments.runner import run_single
+    from repro.runtime.progress import worker_now
 
+    if _START_CHANNEL is not None and token is not None:
+        try:
+            _START_CHANNEL.put((os.getpid(), token, worker_now()))
+        except (OSError, ValueError):
+            pass   # telemetry channel loss must never fail the cell
     try:
         dataset = load_dataset(spec.dataset)
         record = run_single(
@@ -113,19 +165,23 @@ def _execute_cell(spec: CellSpec) -> dict:
         )
     except ValueError as exc:
         if _MIN_BUDGET_MARKER in str(exc):
-            return {"status": "skip", "note": str(exc), "pid": os.getpid()}
+            return {"status": "skip", "note": str(exc), "pid": os.getpid(),
+                    "warm_hits": dataset_cache_hits()}
         return {
             "status": "error", "error": traceback.format_exc(),
             "pid": os.getpid(),
+            "warm_hits": dataset_cache_hits(),
         }
     except Exception:
         return {
             "status": "error", "error": traceback.format_exc(),
             "pid": os.getpid(),
+            "warm_hits": dataset_cache_hits(),
         }
     from dataclasses import asdict
 
-    return {"status": "ok", "record": asdict(record), "pid": os.getpid()}
+    return {"status": "ok", "record": asdict(record), "pid": os.getpid(),
+            "warm_hits": dataset_cache_hits()}
 
 
 class CampaignExecutor:
@@ -143,6 +199,9 @@ class CampaignExecutor:
         self.policy = policy or RetryPolicy()
         self.progress_callback = progress_callback
         self.tracker: ProgressTracker | None = None
+        #: pool replacements after the initial pool (0 on a healthy
+        #: campaign: timeouts alone never rebuild the pool)
+        self.pool_rebuilds = 0
 
     # -- orchestration ---------------------------------------------------------
     def run(self, cells) -> ResultsStore:
@@ -204,14 +263,15 @@ class CampaignExecutor:
             self.journal.record_cell(index, key, record)
 
     def _commit(self, item: _Pending, record: RunRecord,
-                results: list, worker: int | None) -> None:
+                results: list, worker: int | None,
+                warm_hits: int | None = None) -> None:
         if self.cache is not None:
             self.cache.put(item.key, record)
         self._journal_cell(item.index, item.key, record)
         results[item.index] = record
         self.tracker.update(
             record=record, kind="executed", worker=worker,
-            label=item.spec.label(),
+            label=item.spec.label(), warm_hits=warm_hits,
         )
 
     def _commit_skip(self, item: _Pending, note: str) -> None:
@@ -232,10 +292,9 @@ class CampaignExecutor:
     def _quarantine(self, item: _Pending, results: list, error: str,
                     worker: int | None = None) -> None:
         dataset = load_dataset(item.spec.dataset)
-        note = (
-            f"quarantined after {item.attempts} attempt(s): "
-            + error.strip().splitlines()[-1]
-        )
+        lines = error.strip().splitlines()
+        reason = lines[-1] if lines else "unknown error"
+        note = f"quarantined after {item.attempts} attempt(s): {reason}"
         self._commit(
             item, _baseline_record(item.spec, dataset, note),
             results, worker,
@@ -253,7 +312,7 @@ class CampaignExecutor:
                 if outcome["status"] == "ok":
                     self._commit(
                         item, RunRecord(**outcome["record"]), results,
-                        outcome.get("pid"),
+                        outcome.get("pid"), outcome.get("warm_hits"),
                     )
                     break
                 if outcome["status"] == "skip":
@@ -268,84 +327,174 @@ class CampaignExecutor:
                     break
                 self._backoff(item)
 
-    # -- pooled path (workers>1) ----------------------------------------------
+    # -- pooled path (workers>1): completion-order streaming ------------------
     def _run_pooled(self, pending: list[_Pending], results: list) -> None:
-        remaining = list(pending)
-        while remaining:
-            remaining = self._pool_round(remaining, results)
+        """One persistent pool, harvested in completion order.
 
-    def _pool_round(self, remaining: list[_Pending],
-                    results: list) -> list[_Pending]:
-        """One pool lifetime; returns cells that still need a round.
-
-        A timeout or a broken pool kills the whole pool (the stuck
-        worker cannot be interrupted any other way); already-finished
-        futures are harvested first so their work is not wasted.
+        State, per in-flight submission: a unique ``token`` (so start
+        events and retries of the same cell never alias), the worker's
+        reported start timestamp (absent while the cell is still queued),
+        and the :class:`_Pending` it belongs to.  ``abandoned`` holds
+        futures whose cell timed out — they keep running (a stuck worker
+        cannot be interrupted without killing its siblings) but their
+        eventual results are discarded and they no longer count toward
+        pool capacity.
         """
-        retry: list[_Pending] = []
-        pool = ProcessPoolExecutor(max_workers=self.workers)
-        futures = {id(item): pool.submit(_execute_cell, item.spec)
-                   for item in remaining}
-        poisoned = False
+        todo: deque[_Pending] = deque(pending)
+        tokens = itertools.count()
+        channel = multiprocessing.Queue()
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker, initargs=(channel,),
+        )
+        inflight: dict = {}   # future -> (token, item)
+        starts: dict = {}     # token -> worker-reported start timestamp
+        abandoned: set = set()
         try:
-            for position, item in enumerate(remaining):
-                future = futures[id(item)]
-                if poisoned:
-                    if future.done() and not future.cancelled():
-                        try:
-                            self._handle_outcome(
-                                item, future.result(), results, retry
-                            )
-                        except Exception:
-                            retry.append(item)
-                    else:
-                        retry.append(item)
+            while todo or inflight:
+                abandoned = {f for f in abandoned if not f.done()}
+                capacity = self.workers - len(abandoned)
+                if capacity <= 0 and not inflight:
+                    # every worker is wedged on an abandoned cell: the
+                    # one case (besides a broken pool) where replacement
+                    # is the only way to make progress
+                    pool = self._replace_pool(pool, channel)
+                    abandoned.clear()
                     continue
                 try:
-                    outcome = future.result(
-                        timeout=self.policy.cell_timeout_s
-                    )
-                except FuturesTimeoutError:
-                    self._note_failure(item, "cell timeout")
-                    if self._exhausted(item):
-                        self._quarantine(item, results, "cell timeout")
-                    else:
-                        retry.append(item)
-                    poisoned = True
+                    self._top_up(pool, todo, inflight, tokens, capacity)
+                    done = self._harvest_window(inflight, channel, starts)
+                    for future in done:
+                        token, item = inflight.pop(future)
+                        starts.pop(token, None)
+                        self._settle(future, item, results, todo)
                 except BrokenProcessPool:
-                    self._note_failure(item, "worker process died")
-                    if self._exhausted(item):
-                        self._quarantine(
-                            item, results, "worker process died"
-                        )
-                    else:
-                        retry.append(item)
-                    poisoned = True
-                else:
-                    self._handle_outcome(item, outcome, results, retry)
+                    # the pool is dead — but futures that completed
+                    # before the break still carry real results; commit
+                    # them rather than re-running finished work
+                    for future, (token, item) in list(inflight.items()):
+                        if future.done() and not future.cancelled():
+                            try:
+                                self._settle(future, item, results, todo)
+                            except BrokenProcessPool:
+                                pass   # _settle already requeued it
+                        else:
+                            self._requeue_or_quarantine(
+                                item, results, todo, "worker process died"
+                            )
+                    inflight.clear()
+                    starts.clear()
+                    abandoned.clear()
+                    pool = self._replace_pool(pool, channel)
+                    continue
+                self._expire_deadlines(
+                    inflight, starts, abandoned, results, todo
+                )
         finally:
-            pool.shutdown(wait=not poisoned, cancel_futures=True)
-        if retry:
-            self._backoff(max(retry, key=lambda i: i.attempts))
-        return retry
+            pool.shutdown(wait=False, cancel_futures=True)
 
-    def _handle_outcome(self, item: _Pending, outcome: dict,
-                        results: list, retry: list[_Pending]) -> None:
+    def _replace_pool(self, pool, channel) -> ProcessPoolExecutor:
+        pool.shutdown(wait=False, cancel_futures=True)
+        self.pool_rebuilds += 1
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker, initargs=(channel,),
+        )
+
+    def _top_up(self, pool, todo, inflight, tokens, capacity) -> None:
+        """Bounded submission: keep a small backlog behind each free
+        worker, in cell order (retries rejoin at the back of the queue)."""
+        limit = _INFLIGHT_PER_WORKER * max(capacity, 0)
+        while todo and len(inflight) < limit:
+            item = todo.popleft()
+            token = next(tokens)
+            inflight[pool.submit(_execute_cell, item.spec, token)] = \
+                (token, item)
+
+    def _harvest_window(self, inflight, channel, starts):
+        """Block until at least one completion or one deadline tick."""
+        if not inflight:
+            return set()
+        tick = (self.policy.poll_interval_s
+                if self.policy.cell_timeout_s is not None else None)
+        done, _ = wait(set(inflight), timeout=tick,
+                       return_when=FIRST_COMPLETED)
+        self._drain_starts(channel, inflight, starts)
+        return done
+
+    def _drain_starts(self, channel, inflight, starts) -> None:
+        """Fold worker start reports into deadline + live telemetry."""
+        labels = {token: item.spec.label()
+                  for token, item in inflight.values()}
+        while True:
+            try:
+                pid, token, stamp = channel.get_nowait()
+            except queue_mod.Empty:
+                return
+            except (OSError, EOFError):
+                return   # channel torn down mid-drain by a pool swap
+            if token in labels:
+                starts.setdefault(token, stamp)
+                self.tracker.worker_started(pid, labels[token])
+
+    def _settle(self, future, item, results, todo) -> None:
+        """Commit one completed future (any terminal state but timeout)."""
+        try:
+            outcome = future.result()
+        except BrokenProcessPool:
+            # mark this cell before the caller requeues the siblings
+            self._requeue_or_quarantine(
+                item, results, todo, "worker process died"
+            )
+            raise
+        except Exception as exc:   # pickling trouble, pool teardown races
+            self._requeue_or_quarantine(item, results, todo, repr(exc))
+            return
         if outcome["status"] == "ok":
             self._commit(
                 item, RunRecord(**outcome["record"]), results,
-                outcome.get("pid"),
+                outcome.get("pid"), outcome.get("warm_hits"),
             )
         elif outcome["status"] == "skip":
             self._commit_skip(item, outcome["note"])
         else:
-            self._note_failure(item, outcome["error"])
-            if self._exhausted(item):
-                self._quarantine(
-                    item, results, outcome["error"], outcome.get("pid")
-                )
-            else:
-                retry.append(item)
+            self._requeue_or_quarantine(
+                item, results, todo, outcome["error"], outcome.get("pid")
+            )
+
+    def _requeue_or_quarantine(self, item, results, todo, error,
+                               worker=None) -> None:
+        self._note_failure(item, error)
+        if self._exhausted(item):
+            self._quarantine(item, results, error, worker)
+        else:
+            self._backoff(item)
+            todo.append(item)
+
+    def _expire_deadlines(self, inflight, starts, abandoned, results,
+                          todo) -> None:
+        """Abandon cells whose *execution* (not queue wait) overran.
+
+        The timed-out future keeps running — only its bookkeeping moves
+        to ``abandoned`` — so sibling in-flight cells are untouched and
+        the pool survives.
+        """
+        timeout = self.policy.cell_timeout_s
+        if timeout is None:
+            return
+        now = self.policy.clock()
+        for future in list(inflight):
+            token, item = inflight[future]
+            stamp = starts.get(token)
+            if stamp is None or now - stamp <= timeout or future.done():
+                continue
+            del inflight[future]
+            starts.pop(token, None)
+            abandoned.add(future)
+            self._requeue_or_quarantine(
+                item, results, todo,
+                f"cell timeout: exceeded {timeout:g}s after start"
+            )
 
 
 def execute_cells(cells, *, workers: int = 1, cache=None, journal=None,

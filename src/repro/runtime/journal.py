@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -33,6 +34,9 @@ class JournalState:
     skipped: set[str] = field(default_factory=set)
     failures: list[dict] = field(default_factory=list)
     n_cells: int | None = None
+    #: corrupt lines skipped *before* the tail — anything beyond a torn
+    #: final line means the file was damaged, not just cut short
+    skipped_lines: int = 0
 
     def __len__(self) -> int:
         return len(self.completed)
@@ -89,29 +93,52 @@ class CampaignJournal:
     # -- replay ----------------------------------------------------------------
     @classmethod
     def load(cls, path) -> JournalState:
-        """Replay a journal; a torn/corrupt tail stops the replay there."""
+        """Replay a journal, tolerating exactly one torn *final* line.
+
+        A crash mid-append tears the last line — that is expected and
+        silently ignored.  A corrupt line anywhere *earlier* is real
+        damage; stopping the replay there (as this used to do) would
+        silently re-execute every later completed cell, so instead the
+        bad line is skipped, counted on ``JournalState.skipped_lines``
+        and reported with a warning.
+        """
         state = JournalState()
         path = Path(path)
         if not path.exists():
             return state
-        for line in path.read_text(encoding="utf-8").splitlines():
-            if not line.strip():
-                continue
+        lines = [line for line
+                 in path.read_text(encoding="utf-8").splitlines()
+                 if line.strip()]
+        for position, line in enumerate(lines):
+            tail = position == len(lines) - 1
             try:
                 event = json.loads(line)
                 kind = event["type"]
             except (json.JSONDecodeError, KeyError, TypeError):
-                break   # torn tail from a crash mid-append
+                if tail:
+                    break   # torn tail from a crash mid-append
+                state.skipped_lines += 1
+                continue
             if kind == "campaign":
                 state.n_cells = event.get("n_cells")
             elif kind == "cell":
                 try:
                     record = RunRecord(**event["record"])
                 except (KeyError, TypeError):
-                    break
+                    if tail:
+                        break
+                    state.skipped_lines += 1
+                    continue
                 state.completed[event["key"]] = record
             elif kind == "skip":
                 state.skipped.add(event["key"])
             elif kind == "failure":
                 state.failures.append(event)
+        if state.skipped_lines:
+            warnings.warn(
+                f"journal {path} has {state.skipped_lines} corrupt "
+                f"line(s) before the tail; the affected cells will "
+                f"re-execute on resume",
+                stacklevel=2,
+            )
         return state

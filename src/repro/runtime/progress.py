@@ -10,7 +10,18 @@ Each update emits a :class:`ProgressEvent` to the optional callback;
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+
+def worker_now() -> float:
+    """Monotonic timestamp for worker start reports.
+
+    Lives here (the telemetry module) because it is the one sanctioned
+    wall-clock read the pooled scheduler's deadline bookkeeping needs:
+    workers stamp the moment a cell actually *starts* executing, so
+    queue wait never counts toward ``cell_timeout_s``.
+    """
+    return time.monotonic()
 
 
 @dataclass
@@ -20,6 +31,12 @@ class WorkerStats:
     cells: int = 0
     failed: int = 0
     execution_kwh: float = 0.0
+    #: cumulative dataset lru_cache hits inside the worker process, as
+    #: reported back in each outcome dict — direct evidence that the
+    #: persistent pool is reusing warm per-worker dataset caches
+    warm_hits: int = 0
+    #: label of the cell the worker is executing right now ("" = idle)
+    current: str = ""
 
 
 @dataclass
@@ -77,11 +94,22 @@ class ProgressTracker:
     def done(self) -> int:
         return self.executed + self.cached + self.resumed + self.skipped
 
+    def worker_started(self, worker: int, label: str) -> None:
+        """Record that ``worker`` (a pid) began executing ``label``.
+
+        Pure live state — no event is emitted; the ``current`` field
+        rides along on the next :class:`ProgressEvent` snapshot.
+        """
+        self.workers.setdefault(worker, WorkerStats()).current = label
+
     def update(self, *, record=None, kind: str = "executed",
-               worker: int | None = None, label: str = "") -> ProgressEvent:
+               worker: int | None = None, label: str = "",
+               warm_hits: int | None = None) -> ProgressEvent:
         """Register one finished cell.
 
         ``kind`` is one of ``executed``/``cached``/``resumed``/``skipped``.
+        ``warm_hits`` is the worker-reported cumulative dataset-cache hit
+        count for the executing process.
         """
         if kind == "executed":
             self.executed += 1
@@ -102,8 +130,13 @@ class ProgressTracker:
             stats = self.workers.setdefault(worker, WorkerStats())
             stats.cells += 1
             stats.failed += int(failed)
+            stats.current = ""
             if record is not None:
                 stats.execution_kwh += record.execution_kwh
+            if warm_hits is not None:
+                # cumulative per-process counter: keep the latest high-water
+                # mark rather than summing re-reports
+                stats.warm_hits = max(stats.warm_hits, warm_hits)
         event = self.snapshot(label=label)
         if self.callback is not None:
             self.callback(event)
@@ -126,6 +159,7 @@ class ProgressTracker:
             cells_per_second=rate,
             eta_s=eta,
             execution_kwh=self.execution_kwh,
-            workers=dict(self.workers),
+            workers={pid: replace(stats)
+                     for pid, stats in self.workers.items()},
             label=label,
         )

@@ -74,6 +74,18 @@ def test_grid_command_writes_results(tmp_path, capsys):
     assert "Figure 3" in capsys.readouterr().out
 
 
+def test_grid_command_reports_worker_telemetry(tmp_path, capsys):
+    assert main([
+        "grid", "--systems", "CAML", "TabPFN",
+        "--datasets", "credit-g", "--budgets", "10", "--runs", "1",
+        "--time-scale", "0.004", "--workers", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "worker (pid)" in out
+    assert "warm hits" in out
+    assert "current cell" in out
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

@@ -155,6 +155,40 @@ class TestKNN:
         big = KNeighborsClassifier().fit(X, y)
         assert big.inference_flops(10) > small.inference_flops(10)
 
+    @pytest.mark.parametrize("weights", ["uniform", "distance"])
+    def test_extreme_values_warning_free_and_finite(self, weights):
+        # xb**2 used to overflow to inf, inf - inf gave NaN distances
+        # and argpartition returned arbitrary neighbours
+        import warnings
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(120, 5))
+        y = (X[:, 0] > 0).astype(int)
+        X[0, 0] = 1e308
+        X[1, 1] = -1e308
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            knn = KNeighborsClassifier(
+                n_neighbors=3, weights=weights).fit(X, y)
+            proba = knn.predict_proba(X[:20])
+            pred = knn.predict(X[:20])
+        assert np.isfinite(proba).all()
+        assert set(pred) <= {0, 1}
+
+    def test_fallback_ranks_finite_queries_like_expansion(self):
+        # one extreme query row routes its whole batch through the
+        # direct-pairwise fallback; the finite rows in that batch must
+        # still get the same neighbours as the fast expansion path
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        queries = rng.normal(size=(20, 4))
+        base = knn.predict(queries)
+        hot = knn.predict(np.vstack([queries,
+                                     [[1e308, 0.0, 0.0, 0.0]]]))
+        assert np.array_equal(hot[:-1], base)
+
 
 class TestMLP:
     def test_learns_nonlinear_boundary(self, rng):

@@ -1,6 +1,7 @@
 """Campaign runtime: cells, cache, journal, progress, executor."""
 
 import json
+import time
 from dataclasses import asdict
 
 import pytest
@@ -107,6 +108,27 @@ class TestResultCache:
         assert cache.get(key) is None
         assert cache.stats.corrupt == 1
 
+    def test_orphaned_tmp_files_swept_on_init(self, tmp_path):
+        # a crash between tmp.write_text and os.replace strands the tmp
+        key = "ab" + "0" * 62
+        first = ResultCache(tmp_path)
+        first.put(key, _record())
+        orphan = first._path(key).with_suffix(".tmp.12345")
+        orphan.write_text("half-written payload")
+        reopened = ResultCache(tmp_path)
+        assert not orphan.exists()
+        assert reopened.get(key) == _record()   # real entries untouched
+
+    def test_clear_removes_tmp_files(self, tmp_path):
+        key = "ab" + "0" * 62
+        cache = ResultCache(tmp_path)
+        cache.put(key, _record())
+        orphan = cache._path(key).with_suffix(".tmp.12345")
+        orphan.write_text("half-written payload")
+        cache.clear()
+        assert not orphan.exists()
+        assert len(cache) == 0
+
 
 class TestJournal:
     def test_replay_round_trips_records(self, tmp_path):
@@ -123,7 +145,7 @@ class TestJournal:
         assert state.skipped == {"k1"}
         assert state.failures[0]["error"] == "boom"
 
-    def test_torn_tail_is_tolerated(self, tmp_path):
+    def test_torn_tail_is_tolerated(self, tmp_path, recwarn):
         path = tmp_path / "j.jsonl"
         record = _record()
         with CampaignJournal(path) as journal:
@@ -132,6 +154,23 @@ class TestJournal:
             fh.write('{"type": "cell", "index": 1, "key')   # crash artefact
         state = CampaignJournal.load(path)
         assert list(state.completed) == ["k0"]
+        assert state.skipped_lines == 0     # a torn tail is not damage
+        assert len(recwarn) == 0
+
+    def test_corrupt_middle_line_is_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record_cell(0, "k0", _record())
+            journal.record_cell(1, "k1", _record(seed=8))
+            journal.record_cell(2, "k2", _record(seed=9))
+        lines = path.read_text().splitlines()
+        lines[1] = '{"type": "cell", "index": 1, "ke'   # mid-file damage
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(UserWarning, match="1 corrupt line"):
+            state = CampaignJournal.load(path)
+        # replay must NOT stop at the damage: k2 is still completed
+        assert sorted(state.completed) == ["k0", "k2"]
+        assert state.skipped_lines == 1
 
     def test_missing_file_loads_empty(self, tmp_path):
         assert len(CampaignJournal.load(tmp_path / "absent.jsonl")) == 0
@@ -245,6 +284,151 @@ class TestExecutor:
         pooled = CampaignExecutor(workers=2).run(cells)
         assert [asdict(r) for r in pooled.records] \
             == [asdict(r) for r in serial.records]
+
+    def test_quarantine_note_survives_empty_error(self):
+        from repro.runtime.executor import _Pending
+        from repro.runtime.progress import ProgressTracker
+
+        executor = CampaignExecutor(workers=1)
+        executor.tracker = ProgressTracker(1)
+        cells = _cells(systems=("CAML",))
+        item = _Pending(0, cells[0], "k0", attempts=1)
+        results = [None]
+        executor._quarantine(item, results, "")   # empty error string
+        assert results[0].failed
+        assert "unknown error" in results[0].note
+
+
+class TestPooledScheduler:
+    """The completion-order streaming pool (workers>1).
+
+    The monkeypatched ``run_single`` wrappers propagate into pool
+    workers because ProcessPoolExecutor forks them lazily on first
+    submit, after the patch is applied.
+    """
+
+    CELLS = dict(datasets=("credit-g",
+                           "blood-transfusion-service-center"))
+
+    def test_bit_identical_under_out_of_order_completion(
+            self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        cells = _cells(**self.CELLS)
+        serial = CampaignExecutor(workers=1).run(cells)
+
+        real = runner_mod.run_single
+        first = (cells[0].system, cells[0].dataset)
+
+        def slow_first(system, dataset, *args, **kwargs):
+            # the grid's first cell finishes LAST: every sibling
+            # completes (and must commit) while it is still running
+            if (system, dataset.name) == first:
+                time.sleep(0.5)
+            return real(system, dataset, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_single", slow_first)
+        executor = CampaignExecutor(workers=2)
+        pooled = executor.run(cells)
+        assert [asdict(r) for r in pooled.records] \
+            == [asdict(r) for r in serial.records]
+        assert executor.pool_rebuilds == 0
+
+    def test_timeout_quarantines_only_the_hung_cell(
+            self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        cells = _cells(**self.CELLS)
+        serial = CampaignExecutor(workers=1).run(cells)
+
+        real = runner_mod.run_single
+        hung = (cells[0].system, cells[0].dataset)
+
+        def hang_first(system, dataset, *args, **kwargs):
+            if (system, dataset.name) == hung:
+                time.sleep(3.0)   # far past the deadline
+            return real(system, dataset, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_single", hang_first)
+        journal_path = tmp_path / "j.jsonl"
+        cache = ResultCache(tmp_path / "cache")
+        executor = CampaignExecutor(
+            workers=2, cache=cache,
+            journal=CampaignJournal(journal_path),
+            policy=RetryPolicy(max_retries=0, cell_timeout_s=0.5),
+        )
+        executor.run(cells)
+        # only the hung cell was quarantined ...
+        quarantined = executor.last_results[0]
+        assert quarantined.failed
+        assert "cell timeout" in quarantined.note
+        # ... every sibling committed its real result to results,
+        # cache and journal, with no pool rebuild
+        for i in range(1, len(cells)):
+            assert asdict(executor.last_results[i]) \
+                == asdict(serial.records[i])
+        assert executor.pool_rebuilds == 0
+        assert len(cache) == len(cells)
+        events = [json.loads(line) for line
+                  in journal_path.read_text().splitlines()]
+        committed = {e["index"] for e in events if e["type"] == "cell"}
+        assert committed == set(range(len(cells)))
+        assert sum(e["type"] == "failure" for e in events) == 1
+
+    def test_warm_pool_survives_retries(self, tmp_path, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        cells = _cells(systems=("TabPFN", "CAML", "TabPFN"))
+        serial = CampaignExecutor(workers=1).run(cells)
+
+        real = runner_mod.run_single
+        flag = tmp_path / "already-failed-once"
+
+        def fail_caml_once(system, dataset, *args, **kwargs):
+            if system == "CAML" and not flag.exists():
+                flag.write_text("tripped")
+                raise RuntimeError("injected transient crash")
+            return real(system, dataset, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_single", fail_caml_once)
+        executor = CampaignExecutor(
+            workers=2,
+            policy=RetryPolicy(max_retries=2, retry_backoff_s=0.0),
+        )
+        store = executor.run(cells)
+        # the retry ran in the SAME pool: no rebuild, and workers
+        # report warm dataset-cache hits from their persistent caches
+        assert executor.pool_rebuilds == 0
+        assert [asdict(r) for r in store.records] \
+            == [asdict(r) for r in serial.records]
+        assert not any(r.failed for r in store.records)
+        assert sum(s.warm_hits
+                   for s in executor.tracker.workers.values()) >= 1
+
+    def test_resume_skips_cells_after_corrupt_middle_line(
+            self, tmp_path):
+        cells = _cells(**self.CELLS)
+        reference = CampaignExecutor(workers=1).run(cells)
+        journal_path = tmp_path / "campaign.jsonl"
+        CampaignExecutor(
+            workers=1, journal=CampaignJournal(journal_path),
+        ).run(cells)
+        lines = journal_path.read_text().splitlines()
+        # damage the SECOND completed cell (campaign header is line 0)
+        lines[2] = lines[2][:25]
+        journal_path.write_text("\n".join(lines) + "\n")
+        resumed = CampaignExecutor(
+            workers=1, journal=CampaignJournal(journal_path),
+            resume=True,
+        )
+        with pytest.warns(UserWarning, match="corrupt line"):
+            store = resumed.run(cells)
+        # the cells journalled AFTER the damage still resume; only the
+        # damaged cell re-executes
+        assert resumed.tracker.resumed == len(cells) - 1
+        assert resumed.tracker.executed == 1
+        assert [asdict(r) for r in store.records] \
+            == [asdict(r) for r in reference.records]
 
 
 class TestRunGridIntegration:
