@@ -67,12 +67,17 @@ def make_classification(
     else:
         priors = np.full(n_classes, 1.0 / n_classes)
     y = rng.choice(n_classes, size=n_samples, p=priors)
-    # guarantee every class appears at least twice (for stratified splits)
+    # guarantee every class appears at least twice (for stratified
+    # splits) by stealing from the most populous class — never from one
+    # sitting at the minimum, which would just move the shortage around
+    counts = np.bincount(y, minlength=n_classes)
     for c in range(n_classes):
-        short = 2 - int(np.sum(y == c))
-        if short > 0:
-            idx = rng.choice(np.flatnonzero(y != c), size=short, replace=False)
+        while counts[c] < 2 and counts.max() > 2:
+            donor = int(np.argmax(counts))
+            idx = int(rng.choice(np.flatnonzero(y == donor)))
             y[idx] = c
+            counts[donor] -= 1
+            counts[c] += 1
 
     centroids = rng.normal(0.0, class_sep, size=(n_classes, n_informative))
     X = rng.normal(0.0, 1.0, size=(n_samples, n_features))

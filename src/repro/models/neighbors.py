@@ -13,6 +13,12 @@ from repro.models.base import BaseEstimator, ClassifierMixin
 from repro.utils.validation import check_is_fitted, check_X_y
 
 
+#: ceiling on the (batch, chunk, n_features) pairwise-diff tensor in the
+#: overflow fallback — ~32 MB of float64, comparable to the matmul
+#: working set instead of materialising all n_train rows at once
+_FALLBACK_CHUNK_ELEMENTS = 2 ** 22
+
+
 def _norm_expansion_limit(n_features: int) -> float:
     """Largest |x| for which the ``a²-2ab+b²`` expansion stays finite:
     squares, their feature-sums and the cross term must all fit in a
@@ -64,9 +70,15 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
                 - 2.0 * xb @ self._X.T
                 + self._sq_norms[None, :]
             )
+        n_train, n_features = self._X.shape
+        d2 = np.empty((len(xb), n_train))
+        step = max(
+            1, _FALLBACK_CHUNK_ELEMENTS // max(len(xb) * n_features, 1)
+        )
         with np.errstate(over="ignore", invalid="ignore"):
-            diff = xb[:, None, :] - self._X[None, :, :]
-            d2 = np.sum(diff * diff, axis=-1)
+            for s in range(0, n_train, step):
+                diff = xb[:, None, :] - self._X[None, s:s + step, :]
+                d2[:, s:s + step] = np.sum(diff * diff, axis=-1)
         return np.where(np.isnan(d2), np.inf, d2)
 
     def predict_proba(self, X) -> np.ndarray:

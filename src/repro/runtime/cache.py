@@ -18,6 +18,24 @@ from pathlib import Path
 from repro.experiments.results import RunRecord
 
 
+def _owner_alive(suffix: str) -> bool:
+    """True when a tmp-file pid suffix names a live process — which may
+    be a sibling campaign mid-``put``.  Unparseable suffixes count as
+    dead (the file can only be junk)."""
+    if not suffix.isdigit():
+        return False
+    pid = int(suffix)
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True   # e.g. EPERM: the process exists, just isn't ours
+    return True
+
+
 @dataclass
 class CacheStats:
     hits: int = 0
@@ -44,8 +62,18 @@ class ResultCache:
         # the safe moment to sweep them
         self._sweep_tmp()
 
-    def _sweep_tmp(self) -> None:
+    def _sweep_tmp(self, *, all_owners: bool = False) -> None:
+        """Remove stranded ``*.tmp.<pid>`` files.
+
+        By default only files whose owning pid is dead are removed — a
+        live pid may be a concurrent campaign mid-``put``, and deleting
+        its tmp file would make that process's ``os.replace`` fail.
+        ``clear()`` passes ``all_owners=True``: an explicit wipe takes
+        everything.
+        """
         for orphan in self.root.glob("*/*.tmp.*"):
+            if not all_owners and _owner_alive(orphan.name.rpartition(".")[2]):
+                continue
             orphan.unlink(missing_ok=True)
 
     def _path(self, key: str) -> Path:
@@ -81,4 +109,4 @@ class ResultCache:
     def clear(self) -> None:
         for entry in self.root.glob("*/*.json"):
             entry.unlink(missing_ok=True)
-        self._sweep_tmp()
+        self._sweep_tmp(all_owners=True)

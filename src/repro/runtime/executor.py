@@ -354,13 +354,40 @@ class CampaignExecutor:
             while todo or inflight:
                 abandoned = {f for f in abandoned if not f.done()}
                 capacity = self.workers - len(abandoned)
-                if capacity <= 0 and not inflight:
-                    # every worker is wedged on an abandoned cell: the
-                    # one case (besides a broken pool) where replacement
-                    # is the only way to make progress
-                    pool = self._replace_pool(pool, channel)
-                    abandoned.clear()
-                    continue
+                if capacity <= 0:
+                    # every worker is wedged on an abandoned cell, so an
+                    # unstarted future can never start.  cancel() only
+                    # succeeds for pending submissions — the pool marks
+                    # call-queue-buffered items RUNNING before a worker
+                    # touches them — but with zero capacity a refusal
+                    # that is not done() means exactly that: buffered
+                    # behind a wedged worker, never to execute.
+                    requeued = []
+                    for future in list(inflight):
+                        if future.cancel():
+                            token, item = inflight.pop(future)
+                            starts.pop(token, None)
+                            requeued.append(item)
+                    if any(f.done() for f in inflight):
+                        # a wedged worker came back after all; requeue
+                        # what was cancelled and harvest normally
+                        requeued.sort(key=lambda it: it.index)
+                        todo.extendleft(reversed(requeued))
+                    else:
+                        # nothing can make progress: requeue everything
+                        # and replace the pool — the one case (besides
+                        # a broken pool) where replacement is the only
+                        # way forward
+                        requeued.extend(
+                            item for _, item in inflight.values()
+                        )
+                        inflight.clear()
+                        starts.clear()
+                        requeued.sort(key=lambda it: it.index)
+                        todo.extendleft(reversed(requeued))
+                        pool = self._replace_pool(pool, channel)
+                        abandoned.clear()
+                        continue
                 try:
                     self._top_up(pool, todo, inflight, tokens, capacity)
                     done = self._harvest_window(inflight, channel, starts)
@@ -391,15 +418,37 @@ class CampaignExecutor:
                     inflight, starts, abandoned, results, todo
                 )
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            self._shutdown_pool(pool)
+            channel.close()
+            channel.join_thread()
 
     def _replace_pool(self, pool, channel) -> ProcessPoolExecutor:
-        pool.shutdown(wait=False, cancel_futures=True)
+        self._shutdown_pool(pool)
         self.pool_rebuilds += 1
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker, initargs=(channel,),
         )
+
+    @staticmethod
+    def _shutdown_pool(pool) -> None:
+        """Tear a pool down without waiting — and without leaking.
+
+        ``shutdown(wait=False)`` alone leaves a wedged worker running
+        forever; by the time a pool is discarded every cell still on
+        one is abandoned, so the processes are killed outright (idle
+        workers just exit) and briefly joined to reap them.
+        """
+        # grab the worker handles FIRST: shutdown() drops the pool's
+        # _processes reference before it returns
+        procs = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for proc in procs:
+            try:
+                proc.kill()
+            except (AttributeError, OSError, ValueError):
+                continue
+            proc.join(timeout=1.0)
 
     def _top_up(self, pool, todo, inflight, tokens, capacity) -> None:
         """Bounded submission: keep a small backlog behind each free

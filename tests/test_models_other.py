@@ -189,6 +189,25 @@ class TestKNN:
                                      [[1e308, 0.0, 0.0, 0.0]]]))
         assert np.array_equal(hot[:-1], base)
 
+    def test_fallback_chunking_matches_single_pass(self, monkeypatch):
+        # the fallback walks training rows in bounded chunks (so one
+        # extreme value cannot trigger a (batch, n_train, n_features)
+        # allocation); a tiny chunk ceiling must not change the result
+        import repro.models.neighbors as neighbors_mod
+
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(150, 4))
+        y = (X[:, 0] > 0).astype(int)
+        X[0, 0] = 1e308   # forces the fallback path for every batch
+        queries = rng.normal(size=(30, 4))
+        single = KNeighborsClassifier(n_neighbors=5).fit(X, y) \
+            .predict_proba(queries)
+        monkeypatch.setattr(
+            neighbors_mod, "_FALLBACK_CHUNK_ELEMENTS", 64)
+        chunked = KNeighborsClassifier(n_neighbors=5).fit(X, y) \
+            .predict_proba(queries)
+        assert np.array_equal(chunked, single)
+
 
 class TestMLP:
     def test_learns_nonlinear_boundary(self, rng):

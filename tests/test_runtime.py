@@ -1,6 +1,9 @@
 """Campaign runtime: cells, cache, journal, progress, executor."""
 
 import json
+import os
+import subprocess
+import sys
 import time
 from dataclasses import asdict
 
@@ -26,6 +29,13 @@ def _cells(systems=("TabPFN", "CAML"), datasets=("credit-g",)):
         CellSpec(system=s, dataset=d, **FAST)
         for d in datasets for s in systems
     ]
+
+
+def _dead_pid() -> int:
+    """A pid that is guaranteed not to name a live process."""
+    proc = subprocess.Popen([sys.executable, "-c", ""])
+    proc.wait()
+    return proc.pid
 
 
 def _record(**over):
@@ -113,17 +123,29 @@ class TestResultCache:
         key = "ab" + "0" * 62
         first = ResultCache(tmp_path)
         first.put(key, _record())
-        orphan = first._path(key).with_suffix(".tmp.12345")
+        orphan = first._path(key).with_suffix(f".tmp.{_dead_pid()}")
         orphan.write_text("half-written payload")
         reopened = ResultCache(tmp_path)
         assert not orphan.exists()
         assert reopened.get(key) == _record()   # real entries untouched
 
+    def test_live_owner_tmp_file_survives_init_sweep(self, tmp_path):
+        # a tmp file owned by a LIVE pid may be a concurrent campaign
+        # mid-put; sweeping it would break that process's os.replace
+        key = "ab" + "0" * 62
+        cache = ResultCache(tmp_path)
+        live = cache._path(key).with_suffix(f".tmp.{os.getpid()}")
+        live.parent.mkdir(parents=True, exist_ok=True)
+        live.write_text("someone else is mid-put")
+        ResultCache(tmp_path)
+        assert live.exists()
+
     def test_clear_removes_tmp_files(self, tmp_path):
+        # clear() is an explicit wipe: even live-owner tmp files go
         key = "ab" + "0" * 62
         cache = ResultCache(tmp_path)
         cache.put(key, _record())
-        orphan = cache._path(key).with_suffix(".tmp.12345")
+        orphan = cache._path(key).with_suffix(f".tmp.{os.getpid()}")
         orphan.write_text("half-written payload")
         cache.clear()
         assert not orphan.exists()
@@ -374,6 +396,45 @@ class TestPooledScheduler:
         committed = {e["index"] for e in events if e["type"] == "cell"}
         assert committed == set(range(len(cells)))
         assert sum(e["type"] == "failure" for e in events) == 1
+
+    def test_all_workers_wedged_requeues_and_replaces_pool(
+            self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+
+        cells = _cells(**self.CELLS)
+        serial = CampaignExecutor(workers=1).run(cells)
+
+        real = runner_mod.run_single
+        # both credit-g cells hang: with workers=2 they wedge every
+        # worker while the blood-transfusion cells sit queued behind
+        # them — the queued futures must be cancelled and requeued, not
+        # left in flight forever (livelock)
+        hung = {(c.system, c.dataset) for c in cells[:2]}
+
+        def hang_first_two(system, dataset, *args, **kwargs):
+            if (system, dataset.name) in hung:
+                time.sleep(15.0)   # far past the deadline
+            return real(system, dataset, *args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "run_single", hang_first_two)
+        executor = CampaignExecutor(
+            workers=2,
+            policy=RetryPolicy(max_retries=0, cell_timeout_s=1.0),
+        )
+        executor.run(cells)
+        for i in (0, 1):
+            assert executor.last_results[i].failed
+            assert "cell timeout" in executor.last_results[i].note
+        # the queued cells ran to completion on the replacement pool
+        for i in (2, 3):
+            assert asdict(executor.last_results[i]) \
+                == asdict(serial.records[i])
+        assert executor.pool_rebuilds == 1
+        # every pool worker — wedged or replacement — was killed and
+        # reaped; none survives past the campaign
+        for pid in executor.tracker.workers:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
 
     def test_warm_pool_survives_retries(self, tmp_path, monkeypatch):
         import repro.experiments.runner as runner_mod
