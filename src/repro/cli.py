@@ -8,6 +8,7 @@
         --workers 4 --cache-dir .repro-cache \\
         --journal campaign.jsonl --resume
     python -m repro recommend --budget 300 --classes 2 --priority accuracy
+    python -m repro chaos --seeds 0 1 2 --workers 2
     python -m repro lint src benchmarks examples --format json
     python -m repro datasets
     python -m repro systems
@@ -80,20 +81,55 @@ def _cmd_grid(args) -> int:
         if not args.quiet:
             print(event.render())
 
+    telemetry: dict = {}
     store = run_grid(
         config, verbose=not args.quiet,
         workers=args.workers, cache_dir=args.cache_dir,
         resume=args.resume, journal_path=args.journal,
-        progress=progress,
+        progress=progress, telemetry=telemetry,
     )
     if last_event is not None and last_event.workers and not args.quiet:
         print(_render_worker_table(last_event))
+    cache_stats = telemetry.get("cache")
+    if cache_stats is not None:
+        line = (f"cache: {cache_stats['hits']} hit(s), "
+                f"{cache_stats['misses']} miss(es), "
+                f"{cache_stats['writes']} write(s)")
+        if cache_stats["corrupt"]:
+            line += (f", {cache_stats['corrupt']} corrupt entr(y/ies) "
+                     f"re-executed")
+        print(line)
     if args.out:
         store.save(args.out)
         print(f"wrote {len(store)} records to {args.out}")
     from repro.experiments import figure3
 
     print(figure3(store).render())
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    """Run seeded fault-injection campaigns and audit the invariants."""
+    import tempfile
+
+    from repro.runtime.chaos import default_chaos_config, run_chaos_campaign
+
+    config = default_chaos_config(n_runs=args.runs)
+    failed_seeds = []
+    for seed in args.seeds:
+        with tempfile.TemporaryDirectory() as work_dir:
+            report = run_chaos_campaign(
+                seed, work_dir, workers=args.workers, rate=args.rate,
+                delay_s=args.delay, cell_timeout_s=args.timeout,
+                config=config,
+            )
+        print(report.render())
+        if not report.ok:
+            failed_seeds.append(seed)
+    if failed_seeds:
+        print(f"chaos FAILED for seed(s): {failed_seeds}", file=sys.stderr)
+        return 1
+    print(f"chaos OK: {len(args.seeds)} seed(s), all invariants held")
     return 0
 
 
@@ -226,6 +262,27 @@ def build_parser() -> argparse.ArgumentParser:
                         help="fold cells already in --journal into the "
                              "results instead of re-running them")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection robustness check (see DESIGN.md)")
+    p_chaos.add_argument("--seeds", nargs="+", type=int, default=[0],
+                         help="one chaos campaign per seed; the same "
+                              "seed replays the same fault sequence")
+    p_chaos.add_argument("--workers", type=int, default=2,
+                         help="pool size for the chaos run (the "
+                              "reference is always serial)")
+    p_chaos.add_argument("--rate", type=float, default=0.15,
+                         help="per-seam, per-key fault probability")
+    p_chaos.add_argument("--runs", type=int, default=5,
+                         help="runs per (system, dataset, budget) cell "
+                              "(default grid: 2x2x1x5 = 20 cells)")
+    p_chaos.add_argument("--delay", type=float, default=2.0,
+                         help="slow-cell stall in real seconds (must "
+                              "exceed --timeout to trip it)")
+    p_chaos.add_argument("--timeout", type=float, default=1.0,
+                         help="cell_timeout_s for the chaos run")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     p_rec = sub.add_parser("recommend",
                            help="apply the Figure 8 guideline")

@@ -40,9 +40,14 @@ class RaplCounter:
     """
 
     def __init__(self, machine: MachineProfile | None = None,
-                 active_cores: int = 1):
+                 active_cores: int = 1, fault_hook=None):
         self.machine = machine or DEFAULT_MACHINE
         self.active_cores = active_cores
+        #: chaos seam: a callable run before every read; raising
+        #: :class:`repro.exceptions.RaplUnavailableError` simulates the
+        #: counter going away mid-campaign (MSR access revoked, driver
+        #: unloaded) — the tracker above degrades to its model estimate
+        self.fault_hook = fault_hook
         self._cpu0 = time.process_time()
         self._t0 = time.monotonic()
         self._extra_package = 0.0
@@ -60,6 +65,8 @@ class RaplCounter:
         self._extra_gpu += gpu
 
     def read(self) -> RaplSample:
+        if self.fault_hook is not None:
+            self.fault_hook()
         cpu_seconds = time.process_time() - self._cpu0
         m = self.machine
         core_w = m.idle_watts + self.active_cores * m.watts_per_core

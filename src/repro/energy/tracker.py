@@ -27,7 +27,7 @@ from repro.energy.machines import (
     MachineProfile,
 )
 from repro.energy.rapl import RaplCounter
-from repro.exceptions import ReproError
+from repro.exceptions import RaplUnavailableError, ReproError
 
 
 @dataclass(frozen=True)
@@ -40,6 +40,10 @@ class EnergyReport:
     dram_kwh: float
     gpu_kwh: float
     machine: str
+    #: "rapl" when the counter answered every read; "estimated" when the
+    #: counter failed mid-region and the model fallback produced the
+    #: numbers instead
+    source: str = "rapl"
 
     @property
     def co2_kg(self) -> float:
@@ -59,6 +63,8 @@ class EnergyReport:
             dram_kwh=self.dram_kwh + other.dram_kwh,
             gpu_kwh=self.gpu_kwh + other.gpu_kwh,
             machine=self.machine,
+            # any estimated contribution taints the sum
+            source=self.source if self.source == other.source else "estimated",
         )
 
 
@@ -71,6 +77,10 @@ class EnergyTracker:
 
     machine: MachineProfile = field(default_factory=lambda: DEFAULT_MACHINE)
     active_cores: int = 1
+    #: chaos seam, forwarded to the underlying :class:`RaplCounter`; a
+    #: hook that raises :class:`RaplUnavailableError` simulates losing
+    #: the counter mid-region
+    fault_hook: object = None
     _counter: RaplCounter | None = field(default=None, repr=False)
     _t_start: float | None = field(default=None, repr=False)
     report: EnergyReport | None = field(default=None, repr=False)
@@ -78,7 +88,8 @@ class EnergyTracker:
     def start(self) -> "EnergyTracker":
         if self._counter is not None:
             raise ReproError("tracker already started")
-        self._counter = RaplCounter(self.machine, self.active_cores)
+        self._counter = RaplCounter(self.machine, self.active_cores,
+                                    fault_hook=self.fault_hook)
         self._t_start = time.monotonic()
         return self
 
@@ -88,11 +99,40 @@ class EnergyTracker:
             raise ReproError("tracker not started")
         self._counter.inject_joules(package, dram, gpu)
 
+    def _estimate_report(self, duration: float) -> EnergyReport:
+        """Model-based fallback when the counter fails mid-region: charge
+        the machine's modelled draw for the measured wall duration.  The
+        numbers are never zero for a non-empty region — losing RAPL must
+        not turn into a free lunch."""
+        m = self.machine
+        core_w = m.idle_watts + self.active_cores * m.watts_per_core
+        dram_w = m.dram_watts * (0.3 + 0.7 * self.active_cores / m.n_cores)
+        gpu_w = m.gpu.idle_watts if m.gpu is not None else 0.0
+        cpu_kwh = core_w * duration / JOULES_PER_KWH
+        dram_kwh = dram_w * duration / JOULES_PER_KWH
+        gpu_kwh = gpu_w * duration / JOULES_PER_KWH
+        return EnergyReport(
+            kwh=cpu_kwh + dram_kwh + gpu_kwh,
+            duration_s=duration,
+            cpu_kwh=cpu_kwh,
+            dram_kwh=dram_kwh,
+            gpu_kwh=gpu_kwh,
+            machine=m.name,
+            source="estimated",
+        )
+
     def stop(self) -> EnergyReport:
         if self._counter is None:
             raise ReproError("tracker not started")
-        sample = self._counter.read()
         duration = time.monotonic() - self._t_start
+        try:
+            sample = self._counter.read()
+        except RaplUnavailableError:
+            # degrade, never crash or report zero: the region still ran
+            # and still burned energy, so charge the model estimate
+            self.report = self._estimate_report(duration)
+            self._counter = None
+            return self.report
         self.report = EnergyReport(
             kwh=sample.total_joules / JOULES_PER_KWH,
             duration_s=duration,

@@ -27,3 +27,16 @@ class DatasetError(ReproError):
 
 class TrialPruned(ReproError):
     """A tuning trial was pruned early (median pruning, successive halving)."""
+
+
+class InjectedFault(ReproError):
+    """A failure deliberately raised by the fault-injection subsystem.
+
+    Carries no special handling anywhere outside tests and chaos
+    accounting: the whole point is that injected faults travel the same
+    retry/quarantine paths as real ones.
+    """
+
+
+class RaplUnavailableError(ReproError):
+    """The RAPL energy counter could not be read (mid-campaign loss)."""

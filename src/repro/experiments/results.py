@@ -30,6 +30,10 @@ class RunRecord:
     used_gpu: bool = False
     failed: bool = False
     note: str = ""
+    #: "measured" when the energy numbers come from the (simulated) RAPL
+    #: counter; "estimated" when the counter failed mid-run and the
+    #: model-based fallback produced them instead
+    energy_source: str = "measured"
 
 
 @dataclass

@@ -31,18 +31,36 @@ def run_single(
     n_cores: int = 1,
     use_gpu: bool = False,
     system_kwargs: dict | None = None,
+    energy_meter=None,
 ) -> RunRecord:
-    """Execute one benchmark cell; failures degrade to the prior baseline."""
+    """Execute one benchmark cell; failures degrade to the prior baseline.
+
+    ``energy_meter`` is an optional :class:`~repro.energy.EnergyTracker`
+    observing the fit region (the measurement channel the paper's
+    CodeCarbon setup provides).  The recorded energy numbers stay the
+    deterministic modelled ones regardless — the meter's only effect on
+    the record is the ``energy_source`` flag: when the counter fails
+    mid-read the tracker degrades to its model estimate and the record
+    is tagged ``"estimated"`` instead of ``"measured"``, never a crash
+    and never zero kWh.
+    """
     kwargs = dict(system_kwargs or {})
     system = make_system(
         system_name, random_state=seed, time_scale=time_scale,
         n_cores=n_cores, use_gpu=use_gpu, **kwargs,
     )
     try:
-        system.fit(
-            dataset.X_train, dataset.y_train, budget_s=budget_s,
-            categorical_mask=dataset.categorical_mask,
-        )
+        if energy_meter is not None:
+            energy_meter.start()
+        try:
+            system.fit(
+                dataset.X_train, dataset.y_train, budget_s=budget_s,
+                categorical_mask=dataset.categorical_mask,
+            )
+        finally:
+            meter_report = (
+                energy_meter.stop() if energy_meter is not None else None
+            )
         acc = balanced_accuracy_score(
             dataset.y_test, system.predict(dataset.X_test)
         )
@@ -62,6 +80,12 @@ def run_single(
             n_evaluations=fr.n_evaluations,
             n_cores=n_cores,
             used_gpu=use_gpu,
+            energy_source=(
+                "estimated"
+                if meter_report is not None
+                and meter_report.source == "estimated"
+                else "measured"
+            ),
         )
     except (ConfigurationError, ReproError, ValueError) as exc:
         if "does not support budgets below" in str(exc):
@@ -113,7 +137,8 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
              use_gpu: bool = False, verbose: bool = False,
              system_kwargs: dict[str, dict] | None = None,
              workers: int = 1, cache_dir=None, resume: bool = False,
-             journal_path=None, progress=None) -> ResultsStore:
+             journal_path=None, progress=None,
+             telemetry: dict | None = None) -> ResultsStore:
     """Run the full campaign described by ``config``.
 
     ``workers`` fans cells out over a process pool (``1`` = in-process
@@ -122,6 +147,9 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
     give crash-safe restart from the JSONL checkpoint log.  ``progress``
     is an optional callback receiving a
     :class:`repro.runtime.ProgressEvent` after every finished cell.
+    ``telemetry``, when given, is filled in place with runtime health
+    counters after the run: ``"cache"`` (hit/miss/write/corrupt stats)
+    so callers can surface corrupt-entry detections.
     """
     from repro.runtime import CampaignExecutor, CampaignJournal, ResultCache
 
@@ -142,7 +170,12 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         resume=resume,
         progress_callback=callback,
     )
-    return executor.run(grid_cells(
+    store = executor.run(grid_cells(
         config, n_cores=n_cores, use_gpu=use_gpu,
         system_kwargs=system_kwargs,
     ))
+    if telemetry is not None:
+        if executor.cache is not None:
+            telemetry["cache"] = executor.cache.stats.as_dict()
+        telemetry["pool_rebuilds"] = executor.pool_rebuilds
+    return store

@@ -1,0 +1,52 @@
+"""Deterministic fault injection (chaos) for the campaign machinery.
+
+The paper's study is a multi-day measurement campaign; the failure mode
+that corrupts it is never the loud crash but the *silent* one — a dead
+worker scored as a win, a torn journal line that halves a resume, a
+RAPL counter that stops reading and reports zero kWh.  This package is
+the robustness proof layer: a seeded :class:`FaultPlan` decides, as a
+pure function of ``(seed, seam, key)``, exactly which operations fault;
+a :class:`FaultInjector` fires them through hooks the runtime, energy
+and systems layers expose; and every handled failure is recorded as a
+structured :class:`FailureRecord` instead of an ad-hoc string.
+
+``repro chaos`` (see :mod:`repro.cli`) runs a small campaign under such
+a plan and asserts the recovery guarantees end to end: completion,
+bit-identical surviving cells, structured quarantine records and zero
+leaked worker processes.
+
+New failure seams must route through these hooks — a bare ``raise`` or
+monkeypatch in a test exercises one code path once, while a seam keyed
+into the plan is replayable, serialisable and accounted for.
+"""
+
+from repro.faults.injector import FaultEvent, FaultInjector
+from repro.faults.plan import (
+    KNOWN_SEAMS,
+    SEAM_CACHE_CORRUPT,
+    SEAM_CELL_ERROR,
+    SEAM_JOURNAL_TORN,
+    SEAM_RAPL_READ,
+    SEAM_SLOW_CELL,
+    SEAM_TRIAL_ERROR,
+    SEAM_WORKER_DEATH,
+    FaultPlan,
+    SeamSpec,
+)
+from repro.faults.records import FailureRecord
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "SeamSpec",
+    "FailureRecord",
+    "KNOWN_SEAMS",
+    "SEAM_CELL_ERROR",
+    "SEAM_WORKER_DEATH",
+    "SEAM_SLOW_CELL",
+    "SEAM_CACHE_CORRUPT",
+    "SEAM_JOURNAL_TORN",
+    "SEAM_RAPL_READ",
+    "SEAM_TRIAL_ERROR",
+]

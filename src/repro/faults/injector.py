@@ -1,0 +1,109 @@
+"""Stateful fault injection against a :class:`FaultPlan`.
+
+One :class:`FaultInjector` instance lives per process (the parent owns
+one for the cache/journal seams; each worker call builds one from the
+serialised plan for the cell-level seams).  It layers the stateful
+firing modes (``one_shot``, ``burst``, ``max_faults``) and a fired-event
+ledger on top of the plan's pure per-key decisions, and provides the
+concrete misbehaviours the seams need: raising, stalling, and garbling
+payload bytes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.exceptions import InjectedFault, RaplUnavailableError
+from repro.faults.plan import SEAM_RAPL_READ, SEAM_SLOW_CELL, FaultPlan
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired injection, for the accounting ledger."""
+
+    seam: str
+    key: str
+
+
+@dataclass
+class FaultInjector:
+    """Decides, fires, and counts injections for one process."""
+
+    plan: FaultPlan
+    events: list[FaultEvent] = field(default_factory=list)
+    _burst_left: dict[str, int] = field(default_factory=dict)
+    _spent: dict[str, int] = field(default_factory=dict)
+
+    # -- firing ---------------------------------------------------------------
+    def fire(self, seam: str, key: str) -> bool:
+        """True when ``seam`` faults for ``key``; records the event."""
+        spec = self.plan.seams.get(seam)
+        if spec is None or spec.rate <= 0.0:
+            return False
+        fired = False
+        if self._burst_left.get(seam, 0) > 0:
+            self._burst_left[seam] -= 1
+            fired = True
+        elif spec.mode == "one_shot" and self._spent.get(seam, 0) > 0:
+            fired = False
+        elif self.plan.decide(seam, key):
+            fired = True
+            if spec.mode == "burst":
+                self._burst_left[seam] = spec.burst_len - 1
+        if fired and spec.max_faults \
+                and self._spent.get(seam, 0) >= spec.max_faults:
+            return False
+        if fired:
+            self._spent[seam] = self._spent.get(seam, 0) + 1
+            self.events.append(FaultEvent(seam, key))
+        return fired
+
+    # -- seam behaviours -------------------------------------------------------
+    def inject(self, seam: str, key: str) -> None:
+        """Raise :class:`InjectedFault` when the seam fires."""
+        if self.fire(seam, key):
+            raise InjectedFault(f"injected {seam} fault for {key}")
+
+    def corrupt(self, seam: str, key: str, payload: str) -> str:
+        """Garble ``payload`` (truncate + poison bytes) when firing."""
+        if not self.fire(seam, key):
+            return payload
+        return payload[: max(1, len(payload) // 2)] + '\x00{"torn":'
+
+    def delay_s(self, seam: str, key: str) -> float:
+        """The stall the seam demands for ``key`` (0.0 = none)."""
+        if not self.fire(seam, key):
+            return 0.0
+        return self.plan.seams[seam].delay_s
+
+    def stall(self, key: str) -> None:
+        """Burn real wall time for the ``slow_cell`` seam.
+
+        Chaos deliberately stalls a worker past ``cell_timeout_s``; this
+        is the one sanctioned blocking sleep outside the injectable
+        RetryPolicy hooks, and it never runs unless a plan arms the seam.
+        """
+        delay = self.delay_s(SEAM_SLOW_CELL, key)
+        if delay > 0:
+            time.sleep(delay)   # repro-lint: disable=GRN004
+
+    def rapl_hook(self, key: str) -> None:
+        """The failure hook a :class:`~repro.energy.rapl.RaplCounter`
+        runs before every read: raises when the ``rapl_read`` seam
+        fires, forcing the tracker onto its estimated fallback."""
+        if self.fire(SEAM_RAPL_READ, key):
+            raise RaplUnavailableError(
+                f"injected RAPL counter loss for {key}"
+            )
+
+    # -- accounting ------------------------------------------------------------
+    def fired_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.seam] = counts.get(event.seam, 0) + 1
+        return counts
+
+    def event_keys(self) -> list[tuple[str, str]]:
+        """The fired ledger as sortable (seam, key) pairs."""
+        return [(e.seam, e.key) for e in self.events]

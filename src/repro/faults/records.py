@@ -1,0 +1,104 @@
+"""The structured failure taxonomy.
+
+Every failure the campaign machinery handles — a retryable cell error, a
+dead pool worker, an expired deadline, a sandboxed trial crash — is
+described by one :class:`FailureRecord`: exception type, the *seam* (or
+stage) it escaped from, the attempt number and a bounded message.  The
+record replaces the ad-hoc truncated ``str(exc)`` strings that used to
+travel through ``_note_failure``/``_quarantine``/``record_failure``, so
+journals, quarantine notes and chaos assertions all speak one format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: messages are bounded so one pathological repr cannot bloat a journal
+MESSAGE_LIMIT = 200
+
+#: note prefix marking a structurally-tagged failure (chaos asserts on it)
+_NOTE_MARK = "["
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One structured failure: what raised, where, and on which attempt."""
+
+    error_type: str
+    seam: str
+    attempt: int
+    message: str = ""
+    injected: bool = False
+
+    def __post_init__(self):
+        if len(self.message) > MESSAGE_LIMIT:
+            object.__setattr__(
+                self, "message", self.message[:MESSAGE_LIMIT - 3] + "..."
+            )
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_exception(cls, exc: BaseException, *, seam: str,
+                       attempt: int = 0,
+                       injected: bool | None = None) -> "FailureRecord":
+        if injected is None:
+            injected = type(exc).__name__ == "InjectedFault"
+        return cls(
+            error_type=type(exc).__name__,
+            seam=seam,
+            attempt=attempt,
+            message=str(exc) or "unknown error",
+            injected=injected,
+        )
+
+    @classmethod
+    def from_error_text(cls, text: str, *, seam: str,
+                        attempt: int = 0) -> "FailureRecord":
+        """Classify a legacy error string (usually a traceback dump).
+
+        The last non-empty line of a formatted traceback is
+        ``ErrorType: message``; anything else becomes an ``Error`` with
+        the text as message.  This is the backward-compatibility path
+        for journals written before the structured taxonomy existed.
+        """
+        lines = [ln.strip() for ln in (text or "").splitlines() if ln.strip()]
+        tail = lines[-1] if lines else ""
+        if not tail:
+            return cls("Error", seam, attempt, "unknown error")
+        head, sep, rest = tail.partition(":")
+        if sep and head and " " not in head.strip():
+            return cls(head.strip(), seam, attempt,
+                       rest.strip() or "unknown error",
+                       injected="InjectedFault" in head)
+        return cls("Error", seam, attempt, tail)
+
+    # -- serialisation ---------------------------------------------------------
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FailureRecord":
+        return cls(
+            error_type=str(payload.get("error_type", "Error")),
+            seam=str(payload.get("seam", "unknown")),
+            attempt=int(payload.get("attempt", 0)),
+            message=str(payload.get("message", "")),
+            injected=bool(payload.get("injected", False)),
+        )
+
+    # -- rendering -------------------------------------------------------------
+    def describe(self) -> str:
+        tag = "injected " if self.injected else ""
+        return f"[{self.seam}] {tag}{self.error_type}: {self.message}"
+
+    def to_note(self, attempts: int | None = None) -> str:
+        """The quarantine note carried on a failed :class:`RunRecord`."""
+        n = self.attempt if attempts is None else attempts
+        return f"quarantined after {n} attempt(s): {self.describe()}"
+
+    @staticmethod
+    def is_structured_note(note: str) -> bool:
+        """True when a quarantine note carries the ``[seam]`` tag — the
+        chaos harness uses this to reject unstructured failure strings."""
+        _, _, reason = note.partition(": ")
+        return reason.startswith(_NOTE_MARK) and "]" in reason

@@ -3,9 +3,13 @@
 The package is stratified so that the compute stack composes strictly
 upward::
 
-    exceptions < utils < metrics < models/preprocessing/datasets
+    exceptions < utils < faults/metrics < models/preprocessing/datasets
         < pipeline < energy < ensemble/metalearning/hpo < systems
         < devtuning < runtime/experiments/analysis < cli/__main__
+
+``faults`` sits low on purpose: the runtime, energy and systems layers
+all import its injection hooks, so the chaos subsystem must depend on
+nothing above ``utils``.
 
 A module may import from strictly lower layers.  Two groups of
 deliberate same-layer edges are tolerated: ``preprocessing → models``
@@ -28,6 +32,7 @@ from repro.lint.core import FileContext, Finding, Rule
 LAYERS: dict[str, int] = {
     "exceptions": 0,
     "utils": 1,
+    "faults": 2,
     "metrics": 2,
     "models": 3,
     "preprocessing": 3,

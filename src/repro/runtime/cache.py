@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.experiments.results import RunRecord
+from repro.faults import SEAM_CACHE_CORRUPT, FaultInjector
 
 
 def _owner_alive(suffix: str) -> bool:
@@ -43,6 +45,13 @@ class CacheStats:
     writes: int = 0
     corrupt: int = 0
 
+    @property
+    def corrupt_entries(self) -> int:
+        """Corrupt payloads detected (each read as a miss, never silently
+        dropped): chaos runs assert this counter matches the injected
+        corruption count."""
+        return self.corrupt
+
     def as_dict(self) -> dict:
         return asdict(self)
 
@@ -53,6 +62,10 @@ class ResultCache:
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    #: chaos hook: when armed, ``put`` may garble the payload bytes it
+    #: writes (the ``cache_corrupt`` seam) so ``get`` detection is
+    #: exercised under a seeded plan
+    fault_injector: FaultInjector | None = None
 
     def __post_init__(self):
         self.root = Path(self.root)
@@ -88,8 +101,15 @@ class ResultCache:
             self.stats.misses += 1
             return None
         except (json.JSONDecodeError, KeyError, TypeError, OSError):
+            # detected, counted and surfaced — a corrupt payload must
+            # read as a miss, never as an error OR a silent nothing
             self.stats.corrupt += 1
             self.stats.misses += 1
+            warnings.warn(
+                f"corrupt cache entry at {path} read as a miss "
+                f"(the cell will re-execute)",
+                stacklevel=2,
+            )
             return None
         self.stats.hits += 1
         return record
@@ -98,6 +118,10 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "record": asdict(record)})
+        if self.fault_injector is not None:
+            payload = self.fault_injector.corrupt(
+                SEAM_CACHE_CORRUPT, key, payload
+            )
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(payload)
         os.replace(tmp, path)

@@ -7,7 +7,7 @@ from dataclasses import dataclass, field
 
 #: bump when the meaning of a cached record changes (new RunRecord
 #: fields, changed budget semantics, ...) so stale caches go cold
-CACHE_KEY_VERSION = "cell-v1"
+CACHE_KEY_VERSION = "cell-v2"   # v2: RunRecord grew energy_source
 
 
 def _stable_repr(obj) -> str:

@@ -1,0 +1,353 @@
+"""Seeded chaos campaigns: run a real grid under a fault plan and verify
+the runtime's robustness invariants.
+
+The harness runs the same small grid twice:
+
+1. a **fault-free serial reference** (``workers=1``, no plan) — the
+   ground truth every surviving cell must match bit for bit;
+2. a **chaos run** (pooled by default) under a seeded
+   :class:`~repro.faults.FaultPlan` arming the infrastructure seams:
+   injected cell exceptions, hard worker death, stalls that trip
+   ``cell_timeout_s``, corrupted cache payloads, torn journal lines and
+   RAPL counter loss.
+
+Afterwards it audits the wreckage and returns a :class:`ChaosReport`
+whose named checks encode the contract chaos must never break:
+
+- the campaign completes (every cell produces a record — no hangs);
+- surviving cells are bit-identical to the reference, modulo
+  ``energy_source`` (a RAPL fault legitimately flags a survivor as
+  ``"estimated"``);
+- every quarantined cell carries a structured
+  :class:`~repro.faults.FailureRecord` note, and every journal failure
+  event a structured payload;
+- no worker process outlives the campaign;
+- injections are accounted for: corrupted cache entries are detected on
+  re-read, failure events cover the planned worker-seam faults, and the
+  plan replayed from the journal header reproduces the executor's
+  injected-fault ledger exactly (determinism).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import warnings
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import grid_cells
+from repro.faults import (
+    SEAM_CACHE_CORRUPT,
+    SEAM_CELL_ERROR,
+    SEAM_JOURNAL_TORN,
+    SEAM_RAPL_READ,
+    SEAM_SLOW_CELL,
+    SEAM_WORKER_DEATH,
+    FailureRecord,
+    FaultPlan,
+)
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import CampaignExecutor, RetryPolicy
+from repro.runtime.journal import CampaignJournal
+
+#: the infrastructure seams a chaos campaign arms by default
+DEFAULT_SEAMS = (
+    SEAM_CELL_ERROR,
+    SEAM_WORKER_DEATH,
+    SEAM_SLOW_CELL,
+    SEAM_CACHE_CORRUPT,
+    SEAM_JOURNAL_TORN,
+    SEAM_RAPL_READ,
+)
+
+#: seams whose firing makes one (cell, attempt) submission fail
+_WORKER_FAIL_SEAMS = (SEAM_CELL_ERROR, SEAM_WORKER_DEATH, SEAM_SLOW_CELL)
+
+
+def default_chaos_config(n_runs: int = 5) -> ExperimentConfig:
+    """2 systems x 2 datasets x 1 budget x ``n_runs`` = 20 cells by
+    default: big enough to exercise every seam, small enough for CI."""
+    return ExperimentConfig(
+        systems=("CAML", "FLAML"),
+        datasets=("credit-g", "kc1"),
+        budgets=(10.0,),
+        n_runs=n_runs,
+        time_scale=0.005,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosCheck:
+    """One named invariant with its verdict and evidence."""
+
+    name: str
+    ok: bool
+    detail: str
+
+
+@dataclass
+class ChaosReport:
+    """Everything one seeded chaos campaign produced and verified."""
+
+    seed: int
+    workers: int
+    n_cells: int
+    survivors: int
+    quarantined: int
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    checks: list[ChaosCheck] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+    def render(self) -> str:
+        faults = ", ".join(
+            f"{seam}={count}"
+            for seam, count in sorted(self.fault_counts.items())
+        ) or "none"
+        lines = [
+            f"chaos seed {self.seed}: {self.n_cells} cells, "
+            f"{self.workers} worker(s), {self.survivors} survived, "
+            f"{self.quarantined} quarantined",
+            f"  injected faults: {faults}",
+        ]
+        for check in self.checks:
+            mark = "PASS" if check.ok else "FAIL"
+            lines.append(f"  [{mark}] {check.name}: {check.detail}")
+        return "\n".join(lines)
+
+
+def _identity(record) -> tuple:
+    return (record.system, record.dataset,
+            record.configured_seconds, record.seed)
+
+
+def _masked(record) -> dict:
+    """A record's payload with the measurement-channel flag removed: a
+    RAPL fault changes ``energy_source``, nothing else may differ."""
+    payload = asdict(record)
+    payload.pop("energy_source", None)
+    return payload
+
+
+def _replay_ledger(plan: FaultPlan, keys) -> list[tuple[str, str]]:
+    """Re-derive the worker-seam fault ledger from a plan and the set of
+    submission keys, mirroring the executor's short-circuit order."""
+    events = []
+    for key in sorted(keys):
+        if plan.decide(SEAM_WORKER_DEATH, key):
+            events.append((SEAM_WORKER_DEATH, key))
+            continue
+        if plan.decide(SEAM_SLOW_CELL, key):
+            events.append((SEAM_SLOW_CELL, key))
+        if plan.decide(SEAM_CELL_ERROR, key):
+            events.append((SEAM_CELL_ERROR, key))
+            continue
+        if plan.decide(SEAM_RAPL_READ, key):
+            events.append((SEAM_RAPL_READ, key))
+    return sorted(events)
+
+
+def _await_worker_exit(pids, deadline_s: float = 3.0) -> list[int]:
+    """Pids still alive after the campaign (briefly polled: the executor
+    kills and joins its workers, this only absorbs the reap latency)."""
+    remaining = set(pids)
+    waited = 0.0
+    while remaining and waited < deadline_s:
+        remaining = {pid for pid in remaining if _alive(pid)}
+        if remaining:
+            time.sleep(0.05)   # repro-lint: disable=GRN004
+            waited += 0.05
+    return sorted(remaining)
+
+
+def _alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def run_chaos_campaign(
+    seed: int,
+    work_dir,
+    *,
+    workers: int = 2,
+    rate: float = 0.15,
+    delay_s: float = 2.0,
+    cell_timeout_s: float = 1.0,
+    max_retries: int = 3,
+    config: ExperimentConfig | None = None,
+    progress=None,
+) -> ChaosReport:
+    """Run one seeded chaos campaign + reference and audit the result."""
+    config = config or default_chaos_config()
+    work_dir = Path(work_dir)
+    cells = grid_cells(config)
+
+    # 1. the fault-free serial reference: ground truth for survivors
+    reference = CampaignExecutor(workers=1).run(cells)
+    ref_by_id = {_identity(r): r for r in reference.records}
+
+    # 2. the chaos run
+    plan = FaultPlan.uniform(
+        seed, DEFAULT_SEAMS, rate, delay_s=delay_s,
+    )
+    cache = ResultCache(work_dir / "cache")
+    journal_path = work_dir / "journal.jsonl"
+    journal = CampaignJournal(journal_path)
+    policy = RetryPolicy(
+        max_retries=max_retries,
+        cell_timeout_s=cell_timeout_s if workers > 1 else None,
+    )
+    executor = CampaignExecutor(
+        workers=workers, cache=cache, journal=journal,
+        policy=policy, fault_plan=plan, progress_callback=progress,
+    )
+    store = executor.run(cells)
+
+    report = ChaosReport(
+        seed=seed, workers=workers, n_cells=len(cells),
+        survivors=sum(1 for r in store.records if not r.failed),
+        quarantined=sum(1 for r in store.records if r.failed),
+        fault_counts=executor.fault_counts,
+    )
+    check = report.checks.append
+
+    # -- completion -----------------------------------------------------------
+    check(ChaosCheck(
+        "completes", len(store) == len(cells),
+        f"{len(store)}/{len(cells)} cells produced a record",
+    ))
+
+    # -- survivors bit-identical to the reference -----------------------------
+    mismatched = [
+        r.system + "/" + r.dataset + f"/s{r.seed}"
+        for r in store.records
+        if not r.failed and _masked(r) != _masked(ref_by_id[_identity(r)])
+    ]
+    check(ChaosCheck(
+        "survivors-bit-identical",
+        not mismatched and report.survivors > 0,
+        (f"{report.survivors} survivor(s) match the fault-free serial "
+         f"reference (modulo energy_source)"
+         if not mismatched else f"mismatched cells: {mismatched}"),
+    ))
+
+    # -- quarantine notes are structured --------------------------------------
+    unstructured = [
+        r.note for r in store.records
+        if r.failed and not FailureRecord.is_structured_note(r.note)
+    ]
+    check(ChaosCheck(
+        "structured-quarantine", not unstructured,
+        (f"{report.quarantined} quarantine note(s) all carry the "
+         f"[seam] ErrorType taxonomy"
+         if not unstructured else f"unstructured notes: {unstructured}"),
+    ))
+
+    # -- journal failure events are structured --------------------------------
+    with warnings.catch_warnings():
+        # torn lines are injected here on purpose; the load-time warning
+        # is for real campaigns, not the audit
+        warnings.simplefilter("ignore")
+        state = CampaignJournal.load(journal_path)
+    bare = [event for event in state.failures
+            if not isinstance(event.get("failure"), dict)]
+    check(ChaosCheck(
+        "structured-journal-failures", not bare,
+        f"{len(state.failures)} journal failure event(s), "
+        f"{len(bare)} without a structured payload",
+    ))
+
+    # -- no leaked worker processes -------------------------------------------
+    pids = set(executor.tracker.workers) - {os.getpid()}
+    leaked = _await_worker_exit(pids)
+    check(ChaosCheck(
+        "no-leaked-workers", not leaked,
+        (f"all {len(pids)} worker pid(s) exited"
+         if not leaked else f"still alive: {leaked}"),
+    ))
+
+    # -- fault accounting -----------------------------------------------------
+    ledger = list(executor.fault_events)
+    parent = getattr(executor, "_parent_injector", None)
+    parent_events = parent.event_keys() if parent is not None else []
+
+    corrupt_keys = {key for seam, key in parent_events
+                    if seam == SEAM_CACHE_CORRUPT}
+    before = cache.stats.corrupt
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        undetected = [key for key in corrupt_keys
+                      if cache.get(key) is not None]
+    detected = cache.stats.corrupt - before
+    check(ChaosCheck(
+        "cache-corruption-detected",
+        not undetected and detected == len(corrupt_keys),
+        f"{detected}/{len(corrupt_keys)} corrupted cache entries "
+        f"re-read as misses (corrupt_entries counter agrees)",
+    ))
+
+    torn_failures = sum(
+        1 for seam, key in parent_events
+        if seam == SEAM_JOURNAL_TORN and key.startswith("failure:")
+    )
+    fail_seams = (_WORKER_FAIL_SEAMS if workers > 1
+                  else (SEAM_CELL_ERROR, SEAM_WORKER_DEATH))
+    expected_keys = {key for seam, key in ledger if seam in fail_seams}
+    check(ChaosCheck(
+        "failures-accounted",
+        len(state.failures) + torn_failures >= len(expected_keys),
+        f"{len(state.failures)} journal failure event(s) + "
+        f"{torn_failures} torn line(s) cover {len(expected_keys)} "
+        f"planned fault key(s)",
+    ))
+
+    estimated = [r for r in store.records
+                 if not r.failed and r.energy_source == "estimated"]
+    rapl_labels = {key.rsplit("#a", 1)[0] for seam, key in ledger
+                   if seam == SEAM_RAPL_READ}
+    unexplained = [
+        label for label in (
+            f"{r.system}|{r.dataset}|{r.configured_seconds:g}s"
+            f"|seed={r.seed}" for r in estimated
+        )
+        if label not in rapl_labels
+    ]
+    check(ChaosCheck(
+        "rapl-degradation-tagged", not unexplained,
+        f"{len(estimated)} survivor(s) tagged energy_source=estimated, "
+        f"all with a planned rapl_read fault",
+    ))
+
+    # -- determinism: the journal header replays the exact ledger -------------
+    header_plan = (FaultPlan.from_dict(state.fault_plan)
+                   if state.fault_plan else None)
+    replayed = (_replay_ledger(header_plan, executor._planned)
+                if header_plan is not None else None)
+    check(ChaosCheck(
+        "deterministic-plan",
+        replayed is not None and replayed == sorted(ledger),
+        ("the plan recovered from the journal header replays the "
+         f"injected-fault ledger exactly ({len(ledger)} event(s))"
+         if replayed == sorted(ledger)
+         else "journal-header plan does not reproduce the ledger"),
+    ))
+
+    # -- coverage: the campaign actually hurt ---------------------------------
+    seams_fired = {seam for seam, _ in ledger + parent_events}
+    hurt_labels = {key.rsplit("#a", 1)[0] for _, key in ledger}
+    check(ChaosCheck(
+        "fault-coverage",
+        len(seams_fired) >= 4 and len(hurt_labels) >= len(cells) // 10,
+        f"{len(seams_fired)} seam(s) fired across "
+        f"{len(hurt_labels)}/{len(cells)} cells",
+    ))
+    return report

@@ -40,6 +40,17 @@ Failure handling, outermost to innermost:
 
 Per-cell timeouts are enforced in pooled mode only — a single-process
 run has no supervisor to interrupt it.
+
+Every handled failure travels as a structured
+:class:`repro.faults.FailureRecord` (exception type, seam, attempt,
+bounded message) through ``_note_failure``/``_quarantine`` and into the
+journal.  A seeded :class:`repro.faults.FaultPlan` on the executor arms
+deterministic chaos at the named seams (worker death, slow cells,
+cell exceptions, RAPL loss, cache corruption, torn journal lines); the
+plan's decisions are pure functions of (seed, seam, key), so the parent
+accounts for every injection a worker will fire — including workers
+that die before reporting — and the same seed replays the same fault
+sequence.
 """
 
 from __future__ import annotations
@@ -58,6 +69,15 @@ from typing import Callable
 
 from repro.datasets.loaders import Dataset, dataset_cache_hits, load_dataset
 from repro.experiments.results import ResultsStore, RunRecord
+from repro.faults import (
+    SEAM_CELL_ERROR,
+    SEAM_RAPL_READ,
+    SEAM_SLOW_CELL,
+    SEAM_WORKER_DEATH,
+    FailureRecord,
+    FaultInjector,
+    FaultPlan,
+)
 from repro.metrics.classification import balanced_accuracy_score
 from repro.models.dummy import DummyClassifier
 from repro.runtime.cells import CellSpec
@@ -138,7 +158,34 @@ def _init_worker(channel) -> None:
     _START_CHANNEL = channel
 
 
-def _execute_cell(spec: CellSpec, token: int | None = None) -> dict:
+def _fault_key(spec: CellSpec, attempt: int) -> str:
+    """The per-submission fault-decision key.
+
+    Keyed by cell label *and* attempt so a retry of a faulted cell rolls
+    fresh decisions — and so the parent can evaluate the same plan for
+    the same submission and account for worker-side faults it never
+    hears back about (a worker that ``os._exit``-ed mid-cell).
+    """
+    return f"{spec.label()}#a{attempt}"
+
+
+def _error_outcome(failure: FailureRecord, error: str | None = None,
+                   injector: FaultInjector | None = None) -> dict:
+    outcome = {
+        "status": "error",
+        "error": error if error is not None else failure.describe(),
+        "failure": failure.as_dict(),
+        "pid": os.getpid(),
+        "warm_hits": dataset_cache_hits(),
+    }
+    if injector is not None:
+        outcome["faults"] = injector.event_keys()
+    return outcome
+
+
+def _execute_cell(spec: CellSpec, token: int | None = None,
+                  fault_plan: dict | None = None,
+                  attempt: int = 0) -> dict:
     """Worker entry point (module-level so it pickles).
 
     Never raises: outcomes are tagged dicts so the parent can separate
@@ -146,6 +193,14 @@ def _execute_cell(spec: CellSpec, token: int | None = None) -> dict:
     ``token`` identifies this submission; the worker echoes it on the
     start channel (with a :func:`worker_now` timestamp) so the parent
     can start the cell's deadline only once it is actually executing.
+
+    ``fault_plan`` (a serialised :class:`FaultPlan`) arms the worker-side
+    chaos seams for this submission: worker death (``os._exit`` mid-cell,
+    pooled mode only — in serial mode it degrades to an injected error),
+    a wall-clock stall designed to trip ``cell_timeout_s``, an exception
+    in place of the cell function, and a failing RAPL read inside the
+    energy meter.  Error outcomes carry a structured ``failure`` payload
+    and the worker's fired-fault ledger.
     """
     from repro.experiments.runner import run_single
     from repro.runtime.progress import worker_now
@@ -155,6 +210,33 @@ def _execute_cell(spec: CellSpec, token: int | None = None) -> dict:
             _START_CHANNEL.put((os.getpid(), token, worker_now()))
         except (OSError, ValueError):
             pass   # telemetry channel loss must never fail the cell
+    injector = None
+    energy_meter = None
+    key = _fault_key(spec, attempt)
+    if fault_plan is not None:
+        injector = FaultInjector(FaultPlan.from_dict(fault_plan))
+        if injector.fire(SEAM_WORKER_DEATH, key):
+            if token is not None:
+                os._exit(86)   # hard worker death: no cleanup, no result
+            failure = FailureRecord(
+                "InjectedFault", SEAM_WORKER_DEATH, attempt,
+                f"injected worker death for {key} (serial mode)",
+                injected=True,
+            )
+            return _error_outcome(failure, injector=injector)
+        injector.stall(key)
+        if injector.fire(SEAM_CELL_ERROR, key):
+            failure = FailureRecord(
+                "InjectedFault", SEAM_CELL_ERROR, attempt,
+                f"injected cell error for {key}", injected=True,
+            )
+            return _error_outcome(failure, injector=injector)
+        if injector.plan.seams.get(SEAM_RAPL_READ) is not None:
+            from repro.energy.tracker import EnergyTracker
+
+            energy_meter = EnergyTracker(
+                fault_hook=lambda: injector.rapl_hook(key)
+            )
     try:
         dataset = load_dataset(spec.dataset)
         record = run_single(
@@ -162,26 +244,28 @@ def _execute_cell(spec: CellSpec, token: int | None = None) -> dict:
             seed=spec.seed, time_scale=spec.time_scale,
             n_cores=spec.n_cores, use_gpu=spec.use_gpu,
             system_kwargs=spec.system_kwargs,
+            energy_meter=energy_meter,
         )
     except ValueError as exc:
         if _MIN_BUDGET_MARKER in str(exc):
             return {"status": "skip", "note": str(exc), "pid": os.getpid(),
                     "warm_hits": dataset_cache_hits()}
-        return {
-            "status": "error", "error": traceback.format_exc(),
-            "pid": os.getpid(),
-            "warm_hits": dataset_cache_hits(),
-        }
-    except Exception:
-        return {
-            "status": "error", "error": traceback.format_exc(),
-            "pid": os.getpid(),
-            "warm_hits": dataset_cache_hits(),
-        }
+        return _error_outcome(
+            FailureRecord.from_exception(exc, seam="cell", attempt=attempt),
+            error=traceback.format_exc(), injector=injector,
+        )
+    except Exception as exc:
+        return _error_outcome(
+            FailureRecord.from_exception(exc, seam="cell", attempt=attempt),
+            error=traceback.format_exc(), injector=injector,
+        )
     from dataclasses import asdict
 
-    return {"status": "ok", "record": asdict(record), "pid": os.getpid(),
-            "warm_hits": dataset_cache_hits()}
+    outcome = {"status": "ok", "record": asdict(record),
+               "pid": os.getpid(), "warm_hits": dataset_cache_hits()}
+    if injector is not None:
+        outcome["faults"] = injector.event_keys()
+    return outcome
 
 
 class CampaignExecutor:
@@ -189,7 +273,8 @@ class CampaignExecutor:
 
     def __init__(self, *, workers: int = 1, cache=None, journal=None,
                  resume: bool = False, policy: RetryPolicy | None = None,
-                 progress_callback=None):
+                 progress_callback=None,
+                 fault_plan: FaultPlan | None = None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
@@ -202,6 +287,65 @@ class CampaignExecutor:
         #: pool replacements after the initial pool (0 on a healthy
         #: campaign: timeouts alone never rebuild the pool)
         self.pool_rebuilds = 0
+        #: seeded chaos plan; None = no injection anywhere
+        self.fault_plan = fault_plan
+        self._plan_dict = fault_plan.to_dict() if fault_plan else None
+        #: parent-side ledger of planned worker-seam injections — the
+        #: plan's decisions are pure, so the parent knows every fault a
+        #: worker will fire even when the worker dies before reporting
+        self.fault_events: list[tuple[str, str]] = []
+        self._planned: set[str] = set()
+
+    # -- fault bookkeeping -----------------------------------------------------
+    def _arm_faults(self) -> None:
+        """Arm the parent-side seams (cache payloads, journal lines)."""
+        if self.fault_plan is None:
+            return
+        injector = FaultInjector(self.fault_plan)
+        self._parent_injector = injector
+        if self.cache is not None and self.cache.fault_injector is None:
+            self.cache.fault_injector = injector
+        if self.journal is not None \
+                and self.journal.fault_injector is None:
+            self.journal.fault_injector = injector
+
+    def _plan_worker_faults(self, item: _Pending) -> None:
+        """Account the worker-side faults this submission will fire.
+
+        Mirrors the worker's check order (death short-circuits the rest;
+        an injected cell error prevents the RAPL probe) so the ledger
+        matches what actually happens, even for a worker that dies
+        before it can report back.
+        """
+        if self.fault_plan is None:
+            return
+        key = _fault_key(item.spec, item.attempts)
+        if key in self._planned:
+            return   # a cancelled/requeued submission re-runs the same key
+        self._planned.add(key)
+        plan = self.fault_plan
+        if plan.decide(SEAM_WORKER_DEATH, key):
+            self.fault_events.append((SEAM_WORKER_DEATH, key))
+            return
+        if plan.decide(SEAM_SLOW_CELL, key):
+            self.fault_events.append((SEAM_SLOW_CELL, key))
+        if plan.decide(SEAM_CELL_ERROR, key):
+            self.fault_events.append((SEAM_CELL_ERROR, key))
+            return
+        if plan.decide(SEAM_RAPL_READ, key):
+            self.fault_events.append((SEAM_RAPL_READ, key))
+
+    @property
+    def fault_counts(self) -> dict[str, int]:
+        """Planned/fired injections per seam (parent + cache/journal)."""
+        counts: dict[str, int] = {}
+        events = list(self.fault_events)
+        parent = getattr(self, "_parent_injector", None)
+        if parent is not None:
+            events.extend(parent.event_keys())
+        for seam, _ in events:
+            counts[seam] = counts.get(seam, 0) + 1
+        return counts
 
     # -- orchestration ---------------------------------------------------------
     def run(self, cells) -> ResultsStore:
@@ -210,6 +354,7 @@ class CampaignExecutor:
         self.tracker = ProgressTracker(
             len(cells), callback=self.progress_callback
         )
+        self._arm_faults()
         prior = self._load_prior_state()
         pending: list[_Pending] = []
         for index, spec in enumerate(cells):
@@ -253,7 +398,9 @@ class CampaignExecutor:
         else:
             state = JournalState()
         if self.journal is not None:
-            self.journal.open_campaign(self.tracker.total)
+            self.journal.open_campaign(
+                self.tracker.total, fault_plan=self._plan_dict,
+            )
         return state
 
     # -- bookkeeping shared by both paths --------------------------------------
@@ -279,22 +426,35 @@ class CampaignExecutor:
             self.journal.record_skip(item.index, item.key, note)
         self.tracker.update(kind="skipped", label=item.spec.label())
 
-    def _note_failure(self, item: _Pending, error: str) -> None:
+    @staticmethod
+    def _coerce_failure(failure, attempt: int) -> FailureRecord:
+        """Accept a :class:`FailureRecord` or a legacy error string and
+        return a structured record stamped with ``attempt``."""
+        from dataclasses import replace as dc_replace
+
+        if isinstance(failure, FailureRecord):
+            return dc_replace(failure, attempt=attempt)
+        return FailureRecord.from_error_text(
+            str(failure), seam="cell", attempt=attempt,
+        )
+
+    def _note_failure(self, item: _Pending, failure) -> FailureRecord:
         item.attempts += 1
+        record = self._coerce_failure(failure, item.attempts)
         if self.journal is not None:
             self.journal.record_failure(
-                item.index, item.key, item.attempts, error
+                item.index, item.key, item.attempts, failure=record,
             )
+        return record
 
     def _exhausted(self, item: _Pending) -> bool:
         return item.attempts > self.policy.max_retries
 
-    def _quarantine(self, item: _Pending, results: list, error: str,
+    def _quarantine(self, item: _Pending, results: list, failure,
                     worker: int | None = None) -> None:
+        record = self._coerce_failure(failure, item.attempts)
         dataset = load_dataset(item.spec.dataset)
-        lines = error.strip().splitlines()
-        reason = lines[-1] if lines else "unknown error"
-        note = f"quarantined after {item.attempts} attempt(s): {reason}"
+        note = record.to_note(item.attempts)
         self._commit(
             item, _baseline_record(item.spec, dataset, note),
             results, worker,
@@ -304,11 +464,23 @@ class CampaignExecutor:
         if self.policy.retry_backoff_s > 0:
             self.policy.sleep(self.policy.retry_backoff_s * item.attempts)
 
+    @staticmethod
+    def _outcome_failure(outcome: dict):
+        """The structured failure an error outcome carries (falls back
+        to the legacy traceback string for pre-taxonomy outcomes)."""
+        payload = outcome.get("failure")
+        if payload:
+            return FailureRecord.from_dict(payload)
+        return outcome.get("error", "")
+
     # -- serial path (workers=1): the old runner, cell by cell ----------------
     def _run_serial(self, pending: list[_Pending], results: list) -> None:
         for item in pending:
             while True:
-                outcome = _execute_cell(item.spec)
+                self._plan_worker_faults(item)
+                outcome = _execute_cell(
+                    item.spec, None, self._plan_dict, item.attempts,
+                )
                 if outcome["status"] == "ok":
                     self._commit(
                         item, RunRecord(**outcome["record"]), results,
@@ -318,11 +490,12 @@ class CampaignExecutor:
                 if outcome["status"] == "skip":
                     self._commit_skip(item, outcome["note"])
                     break
-                self._note_failure(item, outcome["error"])
+                failure = self._note_failure(
+                    item, self._outcome_failure(outcome)
+                )
                 if self._exhausted(item):
                     self._quarantine(
-                        item, results, outcome["error"],
-                        outcome.get("pid"),
+                        item, results, failure, outcome.get("pid"),
                     )
                     break
                 self._backoff(item)
@@ -407,7 +580,8 @@ class CampaignExecutor:
                                 pass   # _settle already requeued it
                         else:
                             self._requeue_or_quarantine(
-                                item, results, todo, "worker process died"
+                                item, results, todo,
+                                self._pool_death_failure(item),
                             )
                     inflight.clear()
                     starts.clear()
@@ -457,8 +631,18 @@ class CampaignExecutor:
         while todo and len(inflight) < limit:
             item = todo.popleft()
             token = next(tokens)
-            inflight[pool.submit(_execute_cell, item.spec, token)] = \
-                (token, item)
+            self._plan_worker_faults(item)
+            try:
+                future = pool.submit(
+                    _execute_cell, item.spec, token,
+                    self._plan_dict, item.attempts,
+                )
+            except BrokenProcessPool:
+                # the pool died under us: put the cell back before the
+                # rebuild, or it would silently fall out of the campaign
+                todo.appendleft(item)
+                raise
+            inflight[future] = (token, item)
 
     def _harvest_window(self, inflight, channel, starts):
         """Block until at least one completion or one deadline tick."""
@@ -486,6 +670,13 @@ class CampaignExecutor:
                 starts.setdefault(token, stamp)
                 self.tracker.worker_started(pid, labels[token])
 
+    @staticmethod
+    def _pool_death_failure(item) -> FailureRecord:
+        return FailureRecord(
+            error_type="BrokenProcessPool", seam="pool",
+            attempt=item.attempts + 1, message="worker process died",
+        )
+
     def _settle(self, future, item, results, todo) -> None:
         """Commit one completed future (any terminal state but timeout)."""
         try:
@@ -493,11 +684,16 @@ class CampaignExecutor:
         except BrokenProcessPool:
             # mark this cell before the caller requeues the siblings
             self._requeue_or_quarantine(
-                item, results, todo, "worker process died"
+                item, results, todo, self._pool_death_failure(item)
             )
             raise
         except Exception as exc:   # pickling trouble, pool teardown races
-            self._requeue_or_quarantine(item, results, todo, repr(exc))
+            self._requeue_or_quarantine(
+                item, results, todo,
+                FailureRecord.from_exception(
+                    exc, seam="submit", attempt=item.attempts + 1,
+                ),
+            )
             return
         if outcome["status"] == "ok":
             self._commit(
@@ -508,14 +704,15 @@ class CampaignExecutor:
             self._commit_skip(item, outcome["note"])
         else:
             self._requeue_or_quarantine(
-                item, results, todo, outcome["error"], outcome.get("pid")
+                item, results, todo, self._outcome_failure(outcome),
+                outcome.get("pid"),
             )
 
-    def _requeue_or_quarantine(self, item, results, todo, error,
+    def _requeue_or_quarantine(self, item, results, todo, failure,
                                worker=None) -> None:
-        self._note_failure(item, error)
+        record = self._note_failure(item, failure)
         if self._exhausted(item):
-            self._quarantine(item, results, error, worker)
+            self._quarantine(item, results, record, worker)
         else:
             self._backoff(item)
             todo.append(item)
@@ -542,13 +739,20 @@ class CampaignExecutor:
             abandoned.add(future)
             self._requeue_or_quarantine(
                 item, results, todo,
-                f"cell timeout: exceeded {timeout:g}s after start"
+                FailureRecord(
+                    error_type="CellTimeout", seam="timeout",
+                    attempt=item.attempts + 1,
+                    message=(f"cell timeout: exceeded {timeout:g}s "
+                             f"after start"),
+                ),
             )
 
 
 def execute_cells(cells, *, workers: int = 1, cache=None, journal=None,
                   resume: bool = False, policy: RetryPolicy | None = None,
-                  progress_callback=None) -> list[RunRecord | None]:
+                  progress_callback=None,
+                  fault_plan: FaultPlan | None = None,
+                  ) -> list[RunRecord | None]:
     """Positional convenience: run ``cells`` and return one slot per
     cell, ``None`` where the cell was skipped.  Campaign drivers that
     need to pair records with the loop variables that produced them
@@ -557,6 +761,7 @@ def execute_cells(cells, *, workers: int = 1, cache=None, journal=None,
     executor = CampaignExecutor(
         workers=workers, cache=cache, journal=journal, resume=resume,
         policy=policy, progress_callback=progress_callback,
+        fault_plan=fault_plan,
     )
     executor.run(cells)
     return executor.last_results

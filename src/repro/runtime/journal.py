@@ -1,18 +1,28 @@
 """Append-only JSONL checkpoint journal for crash-safe campaigns.
 
-Every finished cell is appended as one JSON line and flushed+fsynced
-before the executor moves on, so a killed campaign loses at most the
-cell that was in flight.  On resume the journal is replayed: completed
+Every finished cell is appended as one JSON line; with ``durable=True``
+(the default, and what the executor uses) each line is flushed and
+``os.fsync``-ed before the executor moves on, so a worker or host crash
+loses at most the in-flight line — resume never depends on OS buffering
+luck.  ``durable=False`` trades that guarantee for fewer syncs when the
+journal is only telemetry.  On resume the journal is replayed: completed
 cells are folded straight into the results store and only the remainder
 executes.  A torn final line (the crash artefact) is tolerated and
 ignored on load.
 
 Event types::
 
-    {"type": "campaign", "n_cells": N}
+    {"type": "campaign", "n_cells": N, "fault_plan": {...}?}
     {"type": "cell", "index": i, "key": k, "record": {...}}
     {"type": "skip", "index": i, "key": k, "note": "..."}
-    {"type": "failure", "index": i, "key": k, "attempt": n, "error": "..."}
+    {"type": "failure", "index": i, "key": k, "attempt": n,
+     "error": "...", "failure": {...}}
+
+Failure events carry both the structured ``failure`` payload (a
+:class:`repro.faults.FailureRecord` dict: error type, seam, attempt,
+bounded message) and the legacy ``error`` string; journals written
+before the taxonomy existed replay fine — a missing ``failure`` is
+synthesised from the error text.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.experiments.results import RunRecord
+from repro.faults import SEAM_JOURNAL_TORN, FailureRecord, FaultInjector
 
 
 @dataclass
@@ -34,6 +45,8 @@ class JournalState:
     skipped: set[str] = field(default_factory=set)
     failures: list[dict] = field(default_factory=list)
     n_cells: int | None = None
+    #: the fault plan (as a dict) the recorded campaign ran under, if any
+    fault_plan: dict | None = None
     #: corrupt lines skipped *before* the tail — anything beyond a torn
     #: final line means the file was damaged, not just cut short
     skipped_lines: int = 0
@@ -41,25 +54,59 @@ class JournalState:
     def __len__(self) -> int:
         return len(self.completed)
 
+    def failure_records(self) -> list[FailureRecord]:
+        """Structured view of the replayed failure events (legacy string
+        events are classified on the fly)."""
+        out = []
+        for event in self.failures:
+            if isinstance(event.get("failure"), dict):
+                out.append(FailureRecord.from_dict(event["failure"]))
+            else:
+                out.append(FailureRecord.from_error_text(
+                    event.get("error", ""), seam="cell",
+                    attempt=int(event.get("attempt", 0)),
+                ))
+        return out
+
 
 class CampaignJournal:
     """Appender/replayer for one campaign's JSONL checkpoint file."""
 
-    def __init__(self, path):
+    def __init__(self, path, *, durable: bool = True,
+                 fault_injector: FaultInjector | None = None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+        #: chaos hook: when armed, an appended line may be written torn
+        #: (truncated mid-JSON) to exercise the replay tolerance
+        self.fault_injector = fault_injector
         self._fh = None
 
     # -- writing ---------------------------------------------------------------
     def _append(self, event: dict) -> None:
         if self._fh is None:
             self._fh = open(self.path, "a", encoding="utf-8")
-        self._fh.write(json.dumps(event) + "\n")
+        line = json.dumps(event)
+        # the campaign header is exempt: it carries the fault plan that
+        # makes the chaos run reproducible — tearing it would destroy
+        # the provenance needed to audit the tear
+        if self.fault_injector is not None \
+                and event.get("type") != "campaign":
+            key = f"{event.get('type')}:{event.get('index', '-')}"
+            line = self.fault_injector.corrupt(SEAM_JOURNAL_TORN, key, line)
+        self._fh.write(line + "\n")
         self._fh.flush()
-        os.fsync(self._fh.fileno())
+        if self.durable:
+            os.fsync(self._fh.fileno())
 
-    def open_campaign(self, n_cells: int) -> None:
-        self._append({"type": "campaign", "n_cells": n_cells})
+    def open_campaign(self, n_cells: int,
+                      fault_plan: dict | None = None) -> None:
+        event = {"type": "campaign", "n_cells": n_cells}
+        if fault_plan is not None:
+            # the plan travels in the header so a journal is enough to
+            # reproduce the exact injected-fault sequence
+            event["fault_plan"] = fault_plan
+        self._append(event)
 
     def record_cell(self, index: int, key: str, record: RunRecord) -> None:
         self._append({
@@ -73,10 +120,23 @@ class CampaignJournal:
         })
 
     def record_failure(self, index: int, key: str, attempt: int,
-                       error: str) -> None:
+                       error: str | None = None, *,
+                       failure: FailureRecord | None = None) -> None:
+        """Append one failed attempt.
+
+        New callers pass a structured ``failure``; the legacy ``error``
+        string form still works (and is classified into a
+        :class:`FailureRecord` so every journal line carries both).
+        """
+        if failure is None:
+            failure = FailureRecord.from_error_text(
+                error or "", seam="cell", attempt=attempt,
+            )
         self._append({
             "type": "failure", "index": index, "key": key,
-            "attempt": attempt, "error": error,
+            "attempt": attempt,
+            "error": error if error is not None else failure.describe(),
+            "failure": failure.as_dict(),
         })
 
     def close(self) -> None:
@@ -121,6 +181,7 @@ class CampaignJournal:
                 continue
             if kind == "campaign":
                 state.n_cells = event.get("n_cells")
+                state.fault_plan = event.get("fault_plan")
             elif kind == "cell":
                 try:
                     record = RunRecord(**event["record"])

@@ -32,6 +32,7 @@ from repro.energy.parallel import (
     parallel_execution,
 )
 from repro.exceptions import BudgetExhaustedError, NotFittedError
+from repro.faults import SEAM_TRIAL_ERROR, FailureRecord
 from repro.metrics.classification import balanced_accuracy_score
 from repro.metrics.validation import train_test_split
 from repro.pipeline.spaces import build_pipeline
@@ -118,7 +119,8 @@ class PipelineEvaluator:
                  sample_cap: int | None = None,
                  eval_time_cap: float | None = None,
                  categorical_mask=None, deadline: Deadline | None = None,
-                 metric=balanced_accuracy_score, random_state=None):
+                 metric=balanced_accuracy_score, random_state=None,
+                 sandbox: bool = False, fault_hook=None):
         if not 0.0 < holdout_fraction < 1.0:
             raise ValueError("holdout_fraction must be in (0, 1)")
         self.X = np.asarray(X, dtype=float)
@@ -135,6 +137,15 @@ class PipelineEvaluator:
         self._split_cache = None
         self.models: list[tuple[float, object]] = []  # (val score, pipeline)
         self.n_evaluations = 0
+        #: trial-level sandbox: when True, a raising pipeline evaluation
+        #: is recorded on :attr:`failures` as a structured failure and
+        #: scored -1.0 — the budget it was charged stays spent, so a
+        #: crash is never a silent win (and never aborts the search)
+        self.sandbox = sandbox
+        #: chaos seam: a callable run once per evaluation (after the
+        #: cost is charged); raising simulates a crashing trial
+        self.fault_hook = fault_hook
+        self.failures: list[FailureRecord] = []
 
     def _split(self):
         if self.resample_validation or self._split_cache is None:
@@ -176,18 +187,34 @@ class PipelineEvaluator:
         clock = deadline if deadline is not None else self.deadline
         if clock is not None:
             clock.charge(fit_seconds)
-        pipeline = build_pipeline(
-            config,
-            n_features=self.X.shape[1],
-            categorical_mask=self.categorical_mask,
-            random_state=int(self._rng.integers(0, 2**31 - 1)),
-        )
-        pipeline.fit(X_tr, y_tr)
-        if self.eval_time_cap is not None and fit_seconds > self.eval_time_cap:
-            # the evaluation ran over its cap: charge it but score as failure
+        try:
+            if self.fault_hook is not None:
+                self.fault_hook()
+            pipeline = build_pipeline(
+                config,
+                n_features=self.X.shape[1],
+                categorical_mask=self.categorical_mask,
+                random_state=int(self._rng.integers(0, 2**31 - 1)),
+            )
+            pipeline.fit(X_tr, y_tr)
+            if (self.eval_time_cap is not None
+                    and fit_seconds > self.eval_time_cap):
+                # the evaluation ran over its cap: charge it but score
+                # as failure
+                self.n_evaluations += 1
+                return -1.0, pipeline
+            score = self.metric(y_val, pipeline.predict(X_val))
+        except Exception as exc:
+            if not self.sandbox:
+                raise
+            # the cost was charged before the attempt, so the crashed
+            # evaluation stays paid for — recorded, scored -1.0, and the
+            # search continues
             self.n_evaluations += 1
-            return -1.0, pipeline
-        score = self.metric(y_val, pipeline.predict(X_val))
+            self.failures.append(FailureRecord.from_exception(
+                exc, seam=SEAM_TRIAL_ERROR, attempt=self.n_evaluations,
+            ))
+            return -1.0, None
         self.n_evaluations += 1
         if keep:
             self.models.append((score, pipeline))

@@ -1,0 +1,118 @@
+"""Campaign-level chaos: seeded fault-injection runs through the real
+executor, and the invariants the `repro chaos` harness enforces."""
+
+import warnings
+from dataclasses import asdict
+
+from repro.experiments import ExperimentConfig, grid_cells
+from repro.faults import (
+    SEAM_CELL_ERROR,
+    SEAM_RAPL_READ,
+    SEAM_WORKER_DEATH,
+    FailureRecord,
+    FaultPlan,
+)
+from repro.runtime import CampaignExecutor, CampaignJournal, RetryPolicy
+from repro.runtime.chaos import run_chaos_campaign
+
+#: a small serial-friendly grid: 1 system x 1 dataset x 4 runs
+SMALL = ExperimentConfig(
+    systems=("CAML",), datasets=("kc1",), budgets=(10.0,),
+    n_runs=4, time_scale=0.004,
+)
+
+
+def _run_serial_chaos(plan: FaultPlan, journal_path=None):
+    executor = CampaignExecutor(
+        workers=1,
+        journal=(CampaignJournal(journal_path)
+                 if journal_path is not None else None),
+        policy=RetryPolicy(max_retries=1),
+        fault_plan=plan,
+    )
+    store = executor.run(grid_cells(SMALL))
+    return executor, store
+
+
+class TestSerialChaos:
+    def test_same_seed_replays_identical_fault_sequence(self):
+        ledgers, payloads = [], []
+        for _ in range(2):
+            plan = FaultPlan.uniform(
+                3, (SEAM_CELL_ERROR, SEAM_RAPL_READ), 0.5,
+            )
+            executor, store = _run_serial_chaos(
+                FaultPlan.from_json(plan.to_json())
+            )
+            ledgers.append(sorted(executor.fault_events))
+            payloads.append([asdict(r) for r in store.records])
+        assert ledgers[0] == ledgers[1]
+        assert ledgers[0]   # rate 0.5 over 4+ keys must fire
+        assert payloads[0] == payloads[1]
+
+    def test_injected_errors_quarantine_with_structured_notes(self):
+        plan = FaultPlan.uniform(0, (SEAM_CELL_ERROR,), 1.0)
+        executor, store = _run_serial_chaos(plan)
+        assert len(store) == 4
+        assert all(r.failed for r in store.records)
+        assert all(FailureRecord.is_structured_note(r.note)
+                   for r in store.records)
+        assert all("cell_error" in r.note for r in store.records)
+
+    def test_rapl_faults_flag_survivors_as_estimated(self):
+        plan = FaultPlan.uniform(0, (SEAM_RAPL_READ,), 1.0)
+        _, chaotic = _run_serial_chaos(plan)
+        _, reference = _run_serial_chaos(FaultPlan(seed=0))
+        assert all(r.energy_source == "estimated"
+                   for r in chaotic.records)
+        assert all(r.energy_source == "measured"
+                   for r in reference.records)
+        for got, want in zip(chaotic.records, reference.records):
+            masked = {k: v for k, v in asdict(got).items()
+                      if k != "energy_source"}
+            assert masked == {k: v for k, v in asdict(want).items()
+                              if k != "energy_source"}
+
+    def test_serial_worker_death_degrades_to_retryable_error(self):
+        # without a pool there is no process to kill: the seam degrades
+        # to an injected error outcome instead of taking the run down
+        plan = FaultPlan.uniform(0, (SEAM_WORKER_DEATH,), 1.0)
+        executor, store = _run_serial_chaos(plan)
+        assert len(store) == 4
+        assert all(r.failed for r in store.records)
+        assert executor.fault_counts[SEAM_WORKER_DEATH] >= 4
+
+    def test_journal_failures_carry_structured_payloads(self, tmp_path):
+        plan = FaultPlan.uniform(0, (SEAM_CELL_ERROR,), 1.0)
+        path = tmp_path / "chaos.jsonl"
+        _run_serial_chaos(plan, journal_path=path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            state = CampaignJournal.load(path)
+        assert state.fault_plan == plan.to_dict()
+        assert state.failures
+        assert all(isinstance(e.get("failure"), dict)
+                   for e in state.failures)
+        assert all(r.injected and r.seam == SEAM_CELL_ERROR
+                   for r in state.failure_records())
+
+
+class TestChaosHarness:
+    def test_pooled_chaos_campaign_holds_every_invariant(self, tmp_path):
+        report = run_chaos_campaign(
+            0, tmp_path, workers=2, delay_s=1.2, cell_timeout_s=0.6,
+        )
+        assert report.ok, report.render()
+        assert report.n_cells == 20
+        assert sum(report.fault_counts.values()) >= 2
+        assert len(report.fault_counts) >= 4
+
+    def test_cli_parser_wires_chaos(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["chaos", "--seeds", "0", "1", "--workers", "2"]
+        )
+        assert args.seeds == [0, 1]
+        assert args.workers == 2
+        assert args.func.__name__ == "_cmd_chaos"
