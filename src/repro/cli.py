@@ -7,6 +7,9 @@
         --budgets 10 30 --runs 2 --out results.json \\
         --workers 4 --cache-dir .repro-cache \\
         --journal campaign.jsonl --resume
+    python -m repro grid ... --trace --journal campaign.jsonl
+    python -m repro grid ... --profile
+    python -m repro trace campaign.jsonl --format json
     python -m repro recommend --budget 300 --classes 2 --priority accuracy
     python -m repro chaos --seeds 0 1 2 --workers 2
     python -m repro lint src benchmarks examples --format json
@@ -82,14 +85,21 @@ def _cmd_grid(args) -> int:
             print(event.render())
 
     telemetry: dict = {}
+    # --profile implies tracing on the wall clock (self times need real
+    # durations); plain --trace stays on the deterministic tick clock
+    trace = args.trace or args.profile
+    trace_clock = "wall" if args.profile else "ticks"
     store = run_grid(
         config, verbose=not args.quiet,
         workers=args.workers, cache_dir=args.cache_dir,
         resume=args.resume, journal_path=args.journal,
         progress=progress, telemetry=telemetry,
+        trace=trace, trace_clock=trace_clock,
     )
     if last_event is not None and last_event.workers and not args.quiet:
         print(_render_worker_table(last_event))
+    if args.profile:
+        print(_render_profile(telemetry.get("spans", [])))
     cache_stats = telemetry.get("cache")
     if cache_stats is not None:
         line = (f"cache: {cache_stats['hits']} hit(s), "
@@ -105,6 +115,74 @@ def _cmd_grid(args) -> int:
     from repro.experiments import figure3
 
     print(figure3(store).render())
+    return 0
+
+
+def _render_profile(span_events) -> str:
+    """The ``--profile`` table: per-phase self time across the campaign."""
+    from repro.observability import profile_rows
+
+    roots = [root for event in span_events
+             for root in event.get("spans", ())]
+    rows = [
+        [r["phase"], r["count"], f"{r['self_s']:.4g}",
+         f"{100 * r['share']:.1f}%"]
+        for r in profile_rows(roots)
+    ]
+    return format_table(["phase", "count", "self time (s)", "share"], rows)
+
+
+def _render_metrics(snapshot: dict) -> str:
+    rows = []
+    for name, payload in snapshot.items():
+        if payload["type"] == "histogram":
+            rows.append([name, f"n={payload['count']} "
+                               f"sum={payload['sum']:.4g}"])
+        else:
+            rows.append([name, f"{payload['value']:g}"])
+    return format_table(["metric", "value"], rows)
+
+
+def _cmd_trace(args) -> int:
+    """Render the observability records of a traced campaign journal."""
+    import json
+
+    from repro.observability import phase_rollup, render_span_tree
+    from repro.runtime.journal import CampaignJournal
+
+    state = CampaignJournal.load(args.journal)
+    if not state.spans:
+        print(f"no spans records in {args.journal} — was the campaign "
+              f"run with --trace?", file=sys.stderr)
+        return 1
+    roots = [root for event in state.spans
+             for root in event.get("spans", ())]
+    rollup = phase_rollup(roots)
+    if args.format == "json":
+        print(json.dumps({
+            "journal": str(args.journal),
+            "n_cells": state.n_cells,
+            "spans": state.spans,
+            "rollup": rollup,
+            "metrics": state.metrics,
+        }, indent=2, sort_keys=True))
+        return 0
+    for event in state.spans:
+        print(f"cell {event['index']} attempt {event['attempt']} "
+              f"(key {str(event['key'])[:12]}…)")
+        for root in event.get("spans", ()):
+            print(render_span_tree(root))
+        print()
+    print("phase rollup (share within each system):")
+    print(format_table(
+        ["system", "phase", "count", "self", "charged (s)", "share"],
+        [[r["system"], r["phase"], r["count"], f"{r['self_s']:.4g}",
+          f"{r['charged_s']:.4g}", f"{100 * r['share']:.1f}%"]
+         for r in rollup],
+    ))
+    if state.metrics:
+        print()
+        print(_render_metrics(state.metrics))
     return 0
 
 
@@ -261,7 +339,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--resume", action="store_true",
                         help="fold cells already in --journal into the "
                              "results instead of re-running them")
+    p_grid.add_argument("--trace", action="store_true",
+                        help="record span trees per cell (deterministic "
+                             "tick clock; journalled when --journal is "
+                             "set, readable with 'repro trace')")
+    p_grid.add_argument("--profile", action="store_true",
+                        help="trace on the wall clock and print a "
+                             "per-phase self-time table after the run")
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_trace = sub.add_parser(
+        "trace", help="render the span trees of a traced campaign journal")
+    p_trace.add_argument("journal",
+                         help="JSONL journal written by grid --trace "
+                              "--journal")
+    p_trace.add_argument("--format", choices=["text", "json"],
+                         default="text")
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_chaos = sub.add_parser(
         "chaos",

@@ -28,6 +28,7 @@ from repro.energy.machines import (
 )
 from repro.energy.rapl import RaplCounter
 from repro.exceptions import RaplUnavailableError, ReproError
+from repro.observability import trace_span
 
 
 @dataclass(frozen=True)
@@ -132,7 +133,7 @@ class EnergyTracker:
             # and still burned energy, so charge the model estimate
             self.report = self._estimate_report(duration)
             self._counter = None
-            return self.report
+            return self._span_report(self.report)
         self.report = EnergyReport(
             kwh=sample.total_joules / JOULES_PER_KWH,
             duration_s=duration,
@@ -142,7 +143,19 @@ class EnergyTracker:
             machine=self.machine.name,
         )
         self._counter = None
-        return self.report
+        return self._span_report(self.report)
+
+    @staticmethod
+    def _span_report(report: EnergyReport) -> EnergyReport:
+        """Emit the measurement marker span (a point event: whether the
+        region's energy was counter-measured or model-estimated)."""
+        with trace_span(
+            "energy", kwh=float(report.kwh),
+            source=("estimated" if report.source == "estimated"
+                    else "measured"),
+        ):
+            pass
+        return report
 
     def __enter__(self) -> "EnergyTracker":
         return self.start()

@@ -18,6 +18,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ResultsStore, RunRecord
 from repro.metrics.classification import balanced_accuracy_score
 from repro.models.dummy import DummyClassifier
+from repro.observability import trace_span
 from repro.systems import make_system
 
 
@@ -50,21 +51,28 @@ def run_single(
         n_cores=n_cores, use_gpu=use_gpu, **kwargs,
     )
     try:
-        if energy_meter is not None:
-            energy_meter.start()
-        try:
-            system.fit(
-                dataset.X_train, dataset.y_train, budget_s=budget_s,
-                categorical_mask=dataset.categorical_mask,
-            )
-        finally:
-            meter_report = (
-                energy_meter.stop() if energy_meter is not None else None
-            )
-        acc = balanced_accuracy_score(
-            dataset.y_test, system.predict(dataset.X_test)
-        )
-        est = system.inference_estimate(1000)
+        with trace_span("cell", system=system_name, dataset=dataset.name,
+                        budget=budget_s, seed=seed):
+            with trace_span("fit"):
+                if energy_meter is not None:
+                    energy_meter.start()
+                try:
+                    system.fit(
+                        dataset.X_train, dataset.y_train,
+                        budget_s=budget_s,
+                        categorical_mask=dataset.categorical_mask,
+                    )
+                finally:
+                    meter_report = (
+                        energy_meter.stop()
+                        if energy_meter is not None else None
+                    )
+            with trace_span("score"):
+                acc = balanced_accuracy_score(
+                    dataset.y_test, system.predict(dataset.X_test)
+                )
+            with trace_span("inference"):
+                est = system.inference_estimate(1000)
         fr = system.fit_result_
         return RunRecord(
             system=system_name,
@@ -138,7 +146,9 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
              system_kwargs: dict[str, dict] | None = None,
              workers: int = 1, cache_dir=None, resume: bool = False,
              journal_path=None, progress=None,
-             telemetry: dict | None = None) -> ResultsStore:
+             telemetry: dict | None = None,
+             trace: bool = False,
+             trace_clock: str = "ticks") -> ResultsStore:
     """Run the full campaign described by ``config``.
 
     ``workers`` fans cells out over a process pool (``1`` = in-process
@@ -148,8 +158,16 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
     is an optional callback receiving a
     :class:`repro.runtime.ProgressEvent` after every finished cell.
     ``telemetry``, when given, is filled in place with runtime health
-    counters after the run: ``"cache"`` (hit/miss/write/corrupt stats)
-    so callers can surface corrupt-entry detections.
+    counters after the run: ``"cache"`` (hit/miss/write/corrupt stats),
+    ``"pool_rebuilds"``, the merged ``"metrics"`` snapshot and — when
+    tracing — the per-cell ``"spans"`` records.
+
+    ``trace=True`` turns on the observability layer: every executed
+    cell ships a span tree back to the parent and into the journal.
+    ``trace_clock`` picks the worker span clock — ``"ticks"`` (default)
+    is the deterministic counter, ``"wall"`` measures real durations
+    (what ``repro grid --profile`` uses).  Tracing never changes
+    results: cache keys, budgets and seeds are untouched.
     """
     from repro.runtime import CampaignExecutor, CampaignJournal, ResultCache
 
@@ -169,6 +187,7 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         ),
         resume=resume,
         progress_callback=callback,
+        trace=trace, trace_clock=trace_clock,
     )
     store = executor.run(grid_cells(
         config, n_cores=n_cores, use_gpu=use_gpu,
@@ -178,4 +197,7 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         if executor.cache is not None:
             telemetry["cache"] = executor.cache.stats.as_dict()
         telemetry["pool_rebuilds"] = executor.pool_rebuilds
+        telemetry["metrics"] = executor.metrics_snapshot()
+        if trace:
+            telemetry["spans"] = list(executor.cell_spans)
     return store

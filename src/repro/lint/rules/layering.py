@@ -7,9 +7,10 @@ upward::
         < pipeline < energy < ensemble/metalearning/hpo < systems
         < devtuning < runtime/experiments/analysis < cli/__main__
 
-``faults`` sits low on purpose: the runtime, energy and systems layers
-all import its injection hooks, so the chaos subsystem must depend on
-nothing above ``utils``.
+``faults`` and ``observability`` sit low on purpose: the runtime,
+energy and systems layers all import their injection/tracing hooks, so
+the chaos and instrumentation subsystems must depend on nothing above
+``utils``.
 
 A module may import from strictly lower layers.  Two groups of
 deliberate same-layer edges are tolerated: ``preprocessing → models``
@@ -33,6 +34,7 @@ LAYERS: dict[str, int] = {
     "exceptions": 0,
     "utils": 1,
     "faults": 2,
+    "observability": 2,
     "metrics": 2,
     "models": 3,
     "preprocessing": 3,

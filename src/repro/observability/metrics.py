@@ -1,0 +1,171 @@
+"""Named metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` lives per process; pool workers drain theirs
+into the cell outcome dict and the executor merges every worker
+snapshot into the parent registry, so ``snapshot()`` on the campaign
+registry is the whole-campaign view.  Merge semantics are chosen to be
+associative and commutative (the property tests pin this): counters
+add, gauges take the max (high-water mark), histograms add bucket
+counts — so the merged result is independent of worker count and
+completion order.
+
+Histograms are numpy-backed with fixed bucket edges; two histograms
+only merge when their edges agree (a mismatch is a programming error,
+not data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: default histogram edges (seconds-ish scale: queue waits, span times)
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0, 300.0,
+)
+
+
+class Counter:
+    """Monotone additive metric."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value; merges as the maximum (high-water mark)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per bucket plus sum and total."""
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = np.asarray(sorted(buckets), dtype=float)
+        if self.buckets.size == 0:
+            raise ValueError("histogram needs at least one bucket edge")
+        #: counts[i] = observations <= buckets[i]; counts[-1] = overflow
+        self.counts = np.zeros(self.buckets.size + 1, dtype=np.int64)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[int(np.searchsorted(self.buckets, value))] += 1
+        self.sum += value
+
+    @property
+    def count(self) -> int:
+        return int(self.counts.sum())
+
+
+class MetricsRegistry:
+    """Create-on-access registry of named metrics."""
+
+    def __init__(self):
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = kind(name, *args)
+        elif not isinstance(metric, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -- snapshot / merge ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Stable (sorted, JSON-able) view of every metric."""
+        out = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "buckets": [float(b) for b in metric.buckets],
+                    "counts": [int(c) for c in metric.counts],
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return out
+
+    def drain(self) -> dict:
+        """Snapshot then reset — per-cell worker reports use this so the
+        parent can *add* snapshots without double counting."""
+        snap = self.snapshot()
+        self._metrics.clear()
+        return snap
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold a snapshot (another process's drain) into this registry."""
+        for name, payload in snapshot.items():
+            kind = payload["type"]
+            if kind == "counter":
+                self.counter(name).inc(payload["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                gauge.set(max(gauge.value, payload["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(name, payload["buckets"])
+                if [float(b) for b in hist.buckets] \
+                        != [float(b) for b in payload["buckets"]]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket edges disagree"
+                    )
+                hist.counts += np.asarray(payload["counts"],
+                                          dtype=np.int64)
+                hist.sum += payload["sum"]
+            else:
+                raise ValueError(f"unknown metric type {kind!r}")
+
+
+def merge_snapshots(a: dict, b: dict) -> dict:
+    """Pure snapshot merge (associative, commutative, unit = {})."""
+    registry = MetricsRegistry()
+    registry.merge(a)
+    registry.merge(b)
+    return registry.snapshot()
+
+
+#: the process-local registry instrumented code reports into
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def reset_registry() -> dict:
+    """Drain (snapshot + clear) the process-local registry."""
+    return _REGISTRY.drain()

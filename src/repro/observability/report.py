@@ -1,0 +1,142 @@
+"""Reports over serialised span trees.
+
+Everything here is a pure function of span *dicts* (the journal's
+``spans`` records), so the module stays at the bottom of the layer DAG:
+``repro trace`` loads the journal up in the CLI layer and hands the
+trees down here for rendering.
+
+Two aggregate views:
+
+- :func:`phase_rollup` — per (system, phase) totals with each phase's
+  share of its system, preferring the deterministic ``charged`` attr
+  (simulated budget seconds a trial/refit cost) over raw span time, so
+  the rollup answers "ensemble selection = X% of AutoGluon's execution"
+  identically on every machine;
+- :func:`profile_rows` — the ``--profile`` self-time table: per phase,
+  how much time was spent in that phase *itself* (children subtracted),
+  meaningful when spans were taken on the wall clock.
+"""
+
+from __future__ import annotations
+
+
+def iter_spans(span: dict, depth: int = 0):
+    """Depth-first (span, depth) walk of one tree."""
+    yield span, depth
+    for child in span.get("children", ()):
+        yield from iter_spans(child, depth + 1)
+
+
+def duration(span: dict) -> float:
+    return float(span["t1"]) - float(span["t0"])
+
+
+def self_seconds(span: dict) -> float:
+    """Span duration minus same-clock children (cross-domain children
+    nest under a different timebase, so their time is not subtractable)."""
+    child_time = sum(
+        duration(c) for c in span.get("children", ())
+        if c.get("clock") == span.get("clock")
+    )
+    return max(duration(span) - child_time, 0.0)
+
+
+def _attr_text(attrs: dict, keys=("system", "dataset", "status", "kwh",
+                                  "source", "charged", "digest",
+                                  "failed")) -> str:
+    parts = []
+    for key in keys:
+        if key in attrs:
+            value = attrs[key]
+            if isinstance(value, float):
+                value = f"{value:.4g}"
+            parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def render_span_tree(span: dict) -> str:
+    """Indented one-tree text rendering."""
+    lines = []
+    for node, depth in iter_spans(span):
+        unit = "t" if node.get("clock") == "ticks" else "s"
+        text = f"{'  ' * depth}{node['name']} [{duration(node):.4g}{unit}]"
+        attrs = _attr_text(node.get("attrs", {}))
+        if attrs:
+            text += f" {attrs}"
+        lines.append(text)
+    return "\n".join(lines)
+
+
+def _system_of(root: dict) -> str:
+    """The system a tree belongs to: the first ``system`` attr found."""
+    for node, _ in iter_spans(root):
+        system = node.get("attrs", {}).get("system")
+        if system:
+            return str(system)
+    return "?"
+
+
+def _phase_totals(roots) -> dict[tuple[str, str], dict]:
+    totals: dict[tuple[str, str], dict] = {}
+    for root in roots:
+        system = _system_of(root)
+        for node, _ in iter_spans(root):
+            key = (system, node["name"])
+            agg = totals.setdefault(
+                key, {"count": 0, "self_s": 0.0, "charged_s": 0.0},
+            )
+            agg["count"] += 1
+            agg["self_s"] += self_seconds(node)
+            charged = node.get("attrs", {}).get("charged")
+            if isinstance(charged, (int, float)):
+                agg["charged_s"] += float(charged)
+    return totals
+
+
+def phase_rollup(roots) -> list[dict]:
+    """Per (system, phase) aggregate rows with in-system share.
+
+    Share is by summed ``charged`` budget-seconds when the system's
+    spans carry any (the deterministic signal), else by self time.
+    """
+    totals = _phase_totals(roots)
+    by_system: dict[str, float] = {}
+    use_charged: dict[str, bool] = {}
+    for (system, _), agg in totals.items():
+        use_charged[system] = (
+            use_charged.get(system, False) or agg["charged_s"] > 0
+        )
+    for (system, _), agg in totals.items():
+        weight = (agg["charged_s"] if use_charged[system]
+                  else agg["self_s"])
+        by_system[system] = by_system.get(system, 0.0) + weight
+    rows = []
+    for (system, phase), agg in sorted(totals.items()):
+        weight = (agg["charged_s"] if use_charged[system]
+                  else agg["self_s"])
+        total = by_system[system]
+        rows.append({
+            "system": system,
+            "phase": phase,
+            "count": agg["count"],
+            "self_s": agg["self_s"],
+            "charged_s": agg["charged_s"],
+            "share": (weight / total) if total > 0 else 0.0,
+        })
+    return rows
+
+
+def profile_rows(roots) -> list[dict]:
+    """The ``--profile`` table: self time per phase across all systems."""
+    merged: dict[str, dict] = {}
+    for (_, phase), agg in _phase_totals(roots).items():
+        row = merged.setdefault(
+            phase, {"phase": phase, "count": 0, "self_s": 0.0},
+        )
+        row["count"] += agg["count"]
+        row["self_s"] += agg["self_s"]
+    total = sum(r["self_s"] for r in merged.values()) or 1.0
+    rows = sorted(merged.values(), key=lambda r: -r["self_s"])
+    for row in rows:
+        row["share"] = row["self_s"] / total
+    return rows

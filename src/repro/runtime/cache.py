@@ -18,6 +18,7 @@ from pathlib import Path
 
 from repro.experiments.results import RunRecord
 from repro.faults import SEAM_CACHE_CORRUPT, FaultInjector
+from repro.observability import MetricsRegistry
 
 
 def _owner_alive(suffix: str) -> bool:
@@ -38,12 +39,41 @@ def _owner_alive(suffix: str) -> bool:
     return True
 
 
-@dataclass
 class CacheStats:
-    hits: int = 0
-    misses: int = 0
-    writes: int = 0
-    corrupt: int = 0
+    """Thin view over the cache's metrics registry.
+
+    The counters used to be plain dataclass ints; they now live as
+    named metrics (``cache.hits`` etc.) in a
+    :class:`~repro.observability.MetricsRegistry` so the executor can
+    merge them into the campaign-wide snapshot — the old attribute
+    surface (``hits``/``misses``/``writes``/``corrupt``) is preserved
+    as read-only properties.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry or MetricsRegistry()
+
+    def _count(self, name: str) -> int:
+        return int(self.registry.counter(f"cache.{name}").value)
+
+    def record(self, name: str) -> None:
+        self.registry.counter(f"cache.{name}").inc()
+
+    @property
+    def hits(self) -> int:
+        return self._count("hits")
+
+    @property
+    def misses(self) -> int:
+        return self._count("misses")
+
+    @property
+    def writes(self) -> int:
+        return self._count("writes")
+
+    @property
+    def corrupt(self) -> int:
+        return self._count("corrupt")
 
     @property
     def corrupt_entries(self) -> int:
@@ -53,7 +83,8 @@ class CacheStats:
         return self.corrupt
 
     def as_dict(self) -> dict:
-        return asdict(self)
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt}
 
 
 @dataclass
@@ -98,20 +129,20 @@ class ResultCache:
             payload = json.loads(path.read_text())
             record = RunRecord(**payload["record"])
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
         except (json.JSONDecodeError, KeyError, TypeError, OSError):
             # detected, counted and surfaced — a corrupt payload must
             # read as a miss, never as an error OR a silent nothing
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self.stats.record("corrupt")
+            self.stats.record("misses")
             warnings.warn(
                 f"corrupt cache entry at {path} read as a miss "
                 f"(the cell will re-execute)",
                 stacklevel=2,
             )
             return None
-        self.stats.hits += 1
+        self.stats.record("hits")
         return record
 
     def put(self, key: str, record: RunRecord) -> None:
@@ -125,7 +156,7 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         tmp.write_text(payload)
         os.replace(tmp, path)
-        self.stats.writes += 1
+        self.stats.record("writes")
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

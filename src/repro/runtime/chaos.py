@@ -25,7 +25,10 @@ whose named checks encode the contract chaos must never break:
 - injections are accounted for: corrupted cache entries are detected on
   re-read, failure events cover the planned worker-seam faults, and the
   plan replayed from the journal header reproduces the executor's
-  injected-fault ledger exactly (determinism).
+  injected-fault ledger exactly (determinism);
+- the chaos run executes with tracing on, and every cell — including
+  fault-injected, timed-out and worker-killed ones — still emits a
+  well-formed span tree for every submission attempt.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ from repro.faults import (
     FailureRecord,
     FaultPlan,
 )
+from repro.observability import validate_span_tree
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import CampaignExecutor, RetryPolicy
 from repro.runtime.journal import CampaignJournal
@@ -209,6 +213,7 @@ def run_chaos_campaign(
     executor = CampaignExecutor(
         workers=workers, cache=cache, journal=journal,
         policy=policy, fault_plan=plan, progress_callback=progress,
+        trace=True,
     )
     store = executor.run(cells)
 
@@ -339,6 +344,29 @@ def run_chaos_campaign(
          f"injected-fault ledger exactly ({len(ledger)} event(s))"
          if replayed == sorted(ledger)
          else "journal-header plan does not reproduce the ledger"),
+    ))
+
+    # -- span integrity under fire --------------------------------------------
+    # every submission attempt of every cell must have produced a
+    # well-formed span tree, no matter which seam fired on it.  The
+    # in-memory ledger is authoritative (journalled spans lines can be
+    # legitimately torn by the journal seam); whatever did survive in
+    # the journal must validate too.
+    problems = [
+        problem
+        for event in list(executor.cell_spans) + state.spans
+        for root in event.get("spans", ())
+        for problem in validate_span_tree(root)
+    ]
+    spanned = {event["index"] for event in executor.cell_spans}
+    unspanned = len(cells) - len(spanned)
+    check(ChaosCheck(
+        "span-integrity",
+        not problems and unspanned == 0 and bool(executor.cell_spans),
+        (f"{len(executor.cell_spans)} span tree(s) over "
+         f"{len(spanned)}/{len(cells)} cells, all well-formed"
+         if not problems
+         else f"malformed span trees: {problems[:5]}"),
     ))
 
     # -- coverage: the campaign actually hurt ---------------------------------

@@ -80,6 +80,15 @@ from repro.faults import (
 )
 from repro.metrics.classification import balanced_accuracy_score
 from repro.models.dummy import DummyClassifier
+from repro.observability import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    install_tracer,
+    merge_snapshots,
+    uninstall_tracer,
+)
+from repro.observability.tracing import CLOCK_WALL, make_span
 from repro.runtime.cells import CellSpec
 from repro.runtime.progress import ProgressTracker
 
@@ -122,6 +131,9 @@ class _Pending:
     spec: CellSpec
     key: str
     attempts: int = 0
+    #: parent-side submission stamp (policy clock), for the queue-wait
+    #: span/histogram; None while the cell sits in ``todo``
+    submitted_at: float | None = None
 
 
 def _baseline_record(spec: CellSpec, dataset: Dataset,
@@ -185,8 +197,42 @@ def _error_outcome(failure: FailureRecord, error: str | None = None,
 
 def _execute_cell(spec: CellSpec, token: int | None = None,
                   fault_plan: dict | None = None,
-                  attempt: int = 0) -> dict:
+                  attempt: int = 0, trace_mode: str | None = None) -> dict:
     """Worker entry point (module-level so it pickles).
+
+    Installs a process-local :class:`Tracer` when ``trace_mode`` is set
+    (``"ticks"`` for the deterministic counter, ``"wall"`` for real
+    durations via :func:`worker_now`), runs the cell, then ships the
+    drained span trees back as ``outcome["spans"]`` and the worker's
+    metrics registry as ``outcome["metrics"]`` — dicts pickle through
+    the pool, so the parent merges both without shared state.  Metrics
+    are drained even when tracing is off: the registry counters
+    (trial/cache instrumentation) are always-on telemetry.
+    """
+    tracer = None
+    if trace_mode is not None:
+        if trace_mode == CLOCK_WALL:
+            from repro.runtime.progress import worker_now
+
+            tracer = install_tracer(Tracer(clock=worker_now))
+        else:
+            tracer = install_tracer(Tracer())
+    try:
+        outcome = _execute_cell_inner(spec, token, fault_plan, attempt)
+    finally:
+        if tracer is not None:
+            uninstall_tracer()
+    if tracer is not None:
+        outcome["spans"] = tracer.drain()
+    worker_metrics = get_registry().drain()
+    if worker_metrics:
+        outcome["metrics"] = worker_metrics
+    return outcome
+
+
+def _execute_cell_inner(spec: CellSpec, token: int | None,
+                        fault_plan: dict | None, attempt: int) -> dict:
+    """The cell body behind the tracing/metrics envelope.
 
     Never raises: outcomes are tagged dicts so the parent can separate
     'the cell is a skip' / 'the cell errored' from pool-level crashes.
@@ -274,9 +320,12 @@ class CampaignExecutor:
     def __init__(self, *, workers: int = 1, cache=None, journal=None,
                  resume: bool = False, policy: RetryPolicy | None = None,
                  progress_callback=None,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 trace: bool = False, trace_clock: str = "ticks"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if trace_clock not in ("ticks", "wall"):
+            raise ValueError("trace_clock must be 'ticks' or 'wall'")
         self.workers = workers
         self.cache = cache
         self.journal = journal
@@ -284,9 +333,14 @@ class CampaignExecutor:
         self.policy = policy or RetryPolicy()
         self.progress_callback = progress_callback
         self.tracker: ProgressTracker | None = None
-        #: pool replacements after the initial pool (0 on a healthy
-        #: campaign: timeouts alone never rebuild the pool)
-        self.pool_rebuilds = 0
+        #: campaign-wide metrics registry; worker snapshots merge here
+        self.metrics = MetricsRegistry()
+        #: tracing: None = off; otherwise the worker clock domain
+        self.trace = trace
+        self._trace_mode = trace_clock if trace else None
+        #: one entry per traced cell attempt, mirroring the journal's
+        #: ``spans`` records for in-process consumers (telemetry, tests)
+        self.cell_spans: list[dict] = []
         #: seeded chaos plan; None = no injection anywhere
         self.fault_plan = fault_plan
         self._plan_dict = fault_plan.to_dict() if fault_plan else None
@@ -295,6 +349,91 @@ class CampaignExecutor:
         #: worker will fire even when the worker dies before reporting
         self.fault_events: list[tuple[str, str]] = []
         self._planned: set[str] = set()
+
+    @property
+    def pool_rebuilds(self) -> int:
+        """Pool replacements after the initial pool (0 on a healthy
+        campaign: timeouts alone never rebuild the pool).  Thin view
+        over the ``executor.pool_rebuilds`` counter."""
+        return int(self.metrics.counter("executor.pool_rebuilds").value)
+
+    # -- observability bookkeeping ---------------------------------------------
+    def _stamp(self) -> float | None:
+        """A lifecycle timestamp on the policy clock, or None when
+        tracing is off (the hooks then cost one None check each)."""
+        return self.policy.clock() if self.trace else None
+
+    def _absorb(self, outcome: dict) -> list[dict] | None:
+        """Merge a worker outcome's metrics snapshot into the campaign
+        registry and return its span trees (None when untraced)."""
+        snapshot = outcome.get("metrics")
+        if snapshot:
+            self.metrics.merge(snapshot)
+        return outcome.get("spans")
+
+    def _emit_spans(self, item: _Pending, worker_spans, status: str, *,
+                    submitted: float | None = None,
+                    started: float | None = None,
+                    finished: float | None = None) -> None:
+        """Journal one submission attempt's lifecycle span tree.
+
+        The parent-side root (``cell_lifecycle``) and its scheduling
+        children run on the policy clock (``wall`` domain); the worker's
+        own span trees — whatever clock they were taken on — nest under
+        the ``execute`` child.  Every terminal path emits exactly one
+        tree per attempt, so a traced journal accounts for timeouts and
+        pool deaths as well as clean completions.
+        """
+        if self._trace_mode is None:
+            return
+        stamps = [s for s in (submitted, started, finished)
+                  if s is not None]
+        t0 = min(stamps) if stamps else 0.0
+        t1 = max(stamps) if stamps else 0.0
+        root = make_span("cell_lifecycle", t0, CLOCK_WALL, {
+            "label": item.spec.label(), "index": item.index,
+            "attempt": item.attempts, "status": status,
+        })
+        root["t1"] = t1
+        if submitted is not None:
+            submit = make_span("submit", submitted, CLOCK_WALL, {})
+            root["children"].append(submit)
+        if submitted is not None and started is not None:
+            wait_span = make_span("queue_wait", submitted, CLOCK_WALL, {})
+            wait_span["t1"] = max(started, submitted)
+            root["children"].append(wait_span)
+        # clamp: an injected fake policy clock can report a start stamp
+        # "before" the submit stamp; sibling order must stay monotone
+        if started is None:
+            exec_t0 = t0
+        elif submitted is None:
+            exec_t0 = started
+        else:
+            exec_t0 = max(started, submitted)
+        execute = make_span("execute", exec_t0, CLOCK_WALL, {})
+        execute["t1"] = t1
+        execute["children"] = list(worker_spans or [])
+        root["children"].append(execute)
+        commit = make_span("commit", t1, CLOCK_WALL, {})
+        root["children"].append(commit)
+        event = {"index": item.index, "key": item.key,
+                 "attempt": item.attempts, "spans": [root]}
+        self.cell_spans.append(event)
+        if self.journal is not None:
+            self.journal.record_spans(
+                item.index, item.key, item.attempts, [root],
+            )
+
+    def metrics_snapshot(self) -> dict:
+        """The campaign-wide metrics view: the executor's registry
+        merged with the cache's (cache stats live on their own registry
+        so ``ResultCache`` stays usable standalone)."""
+        snapshot = self.metrics.snapshot()
+        if self.cache is not None:
+            snapshot = merge_snapshots(
+                snapshot, self.cache.stats.registry.snapshot(),
+            )
+        return snapshot
 
     # -- fault bookkeeping -----------------------------------------------------
     def _arm_faults(self) -> None:
@@ -362,17 +501,20 @@ class CampaignExecutor:
             key = spec.cache_key(fingerprint)
             if key in prior.completed:
                 results[index] = prior.completed[key]
+                self.metrics.counter("cells.resumed").inc()
                 self.tracker.update(
                     record=results[index], kind="resumed",
                     label=spec.label(),
                 )
                 continue
             if key in prior.skipped:
+                self.metrics.counter("cells.skipped").inc()
                 self.tracker.update(kind="skipped", label=spec.label())
                 continue
             cached = self.cache.get(key) if self.cache is not None else None
             if cached is not None:
                 results[index] = cached
+                self.metrics.counter("cells.cached").inc()
                 self._journal_cell(index, key, cached)
                 self.tracker.update(
                     record=cached, kind="cached", label=spec.label(),
@@ -385,6 +527,8 @@ class CampaignExecutor:
             else:
                 self._run_pooled(pending, results)
         if self.journal is not None:
+            if self.trace:
+                self.journal.record_metrics(self.metrics_snapshot())
             self.journal.close()
         #: positional view kept for execute_cells (None = skipped cell)
         self.last_results = results
@@ -416,6 +560,10 @@ class CampaignExecutor:
             self.cache.put(item.key, record)
         self._journal_cell(item.index, item.key, record)
         results[item.index] = record
+        self.metrics.counter("cells.executed").inc()
+        if warm_hits is not None:
+            # high-water mark of per-worker dataset-cache warmth
+            self.metrics.gauge("executor.warm_hits").set(warm_hits)
         self.tracker.update(
             record=record, kind="executed", worker=worker,
             label=item.spec.label(), warm_hits=warm_hits,
@@ -424,6 +572,7 @@ class CampaignExecutor:
     def _commit_skip(self, item: _Pending, note: str) -> None:
         if self.journal is not None:
             self.journal.record_skip(item.index, item.key, note)
+        self.metrics.counter("cells.skipped").inc()
         self.tracker.update(kind="skipped", label=item.spec.label())
 
     @staticmethod
@@ -439,6 +588,7 @@ class CampaignExecutor:
         )
 
     def _note_failure(self, item: _Pending, failure) -> FailureRecord:
+        self.metrics.counter("cells.failed_attempts").inc()
         item.attempts += 1
         record = self._coerce_failure(failure, item.attempts)
         if self.journal is not None:
@@ -452,6 +602,7 @@ class CampaignExecutor:
 
     def _quarantine(self, item: _Pending, results: list, failure,
                     worker: int | None = None) -> None:
+        self.metrics.counter("cells.quarantined").inc()
         record = self._coerce_failure(failure, item.attempts)
         dataset = load_dataset(item.spec.dataset)
         note = record.to_note(item.attempts)
@@ -478,8 +629,18 @@ class CampaignExecutor:
         for item in pending:
             while True:
                 self._plan_worker_faults(item)
+                submitted = self._stamp()
                 outcome = _execute_cell(
                     item.spec, None, self._plan_dict, item.attempts,
+                    self._trace_mode,
+                )
+                finished = self._stamp()
+                spans = self._absorb(outcome)
+                # no queue in serial mode: submit and start coincide,
+                # so no queue_wait child is emitted (started=None)
+                self._emit_spans(
+                    item, spans, outcome["status"],
+                    submitted=submitted, finished=finished,
                 )
                 if outcome["status"] == "ok":
                     self._commit(
@@ -566,8 +727,8 @@ class CampaignExecutor:
                     done = self._harvest_window(inflight, channel, starts)
                     for future in done:
                         token, item = inflight.pop(future)
-                        starts.pop(token, None)
-                        self._settle(future, item, results, todo)
+                        started = starts.pop(token, None)
+                        self._settle(future, item, results, todo, started)
                 except BrokenProcessPool:
                     # the pool is dead — but futures that completed
                     # before the break still carry real results; commit
@@ -575,10 +736,19 @@ class CampaignExecutor:
                     for future, (token, item) in list(inflight.items()):
                         if future.done() and not future.cancelled():
                             try:
-                                self._settle(future, item, results, todo)
+                                self._settle(
+                                    future, item, results, todo,
+                                    starts.get(token),
+                                )
                             except BrokenProcessPool:
                                 pass   # _settle already requeued it
                         else:
+                            self._emit_spans(
+                                item, None, "pool_error",
+                                submitted=item.submitted_at,
+                                started=starts.get(token),
+                                finished=self._stamp(),
+                            )
                             self._requeue_or_quarantine(
                                 item, results, todo,
                                 self._pool_death_failure(item),
@@ -598,7 +768,7 @@ class CampaignExecutor:
 
     def _replace_pool(self, pool, channel) -> ProcessPoolExecutor:
         self._shutdown_pool(pool)
-        self.pool_rebuilds += 1
+        self.metrics.counter("executor.pool_rebuilds").inc()
         return ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker, initargs=(channel,),
@@ -632,10 +802,11 @@ class CampaignExecutor:
             item = todo.popleft()
             token = next(tokens)
             self._plan_worker_faults(item)
+            item.submitted_at = self.policy.clock()
             try:
                 future = pool.submit(
                     _execute_cell, item.spec, token,
-                    self._plan_dict, item.attempts,
+                    self._plan_dict, item.attempts, self._trace_mode,
                 )
             except BrokenProcessPool:
                 # the pool died under us: put the cell back before the
@@ -677,17 +848,40 @@ class CampaignExecutor:
             attempt=item.attempts + 1, message="worker process died",
         )
 
-    def _settle(self, future, item, results, todo) -> None:
-        """Commit one completed future (any terminal state but timeout)."""
+    def _settle(self, future, item, results, todo,
+                started: float | None = None) -> None:
+        """Commit one completed future (any terminal state but timeout).
+
+        ``started`` is the worker-reported start stamp (same monotonic
+        domain as the policy clock by default); together with the
+        submission stamp it feeds the queue-wait histogram and the
+        scheduling spans.
+        """
+        if started is not None and item.submitted_at is not None:
+            # max() guards injected fake clocks, where the worker's real
+            # monotonic stamp and the fake policy clock can disagree
+            self.metrics.histogram("executor.queue_wait_seconds").observe(
+                max(0.0, started - item.submitted_at)
+            )
         try:
             outcome = future.result()
         except BrokenProcessPool:
+            self._emit_spans(
+                item, None, "pool_error",
+                submitted=item.submitted_at, started=started,
+                finished=self._stamp(),
+            )
             # mark this cell before the caller requeues the siblings
             self._requeue_or_quarantine(
                 item, results, todo, self._pool_death_failure(item)
             )
             raise
         except Exception as exc:   # pickling trouble, pool teardown races
+            self._emit_spans(
+                item, None, "pool_error",
+                submitted=item.submitted_at, started=started,
+                finished=self._stamp(),
+            )
             self._requeue_or_quarantine(
                 item, results, todo,
                 FailureRecord.from_exception(
@@ -695,6 +889,12 @@ class CampaignExecutor:
                 ),
             )
             return
+        spans = self._absorb(outcome)
+        self._emit_spans(
+            item, spans, outcome["status"],
+            submitted=item.submitted_at, started=started,
+            finished=self._stamp(),
+        )
         if outcome["status"] == "ok":
             self._commit(
                 item, RunRecord(**outcome["record"]), results,
@@ -737,6 +937,12 @@ class CampaignExecutor:
             del inflight[future]
             starts.pop(token, None)
             abandoned.add(future)
+            self.metrics.counter("cells.timeouts").inc()
+            self._emit_spans(
+                item, None, "timeout",
+                submitted=item.submitted_at, started=stamp,
+                finished=now,
+            )
             self._requeue_or_quarantine(
                 item, results, todo,
                 FailureRecord(
@@ -752,6 +958,7 @@ def execute_cells(cells, *, workers: int = 1, cache=None, journal=None,
                   resume: bool = False, policy: RetryPolicy | None = None,
                   progress_callback=None,
                   fault_plan: FaultPlan | None = None,
+                  trace: bool = False, trace_clock: str = "ticks",
                   ) -> list[RunRecord | None]:
     """Positional convenience: run ``cells`` and return one slot per
     cell, ``None`` where the cell was skipped.  Campaign drivers that
@@ -761,7 +968,7 @@ def execute_cells(cells, *, workers: int = 1, cache=None, journal=None,
     executor = CampaignExecutor(
         workers=workers, cache=cache, journal=journal, resume=resume,
         policy=policy, progress_callback=progress_callback,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, trace=trace, trace_clock=trace_clock,
     )
     executor.run(cells)
     return executor.last_results

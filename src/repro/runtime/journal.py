@@ -17,6 +17,15 @@ Event types::
     {"type": "skip", "index": i, "key": k, "note": "..."}
     {"type": "failure", "index": i, "key": k, "attempt": n,
      "error": "...", "failure": {...}}
+    {"type": "spans", "index": i, "key": k, "attempt": n,
+     "spans": [span tree dicts]}
+    {"type": "metrics", "snapshot": {...}}
+
+``spans`` and ``metrics`` are observability records (written only when
+the executor runs with tracing enabled): span trees per executed cell
+attempt and the final merged metrics snapshot.  Resume ignores both for
+result replay — they are telemetry, never inputs — which is what keeps
+a traced campaign's *results* bit-identical to an untraced one.
 
 Failure events carry both the structured ``failure`` payload (a
 :class:`repro.faults.FailureRecord` dict: error type, seam, attempt,
@@ -50,6 +59,11 @@ class JournalState:
     #: corrupt lines skipped *before* the tail — anything beyond a torn
     #: final line means the file was damaged, not just cut short
     skipped_lines: int = 0
+    #: replayed observability records: one ``spans`` event dict per
+    #: traced cell attempt, byte-identical to what was appended
+    spans: list[dict] = field(default_factory=list)
+    #: the last ``metrics`` snapshot the campaign journalled, if any
+    metrics: dict | None = None
 
     def __len__(self) -> int:
         return len(self.completed)
@@ -139,6 +153,18 @@ class CampaignJournal:
             "failure": failure.as_dict(),
         })
 
+    def record_spans(self, index: int, key: str, attempt: int,
+                     spans: list[dict]) -> None:
+        """Append one traced cell attempt's span trees."""
+        self._append({
+            "type": "spans", "index": index, "key": key,
+            "attempt": attempt, "spans": spans,
+        })
+
+    def record_metrics(self, snapshot: dict) -> None:
+        """Append the campaign's merged metrics snapshot."""
+        self._append({"type": "metrics", "snapshot": snapshot})
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -195,6 +221,10 @@ class CampaignJournal:
                 state.skipped.add(event["key"])
             elif kind == "failure":
                 state.failures.append(event)
+            elif kind == "spans":
+                state.spans.append(event)
+            elif kind == "metrics":
+                state.metrics = event.get("snapshot")
         if state.skipped_lines:
             warnings.warn(
                 f"journal {path} has {state.skipped_lines} corrupt "

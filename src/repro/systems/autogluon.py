@@ -28,6 +28,7 @@ from repro.models import (
     MLPClassifier,
     RandomForestClassifier,
 )
+from repro.observability import trace_span
 from repro.systems.base import AutoMLSystem, Deadline, StrategyCard
 from repro.utils.validation import check_is_fitted
 
@@ -213,10 +214,12 @@ class AutoGluonSystem(AutoMLSystem):
             return cost
 
         stack.fit(X, y, budget_left=deadline.left, charge=charge_bag)
-        weights = self._caruana_weights(stack, y)
+        with trace_span("ensemble"):
+            weights = self._caruana_weights(stack, y)
         model = AutoGluonModel(stack, weights, encoder=encoder)
         if self.optimize_for_inference:
-            self.stack_refit_on_encoded(model, X, y)
+            with trace_span("refit"):
+                self.stack_refit_on_encoded(model, X, y)
         oof_score = self._oof_score(stack, y, weights)
         return model, {
             "n_evaluations": len(stack.layer1_) + len(stack.layer2_),

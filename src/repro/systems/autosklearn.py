@@ -24,6 +24,7 @@ from repro.hpo.bo import BayesianOptimizer
 from repro.hpo.successive_halving import fidelity_schedule, stratified_subset
 from repro.metalearning.portfolio import portfolio_from_meta_database
 from repro.metalearning.warmstart import MetaDatabase
+from repro.observability import trace_span
 from repro.pipeline.spaces import build_space
 from repro.systems.base import (
     AutoMLSystem,
@@ -119,7 +120,8 @@ class AutoSklearnSystem(AutoMLSystem):
         X_tr, X_val, y_tr, y_val = evaluator._split()
         library = evaluator.top_models(self.ensemble_top_k)
         ensemble = CaruanaEnsemble(max_rounds=self.ensemble_size)
-        ensemble.fit(library, X_val, y_val)
+        with trace_span("ensemble", members=len(library)):
+            ensemble.fit(library, X_val, y_val)
         return ensemble, {
             "n_evaluations": evaluator.n_evaluations,
             "best_val_score": float(max(best_score, ensemble.val_score_)),

@@ -35,8 +35,18 @@ from repro.exceptions import BudgetExhaustedError, NotFittedError
 from repro.faults import SEAM_TRIAL_ERROR, FailureRecord
 from repro.metrics.classification import balanced_accuracy_score
 from repro.metrics.validation import train_test_split
+from repro.observability import get_registry, trace_span
 from repro.pipeline.spaces import build_pipeline
 from repro.utils.rng import check_random_state
+
+
+def _config_digest(config: dict) -> str:
+    """Short stable digest of one pipeline configuration, for span
+    attrs (the full config is too wide to journal per trial)."""
+    import hashlib
+
+    payload = repr(sorted(config.items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
 
 #: default real-seconds per budget-second; 0.02 makes a "5 min" run ~6 s.
 DEFAULT_TIME_SCALE = 0.02
@@ -187,54 +197,68 @@ class PipelineEvaluator:
         clock = deadline if deadline is not None else self.deadline
         if clock is not None:
             clock.charge(fit_seconds)
-        try:
-            if self.fault_hook is not None:
-                self.fault_hook()
+        with trace_span("trial") as span:
+            if span is not None:
+                span["attrs"]["digest"] = _config_digest(config)
+                span["attrs"]["charged"] = float(fit_seconds)
+            try:
+                if self.fault_hook is not None:
+                    self.fault_hook()
+                pipeline = build_pipeline(
+                    config,
+                    n_features=self.X.shape[1],
+                    categorical_mask=self.categorical_mask,
+                    random_state=int(self._rng.integers(0, 2**31 - 1)),
+                )
+                pipeline.fit(X_tr, y_tr)
+                if (self.eval_time_cap is not None
+                        and fit_seconds > self.eval_time_cap):
+                    # the evaluation ran over its cap: charge it but
+                    # score as failure
+                    self.n_evaluations += 1
+                    get_registry().counter("trials.evaluated").inc()
+                    return -1.0, pipeline
+                score = self.metric(y_val, pipeline.predict(X_val))
+            except Exception as exc:
+                if not self.sandbox:
+                    raise
+                # the cost was charged before the attempt, so the crashed
+                # evaluation stays paid for — recorded, scored -1.0, and
+                # the search continues
+                self.n_evaluations += 1
+                registry = get_registry()
+                registry.counter("trials.evaluated").inc()
+                registry.counter("trials.failed").inc()
+                if span is not None:
+                    span["attrs"]["failed"] = True
+                self.failures.append(FailureRecord.from_exception(
+                    exc, seam=SEAM_TRIAL_ERROR, attempt=self.n_evaluations,
+                ))
+                return -1.0, None
+            self.n_evaluations += 1
+            get_registry().counter("trials.evaluated").inc()
+            if keep:
+                self.models.append((score, pipeline))
+            return score, pipeline
+
+    def refit_on_all(self, config: dict) -> object:
+        """Refit a configuration on train+validation (the 'refit' AutoML
+        parameter of Table 5)."""
+        refit_seconds = estimate_fit_seconds(
+            config, len(self.y), self.X.shape[1]
+        )
+        if self.deadline is not None:
+            self.deadline.charge(refit_seconds)
+        with trace_span("refit", digest=_config_digest(config),
+                        charged=float(refit_seconds)):
             pipeline = build_pipeline(
                 config,
                 n_features=self.X.shape[1],
                 categorical_mask=self.categorical_mask,
                 random_state=int(self._rng.integers(0, 2**31 - 1)),
             )
-            pipeline.fit(X_tr, y_tr)
-            if (self.eval_time_cap is not None
-                    and fit_seconds > self.eval_time_cap):
-                # the evaluation ran over its cap: charge it but score
-                # as failure
-                self.n_evaluations += 1
-                return -1.0, pipeline
-            score = self.metric(y_val, pipeline.predict(X_val))
-        except Exception as exc:
-            if not self.sandbox:
-                raise
-            # the cost was charged before the attempt, so the crashed
-            # evaluation stays paid for — recorded, scored -1.0, and the
-            # search continues
-            self.n_evaluations += 1
-            self.failures.append(FailureRecord.from_exception(
-                exc, seam=SEAM_TRIAL_ERROR, attempt=self.n_evaluations,
-            ))
-            return -1.0, None
-        self.n_evaluations += 1
-        if keep:
-            self.models.append((score, pipeline))
-        return score, pipeline
-
-    def refit_on_all(self, config: dict) -> object:
-        """Refit a configuration on train+validation (the 'refit' AutoML
-        parameter of Table 5)."""
-        if self.deadline is not None:
-            self.deadline.charge(estimate_fit_seconds(
-                config, len(self.y), self.X.shape[1]
-            ))
-        pipeline = build_pipeline(
-            config,
-            n_features=self.X.shape[1],
-            categorical_mask=self.categorical_mask,
-            random_state=int(self._rng.integers(0, 2**31 - 1)),
-        )
-        pipeline.fit(self.X, self.y)
-        return pipeline
+            pipeline.fit(self.X, self.y)
+            return pipeline
 
     def top_models(self, k: int) -> list[object]:
         ranked = sorted(self.models, key=lambda t: t[0], reverse=True)
@@ -319,9 +343,13 @@ class AutoMLSystem:
         real_budget = budget_s * self.time_scale * speedup
         self._configured_budget_s = budget_s
         deadline = Deadline(real_budget)
-        model, info = self._search(
-            X, y, deadline, categorical_mask, rng
-        )
+        with trace_span("search", system=self.system_name,
+                        budget=float(budget_s)) as span:
+            model, info = self._search(
+                X, y, deadline, categorical_mask, rng
+            )
+            if span is not None:
+                span["attrs"]["charged"] = float(deadline.elapsed())
         # All work the search performed was charged to the simulated clock,
         # so the consumed budget is deterministic for a fixed seed.
         consumed_seconds = deadline.elapsed()

@@ -1,10 +1,71 @@
-"""Shared fixtures: small, fast synthetic classification problems."""
+"""Shared fixtures: small, fast synthetic classification problems —
+plus the golden-file compare helper the regression tests use."""
+
+import json
+import math
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.datasets import make_classification
 from repro.metrics import train_test_split
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+def _compare_golden(actual, expected, rtol, atol, path):
+    """Recursive equality with float tolerance; raises AssertionError
+    naming the JSON path of the first mismatch."""
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), f"{path}: expected object"
+        assert sorted(actual) == sorted(expected), (
+            f"{path}: keys differ: {sorted(actual)} != {sorted(expected)}"
+        )
+        for key in expected:
+            _compare_golden(actual[key], expected[key], rtol, atol,
+                            f"{path}.{key}")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), f"{path}: expected array"
+        assert len(actual) == len(expected), (
+            f"{path}: length {len(actual)} != {len(expected)}"
+        )
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _compare_golden(a, e, rtol, atol, f"{path}[{i}]")
+    elif isinstance(expected, float) and not isinstance(expected, bool):
+        assert isinstance(actual, (int, float)), f"{path}: expected number"
+        assert math.isclose(actual, expected,
+                            rel_tol=rtol, abs_tol=atol), (
+            f"{path}: {actual} != {expected} "
+            f"(rtol={rtol}, atol={atol})"
+        )
+    else:
+        assert actual == expected, f"{path}: {actual!r} != {expected!r}"
+
+
+def assert_matches_golden(name, payload, *, rtol=1e-9, atol=1e-12):
+    """Compare a JSON-able payload against ``tests/goldens/<name>``.
+
+    Set ``REPRO_REGEN_GOLDENS=1`` to rewrite the golden from the current
+    payload instead of comparing (commit the diff deliberately).
+    Floats compare with tolerance so a benign cross-platform ulp
+    difference does not fail the regression.
+    """
+    path = GOLDEN_DIR / name
+    serialised = json.loads(json.dumps(payload))   # normalise tuples etc.
+    if os.environ.get("REPRO_REGEN_GOLDENS"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(serialised, indent=2, sort_keys=True) + "\n"
+        )
+        return
+    assert path.exists(), (
+        f"golden {name} missing — run with REPRO_REGEN_GOLDENS=1 to "
+        f"create it, then commit the file"
+    )
+    expected = json.loads(path.read_text())
+    _compare_golden(serialised, expected, rtol, atol, name)
 
 
 @pytest.fixture(scope="session")
@@ -38,3 +99,10 @@ def split_multiclass(multiclass_data):
 @pytest.fixture
 def rng():
     return np.random.default_rng(42)
+
+
+@pytest.fixture
+def golden():
+    """The golden-file compare helper, as a fixture so test modules can
+    use it without importing from conftest."""
+    return assert_matches_golden

@@ -89,3 +89,58 @@ def test_grid_command_reports_worker_telemetry(tmp_path, capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_grid_trace_then_trace_command_text(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    assert main([
+        "grid", "--systems", "TabPFN", "--datasets", "credit-g",
+        "--budgets", "10", "--runs", "1", "--time-scale", "0.004",
+        "--quiet", "--trace", "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "cell_lifecycle" in out
+    assert "phase rollup" in out
+    assert "cells.executed" in out
+
+
+def test_trace_command_json_format(tmp_path, capsys):
+    journal = tmp_path / "j.jsonl"
+    assert main([
+        "grid", "--systems", "FLAML", "--datasets", "credit-g",
+        "--budgets", "10", "--runs", "1", "--time-scale", "0.004",
+        "--quiet", "--trace", "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(journal), "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["n_cells"] == 1
+    assert payload["spans"], "traced journal must carry span events"
+    assert payload["spans"][0]["spans"][0]["name"] == "cell_lifecycle"
+    assert any(r["phase"] == "trial" for r in payload["rollup"])
+    assert payload["metrics"]["trials.evaluated"]["value"] > 0
+
+
+def test_trace_command_rejects_untraced_journal(tmp_path, capsys):
+    journal = tmp_path / "plain.jsonl"
+    assert main([
+        "grid", "--systems", "TabPFN", "--datasets", "credit-g",
+        "--budgets", "10", "--runs", "1", "--time-scale", "0.004",
+        "--quiet", "--journal", str(journal),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["trace", str(journal)]) == 1
+    assert "no spans records" in capsys.readouterr().err
+
+
+def test_grid_profile_prints_phase_table(capsys):
+    assert main([
+        "grid", "--systems", "FLAML", "--datasets", "credit-g",
+        "--budgets", "10", "--runs", "1", "--time-scale", "0.004",
+        "--quiet", "--profile",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "self time (s)" in out
+    assert "trial" in out

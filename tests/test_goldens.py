@@ -1,0 +1,73 @@
+"""Golden regression tests over a deterministic mini-campaign.
+
+The campaign runs on the simulated budget clock with fixed seeds, so
+its aggregate artefacts — the Figure 3 energy/accuracy points and the
+Table 1 strategy drivers — are bit-stable across runs and platforms
+(floats compare with tolerance for benign ulp drift).  The goldens are
+checked-in JSON under ``tests/goldens/``; regenerate deliberately with
+``REPRO_REGEN_GOLDENS=1`` and review the diff like any code change.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_grid
+from repro.experiments.figures import figure3
+from repro.systems import SYSTEM_REGISTRY, make_system
+
+CONFIG = ExperimentConfig(
+    systems=("TabPFN", "CAML"),
+    datasets=("credit-g",),
+    budgets=(10.0,),
+    n_runs=2,
+    time_scale=0.004,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_store():
+    return run_grid(CONFIG)
+
+
+def _point_payload(point):
+    payload = asdict(point)
+    return {key: payload[key] for key in sorted(payload)}
+
+
+def test_figure3_execution_and_inference_points(mini_store, golden):
+    fig = figure3(mini_store)
+    points = sorted(fig.points, key=lambda p: (p.system, p.budget_s))
+    golden("figure3_smoke.json",
+           {"points": [_point_payload(p) for p in points]})
+
+
+def test_figure3_series_stages_match_golden(mini_store, golden):
+    fig = figure3(mini_store)
+    golden("figure3_series_smoke.json", {
+        "execution": fig.series(stage="execution"),
+        "inference": fig.series(stage="inference"),
+    })
+
+
+def test_table1_strategy_drivers(golden):
+    cards = {
+        name: asdict(make_system(name).strategy_card())
+        for name in sorted(SYSTEM_REGISTRY)
+    }
+    golden("table1_strategies.json", {"cards": cards})
+
+
+def test_mini_campaign_records(mini_store, golden):
+    """The raw record payloads themselves — the strongest determinism
+    pin: any drift in budget accounting, seeding or scoring shows here
+    first."""
+    rows = [
+        {key: value for key, value in sorted(asdict(r).items())}
+        for r in sorted(
+            mini_store.records,
+            key=lambda r: (r.system, r.dataset,
+                           r.configured_seconds, r.seed),
+        )
+    ]
+    golden("mini_campaign_records.json", {"records": rows})

@@ -187,3 +187,139 @@ def test_tree_probabilities_always_valid(depth, seed):
     assert np.all(proba >= 0)
     assert np.allclose(proba.sum(axis=1), 1.0)
     assert tree.get_depth() <= depth
+
+
+# --------------------------------------------------------------------------- #
+# observability: span trees, metrics merge, journal round-trip
+# --------------------------------------------------------------------------- #
+@st.composite
+def _span_trees(draw):
+    """Drive a tick-clocked Tracer through a random well-nested
+    open/close sequence and return the drained roots."""
+    from repro.observability import Tracer
+
+    tracer = Tracer()
+
+    def build(depth):
+        span = tracer.open(draw(st.sampled_from(["fit", "trial", "score",
+                                                 "refit"])))
+        if depth < 3:
+            for _ in range(draw(st.integers(0, 3))):
+                build(depth + 1)
+        tracer.close(span)
+
+    for _ in range(draw(st.integers(1, 3))):
+        build(0)
+    return tracer.drain()
+
+
+@given(roots=_span_trees())
+@FAST
+def test_span_trees_always_well_nested(roots):
+    """Any open/close sequence the Tracer accepts yields valid trees:
+    forward time, children inside the parent interval, monotone sibling
+    starts — and child durations never exceed the parent's."""
+    from repro.observability import iter_spans, validate_span_tree
+
+    assert roots
+    for root in roots:
+        assert validate_span_tree(root) == []
+        for span, _ in iter_spans(root):
+            assert span["t1"] >= span["t0"]
+            for child in span["children"]:
+                assert span["t0"] <= child["t0"] <= child["t1"] <= span["t1"]
+                assert (child["t1"] - child["t0"]) \
+                    <= (span["t1"] - span["t0"])
+
+
+@given(roots=_span_trees())
+@FAST
+def test_tick_clock_is_strictly_monotone(roots):
+    """Every clock read in a tick-traced tree is unique and increasing
+    in depth-first open order."""
+    from repro.observability import iter_spans
+
+    stamps = []
+    for root in roots:
+        for span, _ in iter_spans(root):
+            stamps.append(span["t0"])
+    assert stamps == sorted(stamps)
+    assert len(set(stamps)) == len(stamps)
+
+
+_HIST_EDGES = (0.5, 2.0, 8.0)
+
+
+@st.composite
+def _metric_snapshots(draw):
+    """A registry snapshot with integral values, so float addition in
+    counter/histogram merges stays exact (associativity is then an
+    algebraic property, not a rounding accident)."""
+    from repro.observability import MetricsRegistry
+
+    registry = MetricsRegistry()
+    for name in draw(st.lists(st.sampled_from(["c.a", "c.b"]),
+                              unique=True, max_size=2)):
+        registry.counter(name).inc(float(draw(st.integers(0, 40))))
+    for name in draw(st.lists(st.sampled_from(["g.a", "g.b"]),
+                              unique=True, max_size=2)):
+        registry.gauge(name).set(float(draw(st.integers(0, 40))))
+    for name in draw(st.lists(st.sampled_from(["h.a"]),
+                              unique=True, max_size=1)):
+        hist = registry.histogram(name, _HIST_EDGES)
+        for value in draw(st.lists(st.integers(0, 10), max_size=5)):
+            hist.observe(float(value))
+    return registry.snapshot()
+
+
+@given(a=_metric_snapshots(), b=_metric_snapshots(),
+       c=_metric_snapshots())
+@FAST
+def test_metrics_merge_associative_and_commutative(a, b, c):
+    from repro.observability import merge_snapshots
+
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+    assert merge_snapshots(merge_snapshots(a, b), c) \
+        == merge_snapshots(a, merge_snapshots(b, c))
+    assert merge_snapshots(a, {}) == merge_snapshots({}, a)
+
+
+@given(a=_metric_snapshots(), b=_metric_snapshots())
+@FAST
+def test_metrics_snapshot_stable_under_merge_roundtrip(a, b):
+    """snapshot(merge(a, b)) re-merged with the empty snapshot is a
+    fixed point, and snapshots are JSON-stable (sorted keys, plain
+    types)."""
+    import json
+
+    from repro.observability import merge_snapshots
+
+    merged = merge_snapshots(a, b)
+    assert merge_snapshots(merged, {}) == merged
+    assert list(merged) == sorted(merged)
+    assert json.loads(json.dumps(merged)) == merged
+
+
+@given(roots=_span_trees(), index=st.integers(0, 50),
+       attempt=st.integers(0, 3))
+@FAST
+def test_journal_roundtrips_spans_byte_identically(roots, index, attempt):
+    """A spans record replayed through JournalState carries the exact
+    trees that were appended (JSON round-trip is the identity here:
+    span payloads are plain dicts of floats/strings)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime.journal import CampaignJournal
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "j.jsonl"
+        with CampaignJournal(path, durable=False) as journal:
+            journal.open_campaign(1)
+            journal.record_spans(index, "k" * 8, attempt, roots)
+        state = CampaignJournal.load(path)
+    assert len(state.spans) == 1
+    event = state.spans[0]
+    assert event["index"] == index
+    assert event["attempt"] == attempt
+    assert event["spans"] == roots

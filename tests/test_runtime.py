@@ -368,16 +368,19 @@ class TestPooledScheduler:
 
         def hang_first(system, dataset, *args, **kwargs):
             if (system, dataset.name) == hung:
-                time.sleep(3.0)   # far past the deadline
+                time.sleep(30.0)   # never finishes; killed at shutdown
             return real(system, dataset, *args, **kwargs)
 
         monkeypatch.setattr(runner_mod, "run_single", hang_first)
         journal_path = tmp_path / "j.jsonl"
         cache = ResultCache(tmp_path / "cache")
+        # the timeout must separate the hung cell from its siblings with
+        # a wide margin in BOTH directions: far below the 30s hang, far
+        # above a sibling's worst case on a loaded box
         executor = CampaignExecutor(
             workers=2, cache=cache,
             journal=CampaignJournal(journal_path),
-            policy=RetryPolicy(max_retries=0, cell_timeout_s=0.5),
+            policy=RetryPolicy(max_retries=0, cell_timeout_s=2.0),
         )
         executor.run(cells)
         # only the hung cell was quarantined ...
