@@ -10,6 +10,10 @@ shared by the benches that consume it (Fig 3, Fig 4, Table 4, Table 6,
 Table 7).
 """
 
+import json
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.experiments import ExperimentConfig, run_grid
@@ -48,3 +52,22 @@ def emit(text: str) -> None:
     print("\n" + "=" * 74)
     print(text)
     print("=" * 74)
+
+
+def bench_out_dir() -> Path:
+    """Where machine-readable BENCH_*.json artefacts land.
+
+    Defaults to the repository root so CI can pick the files up as
+    build artefacts; override with ``REPRO_BENCH_DIR``.
+    """
+    root = os.environ.get("REPRO_BENCH_DIR")
+    path = Path(root) if root else Path(__file__).resolve().parent.parent
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write one canonical (sorted-keys) BENCH_*.json artefact."""
+    path = bench_out_dir() / name
+    path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+    return path

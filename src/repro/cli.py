@@ -12,6 +12,10 @@
     python -m repro trace campaign.jsonl --format json
     python -m repro recommend --budget 300 --classes 2 --priority accuracy
     python -m repro chaos --seeds 0 1 2 --workers 2
+    python -m repro chaos --serving --seeds 0 --requests 2000
+    python -m repro serve --system CAML --dataset credit-g --store artifacts/
+    python -m repro loadtest --store artifacts/ --requests 10000 \\
+        --target 2e-8 --seed 7 --out BENCH_serving.json
     python -m repro lint src benchmarks examples --format json
     python -m repro datasets
     python -m repro systems
@@ -196,11 +200,19 @@ def _cmd_chaos(args) -> int:
     failed_seeds = []
     for seed in args.seeds:
         with tempfile.TemporaryDirectory() as work_dir:
-            report = run_chaos_campaign(
-                seed, work_dir, workers=args.workers, rate=args.rate,
-                delay_s=args.delay, cell_timeout_s=args.timeout,
-                config=config,
-            )
+            if args.serving:
+                from repro.serving import run_serving_chaos
+
+                report = run_serving_chaos(
+                    seed, work_dir, rate=args.rate, delay_s=args.delay,
+                    n_requests=args.requests, n_slots=args.workers,
+                )
+            else:
+                report = run_chaos_campaign(
+                    seed, work_dir, workers=args.workers, rate=args.rate,
+                    delay_s=args.delay, cell_timeout_s=args.timeout,
+                    config=config,
+                )
         print(report.render())
         if not report.ok:
             failed_seeds.append(seed)
@@ -208,6 +220,89 @@ def _cmd_chaos(args) -> int:
         print(f"chaos FAILED for seed(s): {failed_seeds}", file=sys.stderr)
         return 1
     print(f"chaos OK: {len(args.seeds)} seed(s), all invariants held")
+    return 0
+
+
+def _serving_artifacts(args):
+    """Load the deployment variants for (system, dataset) from
+    ``args.store`` when they exist there; train + export otherwise."""
+    from repro.serving import ArtifactStore, prepare_artifacts
+
+    if args.store:
+        ds = load_dataset(args.dataset)
+        store = ArtifactStore(args.store)
+        artifacts = {}
+        for manifest in store.find(system=args.system,
+                                   dataset_fingerprint=ds.fingerprint()):
+            loaded = store.load(manifest.artifact_id)
+            if loaded is not None:
+                artifacts[manifest.variant] = loaded
+        if artifacts:
+            return artifacts, [], ds, store
+    import tempfile
+
+    work_dir = args.store or tempfile.mkdtemp(prefix="repro-serving-")
+    return prepare_artifacts(
+        work_dir, system=args.system, dataset=args.dataset,
+        budget_s=args.budget, seed=args.seed,
+    )
+
+
+def _cmd_serve(args) -> int:
+    """Train one campaign winner and export its deployment variants."""
+    artifacts, dropped, ds, store = _serving_artifacts(args)
+    print(f"{args.system} on {args.dataset}: {len(artifacts)} deployment "
+          f"variant(s) in {store.root}")
+    rows = [
+        [variant,
+         art.manifest.artifact_id[:12],
+         f"{art.manifest.accuracy:.4f}",
+         f"{art.manifest.joules_per_prediction:.3e}",
+         art.manifest.n_members,
+         art.manifest.n_bytes]
+        for variant, art in sorted(artifacts.items())
+    ]
+    print(format_table(
+        ["variant", "artifact", "balanced acc", "J/prediction",
+         "members", "bytes"], rows,
+    ))
+    if dropped:
+        print(f"WARNING: variant(s) failed verification: {dropped}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_loadtest(args) -> int:
+    """Seeded loadtest through the SLO router; emits BENCH_serving.json."""
+    from repro.serving import LoadProfile, run_loadtest
+
+    artifacts, dropped, ds, _store = _serving_artifacts(args)
+    if dropped:
+        print(f"WARNING: serving without corrupt variant(s): {dropped}",
+              file=sys.stderr)
+    profile = LoadProfile(
+        n_requests=args.requests,
+        mean_interarrival_s=args.interarrival,
+        deadline_s=args.deadline,
+    )
+    report, _responses = run_loadtest(
+        artifacts, profile, seed=args.seed,
+        target_j_per_pred=args.target,
+        n_slots=args.slots,
+        X_pool=None if args.no_predict else ds.X_test,
+        execute_predictions=not args.no_predict,
+    )
+    payload = report.as_dict()
+    rows = [[key, f"{value:.6g}" if isinstance(value, float) else value]
+            for key, value in payload.items()
+            if key not in ("router", "variant_mix")]
+    rows.extend([f"served by {variant}", count]
+                for variant, count in sorted(report.variant_mix.items()))
+    print(format_table(["metric", "value"], rows))
+    if args.out:
+        report.write(args.out)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -376,7 +471,57 @@ def build_parser() -> argparse.ArgumentParser:
                               "exceed --timeout to trip it)")
     p_chaos.add_argument("--timeout", type=float, default=1.0,
                          help="cell_timeout_s for the chaos run")
+    p_chaos.add_argument("--serving", action="store_true",
+                         help="chaos the serving layer instead "
+                              "(artifact_corrupt + request_timeout "
+                              "seams over a seeded loadtest)")
+    p_chaos.add_argument("--requests", type=int, default=2000,
+                         help="requests per --serving chaos run")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    def add_serving_args(p):
+        p.add_argument("--system", default="CAML",
+                       choices=sorted(SYSTEM_REGISTRY))
+        p.add_argument("--dataset", default="credit-g")
+        p.add_argument("--budget", type=float, default=10.0,
+                       help="training budget (paper-seconds) when the "
+                            "store has no matching artifacts yet")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--store", default=None,
+                       help="artifact store directory (reused when it "
+                            "already holds this system+dataset)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="export a trained system's deployment variants "
+             "(ensemble/refit/distilled) as verified artifacts")
+    add_serving_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser(
+        "loadtest",
+        help="seeded micro-batched loadtest with joules/prediction "
+             "SLO routing; bit-identical per seed")
+    add_serving_args(p_load)
+    p_load.add_argument("--requests", type=int, default=10_000)
+    p_load.add_argument("--interarrival", type=float, default=0.002,
+                        help="mean inter-arrival gap in simulated "
+                             "seconds (heavy-tail Lomax arrivals)")
+    p_load.add_argument("--deadline", type=float, default=0.25,
+                        help="per-request latency SLO (simulated s)")
+    p_load.add_argument("--target", type=float, default=None,
+                        help="joules/prediction SLO target the router "
+                             "steers to (default: no target)")
+    p_load.add_argument("--slots", type=int, default=2,
+                        help="worker slots per deployment variant")
+    p_load.add_argument("--no-predict", action="store_true",
+                        dest="no_predict",
+                        help="skip real model predictions (pure "
+                             "timing/energy simulation; use for "
+                             "multi-million-request sweeps)")
+    p_load.add_argument("--out", default=None,
+                        help="write the BENCH_serving.json report here")
+    p_load.set_defaults(func=_cmd_loadtest)
 
     p_rec = sub.add_parser("recommend",
                            help="apply the Figure 8 guideline")

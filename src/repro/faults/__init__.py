@@ -23,10 +23,12 @@ into the plan is replayable, serialisable and accounted for.
 from repro.faults.injector import FaultEvent, FaultInjector
 from repro.faults.plan import (
     KNOWN_SEAMS,
+    SEAM_ARTIFACT_CORRUPT,
     SEAM_CACHE_CORRUPT,
     SEAM_CELL_ERROR,
     SEAM_JOURNAL_TORN,
     SEAM_RAPL_READ,
+    SEAM_REQUEST_TIMEOUT,
     SEAM_SLOW_CELL,
     SEAM_TRIAL_ERROR,
     SEAM_WORKER_DEATH,
@@ -49,4 +51,6 @@ __all__ = [
     "SEAM_JOURNAL_TORN",
     "SEAM_RAPL_READ",
     "SEAM_TRIAL_ERROR",
+    "SEAM_ARTIFACT_CORRUPT",
+    "SEAM_REQUEST_TIMEOUT",
 ]

@@ -71,6 +71,13 @@ class FaultInjector:
             return payload
         return payload[: max(1, len(payload) // 2)] + '\x00{"torn":'
 
+    def corrupt_bytes(self, seam: str, key: str, payload: bytes) -> bytes:
+        """Binary twin of :meth:`corrupt`, for pickled artifact payloads:
+        truncate and poison so digest verification must catch it."""
+        if not self.fire(seam, key):
+            return payload
+        return payload[: max(1, len(payload) // 2)] + b"\x00torn"
+
     def delay_s(self, seam: str, key: str) -> float:
         """The stall the seam demands for ``key`` (0.0 = none)."""
         if not self.fire(seam, key):

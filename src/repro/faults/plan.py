@@ -2,8 +2,9 @@
 
 A :class:`FaultPlan` names the *seams* where failures may be injected
 (``cell_error``, ``worker_death``, ``slow_cell``, ``cache_corrupt``,
-``journal_torn``, ``rapl_read``, ``trial_error``) and, per seam, how
-often and in what pattern they fire.  Decisions are **order-independent
+``journal_torn``, ``rapl_read``, ``trial_error``, ``artifact_corrupt``,
+``request_timeout``) and, per seam, how often and in what pattern they
+fire.  Decisions are **order-independent
 pure functions** of ``(plan seed, seam, key)``: the draw is a sha256
 hash mapped to [0, 1), so the parent process, a pool worker, and a
 re-run with the same seed all agree on exactly which keys fault —
@@ -33,6 +34,8 @@ SEAM_CACHE_CORRUPT = "cache_corrupt"  # garbled ResultCache payload bytes
 SEAM_JOURNAL_TORN = "journal_torn"    # truncated CampaignJournal line
 SEAM_RAPL_READ = "rapl_read"          # RaplCounter.read() failure
 SEAM_TRIAL_ERROR = "trial_error"      # one pipeline evaluation raises
+SEAM_ARTIFACT_CORRUPT = "artifact_corrupt"   # garbled artifact payload bytes
+SEAM_REQUEST_TIMEOUT = "request_timeout"     # one served request stalls
 
 KNOWN_SEAMS = (
     SEAM_CELL_ERROR,
@@ -42,6 +45,8 @@ KNOWN_SEAMS = (
     SEAM_JOURNAL_TORN,
     SEAM_RAPL_READ,
     SEAM_TRIAL_ERROR,
+    SEAM_ARTIFACT_CORRUPT,
+    SEAM_REQUEST_TIMEOUT,
 )
 
 #: firing patterns a seam supports

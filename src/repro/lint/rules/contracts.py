@@ -9,6 +9,11 @@ BO cannot perturb it, and a missing ``random_state`` reintroduces
 hidden nondeterminism.  The rule resolves inheritance *across* the
 ``repro.models`` / ``repro.preprocessing`` modules (mixins live in
 ``models.base``), so it is a project rule, not a per-file one.
+
+The serving layer carries a sibling contract: any of its classes that
+defines ``predict`` is a deployable model surface and must also define
+``predict_proba`` and ``inference_flops`` — without them the SLO router
+cannot score the variant and the cost model cannot price a batch.
 """
 
 from __future__ import annotations
@@ -21,6 +26,13 @@ from repro.lint.core import FileContext, Finding, ProjectRule
 #: packages whose public classes must honour the contract
 CONTRACT_PACKAGES = ("models", "preprocessing")
 
+#: packages whose predicting classes must honour the *artifact*
+#: contract instead: anything the serving layer offers as a deployable
+#: model must expose predict_proba (distillation and router scoring
+#: need calibrated outputs) and inference_flops (the energy cost model
+#: prices every served batch through it)
+ARTIFACT_PACKAGES = ("serving",)
+
 #: names whose presence in a class body marks it as drawing randomness
 RNG_MARKERS = frozenset({"check_random_state", "spawn_seeds"})
 
@@ -32,6 +44,7 @@ class _ClassInfo:
     path: str
     lineno: int
     col: int
+    package: str = ""
     bases: list[str] = field(default_factory=list)
     methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
     draws_randomness: bool = False
@@ -53,6 +66,10 @@ class EstimatorContractRule(ProjectRule):
             if info.name.startswith("_"):
                 continue
             resolved = self._resolve(info, table)
+            if info.package in ARTIFACT_PACKAGES:
+                if "predict" in resolved:
+                    findings.extend(self._judge_artifact(info, resolved))
+                continue
             if "fit" not in resolved:
                 continue
             findings.extend(self._judge(info, resolved))
@@ -63,7 +80,7 @@ class EstimatorContractRule(ProjectRule):
         table: dict[str, _ClassInfo] = {}
         for ctx in contexts:
             pkg = ctx.package
-            if pkg not in CONTRACT_PACKAGES:
+            if pkg not in CONTRACT_PACKAGES + ARTIFACT_PACKAGES:
                 continue
             for node in ast.walk(ctx.tree):
                 if not isinstance(node, ast.ClassDef):
@@ -71,7 +88,7 @@ class EstimatorContractRule(ProjectRule):
                 info = _ClassInfo(
                     name=node.name, module=ctx.module or "?",
                     path=ctx.path, lineno=node.lineno,
-                    col=node.col_offset,
+                    col=node.col_offset, package=pkg or "",
                 )
                 for base in node.bases:
                     if isinstance(base, ast.Name):
@@ -134,6 +151,28 @@ class EstimatorContractRule(ProjectRule):
                 yield finding(
                     f"{info.name} draws randomness but its __init__ does "
                     f"not accept random_state; seeds cannot reach it"
+                )
+
+    def _judge_artifact(self, info: _ClassInfo,
+                        resolved: dict[str, _ClassInfo]):
+        """The loaded-artifact contract: a serving-layer class that
+        predicts is a deployable model and must also price and
+        calibrate itself."""
+        for method, why in (
+            ("predict_proba", "the router and distillation need "
+                              "calibrated probability outputs"),
+            ("inference_flops", "the energy cost model prices every "
+                                "served batch through it"),
+        ):
+            if method not in resolved:
+                yield Finding(
+                    path=info.path, line=info.lineno, col=info.col,
+                    code=self.code,
+                    message=(
+                        f"{info.name} defines predict() but not "
+                        f"{method}(); {why} (the loaded-artifact "
+                        f"contract)"
+                    ),
                 )
 
     @staticmethod

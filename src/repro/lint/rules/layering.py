@@ -5,7 +5,8 @@ upward::
 
     exceptions < utils < faults/metrics < models/preprocessing/datasets
         < pipeline < energy < ensemble/metalearning/hpo < systems
-        < devtuning < runtime/experiments/analysis < cli/__main__
+        < devtuning < runtime/experiments/analysis < serving
+        < cli/__main__
 
 ``faults`` and ``observability`` sit low on purpose: the runtime,
 energy and systems layers all import their injection/tracing hooks, so
@@ -50,9 +51,13 @@ LAYERS: dict[str, int] = {
     "experiments": 9,
     "analysis": 9,
     "lint": 9,
-    "cli": 10,
-    "__main__": 10,
-    "__init__": 10,
+    # serving deploys what the campaign layer trained: it loads systems
+    # and reuses the runtime's chaos-report shape, so it sits above the
+    # application layer and below the CLI
+    "serving": 10,
+    "cli": 11,
+    "__main__": 11,
+    "__init__": 11,
 }
 
 #: same-rank edges that are part of the design rather than drift

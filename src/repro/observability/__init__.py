@@ -40,17 +40,25 @@ from repro.observability.report import (
     self_seconds,
 )
 from repro.observability.tracing import (
+    CLOCK_SIM,
+    CLOCK_TICKS,
+    CLOCK_WALL,
     Tracer,
     current_span,
     get_tracer,
     install_tracer,
+    make_span,
     trace_span,
     uninstall_tracer,
     validate_span_tree,
 )
 
 __all__ = [
+    "CLOCK_SIM",
+    "CLOCK_TICKS",
+    "CLOCK_WALL",
     "Tracer",
+    "make_span",
     "trace_span",
     "current_span",
     "install_tracer",

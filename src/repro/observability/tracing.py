@@ -31,6 +31,10 @@ from typing import Callable
 #: span clock domains
 CLOCK_TICKS = "ticks"
 CLOCK_WALL = "wall"
+#: the serving layer's simulated-seconds domain: request span trees are
+#: stamped with load-simulation timestamps, so they only compare against
+#: each other — never against tick- or wall-clocked campaign spans
+CLOCK_SIM = "sim"
 
 
 def make_span(name: str, t0: float, clock: str, attrs: dict) -> dict:

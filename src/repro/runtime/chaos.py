@@ -93,7 +93,12 @@ class ChaosCheck:
 
 @dataclass
 class ChaosReport:
-    """Everything one seeded chaos campaign produced and verified."""
+    """Everything one seeded chaos campaign produced and verified.
+
+    ``subsystem`` names the layer under test (``"runtime"`` for the
+    campaign executor, ``"serving"`` for the prediction server's chaos
+    harness, which reuses this report shape with cells = requests).
+    """
 
     seed: int
     workers: int
@@ -102,6 +107,9 @@ class ChaosReport:
     quarantined: int
     fault_counts: dict[str, int] = field(default_factory=dict)
     checks: list[ChaosCheck] = field(default_factory=list)
+    subsystem: str = "runtime"
+    #: what one "cell" is for this subsystem (rendering only)
+    unit: str = "cell"
 
     @property
     def ok(self) -> bool:
@@ -113,7 +121,8 @@ class ChaosReport:
             for seam, count in sorted(self.fault_counts.items())
         ) or "none"
         lines = [
-            f"chaos seed {self.seed}: {self.n_cells} cells, "
+            f"{self.subsystem} chaos seed {self.seed}: "
+            f"{self.n_cells} {self.unit}s, "
             f"{self.workers} worker(s), {self.survivors} survived, "
             f"{self.quarantined} quarantined",
             f"  injected faults: {faults}",

@@ -1,0 +1,94 @@
+"""Model serving: artifacts, batched prediction, and SLO routing.
+
+The paper's O1 is a *lifetime* claim: a stacked ensemble that wins the
+training-energy comparison can lose it badly once the model answers
+millions of predictions — inference energy dominates.  This package is
+where the repository acts on that observation instead of just reporting
+it:
+
+- :mod:`repro.serving.artifacts` — versioned, content-addressed storage
+  for fitted deployment variants (``ensemble`` / ``refit`` /
+  ``distilled``), each manifest carrying held-out accuracy and modelled
+  ``inference_kwh_per_instance``; corruption is detected by digest and
+  degrades to a miss, never a served garbage model.
+- :mod:`repro.serving.router` — per-request selection of the most
+  accurate variant whose joules/prediction fit the SLO target and the
+  request's own joule budget.
+- :mod:`repro.serving.server` — a deterministic micro-batching
+  prediction engine on the simulated clock: worker slots, batch caps,
+  per-request budgets (rows / joules / deadline), ``sim``-domain span
+  trees and ``serving.*`` metrics per request.
+- :mod:`repro.serving.loadgen` / :mod:`repro.serving.bench` — seeded
+  heavy-tail load generation and the ``BENCH_serving.json`` report
+  (bit-identical for a fixed seed).
+- :mod:`repro.serving.chaos` — the serving chaos harness
+  (``artifact_corrupt`` + ``request_timeout`` seams) with the
+  no-request-unanswered audit.
+
+The package sits above ``systems`` and ``runtime`` in the GRN002 layer
+DAG (only the CLI imports it), and everything in it obeys the repo's
+determinism rules: no wall clock, no global RNG, seeded replay.
+"""
+
+from repro.serving.artifacts import (
+    ArtifactManifest,
+    ArtifactStore,
+    LoadedArtifact,
+    compute_artifact_id,
+    export_system,
+)
+from repro.serving.bench import (
+    ServingBenchReport,
+    prepare_artifacts,
+    run_loadtest,
+    summarise_responses,
+)
+from repro.serving.chaos import run_serving_chaos
+from repro.serving.loadgen import LoadProfile, generate_requests
+from repro.serving.router import (
+    ROUTE_BUDGET_REJECT,
+    ROUTE_SLO_FALLBACK,
+    ROUTE_SLO_OK,
+    RoutingDecision,
+    SLORouter,
+)
+from repro.serving.server import (
+    BatchPolicy,
+    MicroBatcher,
+    PredictionRequest,
+    PredictionResponse,
+    PredictionServer,
+    RequestBudget,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+)
+
+__all__ = [
+    "ArtifactManifest",
+    "ArtifactStore",
+    "LoadedArtifact",
+    "compute_artifact_id",
+    "export_system",
+    "SLORouter",
+    "RoutingDecision",
+    "ROUTE_SLO_OK",
+    "ROUTE_SLO_FALLBACK",
+    "ROUTE_BUDGET_REJECT",
+    "BatchPolicy",
+    "MicroBatcher",
+    "PredictionRequest",
+    "PredictionResponse",
+    "PredictionServer",
+    "RequestBudget",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "STATUS_REJECTED",
+    "LoadProfile",
+    "generate_requests",
+    "ServingBenchReport",
+    "prepare_artifacts",
+    "run_loadtest",
+    "summarise_responses",
+    "run_serving_chaos",
+]

@@ -1,0 +1,228 @@
+"""The closed-loop serving load bench behind ``BENCH_serving.json``.
+
+``run_loadtest`` wires the pieces end to end: a seeded heavy-tail
+request stream (:mod:`repro.serving.loadgen`) through the SLO router
+and the micro-batched server, then folds the responses into one
+:class:`ServingBenchReport` — p50/p95/p99 latency, throughput in rows
+per simulated second, joules per prediction, and the SLO-miss rate the
+router's variant switching is judged on.
+
+Because the server runs on a simulated clock and the stream is drawn
+from one seeded Generator, the **entire report is bit-identical** for a
+fixed ``(artifacts, profile, seed)`` triple — the CI serving-smoke job
+and the chaos determinism invariant both diff the JSON byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.observability import MetricsRegistry
+from repro.serving.loadgen import LoadProfile, generate_requests
+from repro.serving.router import SLORouter
+from repro.serving.server import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+    BatchPolicy,
+    PredictionServer,
+)
+
+
+@dataclass(frozen=True)
+class ServingBenchReport:
+    """One loadtest's headline numbers (all simulated-clock domain)."""
+
+    seed: int
+    n_requests: int
+    n_ok: int
+    n_timeout: int
+    n_rejected: int
+    n_batches: int
+    rows_served: int
+    makespan_s: float
+    rows_per_s: float
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    queue_wait_mean_s: float
+    joules_total: float
+    joules_per_prediction: float
+    slo_miss_rate: float
+    variant_mix: dict = field(default_factory=dict)
+    router: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "n_requests": self.n_requests,
+            "n_ok": self.n_ok,
+            "n_timeout": self.n_timeout,
+            "n_rejected": self.n_rejected,
+            "n_batches": self.n_batches,
+            "rows_served": self.rows_served,
+            "makespan_s": self.makespan_s,
+            "rows_per_s": self.rows_per_s,
+            "latency_p50_s": self.latency_p50_s,
+            "latency_p95_s": self.latency_p95_s,
+            "latency_p99_s": self.latency_p99_s,
+            "queue_wait_mean_s": self.queue_wait_mean_s,
+            "joules_total": self.joules_total,
+            "joules_per_prediction": self.joules_per_prediction,
+            "slo_miss_rate": self.slo_miss_rate,
+            "variant_mix": dict(sorted(self.variant_mix.items())),
+            "router": self.router,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation (sorted keys — diffable bytes)."""
+        return json.dumps(self.as_dict(), sort_keys=True, indent=2) + "\n"
+
+    def write(self, path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json())
+        return path
+
+
+def summarise_responses(responses, *, seed: int, n_batches: int,
+                        router: SLORouter) -> ServingBenchReport:
+    """Fold a response list into the bench report (pure, deterministic)."""
+    answered = [r for r in responses if r.status != STATUS_REJECTED]
+    n_ok = sum(1 for r in responses if r.status == STATUS_OK)
+    n_timeout = sum(1 for r in responses if r.status == STATUS_TIMEOUT)
+    n_rejected = sum(1 for r in responses if r.status == STATUS_REJECTED)
+    rows_served = int(sum(r.n_rows for r in answered))
+    joules_total = float(sum(r.joules for r in answered))
+
+    latencies = np.asarray([r.latency_s for r in answered], dtype=float)
+    waits = np.asarray([r.queue_wait_s for r in answered], dtype=float)
+    if answered:
+        t0 = min(r.arrival_s for r in answered)
+        t1 = max(r.completed_s for r in answered)
+        makespan = max(t1 - t0, 0.0)
+    else:
+        makespan = 0.0
+    p50, p95, p99 = (
+        (float(np.percentile(latencies, q)) for q in (50, 95, 99))
+        if latencies.size else (0.0, 0.0, 0.0)
+    )
+    # an SLO miss is a request served *degraded*: routed past the
+    # joules/prediction target (fallback) or answered after its deadline
+    misses = sum(
+        1 for r in answered
+        if not r.slo_ok or r.status == STATUS_TIMEOUT
+    )
+    variant_mix: dict[str, int] = {}
+    for r in answered:
+        variant_mix[r.variant] = variant_mix.get(r.variant, 0) + 1
+
+    return ServingBenchReport(
+        seed=seed,
+        n_requests=len(responses),
+        n_ok=n_ok,
+        n_timeout=n_timeout,
+        n_rejected=n_rejected,
+        n_batches=n_batches,
+        rows_served=rows_served,
+        makespan_s=makespan,
+        rows_per_s=rows_served / makespan if makespan > 0 else 0.0,
+        latency_p50_s=p50,
+        latency_p95_s=p95,
+        latency_p99_s=p99,
+        queue_wait_mean_s=float(waits.mean()) if waits.size else 0.0,
+        joules_total=joules_total,
+        joules_per_prediction=(joules_total / rows_served
+                               if rows_served else 0.0),
+        slo_miss_rate=misses / len(answered) if answered else 0.0,
+        variant_mix=variant_mix,
+        router=router.snapshot(),
+    )
+
+
+def prepare_artifacts(work_dir, *, system: str = "CAML",
+                      dataset: str = "credit-g", budget_s: float = 10.0,
+                      seed: int = 0, time_scale: float = 0.01,
+                      fault_injector=None,
+                      registry: MetricsRegistry | None = None):
+    """Train one small campaign winner and export + reload its variants.
+
+    The loadtest's front door: fits ``system`` on ``dataset`` under the
+    simulated budget clock, exports every deployment variant into an
+    :class:`~repro.serving.artifacts.ArtifactStore` under ``work_dir``,
+    and loads them back through digest verification — exactly the path
+    a production replica would take.  Returns ``(artifacts, dropped,
+    dataset, store)`` where ``dropped`` names variants whose stored
+    payload failed verification (only possible when a fault injector is
+    armed on the store).
+    """
+    from repro.datasets.loaders import load_dataset
+    from repro.serving.artifacts import ArtifactStore, export_system
+    from repro.systems import make_system
+
+    ds = load_dataset(dataset)
+    automl = make_system(system, random_state=seed,
+                         time_scale=time_scale)
+    automl.fit(ds.X_train, ds.y_train, budget_s=budget_s,
+               categorical_mask=ds.categorical_mask)
+    store = ArtifactStore(
+        Path(work_dir),
+        registry=registry if registry is not None else MetricsRegistry(),
+        fault_injector=fault_injector,
+    )
+    manifests = export_system(store, automl, ds, random_state=seed)
+    artifacts, dropped = {}, []
+    for variant in sorted(manifests):
+        loaded = store.load(manifests[variant].artifact_id)
+        if loaded is None:
+            dropped.append(variant)
+        else:
+            artifacts[variant] = loaded
+    return artifacts, dropped, ds, store
+
+
+def run_loadtest(artifacts: dict, profile: LoadProfile, *,
+                 seed: int = 0,
+                 target_j_per_pred: float | None = None,
+                 policy: BatchPolicy | None = None,
+                 n_slots: int = 2,
+                 machine=None,
+                 X_pool: np.ndarray | None = None,
+                 execute_predictions: bool = True,
+                 span_sample_every: int = 0,
+                 fault_injector=None,
+                 registry: MetricsRegistry | None = None,
+                 ) -> tuple[ServingBenchReport, list]:
+    """Drive one seeded loadtest; returns ``(report, responses)``.
+
+    ``artifacts`` maps variant name → loaded artifact (the router's
+    table).  ``span_sample_every=0`` skips span recording — the setting
+    for multi-million-request sweeps; chaos audits run with ``1``.
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    router = SLORouter(
+        artifacts,
+        target_j_per_pred=target_j_per_pred,
+        registry=registry,
+    )
+    server = PredictionServer(
+        router,
+        policy=policy,
+        n_slots=n_slots,
+        machine=machine,
+        execute_predictions=execute_predictions,
+        span_sample_every=span_sample_every,
+        fault_injector=fault_injector,
+        registry=registry,
+    )
+    requests = generate_requests(profile, X_pool=X_pool,
+                                 random_state=seed)
+    responses = server.process(requests)
+    report = summarise_responses(
+        responses, seed=seed, n_batches=server.n_batches, router=router,
+    )
+    return report, responses

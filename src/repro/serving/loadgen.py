@@ -1,0 +1,115 @@
+"""Seeded synthetic request streams for the serving load bench.
+
+Arrival gaps are heavy-tailed (Lomax/Pareto-II), because real prediction
+traffic is bursty and burstiness is exactly what stresses micro-batching:
+long quiet gaps force wait-window flushes (small batches, wasted
+dispatch overhead) while bursts pile rows into full batches and queueing
+delay.  A Poisson stream would flatter the server.
+
+Everything is drawn **vectorised up front** from one
+:func:`~repro.utils.rng.check_random_state` Generator, so a given
+``(profile, seed)`` pair produces a bit-identical request list on any
+machine — the property the whole BENCH_serving pipeline leans on.
+Feature rows are sampled (with replacement) from a real held-out pool
+when one is given; multi-million-request benches omit the pool and run
+the server with ``execute_predictions=False``, keeping memory flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.serving.server import PredictionRequest, RequestBudget
+from repro.utils.rng import check_random_state
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """Shape of one synthetic traffic stream.
+
+    ``tail_shape`` is the Lomax shape parameter: smaller = heavier tail
+    (must stay > 1 so the mean inter-arrival gap exists and equals
+    ``mean_interarrival_s``).  ``deadline_fraction`` of requests carry a
+    latency SLO of ``deadline_s``; ``joule_cap_fraction`` carry a hard
+    energy budget of ``joule_cap_per_row`` joules per requested row.
+    """
+
+    n_requests: int = 10_000
+    mean_interarrival_s: float = 0.002
+    tail_shape: float = 2.5
+    mean_rows: float = 4.0
+    max_rows: int = 64
+    deadline_fraction: float = 0.5
+    deadline_s: float = 0.25
+    joule_cap_fraction: float = 0.1
+    joule_cap_per_row: float = 5.0
+
+    def __post_init__(self):
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.tail_shape <= 1.0:
+            raise ValueError(
+                "tail_shape must exceed 1 (heavier tails have no mean "
+                "inter-arrival gap to calibrate against)"
+            )
+        if self.mean_interarrival_s <= 0:
+            raise ValueError("mean_interarrival_s must be positive")
+        if not 1.0 <= self.mean_rows <= self.max_rows:
+            raise ValueError("need 1 <= mean_rows <= max_rows")
+        for name in ("deadline_fraction", "joule_cap_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+def generate_requests(profile: LoadProfile, *,
+                      X_pool: np.ndarray | None = None,
+                      random_state=None) -> list[PredictionRequest]:
+    """Materialise the request stream for ``profile``.
+
+    When ``X_pool`` is given every request carries real feature rows
+    sampled from it, so the server computes genuine predictions; without
+    a pool only the row *counts* exist (timing/energy simulation mode).
+    """
+    rng = check_random_state(random_state)
+    n = profile.n_requests
+    # Lomax(shape a) has mean 1/(a-1); rescale so gaps average out to
+    # mean_interarrival_s while keeping the heavy tail
+    gaps = (profile.mean_interarrival_s * (profile.tail_shape - 1.0)
+            * rng.pareto(profile.tail_shape, size=n))
+    arrivals = np.cumsum(gaps)
+    rows = np.minimum(
+        rng.geometric(1.0 / profile.mean_rows, size=n),
+        profile.max_rows,
+    ).astype(int)
+    with_deadline = rng.random(n) < profile.deadline_fraction
+    with_joule_cap = rng.random(n) < profile.joule_cap_fraction
+    pool_idx = (rng.integers(0, len(X_pool), size=int(rows.sum()))
+                if X_pool is not None else None)
+
+    requests = []
+    offset = 0
+    for i in range(n):
+        n_rows = int(rows[i])
+        X = None
+        if pool_idx is not None:
+            X = np.asarray(
+                X_pool[pool_idx[offset:offset + n_rows]], dtype=float
+            )
+            offset += n_rows
+        budget = RequestBudget(
+            max_rows=profile.max_rows,
+            max_joules=(profile.joule_cap_per_row * n_rows
+                        if with_joule_cap[i] else None),
+            deadline_s=(profile.deadline_s
+                        if with_deadline[i] else None),
+        )
+        requests.append(PredictionRequest(
+            request_id=i,
+            arrival_s=float(arrivals[i]),
+            n_rows=n_rows,
+            X=X,
+            budget=budget,
+        ))
+    return requests

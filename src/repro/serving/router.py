@@ -1,0 +1,165 @@
+"""Joules-per-prediction SLO routing between deployment variants.
+
+The paper's O1 says a stacked ensemble can dominate *lifetime* energy
+once the model serves millions of predictions; the router is where that
+observation becomes an operating policy.  Each campaign winner is
+deployed as up to three variants of decreasing inference cost —
+``ensemble`` (full stack), ``refit`` (collapsed single model),
+``distilled`` (student) — and every request is routed to the **most
+accurate variant whose projected joules per prediction fit the
+tightest applicable cap**:
+
+1. the server-wide SLO target (``target_j_per_pred``), and
+2. the request's own joule budget (``max_joules / n_rows``), a hard cap.
+
+When no variant meets the *soft* SLO target, the cheapest variant is
+served anyway (counted as an SLO miss — degraded, not dropped).  When
+even the cheapest variant would blow the request's *hard* joule budget,
+the request is rejected with a structured failure.
+
+Projected cost per variant starts from the artifact manifest's modelled
+``inference_kwh_per_instance`` and is refined online by an EWMA over
+the joules the server actually charges per batch — deterministic,
+because both sides come from the analytic cost model under the
+simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.observability import MetricsRegistry
+
+#: routing outcomes (RoutingDecision.reason)
+ROUTE_SLO_OK = "slo_ok"            # best variant under the SLO target
+ROUTE_SLO_FALLBACK = "slo_fallback"  # nothing met the target; cheapest served
+ROUTE_BUDGET_REJECT = "budget_reject"  # hard per-request joule cap unmeetable
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one request goes and why."""
+
+    variant: str | None
+    projected_joules: float
+    j_per_prediction: float
+    reason: str
+
+    @property
+    def accepted(self) -> bool:
+        return self.variant is not None
+
+
+class SLORouter:
+    """Accuracy-greedy variant selection under a joules/prediction cap."""
+
+    def __init__(self, artifacts: dict, *,
+                 target_j_per_pred: float | None = None,
+                 ewma_alpha: float = 0.2,
+                 registry: MetricsRegistry | None = None):
+        if not artifacts:
+            raise ValueError("router needs at least one artifact variant")
+        if not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        self._artifacts = dict(artifacts)
+        self.target_j_per_pred = target_j_per_pred
+        self.ewma_alpha = ewma_alpha
+        # `or` would discard an empty registry (len 0 is falsy)
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        #: measured joules/prediction EWMA, seeded from the manifests
+        self._estimate: dict[str, float] = {
+            name: art.manifest.joules_per_prediction
+            for name, art in self._artifacts.items()
+        }
+
+    # -- variant table ---------------------------------------------------------
+    @property
+    def variants(self) -> dict:
+        return dict(self._artifacts)
+
+    def artifact(self, variant: str):
+        return self._artifacts[variant]
+
+    def j_per_prediction(self, variant: str) -> float:
+        return self._estimate[variant]
+
+    def _by_accuracy(self) -> list[str]:
+        """Variant names, most accurate first (name breaks exact ties so
+        the ordering — and therefore routing — is deterministic)."""
+        return sorted(
+            self._artifacts,
+            key=lambda v: (-self._artifacts[v].manifest.accuracy, v),
+        )
+
+    def drop_variant(self, variant: str) -> None:
+        """Remove a variant (e.g. its artifact failed digest
+        verification); serving degrades to the survivors."""
+        if variant in self._artifacts and len(self._artifacts) > 1:
+            del self._artifacts[variant]
+            del self._estimate[variant]
+            self.registry.counter("router.variant_dropped").inc()
+
+    # -- routing ---------------------------------------------------------------
+    def route(self, n_rows: int, max_joules: float | None = None
+              ) -> RoutingDecision:
+        """Pick a variant for a request of ``n_rows`` predictions."""
+        if n_rows <= 0:
+            raise ValueError("n_rows must be positive")
+        hard_cap = (max_joules / n_rows) if max_joules is not None \
+            else float("inf")
+        soft_cap = min(
+            self.target_j_per_pred if self.target_j_per_pred is not None
+            else float("inf"),
+            hard_cap,
+        )
+        ranked = self._by_accuracy()
+        for variant in ranked:
+            if self._estimate[variant] <= soft_cap:
+                return self._decide(variant, n_rows, ROUTE_SLO_OK)
+        cheapest = min(ranked, key=lambda v: (self._estimate[v], v))
+        if self._estimate[cheapest] <= hard_cap:
+            self.registry.counter("router.slo_fallback").inc()
+            return self._decide(cheapest, n_rows, ROUTE_SLO_FALLBACK)
+        self.registry.counter("router.budget_reject").inc()
+        return RoutingDecision(
+            variant=None,
+            projected_joules=self._estimate[cheapest] * n_rows,
+            j_per_prediction=self._estimate[cheapest],
+            reason=ROUTE_BUDGET_REJECT,
+        )
+
+    def _decide(self, variant: str, n_rows: int,
+                reason: str) -> RoutingDecision:
+        j = self._estimate[variant]
+        self.registry.counter(f"router.pick.{variant}").inc()
+        return RoutingDecision(
+            variant=variant,
+            projected_joules=j * n_rows,
+            j_per_prediction=j,
+            reason=reason,
+        )
+
+    # -- feedback --------------------------------------------------------------
+    def observe(self, variant: str, n_rows: int, joules: float) -> None:
+        """Fold a served batch's measured joules into the estimate."""
+        if variant not in self._estimate or n_rows <= 0:
+            return
+        measured = joules / n_rows
+        old = self._estimate[variant]
+        self._estimate[variant] = (
+            (1.0 - self.ewma_alpha) * old + self.ewma_alpha * measured
+        )
+
+    def snapshot(self) -> dict:
+        """Routing state for the bench report (sorted, deterministic)."""
+        return {
+            "target_j_per_pred": self.target_j_per_pred,
+            "estimates": {
+                v: self._estimate[v] for v in sorted(self._estimate)
+            },
+            "accuracy": {
+                v: self._artifacts[v].manifest.accuracy
+                for v in sorted(self._artifacts)
+            },
+        }

@@ -417,6 +417,55 @@ class AutoMLSystem:
     def score(self, X, y) -> float:
         return balanced_accuracy_score(y, self.predict(X))
 
+    # -- deployment variants --------------------------------------------------
+    #: variant names in descending inference-cost order; the serving
+    #: layer's SLO router walks them to trade accuracy for joules (O1)
+    VARIANT_ENSEMBLE = "ensemble"
+    VARIANT_REFIT = "refit"
+    VARIANT_DISTILLED = "distilled"
+
+    def deployment_variants(self, X=None, y=None, *,
+                            random_state=None) -> dict:
+        """Deployable models of the fitted search winner, keyed by
+        variant name.
+
+        ``ensemble`` is the deployed model exactly as searched.
+        ``refit`` is the fast-inference collapse (the preset the paper's
+        Figure 6 studies): a model exposing ``refit`` (AutoGluon's
+        refit_full) is deep-copied and collapsed on ``X``/``y``;
+        otherwise a multi-member ensemble falls back to its
+        highest-weighted single member.  Single-model winners omit it
+        because it would alias ``ensemble``.  ``distilled`` trains a
+        small student on the winner's soft labels over ``X`` (paper
+        Sec 5 / ref [17]) and is only produced when reference rows are
+        supplied.
+
+        The returned dict is insertion-ordered from most to least
+        inference-hungry, which is the accuracy order the serving
+        router assumes.
+        """
+        import copy
+
+        model = self._require_model()
+        variants: dict[str, object] = {self.VARIANT_ENSEMBLE: model}
+        members = getattr(model, "ensemble_members", None)
+        if hasattr(model, "refit") and X is not None and y is not None:
+            refit = copy.deepcopy(model)
+            refit.refit(np.asarray(X, dtype=float), np.asarray(y))
+            variants[self.VARIANT_REFIT] = refit
+        elif members is not None and len(members) > 1:
+            weights = getattr(model, "weights_", None)
+            best = int(np.argmax(weights)) if weights is not None else 0
+            variants[self.VARIANT_REFIT] = members[best]
+        if X is not None and hasattr(model, "predict_proba"):
+            from repro.ensemble.distillation import distill
+
+            variants[self.VARIANT_DISTILLED] = distill(
+                model, np.asarray(X, dtype=float),
+                random_state=random_state,
+            )
+        return variants
+
     # -- inference-energy accounting -----------------------------------------
     def inference_estimate(self, n_samples: int) -> InferenceEstimate:
         """Modelled energy/time to predict ``n_samples`` rows with the

@@ -1,0 +1,68 @@
+"""Pickle-able stub models + artifacts for the serving test suite.
+
+Real artifact exports (CAML → ensemble/refit/distilled) are covered by
+the end-to-end tests; these stubs make per-variant cost and accuracy
+*controllable*, so router and server behaviour can be asserted exactly.
+"""
+
+import numpy as np
+
+from repro.serving.artifacts import ArtifactManifest, LoadedArtifact
+
+
+class StubModel:
+    """Constant-ish predictor with a tunable analytic cost."""
+
+    def __init__(self, flops_per_row=1e6, label=0):
+        self.flops_per_row = float(flops_per_row)
+        self.label = int(label)
+        self.classes_ = np.array([0, 1])
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=float)
+        return np.where(X[:, 0] > 0, self.label, 1 - self.label)
+
+    def predict_proba(self, X):
+        pred = self.predict(X)
+        proba = np.zeros((len(pred), 2))
+        proba[np.arange(len(pred)), pred] = 1.0
+        return proba
+
+    def inference_flops(self, n_samples):
+        return self.flops_per_row * n_samples
+
+
+def stub_artifact(variant, *, accuracy, kwh_per_instance,
+                  flops_per_row=1e6):
+    """A LoadedArtifact with exact accuracy and routing cost."""
+    model = StubModel(flops_per_row=flops_per_row)
+    manifest = ArtifactManifest(
+        artifact_id=f"stub-{variant}",
+        format_version=1,
+        system="Stub",
+        variant=variant,
+        dataset_fingerprint="feedfeedfeedfeed",
+        config_digest="",
+        accuracy=float(accuracy),
+        inference_kwh_per_instance=float(kwh_per_instance),
+        n_members=1,
+        payload_digest="0" * 64,
+        n_bytes=0,
+    )
+    return LoadedArtifact(model, manifest)
+
+
+def stub_variants():
+    """The canonical 3-variant table: accuracy strictly decreasing,
+    joules/prediction strictly decreasing (ensemble dearest)."""
+    return {
+        "ensemble": stub_artifact(
+            "ensemble", accuracy=0.90, kwh_per_instance=1e-8,
+            flops_per_row=3e6),
+        "refit": stub_artifact(
+            "refit", accuracy=0.87, kwh_per_instance=3e-9,
+            flops_per_row=1e6),
+        "distilled": stub_artifact(
+            "distilled", accuracy=0.84, kwh_per_instance=1e-9,
+            flops_per_row=3e5),
+    }

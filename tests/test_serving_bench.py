@@ -1,0 +1,204 @@
+"""Load generation, the BENCH_serving report, the serving chaos
+harness, and the serve/loadtest CLI surface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import (
+    LoadProfile,
+    ServingBenchReport,
+    generate_requests,
+    prepare_artifacts,
+    run_loadtest,
+    run_serving_chaos,
+    summarise_responses,
+)
+
+from tests.serving_stubs import stub_variants
+
+
+@pytest.fixture(scope="module")
+def caml_setup(tmp_path_factory):
+    """One real trained-and-exported CAML store shared by the module."""
+    root = tmp_path_factory.mktemp("serving-bench")
+    return prepare_artifacts(root, system="CAML", dataset="credit-g",
+                             budget_s=10.0, seed=3)
+
+
+class TestLoadgen:
+    def test_same_seed_bit_identical(self):
+        profile = LoadProfile(n_requests=500)
+        a = generate_requests(profile, random_state=11)
+        b = generate_requests(profile, random_state=11)
+        assert [(r.arrival_s, r.n_rows, r.budget) for r in a] \
+            == [(r.arrival_s, r.n_rows, r.budget) for r in b]
+
+    def test_different_seed_differs(self):
+        profile = LoadProfile(n_requests=500)
+        a = generate_requests(profile, random_state=11)
+        b = generate_requests(profile, random_state=12)
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+    def test_arrivals_monotone_rows_capped(self):
+        profile = LoadProfile(n_requests=800, max_rows=16)
+        requests = generate_requests(profile, random_state=0)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert max(r.n_rows for r in requests) <= 16
+        assert min(r.n_rows for r in requests) >= 1
+
+    def test_mean_gap_calibrated(self):
+        profile = LoadProfile(n_requests=20_000,
+                              mean_interarrival_s=0.01)
+        requests = generate_requests(profile, random_state=5)
+        mean_gap = requests[-1].arrival_s / len(requests)
+        assert mean_gap == pytest.approx(0.01, rel=0.3)
+
+    def test_budget_fractions(self):
+        profile = LoadProfile(n_requests=4000, deadline_fraction=1.0,
+                              joule_cap_fraction=0.0)
+        requests = generate_requests(profile, random_state=1)
+        assert all(r.budget.deadline_s is not None for r in requests)
+        assert all(r.budget.max_joules is None for r in requests)
+
+    def test_feature_rows_come_from_the_pool(self):
+        pool = np.arange(40, dtype=float).reshape(10, 4)
+        profile = LoadProfile(n_requests=50)
+        requests = generate_requests(profile, X_pool=pool,
+                                     random_state=2)
+        for r in requests:
+            assert r.X.shape == (r.n_rows, 4)
+            # every sampled row must be one of the pool's rows
+            assert all(any(np.array_equal(row, p) for p in pool)
+                       for row in r.X)
+
+
+class TestBenchReport:
+    def test_loadtest_bit_identical_per_seed(self):
+        profile = LoadProfile(n_requests=1500)
+        a, _ = run_loadtest(stub_variants(), profile, seed=9)
+        b, _ = run_loadtest(stub_variants(), profile, seed=9)
+        assert a.to_json() == b.to_json()
+        c, _ = run_loadtest(stub_variants(), profile, seed=10)
+        assert a.to_json() != c.to_json()
+
+    def test_report_counts_are_consistent(self):
+        profile = LoadProfile(n_requests=1000)
+        report, responses = run_loadtest(stub_variants(), profile,
+                                         seed=4)
+        assert report.n_requests == 1000
+        assert report.n_ok + report.n_timeout + report.n_rejected == 1000
+        assert report.rows_served == sum(
+            r.n_rows for r in responses if r.status != "rejected")
+        assert sum(report.variant_mix.values()) \
+            == report.n_ok + report.n_timeout
+        assert report.latency_p50_s <= report.latency_p95_s \
+            <= report.latency_p99_s
+
+    def test_router_switches_under_tightened_target(self):
+        variants = stub_variants()
+        ensemble_j = variants["ensemble"].manifest.joules_per_prediction
+        refit_j = variants["refit"].manifest.joules_per_prediction
+        profile = LoadProfile(n_requests=800, joule_cap_fraction=0.0)
+        relaxed, _ = run_loadtest(variants, profile, seed=3)
+        tight, _ = run_loadtest(
+            variants, profile, seed=3,
+            target_j_per_pred=(ensemble_j + refit_j) / 2)
+        assert set(relaxed.variant_mix) == {"ensemble"}
+        assert set(tight.variant_mix) == {"refit"}
+        assert tight.joules_per_prediction \
+            < relaxed.joules_per_prediction
+        assert tight.slo_miss_rate == 0.0
+
+    def test_report_json_round_trips(self, tmp_path):
+        profile = LoadProfile(n_requests=200)
+        report, _ = run_loadtest(stub_variants(), profile, seed=1)
+        path = report.write(tmp_path / "BENCH_serving.json")
+        payload = json.loads(path.read_text())
+        assert payload == report.as_dict()
+        assert list(payload) == sorted(payload)
+
+    def test_empty_stream_summary(self):
+        router_only, _ = run_loadtest(
+            stub_variants(), LoadProfile(n_requests=1), seed=0)
+        empty = summarise_responses(
+            [], seed=0, n_batches=0,
+            router=__import__("repro.serving", fromlist=["SLORouter"])
+            .SLORouter(stub_variants()))
+        assert isinstance(empty, ServingBenchReport)
+        assert empty.rows_per_s == 0.0
+        assert empty.slo_miss_rate == 0.0
+
+
+class TestEndToEnd:
+    def test_real_artifacts_loadtest(self, caml_setup):
+        artifacts, dropped, ds, _store = caml_setup
+        assert not dropped
+        profile = LoadProfile(n_requests=1000)
+        report, responses = run_loadtest(
+            artifacts, profile, seed=7, X_pool=ds.X_test)
+        assert report.n_ok == 1000
+        assert report.joules_per_prediction > 0
+        assert all(r.predictions is not None for r in responses
+                   if r.status == "ok")
+
+    def test_real_router_switching(self, caml_setup):
+        artifacts, _, ds, _store = caml_setup
+        costs = sorted(a.manifest.joules_per_prediction
+                       for a in artifacts.values())
+        assert costs[0] < costs[-1], "variants must differ in cost"
+        profile = LoadProfile(n_requests=500, joule_cap_fraction=0.0)
+        relaxed, _ = run_loadtest(artifacts, profile, seed=2)
+        tight, _ = run_loadtest(artifacts, profile, seed=2,
+                                target_j_per_pred=(costs[0] + costs[-1])
+                                / 2)
+        assert relaxed.variant_mix != tight.variant_mix
+
+
+class TestServingChaos:
+    def test_all_invariants_hold(self, tmp_path):
+        report = run_serving_chaos(11, tmp_path, n_requests=600)
+        assert report.subsystem == "serving"
+        assert report.ok, report.render()
+        names = [c.name for c in report.checks]
+        assert "every-request-answered" in names
+        assert "artifact-corruption-detected" in names
+        assert "deterministic-replay" in names
+
+    def test_render_mentions_requests(self, tmp_path):
+        report = run_serving_chaos(4, tmp_path, n_requests=400)
+        assert "serving chaos" in report.render()
+        assert "request" in report.render()
+
+
+class TestCli:
+    def test_serve_then_loadtest_reuses_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "store")
+        assert main(["serve", "--store", store, "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deployment variant(s)" in out
+        assert "ensemble" in out
+
+        bench = tmp_path / "BENCH_serving.json"
+        args = ["loadtest", "--store", store, "--seed", "7",
+                "--requests", "400", "--out", str(bench)]
+        assert main(args) == 0
+        first = bench.read_bytes()
+        assert main(args) == 0
+        assert bench.read_bytes() == first
+        payload = json.loads(first)
+        assert payload["n_requests"] == 400
+
+    def test_chaos_serving_cli(self, capsys):
+        from repro.cli import main
+
+        code = main(["chaos", "--serving", "--seeds", "5",
+                     "--requests", "300"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "serving chaos seed 5" in out
+        assert "chaos OK" in out

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on the serving invariants:
+the micro-batcher never reorders, drops or over-fills; the server
+answers every request exactly once; artifact round-trips and seeded
+loadtests are bit-identical."""
+
+import pickle
+import tempfile
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.serving import (
+    ArtifactStore,
+    BatchPolicy,
+    LoadProfile,
+    MicroBatcher,
+    PredictionRequest,
+    PredictionServer,
+    SLORouter,
+    generate_requests,
+)
+
+from tests.serving_stubs import StubModel, stub_variants
+
+# keep hypothesis fast and deterministic in CI
+FAST = settings(max_examples=30, deadline=None)
+
+row_lists = st.lists(st.integers(1, 20), min_size=1, max_size=40)
+policies = st.builds(
+    BatchPolicy,
+    max_batch_rows=st.integers(1, 64),
+    max_batch_requests=st.integers(1, 16),
+    max_wait_s=st.floats(0.0, 0.1, allow_nan=False),
+)
+
+
+def _requests(rows):
+    return [PredictionRequest(request_id=i, arrival_s=0.001 * i,
+                              n_rows=n)
+            for i, n in enumerate(rows)]
+
+
+@given(rows=row_lists, policy=policies)
+@FAST
+def test_batcher_never_reorders_or_drops(rows, policy):
+    batcher = MicroBatcher(policy)
+    for request in _requests(rows):
+        batcher.add(request)
+    drained = []
+    while len(batcher):
+        batch = batcher.take()
+        assert batch, "take() on a non-empty batcher must yield"
+        drained.extend(batch)
+    assert [r.request_id for r in drained] == list(range(len(rows)))
+
+
+@given(rows=row_lists, policy=policies)
+@FAST
+def test_batcher_respects_caps(rows, policy):
+    batcher = MicroBatcher(policy)
+    for request in _requests(rows):
+        batcher.add(request)
+    while len(batcher):
+        batch = batcher.take()
+        assert len(batch) <= policy.max_batch_requests
+        batch_rows = sum(r.n_rows for r in batch)
+        # a single oversized request may exceed the row cap (admission
+        # normally filters it); any multi-request batch must fit
+        assert batch_rows <= policy.max_batch_rows or len(batch) == 1
+
+
+@given(rows=row_lists, policy=policies, slots=st.integers(1, 4))
+@FAST
+def test_server_answers_every_request_exactly_once(rows, policy, slots):
+    # cap requests at the server's batch ceiling so none are rejected
+    rows = [min(n, policy.max_batch_rows) for n in rows]
+    router = SLORouter(stub_variants())
+    server = PredictionServer(router, policy=policy, n_slots=slots)
+    responses = server.process(_requests(rows))
+    assert [r.request_id for r in responses] == list(range(len(rows)))
+    assert all(r.status == "ok" for r in responses)
+    assert [r.n_rows for r in responses] == rows
+
+
+@given(rows=row_lists, policy=policies, slots=st.integers(1, 4))
+@FAST
+def test_server_seeded_replay_is_bit_identical(rows, policy, slots):
+    def run():
+        router = SLORouter(stub_variants())
+        server = PredictionServer(router, policy=policy, n_slots=slots)
+        return [
+            (r.request_id, r.status, r.variant, r.started_s,
+             r.completed_s, r.joules)
+            for r in server.process(_requests(rows))
+        ]
+
+    assert run() == run()
+
+
+@given(
+    weights=st.lists(
+        st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=8,
+    ),
+    label=st.integers(0, 1),
+)
+@FAST
+def test_artifact_round_trip_is_bit_identical(weights, label):
+    model = StubModel(label=label)
+    model.weights = np.asarray(weights)
+    X = np.linspace(-2, 2, 30).reshape(10, 3)
+    with tempfile.TemporaryDirectory() as td:
+        store = ArtifactStore(td)
+        manifest = store.save(
+            model, system="Stub", variant="ensemble",
+            dataset_fingerprint="prop", accuracy=0.5,
+        )
+        loaded = store.load(manifest.artifact_id)
+    assert np.array_equal(loaded.model.weights, model.weights)
+    assert np.array_equal(loaded.predict(X), model.predict(X))
+    assert pickle.dumps(loaded.model, protocol=5) \
+        == pickle.dumps(model, protocol=5)
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@FAST
+def test_loadgen_seeded_replay(seed):
+    profile = LoadProfile(n_requests=50)
+    a = generate_requests(profile, random_state=seed)
+    b = generate_requests(profile, random_state=seed)
+    assert [(r.arrival_s, r.n_rows, r.budget) for r in a] \
+        == [(r.arrival_s, r.n_rows, r.budget) for r in b]

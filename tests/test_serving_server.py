@@ -1,0 +1,268 @@
+"""Prediction server + SLO router: batching, budgets, deadlines,
+routing policy, observability and fault seams."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    SEAM_REQUEST_TIMEOUT,
+    FailureRecord,
+    FaultInjector,
+    FaultPlan,
+    SeamSpec,
+)
+from repro.observability import MetricsRegistry, validate_span_tree
+from repro.serving import (
+    ROUTE_BUDGET_REJECT,
+    ROUTE_SLO_FALLBACK,
+    ROUTE_SLO_OK,
+    BatchPolicy,
+    MicroBatcher,
+    PredictionRequest,
+    PredictionServer,
+    RequestBudget,
+    SLORouter,
+    STATUS_OK,
+    STATUS_REJECTED,
+    STATUS_TIMEOUT,
+)
+
+from tests.serving_stubs import stub_variants
+
+
+def req(i, t, rows=1, **budget):
+    return PredictionRequest(
+        request_id=i, arrival_s=float(t), n_rows=rows,
+        budget=RequestBudget(**budget),
+    )
+
+
+def make_server(**kw):
+    kw.setdefault("policy", BatchPolicy())
+    router = SLORouter(stub_variants(),
+                       target_j_per_pred=kw.pop("target", None))
+    return PredictionServer(router, **kw)
+
+
+class TestMicroBatcher:
+    def test_fifo_order_and_caps(self):
+        policy = BatchPolicy(max_batch_rows=10, max_batch_requests=3)
+        batcher = MicroBatcher(policy)
+        for i in range(5):
+            batcher.add(req(i, t=i * 0.001, rows=4))
+        batch = batcher.take()
+        # 4+4=8 rows fit, a third request would exceed 10 rows
+        assert [r.request_id for r in batch] == [0, 1]
+        assert [r.request_id for r in batcher.take()] == [2, 3]
+        assert [r.request_id for r in batcher.take()] == [4]
+        assert batcher.take() == []
+
+    def test_request_cap(self):
+        policy = BatchPolicy(max_batch_rows=1000, max_batch_requests=2)
+        batcher = MicroBatcher(policy)
+        for i in range(3):
+            batcher.add(req(i, t=0.0))
+        assert len(batcher.take()) == 2
+        assert len(batcher.take()) == 1
+
+    def test_oversized_head_still_leaves(self):
+        policy = BatchPolicy(max_batch_rows=4)
+        batcher = MicroBatcher(policy)
+        batcher.add(req(0, t=0.0, rows=9))
+        assert [r.request_id for r in batcher.take()] == [0]
+
+    def test_ready_full_or_waited(self):
+        policy = BatchPolicy(max_batch_rows=8, max_wait_s=0.01)
+        batcher = MicroBatcher(policy)
+        batcher.add(req(0, t=1.0, rows=2))
+        assert not batcher.ready(1.0)
+        assert batcher.ready(1.01)            # wait window expired
+        batcher.add(req(1, t=1.0, rows=6))
+        assert batcher.ready(1.0)             # row cap reached
+        assert batcher.flush_at() == pytest.approx(1.01)
+
+
+class TestRouting:
+    def test_most_accurate_without_target(self):
+        router = SLORouter(stub_variants())
+        decision = router.route(10)
+        assert decision.variant == "ensemble"
+        assert decision.reason == ROUTE_SLO_OK
+
+    def test_tightened_target_switches_variant(self):
+        variants = stub_variants()
+        ensemble_j = variants["ensemble"].manifest.joules_per_prediction
+        refit_j = variants["refit"].manifest.joules_per_prediction
+        between = (ensemble_j + refit_j) / 2
+        assert SLORouter(variants).route(1).variant == "ensemble"
+        assert SLORouter(variants, target_j_per_pred=between) \
+            .route(1).variant == "refit"
+
+    def test_unmeetable_target_serves_cheapest_as_fallback(self):
+        router = SLORouter(stub_variants(), target_j_per_pred=1e-30)
+        decision = router.route(5)
+        assert decision.variant == "distilled"
+        assert decision.reason == ROUTE_SLO_FALLBACK
+
+    def test_hard_joule_budget_rejects(self):
+        router = SLORouter(stub_variants())
+        decision = router.route(10, max_joules=1e-30)
+        assert decision.variant is None
+        assert decision.reason == ROUTE_BUDGET_REJECT
+        assert not decision.accepted
+
+    def test_observe_moves_the_estimate(self):
+        router = SLORouter(stub_variants(), ewma_alpha=0.5)
+        before = router.j_per_prediction("refit")
+        router.observe("refit", 10, joules=before * 40)
+        assert router.j_per_prediction("refit") > before
+
+    def test_drop_variant_degrades_but_keeps_one(self):
+        router = SLORouter(stub_variants())
+        router.drop_variant("ensemble")
+        assert router.route(1).variant == "refit"
+        router.drop_variant("refit")
+        router.drop_variant("distilled")   # refused: last one standing
+        assert router.route(1).variant == "distilled"
+
+    def test_snapshot_is_sorted(self):
+        snap = SLORouter(stub_variants()).snapshot()
+        assert list(snap["estimates"]) == sorted(snap["estimates"])
+        assert list(snap["accuracy"]) == sorted(snap["accuracy"])
+
+
+class TestServer:
+    def test_one_response_per_request_in_id_order(self):
+        server = make_server()
+        requests = [req(i, t=0.001 * (i % 7), rows=1 + i % 3)
+                    for i in range(50)]
+        responses = server.process(requests)
+        assert [r.request_id for r in responses] == list(range(50))
+        assert all(r.status == STATUS_OK for r in responses)
+
+    def test_row_cap_rejection_is_structured(self):
+        server = make_server()
+        responses = server.process([req(0, t=0.0, rows=5, max_rows=2)])
+        only = responses[0]
+        assert only.status == STATUS_REJECTED
+        assert only.variant is None
+        assert only.failure is not None
+        assert only.failure.seam == "request_budget"
+        assert FailureRecord.is_structured_note(only.failure.to_note())
+
+    def test_server_batch_ceiling_rejects(self):
+        server = make_server(policy=BatchPolicy(max_batch_rows=8))
+        responses = server.process([req(0, t=0.0, rows=9)])
+        assert responses[0].status == STATUS_REJECTED
+
+    def test_joule_budget_rejection(self):
+        server = make_server()
+        responses = server.process(
+            [req(0, t=0.0, rows=4, max_joules=1e-30)])
+        assert responses[0].status == STATUS_REJECTED
+
+    def test_deadline_exceeded_is_timeout(self):
+        server = make_server()
+        responses = server.process(
+            [req(0, t=0.0, rows=1, deadline_s=1e-9)])
+        only = responses[0]
+        assert only.status == STATUS_TIMEOUT
+        assert only.failure.seam == "request_deadline"
+        assert only.latency_s > 1e-9
+
+    def test_batching_coalesces_requests(self):
+        server = make_server(n_slots=1)
+        # 30 requests land inside one wait window -> far fewer batches
+        responses = server.process([req(i, t=0.0) for i in range(30)])
+        assert len(responses) == 30
+        assert server.n_batches < 30
+
+    def test_predictions_are_real(self):
+        server = make_server()
+        X = np.array([[1.0, 0.0], [-1.0, 0.0], [2.0, 0.0]])
+        request = PredictionRequest(request_id=0, arrival_s=0.0,
+                                    n_rows=3, X=X)
+        responses = server.process([request])
+        # StubModel labels x0 > 0 as its `label` (default 0)
+        assert np.array_equal(responses[0].predictions,
+                              np.array([0, 1, 0]))
+
+    def test_split_batch_predictions_match_per_request_rows(self):
+        server = make_server()
+        reqs = []
+        for i in range(4):
+            X = np.full((i + 1, 2), float(i + 1))
+            reqs.append(PredictionRequest(
+                request_id=i, arrival_s=0.0, n_rows=i + 1, X=X))
+        responses = server.process(reqs)
+        for i, r in enumerate(responses):
+            assert len(r.predictions) == i + 1
+
+    def test_energy_accounting_positive_and_additive(self):
+        server = make_server()
+        responses = server.process(
+            [req(i, t=0.0, rows=2) for i in range(10)])
+        total = sum(r.joules for r in responses)
+        assert total > 0
+        counter = server.registry.counter("serving.joules")
+        assert counter.value == pytest.approx(total)
+
+    def test_metrics_cover_every_request(self):
+        server = make_server()
+        responses = server.process([
+            req(0, t=0.0, rows=2),
+            req(1, t=0.0, rows=9, max_rows=4),
+            req(2, t=0.0, rows=1, deadline_s=1e-9),
+        ])
+        registry = server.registry
+        assert registry.counter("serving.requests").value == 3
+        assert registry.counter("serving.ok").value == 1
+        assert registry.counter("serving.rejected").value == 1
+        assert registry.counter("serving.timeout").value == 1
+        assert len(responses) == 3
+
+    def test_every_request_emits_a_valid_span_tree(self):
+        server = make_server(span_sample_every=1)
+        server.process([
+            req(0, t=0.0, rows=2),
+            req(1, t=0.0, rows=9, max_rows=4),   # rejected
+        ])
+        assert len(server.spans) == 2
+        for root in server.spans:
+            assert root["clock"] == "sim"
+            assert validate_span_tree(root) == []
+        served = next(s for s in server.spans
+                      if s["attrs"]["status"] == STATUS_OK)
+        assert [c["name"] for c in served["children"]] == \
+            ["queue_wait", "batch", "predict", "energy"]
+
+    def test_span_sampling_off_records_nothing(self):
+        server = make_server(span_sample_every=0)
+        server.process([req(0, t=0.0)])
+        assert server.spans == []
+
+    def test_injected_stall_is_flagged_and_answered(self):
+        plan = FaultPlan(seed=1, seams={
+            SEAM_REQUEST_TIMEOUT: SeamSpec(rate=1.0, delay_s=5.0),
+        })
+        server = make_server(fault_injector=FaultInjector(plan))
+        responses = server.process(
+            [req(0, t=0.0, rows=1, deadline_s=0.1)])
+        only = responses[0]
+        assert only.status == STATUS_TIMEOUT
+        assert only.failure.injected
+        assert only.failure.seam == SEAM_REQUEST_TIMEOUT
+        assert only.latency_s > 5.0
+
+    def test_fallback_routing_counts_as_slo_miss(self):
+        server = make_server(target=1e-30)
+        responses = server.process([req(0, t=0.0)])
+        assert responses[0].status == STATUS_OK
+        assert not responses[0].slo_ok
+
+    def test_registry_is_shared_with_router(self):
+        registry = MetricsRegistry()
+        router = SLORouter(stub_variants(), registry=registry)
+        server = PredictionServer(router, registry=registry)
+        server.process([req(0, t=0.0)])
+        assert registry.counter("router.pick.ensemble").value == 1
