@@ -1,0 +1,75 @@
+"""Speed bench — the full GRN001-GRN104 lint pipeline over the repo.
+
+Lints the same tree CI lints (``src``, ``benchmarks``, ``examples``)
+with every rule enabled, including the project-wide call-graph build
+and the interprocedural taint fixpoint, and records wall time, files
+per second and the per-pass finding census into ``BENCH_lint.json``.
+The lint gate runs on every CI push, so its latency is part of the
+repository's own energy budget; this bench is the regression tripwire
+for the resolve/flow passes staying roughly linear in tree size.
+"""
+
+from pathlib import Path
+
+from conftest import emit, write_bench_json
+
+from repro.analysis.reporting import format_table
+from repro.lint import lint_paths
+from repro.utils.timer import Stopwatch, WallClock
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINT_TARGETS = ["src", "benchmarks", "examples"]
+
+
+def _run_lint_bench():
+    with Stopwatch(WallClock()) as watch:
+        result = lint_paths(
+            [str(REPO_ROOT / t) for t in LINT_TARGETS],
+            root=str(REPO_ROOT),
+        )
+    return result, watch
+
+
+def test_speed_lint(benchmark):
+    result, watch = benchmark.pedantic(
+        _run_lint_bench, rounds=1, iterations=1,
+    )
+    files_per_s = (result.files_checked / watch.elapsed
+                   if watch.elapsed > 0 else float("inf"))
+    by_code: dict = {}
+    for finding in result.findings:
+        by_code[finding.code] = by_code.get(finding.code, 0) + 1
+
+    functions_indexed = sum(
+        len(mod.functions) for mod in result.index.modules.values()
+    ) if result.index is not None else 0
+
+    path = write_bench_json("BENCH_lint.json", {
+        "files_checked": result.files_checked,
+        "files_per_s": round(files_per_s, 1),
+        "findings_by_code": by_code,
+        "findings_total": len(result.findings),
+        "functions_indexed": functions_indexed,
+        "targets": LINT_TARGETS,
+        "waived": result.waived,
+        "wall_s": round(watch.elapsed, 3),
+    })
+
+    rows = [[
+        str(result.files_checked),
+        f"{functions_indexed:,}",
+        f"{watch.elapsed:.2f}",
+        f"{files_per_s:,.0f}",
+        str(len(result.findings)),
+        str(result.waived),
+    ]]
+    emit("Lint pipeline speed — parse + resolve + flow over "
+         f"{', '.join(LINT_TARGETS)}\n\n"
+         + format_table(
+             ["files", "functions", "wall s", "files/s",
+              "findings", "waived"], rows)
+         + f"\nwrote {path}")
+
+    assert result.files_checked > 0
+    assert not result.findings, \
+        "the linted tree must stay clean; fix or waive before landing"

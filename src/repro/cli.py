@@ -345,21 +345,54 @@ def _cmd_lint(args) -> int:
         load_baseline,
         partition,
         render_json,
+        render_sarif,
         render_text,
         write_baseline,
     )
 
-    result = lint_paths(args.paths)
+    restrict_seed = None
+    if args.changed:
+        from repro.lint.changed import changed_files
+
+        restrict_seed = changed_files(base=args.base)
+    result = lint_paths(args.paths, restrict_seed=restrict_seed)
+    if args.changed and result.restricted is not None:
+        print(f"# --changed: {len(result.restricted)} file(s) in "
+              f"scope (diff + reverse-dependency closure)",
+              file=sys.stderr)
     if args.write_baseline:
+        from pathlib import Path
+
+        # the ratchet compares against an *existing* baseline only:
+        # the first write of a fresh file is how one gets started
+        exists = Path(args.baseline).exists()
+        baseline = load_baseline(args.baseline)
+        grew = exists and len(result.findings) > sum(baseline.values())
+        if grew and not args.allow_baseline_growth:
+            print(
+                f"refusing to grow the baseline: "
+                f"{sum(baseline.values())} -> {len(result.findings)} "
+                f"entries.\nThe baseline is a ratchet — it only "
+                f"shrinks as grandfathered findings get fixed.  Fix "
+                f"the new findings or waive them inline with a "
+                f"justification (# repro-lint: disable=GRNxxx  # why); "
+                f"pass --allow-baseline-growth only for a deliberate, "
+                f"reviewed exception.",
+                file=sys.stderr,
+            )
+            return 1
         write_baseline(args.baseline, result.findings)
         print(f"wrote {len(result.findings)} finding(s) to "
               f"{args.baseline}")
         return 0
     new, baselined = partition(result.findings,
                                load_baseline(args.baseline))
-    render = render_json if args.format == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif}.get(
+        args.format, render_text)
     print(render(new, baselined))
-    return 1 if new else 0
+    # the info tier (GRN104 work-list) is reported but never fails
+    return 1 if any(f.severity in ("error", "warning")
+                    for f in new) else 0
 
 
 def _cmd_datasets(_args) -> int:
@@ -546,20 +579,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.set_defaults(func=_cmd_reproduce)
 
     p_lint = sub.add_parser(
-        "lint", help="check the repro invariants (GRN001-GRN006)")
+        "lint",
+        help="check the repro invariants (GRN001-GRN006 per-file, "
+             "GRN101-GRN104 whole-program dataflow)")
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint "
                              "(default: src)")
-    p_lint.add_argument("--format", choices=["text", "json"],
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text",
-                        help="report format (both are stable-sorted)")
+                        help="report format (all are stable-sorted; "
+                             "sarif is SARIF 2.1.0 for GitHub "
+                             "annotations)")
     p_lint.add_argument("--baseline", default=".repro-lint-baseline.json",
                         help="grandfathered-findings file; only NEW "
                              "findings fail the run")
     p_lint.add_argument("--write-baseline", action="store_true",
                         dest="write_baseline",
                         help="rewrite --baseline from the current "
-                             "findings and exit 0")
+                             "findings and exit 0; refuses to GROW "
+                             "the baseline (the ratchet) unless "
+                             "--allow-baseline-growth is given")
+    p_lint.add_argument("--allow-baseline-growth", action="store_true",
+                        dest="allow_baseline_growth",
+                        help="override the baseline ratchet for a "
+                             "deliberate, reviewed exception")
+    p_lint.add_argument("--changed", action="store_true",
+                        help="scope findings to git-changed files plus "
+                             "their reverse-dependency closure from "
+                             "the import graph (fast local runs)")
+    p_lint.add_argument("--base", default="origin/main",
+                        help="git ref --changed diffs against "
+                             "(default: origin/main, falls back to "
+                             "HEAD)")
     p_lint.set_defaults(func=_cmd_lint)
 
     p_ds = sub.add_parser("datasets", help="list the Table 2 suite")

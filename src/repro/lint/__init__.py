@@ -14,7 +14,27 @@ GRN005      estimator contract (fit ⇒ predict/transform, get/set_params,
 GRN006      no mutable default args, no pass-only ``except Exception``
 ==========  =====================================================
 
-Run it as ``repro lint [paths...]`` or programmatically::
+On top of the per-file rules, a whole-program *dataflow* tier (parse →
+resolve → flow: :mod:`repro.lint.callgraph` builds the symbol table
+and call graph, :mod:`repro.lint.dataflow` the taint summaries):
+
+==========  =====================================================
+GRN101      determinism taint — RNG/clock/entropy/``id()``/set-order
+            values must not flow into persisted sinks (cache,
+            journal, spans, bench reports)          [error]
+GRN102      no module state mutated by pool-worker-reachable code;
+            no unsanctioned worker-reachable lru_cache   [error]
+GRN103      executors/queues/files released on every exit path
+            (context manager or finally)           [warning]
+GRN104      row-wise python loops over numpy data in the hot
+            layers, phase-annotated — the vectorization
+            work-list for the model-zoo speedup       [info]
+==========  =====================================================
+
+``error``/``warning`` findings fail the run; ``info`` is reported
+only.  Run it as ``repro lint [paths...]`` (``--format sarif`` for
+GitHub annotations, ``--changed`` to scope to the git diff plus its
+reverse-dependency closure) or programmatically::
 
     from repro.lint import lint_paths
     result = lint_paths(["src/repro"])
@@ -22,7 +42,8 @@ Run it as ``repro lint [paths...]`` or programmatically::
 
 Inline waivers (``# repro-lint: disable=GRN004``) silence a single
 line; the committed baseline file (``.repro-lint-baseline.json``)
-grandfathers known findings so CI fails only on *new* ones.
+grandfathers known findings so CI fails only on *new* ones — and the
+baseline is a ratchet: ``--write-baseline`` refuses to grow it.
 """
 
 from repro.lint.baseline import (
@@ -31,24 +52,35 @@ from repro.lint.baseline import (
     partition,
     write_baseline,
 )
-from repro.lint.core import FileContext, Finding, ProjectRule, Rule
+from repro.lint.callgraph import ProjectIndex, build_index
+from repro.lint.core import (
+    DataflowRule,
+    FileContext,
+    Finding,
+    ProjectRule,
+    Rule,
+)
 from repro.lint.engine import LintEngine, LintResult, lint_paths
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES
 
 __all__ = [
     "ALL_RULES",
     "DEFAULT_BASELINE",
+    "DataflowRule",
     "FileContext",
     "Finding",
     "LintEngine",
     "LintResult",
+    "ProjectIndex",
     "ProjectRule",
     "Rule",
+    "build_index",
     "lint_paths",
     "load_baseline",
     "partition",
     "render_json",
+    "render_sarif",
     "render_text",
     "write_baseline",
 ]

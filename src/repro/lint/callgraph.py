@@ -1,0 +1,634 @@
+"""The *resolve* pass: project-wide symbol index and call graph.
+
+Per-file AST rules (GRN001-006) judge one tree at a time.  The GRN1xx
+dataflow families need to answer whole-program questions — "does this
+wall-clock read reach a journal record three calls away?", "is this
+module-level dict mutated by anything a pool worker runs?" — so the
+engine builds one :class:`ProjectIndex` between parsing and rule
+dispatch:
+
+- a **symbol table** per module: imports (module- and function-level,
+  relative imports resolved), top-level functions, classes with their
+  methods and base names, and module-level bindings (with the mutable
+  ones marked);
+- a **call graph** over qualified names (``repro.mod.fn`` /
+  ``repro.mod.Class.method``).  Resolution is best-effort static:
+  local names, imported names, ``self.method`` through the in-project
+  MRO, and ``module.attr`` chains through the import table.  Duck-typed
+  calls stay unresolved — the dotted text is kept so rules can still
+  pattern-match sink shapes like ``self.cache.put``;
+- **worker roots**: every function shipped into another process —
+  first arguments of ``.submit()``/``.map()``/``.apply_async()``,
+  ``target=``/``initializer=`` keywords — which seeds the GRN102
+  reachability question;
+- **phase spans**: call sites inside ``with trace_span("fit"):`` blocks
+  are tagged with the span name, so a hotspot finding deep in the model
+  zoo can be annotated with the campaign phase whose energy it burns.
+
+Everything is iterated in sorted order: the index must produce the same
+finding order on every machine (the baseline/CI-diff guarantee).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import FileContext, dotted_name
+
+#: attribute names whose first positional argument is shipped to
+#: another process/thread for execution
+_SUBMIT_ATTRS = frozenset({"submit", "apply_async"})
+#: keywords whose value is executed in a child process
+_CALLABLE_KEYWORDS = frozenset({"target", "initializer"})
+#: span-opening callables whose literal first argument names a phase
+_SPAN_OPENERS = frozenset({"trace_span", "span", "make_span"})
+#: constructors of mutable module-level state
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "dict", "list", "set", "defaultdict", "Counter", "deque",
+    "OrderedDict",
+})
+#: method names that mutate their receiver in place
+MUTATING_METHODS = frozenset({
+    "append", "extend", "add", "update", "insert", "remove", "discard",
+    "pop", "popitem", "popleft", "appendleft", "clear", "setdefault",
+    "sort", "reverse",
+})
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    node: ast.Call
+    #: resolved qualified name (project-internal or external dotted),
+    #: None when resolution failed
+    callee: str | None
+    #: the textual dotted form (``self.cache.put``), None for dynamic
+    #: callees (subscripts, calls-of-calls)
+    dotted: str | None
+    #: innermost enclosing ``with trace_span("...")`` phase name
+    phase: str | None = None
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with its resolved call sites."""
+
+    qname: str
+    module: str
+    path: str
+    node: ast.AST
+    cls: str | None = None
+    decorators: list[str] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    #: phase names this function itself establishes via ``with`` spans
+    phases: list[str] = field(default_factory=list)
+    #: local bindings (params + stored names), for global/local disambig
+    local_names: set[str] = field(default_factory=set)
+    #: names declared ``global`` in the body
+    global_names: set[str] = field(default_factory=set)
+    #: (module, name, node, how) module-level bindings this function
+    #: mutates — rebinding via ``global``, in-place method calls,
+    #: subscript stores and aug-assigns
+    module_writes: list[tuple] = field(default_factory=list)
+    #: (module, name) module-level bindings this function reads
+    module_reads: set[tuple] = field(default_factory=set)
+
+
+@dataclass
+class ClassInfo:
+    qname: str
+    name: str
+    module: str
+    bases: list[str] = field(default_factory=list)   # local base names
+    methods: dict[str, str] = field(default_factory=dict)  # name -> qname
+
+
+@dataclass
+class ModuleInfo:
+    name: str
+    ctx: FileContext
+    #: local alias -> absolute dotted target ("np" -> "numpy")
+    imports: dict[str, str] = field(default_factory=dict)
+    functions: dict[str, str] = field(default_factory=dict)  # local -> qname
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level bindings: name -> lineno
+    bindings: dict[str, int] = field(default_factory=dict)
+    #: the subset bound to mutable containers: name -> (lineno, kind)
+    mutables: dict[str, tuple[int, str]] = field(default_factory=dict)
+
+
+class ProjectIndex:
+    """Symbol table + call graph over one lint run's contexts."""
+
+    def __init__(self, contexts: list[FileContext]):
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        #: caller qname -> sorted callee qnames
+        self.edges: dict[str, list[str]] = {}
+        self.reverse_edges: dict[str, list[str]] = {}
+        #: functions shipped into other processes (GRN102 roots)
+        self.worker_roots: list[str] = []
+        #: module -> repro modules it imports (for --changed closure)
+        self.module_imports: dict[str, set[str]] = {}
+        for ctx in sorted(contexts, key=lambda c: c.path):
+            if ctx.module is not None:
+                self._index_module(ctx)
+        for ctx in sorted(contexts, key=lambda c: c.path):
+            if ctx.module is not None:
+                self._resolve_module(ctx)
+        self._finish_edges()
+
+    # -- pass 1: symbols -------------------------------------------------------
+    def _index_module(self, ctx: FileContext) -> None:
+        mod = ModuleInfo(name=ctx.module, ctx=ctx)
+        self.modules[ctx.module] = mod
+        self.module_imports[ctx.module] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._index_import(mod, node)
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{mod.name}.{node.name}"
+                mod.functions[node.name] = qname
+                self.functions[qname] = self._make_function(
+                    qname, mod, node, cls=None,
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(mod, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                self._index_binding(mod, node)
+
+    def _index_import(self, mod: ModuleInfo, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                alias = item.asname or item.name.split(".")[0]
+                target = item.name if item.asname else item.name.split(".")[0]
+                mod.imports[alias] = target
+                self.module_imports[mod.name].add(item.name)
+            return
+        base = node.module or ""
+        if node.level:
+            parts = mod.name.split(".")
+            parts = parts[: len(parts) - node.level]
+            base = ".".join(parts + ([node.module] if node.module else []))
+        for item in node.names:
+            if item.name == "*":
+                continue
+            alias = item.asname or item.name
+            mod.imports[alias] = f"{base}.{item.name}" if base else item.name
+        if base:
+            self.module_imports[mod.name].add(base)
+
+    def _index_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        qname = f"{mod.name}.{node.name}"
+        info = ClassInfo(qname=qname, name=node.name, module=mod.name)
+        for base in node.bases:
+            rendered = dotted_name(base)
+            if rendered is not None:
+                info.bases.append(rendered.split(".")[-1])
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method_qname = f"{qname}.{item.name}"
+                info.methods[item.name] = method_qname
+                self.functions[method_qname] = self._make_function(
+                    method_qname, mod, item, cls=node.name,
+                )
+        mod.classes[node.name] = info
+        self.classes[qname] = info
+        # the short name too: base-name resolution is by bare name
+        self.classes.setdefault(node.name, info)
+
+    def _index_binding(self, mod: ModuleInfo, node: ast.AST) -> None:
+        targets = (node.targets if isinstance(node, ast.Assign)
+                   else [node.target])
+        value = node.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            mod.bindings[target.id] = node.lineno
+            kind = self._mutable_kind(value)
+            if kind is not None and target.id != "__all__":
+                mod.mutables[target.id] = (node.lineno, kind)
+
+    @staticmethod
+    def _mutable_kind(value: ast.AST | None) -> str | None:
+        if isinstance(value, ast.List):
+            return "list"
+        if isinstance(value, ast.Dict):
+            return "dict"
+        if isinstance(value, ast.Set):
+            return "set"
+        if isinstance(value, (ast.ListComp, ast.DictComp, ast.SetComp)):
+            return "comprehension"
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            if dotted and dotted.split(".")[-1] in _MUTABLE_CONSTRUCTORS:
+                return dotted.split(".")[-1]
+        return None
+
+    def _make_function(self, qname: str, mod: ModuleInfo,
+                       node: ast.AST, cls: str | None) -> FunctionInfo:
+        decorators = []
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            rendered = dotted_name(target)
+            if rendered is not None:
+                decorators.append(rendered)
+        return FunctionInfo(
+            qname=qname, module=mod.name, path=mod.ctx.path, node=node,
+            cls=cls, decorators=decorators,
+        )
+
+    # -- pass 2: resolution ----------------------------------------------------
+    def _resolve_module(self, ctx: FileContext) -> None:
+        mod = self.modules[ctx.module]
+        for fn in sorted(self.functions.values(), key=lambda f: f.qname):
+            if fn.module != mod.name:
+                continue
+            _FunctionResolver(self, mod, fn).run()
+
+    def _finish_edges(self) -> None:
+        edges: dict[str, set[str]] = {}
+        reverse: dict[str, set[str]] = {}
+        for fn in self.functions.values():
+            targets = edges.setdefault(fn.qname, set())
+            for site in fn.calls:
+                if site.callee is not None and site.callee in self.functions:
+                    targets.add(site.callee)
+                    reverse.setdefault(site.callee, set()).add(fn.qname)
+                elif site.callee is not None and site.callee in self.classes:
+                    # constructing a class runs its __init__
+                    init = self.classes[site.callee].methods.get("__init__")
+                    if init is not None:
+                        targets.add(init)
+                        reverse.setdefault(init, set()).add(fn.qname)
+        self.edges = {q: sorted(t) for q, t in sorted(edges.items())}
+        self.reverse_edges = {q: sorted(t)
+                              for q, t in sorted(reverse.items())}
+        self.worker_roots = sorted(set(self.worker_roots))
+
+    # -- queries ---------------------------------------------------------------
+    def reachable_from(self, roots) -> list[str]:
+        """Qualified names reachable (inclusive) from ``roots``, sorted."""
+        seen: set[str] = set()
+        frontier = sorted(r for r in roots if r in self.functions)
+        while frontier:
+            qname = frontier.pop()
+            if qname in seen:
+                continue
+            seen.add(qname)
+            frontier.extend(c for c in self.edges.get(qname, ())
+                            if c not in seen)
+        return sorted(seen)
+
+    def resolve_method(self, class_name: str, method: str) -> str | None:
+        """``Class.method`` through the in-project MRO (closest wins)."""
+        seen: set[str] = set()
+        stack = [class_name]
+        while stack:
+            name = stack.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            info = self.classes.get(name)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            stack.extend(info.bases)
+        return None
+
+    def phases_into(self, qname: str, max_depth: int = 8) -> list[str]:
+        """Phase span names under which ``qname`` runs: its own spans,
+        or the nearest spanned ancestors up the (reverse) call graph."""
+        seen: set[str] = set()
+        level = [qname]
+        for _ in range(max_depth):
+            phases: set[str] = set()
+            for name in level:
+                fn = self.functions.get(name)
+                if fn is None:
+                    continue
+                phases.update(fn.phases)
+            # phases established *at the call site* into this level
+            for name in level:
+                for caller in self.reverse_edges.get(name, ()):
+                    caller_fn = self.functions.get(caller)
+                    if caller_fn is None:
+                        continue
+                    for site in caller_fn.calls:
+                        if site.callee == name and site.phase:
+                            phases.add(site.phase)
+            if phases:
+                return sorted(phases)
+            seen.update(level)
+            level = sorted({
+                caller
+                for name in level
+                for caller in self.reverse_edges.get(name, ())
+                if caller not in seen
+            })
+            if not level:
+                break
+        return []
+
+
+class _FunctionResolver:
+    """Walks one function body: call sites, phases, module state use."""
+
+    def __init__(self, index: ProjectIndex, mod: ModuleInfo,
+                 fn: FunctionInfo):
+        self.index = index
+        self.mod = mod
+        self.fn = fn
+        #: imports visible here: module-level plus function-local ones
+        self.imports = dict(mod.imports)
+
+    def run(self) -> None:
+        node = self.fn.node
+        args = node.args
+        for a in (args.posonlyargs + args.args + args.kwonlyargs):
+            self.fn.local_names.add(a.arg)
+        if args.vararg:
+            self.fn.local_names.add(args.vararg.arg)
+        if args.kwarg:
+            self.fn.local_names.add(args.kwarg.arg)
+        self._collect_locals(node)
+        self._walk(node.body, phase=None)
+
+    def _collect_locals(self, node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Global):
+                self.fn.global_names.update(sub.names)
+            elif isinstance(sub, ast.Name) and isinstance(
+                    sub.ctx, ast.Store):
+                self.fn.local_names.add(sub.id)
+            elif isinstance(sub, (ast.Import, ast.ImportFrom)):
+                self.index._index_import(
+                    _ImportSink(self.imports, self.mod.name), sub,
+                )
+        self.fn.local_names -= self.fn.global_names
+
+    # -- body walk with phase tracking -----------------------------------------
+    def _walk(self, stmts, phase: str | None) -> None:
+        for stmt in stmts:
+            inner_phase = phase
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    name = self._span_name(item.context_expr)
+                    if name is not None:
+                        inner_phase = name
+                        self.fn.phases.append(name)
+                self._visit_expressions(stmt, phase, skip_body=True)
+                self._walk(stmt.body, inner_phase)
+                continue
+            bodies = self._nested_bodies(stmt)
+            if bodies:
+                self._visit_expressions(stmt, phase, skip_body=True)
+                for block in bodies:
+                    self._walk(block, phase)
+            else:
+                self._visit_expressions(stmt, phase, skip_body=False)
+
+    @staticmethod
+    def _nested_bodies(stmt: ast.AST):
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if block and isinstance(block, list) \
+                    and block and isinstance(block[0], ast.stmt):
+                bodies.append(block)
+        if hasattr(stmt, "handlers"):
+            for handler in stmt.handlers:
+                bodies.append(handler.body)
+        return bodies
+
+    def _visit_expressions(self, stmt: ast.AST, phase: str | None,
+                           skip_body: bool) -> None:
+        """Record call sites / state access in ``stmt``'s own
+        expressions (not its nested statement bodies, which the phase
+        walk descends into separately)."""
+        for node in self._own_nodes(stmt, skip_body):
+            if isinstance(node, ast.Call):
+                self._record_call(node, phase)
+            self._record_state_access(node)
+
+    @staticmethod
+    def _own_nodes(stmt: ast.AST, skip_body: bool):
+        if not skip_body:
+            nested = [n for n in ast.walk(stmt)
+                      if isinstance(n, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef,
+                                        ast.Lambda))
+                      and n is not stmt]
+            skip: set[int] = set()
+            for fn in nested:
+                skip.update(id(x) for x in ast.walk(fn) if x is not fn)
+            yield from (n for n in ast.walk(stmt) if id(n) not in skip)
+            return
+        # statement header only: iterate fields that are expressions
+        for field_name, value in ast.iter_fields(stmt):
+            if field_name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            values = value if isinstance(value, list) else [value]
+            for item in values:
+                if isinstance(item, ast.AST):
+                    yield from ast.walk(item)
+
+    # -- calls -----------------------------------------------------------------
+    def _record_call(self, node: ast.Call, phase: str | None) -> None:
+        dotted = dotted_name(node.func)
+        callee = self._resolve_callee(node.func, dotted)
+        self.fn.calls.append(CallSite(
+            node=node, callee=callee, dotted=dotted, phase=phase,
+        ))
+        self._record_worker_roots(node)
+        self._record_mutation_via_method(node)
+
+    def _resolve_callee(self, func: ast.AST,
+                        dotted: str | None) -> str | None:
+        if dotted is None:
+            return None
+        parts = dotted.split(".")
+        head = parts[0]
+        if head == "self" and self.fn.cls is not None and len(parts) == 2:
+            return self.index.resolve_method(self.fn.cls, parts[1])
+        if head in self.fn.local_names and head != "self":
+            return None   # calls through locals are dynamic
+        if len(parts) == 1:
+            if head in self.mod.functions:
+                return self.mod.functions[head]
+            if head in self.mod.classes:
+                return self.mod.classes[head].qname
+            target = self.imports.get(head)
+            if target is None:
+                return head   # builtin or unresolved bare name
+            return self._resolve_absolute(target)
+        target = self.imports.get(head)
+        absolute = dotted if target is None else \
+            ".".join([target] + parts[1:])
+        return self._resolve_absolute(absolute)
+
+    def _resolve_absolute(self, absolute: str, depth: int = 0) -> str:
+        """Map an absolute dotted name onto an indexed qname when it
+        points into the project; otherwise return it verbatim (external
+        names like ``time.monotonic`` stay matchable by rules).
+        Package re-exports (``from repro.observability import
+        install_tracer`` where ``__init__.py`` pulls it from
+        ``.tracing``) are chased through the package's own import
+        table, bounded by ``depth``."""
+        if absolute in self.index.functions or absolute in self.index.classes:
+            return absolute
+        if depth > 4:
+            return absolute
+        parts = absolute.split(".")
+        # module.func / module.Class / module.Class.method
+        for split in (len(parts) - 1, len(parts) - 2):
+            if split <= 0:
+                continue
+            mod_name = ".".join(parts[:split])
+            mod = self.index.modules.get(mod_name)
+            if mod is None:
+                continue
+            rest = parts[split:]
+            if len(rest) == 1:
+                if rest[0] in mod.functions:
+                    return mod.functions[rest[0]]
+                if rest[0] in mod.classes:
+                    return mod.classes[rest[0]].qname
+                if rest[0] in mod.imports:
+                    return self._resolve_absolute(
+                        mod.imports[rest[0]], depth + 1)
+            elif len(rest) == 2:
+                if rest[0] in mod.classes:
+                    resolved = self.index.resolve_method(
+                        rest[0], rest[1])
+                    if resolved is not None:
+                        return resolved
+                if rest[0] in mod.imports:
+                    return self._resolve_absolute(
+                        f"{mod.imports[rest[0]]}.{rest[1]}", depth + 1)
+        return absolute
+
+    def _record_worker_roots(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _SUBMIT_ATTRS \
+                and node.args:
+            self._add_root(node.args[0])
+        if isinstance(func, ast.Attribute) and func.attr == "map" \
+                and node.args:
+            self._add_root(node.args[0])
+        for kw in node.keywords:
+            if kw.arg in _CALLABLE_KEYWORDS:
+                self._add_root(kw.value)
+
+    def _add_root(self, expr: ast.AST) -> None:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return
+        resolved = self._resolve_callee(expr, dotted)
+        if resolved is not None and (resolved in self.index.functions
+                                     or resolved in self.index.classes):
+            self.index.worker_roots.append(resolved)
+
+    # -- spans -----------------------------------------------------------------
+    def _span_name(self, expr: ast.AST) -> str | None:
+        if not isinstance(expr, ast.Call):
+            return None
+        dotted = dotted_name(expr.func)
+        if dotted is None or dotted.split(".")[-1] not in _SPAN_OPENERS:
+            return None
+        if expr.args and isinstance(expr.args[0], ast.Constant) \
+                and isinstance(expr.args[0].value, str):
+            return expr.args[0].value
+        return None
+
+    # -- module state ----------------------------------------------------------
+    def _module_binding(self, expr: ast.AST) -> tuple[str, str] | None:
+        """(module, name) when ``expr`` references a module-level
+        binding — a bare global of this module, or ``othermod.NAME``
+        through the import table."""
+        if isinstance(expr, ast.Name):
+            name = expr.id
+            if name in self.fn.global_names:
+                return (self.mod.name, name)
+            if name in self.fn.local_names:
+                return None
+            if name in self.mod.bindings:
+                return (self.mod.name, name)
+            return None
+        dotted = dotted_name(expr)
+        if dotted is None or "." not in dotted:
+            return None
+        prefix, _, attr = dotted.rpartition(".")
+        head = prefix.split(".")[0]
+        if head in self.fn.local_names or head == "self":
+            return None
+        target = self.imports.get(head)
+        absolute = prefix if target is None else \
+            ".".join([target] + prefix.split(".")[1:])
+        mod = self.index.modules.get(absolute)
+        if mod is not None and attr in mod.bindings:
+            return (absolute, attr)
+        return None
+
+    def _record_state_access(self, node: ast.AST) -> None:
+        fn = self.fn
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            ref = self._module_binding(node)
+            if ref is not None:
+                fn.module_reads.add(ref)
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            if node.id in fn.global_names:
+                fn.module_writes.append(
+                    (self.mod.name, node.id, node, "global rebind")
+                )
+        elif isinstance(node, (ast.Subscript,)) and isinstance(
+                node.ctx, (ast.Store, ast.Del)):
+            ref = self._module_binding(node.value)
+            if ref is not None:
+                fn.module_writes.append(
+                    ref + (node, "subscript store")
+                )
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            base = target.value if isinstance(
+                target, ast.Subscript) else target
+            ref = self._module_binding(base)
+            if ref is not None:
+                fn.module_writes.append(ref + (node, "aug-assign"))
+
+    def _record_mutation_via_method(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in MUTATING_METHODS:
+            return
+        ref = self._module_binding(func.value)
+        if ref is not None:
+            self.fn.module_writes.append(
+                ref + (node, f".{func.attr}() call")
+            )
+
+
+class _ImportSink:
+    """Adapter letting ``ProjectIndex._index_import`` write function-
+    local imports into a resolver's import table."""
+
+    def __init__(self, imports: dict[str, str], module_name: str):
+        self.imports = imports
+        self.name = module_name
+        self.ctx = None
+
+    # ModuleInfo duck-type surface used by _index_import
+    @property
+    def module_imports(self):   # pragma: no cover - structural shim
+        return {}
+
+
+def build_index(contexts: list[FileContext]) -> ProjectIndex:
+    """Build the resolve-pass index over parsed contexts."""
+    return ProjectIndex(contexts)

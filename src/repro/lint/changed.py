@@ -1,0 +1,56 @@
+"""``repro lint --changed``: git-aware scoping for fast local runs.
+
+Only the *discovery* half lives here (asking git what moved); the
+reverse-dependency closure is the engine's job, because it needs the
+resolve pass's import graph.  Changed files are
+
+- everything differing from the merge base with ``--base`` (default
+  ``origin/main``, falling back to ``HEAD`` when the ref is absent,
+  e.g. in a fresh clone without remotes), staged or not, plus
+- untracked files git does not ignore.
+
+Paths come back repo-relative and posix-style, matching the display
+paths the engine reports when run from the repository root.
+"""
+
+from __future__ import annotations
+
+import subprocess
+
+DEFAULT_BASE = "origin/main"
+
+
+def _git_lines(args: list[str], root: str) -> list[str]:
+    proc = subprocess.run(
+        ["git", *args], cwd=root,
+        capture_output=True, text=True, check=False,
+    )
+    if proc.returncode != 0:
+        return []
+    return [line.strip() for line in proc.stdout.splitlines()
+            if line.strip()]
+
+
+def _ref_exists(ref: str, root: str) -> bool:
+    proc = subprocess.run(
+        ["git", "rev-parse", "--verify", "--quiet", ref],
+        cwd=root, capture_output=True, text=True, check=False,
+    )
+    return proc.returncode == 0
+
+
+def changed_files(root: str = ".",
+                  base: str = DEFAULT_BASE) -> set[str]:
+    """Repo-relative ``.py`` paths changed vs ``base`` + untracked."""
+    if not _ref_exists(base, root):
+        base = "HEAD"
+    paths: set[str] = set()
+    if _ref_exists(base, root):
+        paths.update(_git_lines(
+            ["diff", "--name-only", "--diff-filter=d", base, "--"],
+            root,
+        ))
+    paths.update(_git_lines(
+        ["ls-files", "--others", "--exclude-standard"], root,
+    ))
+    return {p for p in paths if p.endswith(".py")}

@@ -36,13 +36,21 @@ _FILE_WAIVER_RE = re.compile(
 )
 
 
+#: severity tiers, strongest first.  ``error`` and ``warning`` findings
+#: fail the lint run; ``info`` findings are a work-list (the GRN104
+#: vectorization hotspots) — reported, never failing.
+SEVERITIES = ("error", "warning", "info")
+
+
 @dataclass(frozen=True, order=True)
 class Finding:
     """One rule violation at one source location.
 
     Ordering is (path, line, col, code) so sorted findings are stable
     across machines — the contract the JSON reporter and the baseline
-    file rely on.
+    file rely on.  ``severity`` participates in ordering only as the
+    final tiebreak and is excluded from the baseline fingerprint, so
+    re-tiering a rule cannot orphan grandfathered entries.
     """
 
     path: str
@@ -50,6 +58,7 @@ class Finding:
     col: int
     code: str
     message: str
+    severity: str = "error"
 
     def fingerprint(self) -> tuple[str, str, str]:
         """Line-number-free identity used by the baseline: findings keep
@@ -64,6 +73,7 @@ class Finding:
             "col": self.col,
             "code": self.code,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -103,6 +113,7 @@ class Rule:
     code: str = "GRN000"
     name: str = "abstract-rule"
     rationale: str = ""
+    severity: str = "error"
 
     def check_file(self, ctx: FileContext) -> list[Finding]:
         raise NotImplementedError
@@ -115,6 +126,7 @@ class Rule:
             col=getattr(node, "col_offset", 0),
             code=self.code,
             message=message,
+            severity=self.severity,
         )
 
 
@@ -126,6 +138,20 @@ class ProjectRule(Rule):
         return []
 
     def check_project(self, contexts: list[FileContext]) -> list[Finding]:
+        raise NotImplementedError
+
+
+class DataflowRule(ProjectRule):
+    """Project rule that additionally consumes the resolved
+    :class:`~repro.lint.callgraph.ProjectIndex` (call graph, module
+    attribute table, worker roots).  The engine runs these last, in the
+    *flow* pass: parse -> resolve -> flow."""
+
+    def check_project(self, contexts: list[FileContext]) -> list[Finding]:
+        return []
+
+    def check_flow(self, contexts: list[FileContext],
+                   index) -> list[Finding]:
         raise NotImplementedError
 
 

@@ -1,0 +1,541 @@
+"""The *flow* pass: interprocedural determinism-taint analysis.
+
+Everything the campaign persists — cache records, journal events, span
+attributes, BENCH_*.json fields — must be a pure function of the cell
+coordinate and the seed.  This module proves the negative statically:
+it marks nondeterminism **sources** (unseeded ``np.random.*``,
+wall-clock reads, ``os.urandom``/``uuid4``, ``id()``, set-iteration
+order), follows the values through assignments, returns, arithmetic,
+f-strings and dataclass fields, and reports any flow into a
+**persistence sink**.
+
+The analysis is summary-based: each function gets a
+:class:`Summary` — which taint kinds it returns, which parameters pass
+through to its return value, which parameters it forwards into sinks,
+and which ``self.`` fields it taints.  Summaries are iterated to a
+bounded fixpoint (the call graph is shallow; ten rounds is far past
+convergence), then every function is re-scanned with callee summaries
+substituted at call sites, which is what makes the flow
+*inter*procedural: ``make_key(time.time())`` is flagged at the call
+site even though the sink lives three frames down.
+
+Precision choices, deliberately biased toward the repo's idioms:
+
+- **sanitizers**: ``sorted``/``min``/``max`` erase set-order taint
+  (order no longer depends on hash seeds); ``len``/``any``/``all``/
+  ``bool``/``frozenset`` erase all taint (their output is order-free);
+- **sanctioned modules** (the energy meters, the progress bar, the
+  injected-clock shim) get empty summaries: measurement *output* is
+  allowed to persist — that is the point of the repo;
+- unknown external calls conservatively pass argument taint through to
+  their result.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.callgraph import CallSite, FunctionInfo, ProjectIndex
+from repro.lint.core import dotted_name
+
+#: concrete taint kinds, with the human phrasing used in messages
+TAINT_KINDS = {
+    "rng": "unseeded global RNG",
+    "clock": "wall-clock read",
+    "entropy": "OS entropy",
+    "id": "id() address",
+    "set-order": "set-iteration order",
+}
+
+#: unseeded module-level numpy RNG — everything under numpy.random
+#: except the seeded-construction surface
+_ALLOWED_NP_RANDOM = frozenset({
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "BitGenerator", "PCG64", "Philox", "SFC64", "MT19937",
+})
+#: absolute callee names that *are* taint sources, by kind
+CLOCK_SOURCES = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+ENTROPY_SOURCES = frozenset({
+    "os.urandom", "uuid.uuid4", "uuid.uuid1",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbits", "secrets.randbelow",
+})
+#: stdlib ``random`` module-level functions (the shared global RNG)
+_RANDOM_MODULE_SAFE = frozenset({"Random", "SystemRandom", "seed"})
+
+#: callees whose result is order/taint-free regardless of input
+_FULL_SANITIZERS = frozenset({
+    "len", "any", "all", "bool", "frozenset", "isinstance", "hash",
+})
+#: callees that fix an ordering, erasing set-order taint only
+_ORDER_SANITIZERS = frozenset({"sorted", "min", "max", "sum"})
+
+#: modules whose *output* is sanctioned to persist: the energy meters
+#: and clock shims exist precisely to measure wall time / joules, and
+#: the progress bar renders timestamps without persisting them.
+SANCTIONED_MODULES = frozenset({
+    "repro.energy.rapl",
+    "repro.energy.tracker",
+    "repro.utils.timer",
+    "repro.runtime.progress",
+    "repro.observability.metrics",
+})
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """Tainted value reaching a persistence sink."""
+
+    kinds: frozenset      # concrete taint kinds that arrived
+    sink: str             # human label ("cache put", "journal record")
+    node: ast.AST         # call site to report at
+    via: str | None = None   # callee qname when the sink is downstream
+
+
+@dataclass
+class Summary:
+    """What a function does with taint, seen from its callers."""
+
+    returns: set = field(default_factory=set)       # concrete kinds
+    param_to_return: set = field(default_factory=set)   # arg positions
+    param_to_sink: dict = field(default_factory=dict)   # pos -> sink label
+    field_taints: dict = field(default_factory=dict)    # "field" -> kinds
+
+    def snapshot(self):
+        return (
+            frozenset(self.returns),
+            frozenset(self.param_to_return),
+            tuple(sorted((k, v) for k, v in self.param_to_sink.items())),
+            tuple(sorted((k, frozenset(v))
+                         for k, v in self.field_taints.items())),
+        )
+
+
+def classify_source(callee: str | None) -> str | None:
+    """Taint kind produced by calling ``callee`` (absolute dotted name),
+    or None for clean calls."""
+    if callee is None:
+        return None
+    if callee in CLOCK_SOURCES:
+        return "clock"
+    if callee in ENTROPY_SOURCES:
+        return "entropy"
+    if callee == "id":
+        return "id"
+    parts = callee.split(".")
+    if callee.startswith("numpy.random.") and len(parts) == 3 \
+            and parts[2] not in _ALLOWED_NP_RANDOM:
+        return "rng"
+    if parts[0] == "random" and len(parts) == 2 \
+            and parts[1] not in _RANDOM_MODULE_SAFE:
+        return "rng"
+    return None
+
+
+def classify_sink(site: CallSite) -> list[tuple[str, list[ast.AST]]]:
+    """Persistence sinks at this call site, as (label, tainted-arg-
+    candidates).  Heuristic and name-based — the repo is a controlled
+    codebase, so receiver names are meaningful: ``*.cache.put(...)``,
+    ``journal.record_*``, span constructors, bench writers."""
+    node = site.node
+    dotted = site.dotted
+    if dotted is None:
+        return []
+    parts = dotted.split(".")
+    method = parts[-1]
+    receiver = parts[-2] if len(parts) >= 2 else ""
+    args = list(node.args) + [kw.value for kw in node.keywords]
+    hits: list[tuple[str, list[ast.AST]]] = []
+    if receiver.endswith("cache") and method == "put":
+        hits.append(("cache put", args))
+    if receiver == "journal" and (
+            method.startswith("record") or method.startswith("_append")
+            or method == "open_campaign"):
+        hits.append(("journal record", args))
+    if method in ("make_span", "trace_span"):
+        hits.append(("span attribute", args[1:] if method == "trace_span"
+                     else args))
+    if method == "write_bench_json":
+        hits.append(("bench report field", args))
+    if method == "cache_key":
+        hits.append(("cache key", args))
+    return hits
+
+
+class TaintAnalysis:
+    """Fixpoint over function summaries, then a reporting scan."""
+
+    def __init__(self, index: ProjectIndex):
+        self.index = index
+        self.summaries: dict[str, Summary] = {
+            q: Summary() for q in index.functions
+        }
+        self._solve()
+
+    # -- fixpoint --------------------------------------------------------------
+    def _solve(self, max_rounds: int = 10) -> None:
+        for _ in range(max_rounds):
+            changed = False
+            for qname in sorted(self.index.functions):
+                fn = self.index.functions[qname]
+                before = self.summaries[qname].snapshot()
+                self.summaries[qname] = self._summarise(fn)
+                if self.summaries[qname].snapshot() != before:
+                    changed = True
+            if not changed:
+                break
+
+    def _summarise(self, fn: FunctionInfo) -> Summary:
+        if fn.module in SANCTIONED_MODULES:
+            return Summary()
+        walker = _FlowWalker(self, fn, record_hits=False)
+        walker.run()
+        return walker.summary
+
+    # -- reporting -------------------------------------------------------------
+    def sink_hits(self, fn: FunctionInfo) -> list[SinkHit]:
+        """Concrete taint reaching sinks inside ``fn``, with callee
+        summaries applied (so downstream sinks surface here)."""
+        if fn.module in SANCTIONED_MODULES:
+            return []
+        walker = _FlowWalker(self, fn, record_hits=True)
+        walker.run()
+        return walker.hits
+
+
+class _FlowWalker:
+    """One intraprocedural pass: forward transfer over statements."""
+
+    def __init__(self, analysis: TaintAnalysis, fn: FunctionInfo,
+                 record_hits: bool):
+        self.analysis = analysis
+        self.fn = fn
+        self.record_hits = record_hits
+        self.summary = Summary()
+        self.hits: list[SinkHit] = []
+        #: var name (or "self.field") -> taints; a taint is either a
+        #: concrete kind string or ("param", position)
+        self.env: dict[str, set] = {}
+        #: names currently known to hold set-typed values
+        self.set_typed: set[str] = set()
+        self.sites = {id(s.node): s for s in fn.calls}
+        node = fn.node
+        args = (node.args.posonlyargs + node.args.args
+                + node.args.kwonlyargs)
+        offset = 0
+        for pos, a in enumerate(args):
+            if pos == 0 and a.arg == "self":
+                offset = 1
+                continue
+            self.env[a.arg] = {("param", pos - offset)}
+        # fields tainted by other methods of the same class are visible
+        if fn.cls is not None:
+            for method, qname in sorted(self._class_methods()):
+                other = self.analysis.summaries.get(qname)
+                if other is None:
+                    continue
+                for fname, kinds in sorted(other.field_taints.items()):
+                    self.env.setdefault(f"self.{fname}", set()).update(
+                        kinds)
+
+    def _class_methods(self):
+        cls = self.analysis.index.classes.get(
+            f"{self.fn.module}.{self.fn.cls}")
+        return cls.methods.items() if cls is not None else []
+
+    def run(self) -> None:
+        self._block(self.fn.node.body)
+
+    # -- statements ------------------------------------------------------------
+    def _block(self, stmts) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.AST) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(stmt, ast.Assign):
+            taints = self._eval(stmt.value)
+            is_set = self._is_set_expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, taints, is_set)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self._eval(stmt.value),
+                         self._is_set_expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            taints = self._eval(stmt.value) | self._eval(stmt.target)
+            self._assign(stmt.target, taints, False)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                taints = self._eval(stmt.value)
+                self.summary.returns.update(
+                    t for t in taints if isinstance(t, str))
+                self.summary.param_to_return.update(
+                    t[1] for t in taints if isinstance(t, tuple))
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taints = set(self._eval(stmt.iter))
+            if self._is_set_expr(stmt.iter):
+                taints.add("set-order")
+            for _ in range(2):   # two rounds ≈ loop-carried fixpoint
+                self._assign(stmt.target, taints, False)
+                self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._eval(stmt.test)
+            for _ in range(2):
+                self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.If,)):
+            self._eval(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                taints = self._eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, taints, False)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+
+    def _assign(self, target: ast.AST, taints: set,
+                is_set: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = set(taints)
+            if is_set:
+                self.set_typed.add(target.id)
+            else:
+                self.set_typed.discard(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                self._assign(inner, taints, False)
+        elif isinstance(target, ast.Attribute):
+            dotted = dotted_name(target)
+            if dotted is not None and dotted.startswith("self."):
+                fname = dotted.split(".", 1)[1]
+                self.env[dotted] = set(taints)
+                concrete = {t for t in taints if isinstance(t, str)}
+                if concrete:
+                    self.summary.field_taints.setdefault(
+                        fname, set()).update(concrete)
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name):
+                self.env.setdefault(base.id, set()).update(taints)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, taints, False)
+
+    # -- expressions -----------------------------------------------------------
+    def _eval(self, expr: ast.AST | None) -> set:
+        if expr is None or isinstance(expr, ast.Constant):
+            return set()
+        if isinstance(expr, ast.Name):
+            return set(self.env.get(expr.id, ()))
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.Attribute):
+            dotted = dotted_name(expr)
+            if dotted is not None and dotted in self.env:
+                return set(self.env[dotted])
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.BinOp,)):
+            return self._eval(expr.left) | self._eval(expr.right)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval(expr.operand)
+        if isinstance(expr, ast.BoolOp):
+            out: set = set()
+            for value in expr.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(expr, ast.Compare):
+            out = self._eval(expr.left)
+            for comp in expr.comparators:
+                out |= self._eval(comp)
+            return out
+        if isinstance(expr, ast.IfExp):
+            self._eval(expr.test)
+            return self._eval(expr.body) | self._eval(expr.orelse)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            out = set()
+            for elt in expr.elts:
+                inner = elt.value if isinstance(elt, ast.Starred) else elt
+                out |= self._eval(inner)
+            return out
+        if isinstance(expr, ast.Dict):
+            out = set()
+            for key in expr.keys:
+                if key is not None:
+                    out |= self._eval(key)
+            for value in expr.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(expr, ast.Subscript):
+            return self._eval(expr.value) | self._eval(expr.slice)
+        if isinstance(expr, ast.Starred):
+            return self._eval(expr.value)
+        if isinstance(expr, ast.JoinedStr):
+            out = set()
+            for value in expr.values:
+                out |= self._eval(value)
+            return out
+        if isinstance(expr, ast.FormattedValue):
+            return self._eval(expr.value)
+        if isinstance(expr, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            return self._eval_comp(expr, [expr.elt])
+        if isinstance(expr, ast.DictComp):
+            return self._eval_comp(expr, [expr.key, expr.value])
+        if isinstance(expr, ast.Lambda):
+            return set()
+        if isinstance(expr, ast.NamedExpr):
+            taints = self._eval(expr.value)
+            self._assign(expr.target, taints, self._is_set_expr(expr.value))
+            return taints
+        if isinstance(expr, ast.Await):
+            return self._eval(expr.value)
+        return set()
+
+    def _eval_comp(self, comp: ast.AST, results: list) -> set:
+        out: set = set()
+        for gen in comp.generators:
+            taints = set(self._eval(gen.iter))
+            if self._is_set_expr(gen.iter):
+                taints.add("set-order")
+            self._assign(gen.target, taints, False)
+            for cond in gen.ifs:
+                self._eval(cond)
+        for result in results:
+            out |= self._eval(result)
+        # a SetComp *result* is itself a set; order taint collapses
+        # into set-typedness, re-surfacing only on iteration
+        if isinstance(comp, ast.SetComp):
+            out.discard("set-order")
+        return out
+
+    def _eval_call(self, call: ast.Call) -> set:
+        site = self.sites.get(id(call))
+        callee = site.callee if site is not None else None
+        name = (callee or "").split(".")[-1]
+        arg_exprs = list(call.args) + [kw.value for kw in call.keywords]
+        arg_taints = [self._eval(a) for a in arg_exprs]
+        flat: set = set()
+        for taints in arg_taints:
+            flat |= taints
+        # an unknown method on a tainted receiver keeps its taint
+        # (token.hex() is as nondeterministic as token)
+        if callee is None and isinstance(call.func, ast.Attribute):
+            flat |= self._eval(call.func.value)
+
+        kind = classify_source(callee)
+        if kind is not None:
+            return flat | {kind}
+        if name in _FULL_SANITIZERS:
+            return set()
+        if name in _ORDER_SANITIZERS:
+            return {t for t in flat if t != "set-order"}
+        if name in ("list", "tuple") and call.args \
+                and self._is_set_expr(call.args[0]):
+            flat.add("set-order")
+
+        # direct sinks at this call site
+        if site is not None:
+            self._check_sinks(site, arg_exprs, arg_taints)
+
+        # substitute the callee's summary
+        summary = self.analysis.summaries.get(callee or "")
+        if summary is not None:
+            out = set(summary.returns)
+            positional = [self._eval(a) for a in call.args]
+            for pos in summary.param_to_return:
+                if pos < len(positional):
+                    out |= positional[pos]
+            for pos, sink in sorted(summary.param_to_sink.items()):
+                if pos >= len(positional):
+                    continue
+                self._forward_to_sink(
+                    positional[pos], sink, call, via=callee)
+            # constructing a class whose __init__ taints fields
+            return out
+        if callee is not None and callee in self.analysis.index.classes:
+            init = self.analysis.index.classes[callee].methods.get(
+                "__init__")
+            init_summary = self.analysis.summaries.get(init or "")
+            if init_summary is not None:
+                return flat | set().union(
+                    *init_summary.field_taints.values()) \
+                    if init_summary.field_taints else flat
+            return flat
+        # unknown external call: conservative passthrough
+        return flat
+
+    def _check_sinks(self, site: CallSite, arg_exprs,
+                     arg_taints) -> None:
+        for label, candidates in classify_sink(site):
+            candidate_ids = {id(c) for c in candidates}
+            incoming: set = set()
+            for expr, taints in zip(arg_exprs, arg_taints):
+                if id(expr) in candidate_ids:
+                    incoming |= taints
+            concrete = frozenset(
+                t for t in incoming if isinstance(t, str))
+            params = {t[1] for t in incoming if isinstance(t, tuple)}
+            if concrete and self.record_hits:
+                self.hits.append(SinkHit(
+                    kinds=concrete, sink=label, node=site.node))
+            for pos in sorted(params):
+                self.summary.param_to_sink.setdefault(pos, label)
+
+    def _forward_to_sink(self, taints: set, sink: str, call: ast.Call,
+                         via: str | None) -> None:
+        concrete = frozenset(t for t in taints if isinstance(t, str))
+        params = {t[1] for t in taints if isinstance(t, tuple)}
+        if concrete and self.record_hits:
+            self.hits.append(SinkHit(
+                kinds=concrete, sink=sink, node=call, via=via))
+        for pos in sorted(params):
+            self.summary.param_to_sink.setdefault(pos, sink)
+
+    # -- set-typedness ---------------------------------------------------------
+    def _is_set_expr(self, expr: ast.AST) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Name):
+            return expr.id in self.set_typed
+        if isinstance(expr, ast.Call):
+            dotted = dotted_name(expr.func)
+            if dotted == "set":
+                return True
+            if dotted is not None and dotted.split(".")[-1] in (
+                    "keys", "values", "items", "sorted", "list", "tuple"):
+                return False
+            # set.union / intersection / difference keep set-typedness
+            if dotted is not None and "." in dotted:
+                head, _, method = dotted.rpartition(".")
+                if method in ("union", "intersection", "difference",
+                              "symmetric_difference", "copy"):
+                    inner = expr.func
+                    if isinstance(inner, ast.Attribute):
+                        return self._is_set_expr(inner.value)
+        if isinstance(expr, ast.BinOp) and isinstance(
+                expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+            return (self._is_set_expr(expr.left)
+                    or self._is_set_expr(expr.right))
+        return False

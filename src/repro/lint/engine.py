@@ -1,6 +1,13 @@
 """The lint engine: file discovery, parsing, rule dispatch, waivers.
 
-A run is::
+A run is three passes over the tree::
+
+    parse    every file -> FileContext (AST + module name + waivers)
+    resolve  all contexts -> ProjectIndex (symbols, call graph, roots)
+    flow     rules fire: per-file, project-wide, then dataflow rules
+             that consume the index (GRN101/102/104)
+
+::
 
     engine = LintEngine()                      # all registered rules
     result = engine.run(["src", "benchmarks"]) # or explicit .py files
@@ -9,6 +16,13 @@ A run is::
 File discovery is sorted and ignores hidden directories and common
 build/cache trees, so the same tree produces the same finding order on
 every machine (the baseline and CI-diff guarantee).
+
+``run(..., restrict_seed=paths)`` implements ``--changed``: the whole
+tree is still parsed and resolved (the call graph is a whole-program
+object), but per-file rules skip out-of-scope files and findings are
+filtered to the seed plus its reverse-dependency closure — every module
+that (transitively) imports a changed module can see its behaviour
+change, so it stays in scope.
 """
 
 from __future__ import annotations
@@ -17,7 +31,9 @@ import ast
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.lint.callgraph import ProjectIndex, build_index
 from repro.lint.core import (
+    DataflowRule,
     FileContext,
     Finding,
     ProjectRule,
@@ -43,6 +59,12 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     waived: int = 0
+    #: display paths the run was scoped to (``--changed``); None means
+    #: the full tree was in scope
+    restricted: list[str] | None = None
+    #: the resolve-pass index (symbols + call graph), for callers that
+    #: want to query it after the run
+    index: ProjectIndex | None = None
 
 
 class LintEngine:
@@ -70,8 +92,10 @@ class LintEngine:
         return unique
 
     # -- the run ---------------------------------------------------------------
-    def run(self, paths) -> LintResult:
+    def run(self, paths, restrict_seed=None) -> LintResult:
         result = LintResult()
+
+        # pass 1: parse
         contexts: list[FileContext] = []
         for path in self.collect_files(paths):
             ctx, finding = self._parse(path)
@@ -81,24 +105,72 @@ class LintEngine:
             if ctx is not None:
                 contexts.append(ctx)
 
+        # pass 2: resolve (whole-program, even under --changed: the
+        # call graph cannot be built from a file subset)
+        index = build_index(contexts)
+        result.index = index
+
+        restrict: set[str] | None = None
+        if restrict_seed is not None:
+            restrict = self._closure(contexts, index, set(restrict_seed))
+            result.restricted = sorted(restrict)
+
+        # pass 3: rules
         raw: list[Finding] = list(result.findings)
         by_path = {ctx.path: ctx for ctx in contexts}
         for rule in self.rules:
-            if isinstance(rule, ProjectRule):
+            if isinstance(rule, DataflowRule):
+                raw.extend(rule.check_flow(contexts, index))
+            elif isinstance(rule, ProjectRule):
                 raw.extend(rule.check_project(contexts))
             else:
                 for ctx in contexts:
-                    raw.extend(rule.check_file(ctx))
+                    if restrict is None or ctx.path in restrict:
+                        raw.extend(rule.check_file(ctx))
 
         kept: list[Finding] = []
         for finding in raw:
             ctx = by_path.get(finding.path)
             if ctx is not None and ctx.waived(finding):
                 result.waived += 1
+            elif restrict is not None and finding.path not in restrict:
+                continue
             else:
                 kept.append(finding)
         result.findings = sorted(kept)
         return result
+
+    # -- --changed closure -----------------------------------------------------
+    @staticmethod
+    def _closure(contexts: list[FileContext], index: ProjectIndex,
+                 seed_paths: set[str]) -> set[str]:
+        """Seed paths plus every module that transitively imports one
+        of them (reverse-dependency closure over the import graph)."""
+        path_of = {ctx.module: ctx.path for ctx in contexts
+                   if ctx.module is not None}
+        affected = {ctx.module for ctx in contexts
+                    if ctx.path in seed_paths and ctx.module is not None}
+
+        def related(imported: str, changed: str) -> bool:
+            return (imported == changed
+                    or imported.startswith(changed + ".")
+                    or changed.startswith(imported + "."))
+
+        grew = True
+        while grew:
+            grew = False
+            for mod in sorted(index.module_imports):
+                if mod in affected:
+                    continue
+                imports = index.module_imports[mod]
+                if any(related(imp, changed)
+                       for imp in sorted(imports)
+                       for changed in sorted(affected)):
+                    affected.add(mod)
+                    grew = True
+        return set(seed_paths) | {
+            path_of[mod] for mod in affected if mod in path_of
+        }
 
     def _parse(self, path: Path):
         display = self._display_path(path)
@@ -135,6 +207,8 @@ class LintEngine:
             return path.as_posix()
 
 
-def lint_paths(paths, rules=None, root=None) -> LintResult:
+def lint_paths(paths, rules=None, root=None,
+               restrict_seed=None) -> LintResult:
     """One-call façade: lint ``paths`` with the registered rules."""
-    return LintEngine(rules=rules, root=root).run(paths)
+    return LintEngine(rules=rules, root=root).run(
+        paths, restrict_seed=restrict_seed)

@@ -1,8 +1,17 @@
 """Finding reporters.
 
-Both formats emit findings sorted by (path, line, col, code) — the
+All formats emit findings sorted by (path, line, col, code) — the
 :class:`~repro.lint.core.Finding` dataclass ordering — so output is
 byte-stable across machines and CI diffs are deterministic.
+
+Three formats:
+
+- ``text`` — one ``path:line:col: CODE message`` line per finding
+  (non-error severities tagged, baselined findings marked);
+- ``json`` — the stable machine-readable report tests pin;
+- ``sarif`` — SARIF 2.1.0 for GitHub code-scanning annotations, with
+  per-rule metadata and ``baselineState`` distinguishing new findings
+  from grandfathered ones.
 """
 
 from __future__ import annotations
@@ -10,6 +19,14 @@ from __future__ import annotations
 import json
 
 from repro.lint.core import Finding
+
+#: SARIF "level" per finding severity (SARIF has no "info" level for
+#: results; the spec's informational tier is "note")
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _tag(finding: Finding) -> str:
+    return "" if finding.severity == "error" else f" [{finding.severity}]"
 
 
 def render_text(new: list[Finding], baselined: list[Finding]) -> str:
@@ -19,12 +36,12 @@ def render_text(new: list[Finding], baselined: list[Finding]) -> str:
     for finding in sorted(new):
         lines.append(
             f"{finding.path}:{finding.line}:{finding.col}: "
-            f"{finding.code} {finding.message}"
+            f"{finding.code} {finding.message}{_tag(finding)}"
         )
     for finding in sorted(baselined):
         lines.append(
             f"{finding.path}:{finding.line}:{finding.col}: "
-            f"{finding.code} {finding.message} [baselined]"
+            f"{finding.code} {finding.message}{_tag(finding)} [baselined]"
         )
     total = len(new) + len(baselined)
     if total == 0:
@@ -47,5 +64,81 @@ def render_json(new: list[Finding], baselined: list[Finding]) -> str:
             "new": len(new),
             "baselined": len(baselined),
         },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(new: list[Finding], baselined: list[Finding],
+                 rules=None) -> str:
+    """SARIF 2.1.0 report for GitHub code-scanning upload.
+
+    ``rules`` is the rule-class registry to describe in
+    ``tool.driver.rules`` (defaults to the full registry); rule ids
+    referenced by findings but absent from the registry (GRN000 syntax
+    errors) get a synthetic entry so the file always validates.
+    """
+    if rules is None:
+        from repro.lint.rules import ALL_RULES
+        rules = ALL_RULES
+    descriptors = {}
+    for cls in rules:
+        descriptors[cls.code] = {
+            "id": cls.code,
+            "name": cls.name,
+            "shortDescription": {"text": cls.name},
+            "fullDescription": {"text": cls.rationale or cls.name},
+            "defaultConfiguration": {
+                "level": _SARIF_LEVELS.get(cls.severity, "error"),
+            },
+        }
+    results = []
+    for finding, state in (
+            [(f, "new") for f in sorted(new)]
+            + [(f, "unchanged") for f in sorted(baselined)]):
+        if finding.code not in descriptors:
+            descriptors[finding.code] = {
+                "id": finding.code,
+                "name": finding.code.lower(),
+                "shortDescription": {"text": finding.code},
+                "defaultConfiguration": {"level": "error"},
+            }
+        results.append({
+            "ruleId": finding.code,
+            "level": _SARIF_LEVELS.get(finding.severity, "error"),
+            "message": {"text": finding.message},
+            "baselineState": state,
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+    payload = {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri": (
+                        "https://example.invalid/repro-lint"),
+                    "version": "1.0.0",
+                    "rules": [descriptors[code]
+                              for code in sorted(descriptors)],
+                },
+            },
+            "originalUriBaseIds": {
+                "SRCROOT": {"uri": "file:///"},
+            },
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -6,10 +6,14 @@ once per run.  Order is by code so reporter output groups naturally.
 
 from repro.lint.rules.clock import WallClockRule
 from repro.lint.rules.contracts import EstimatorContractRule
+from repro.lint.rules.determinism import DeterminismTaintRule
 from repro.lint.rules.hygiene import HygieneRule
 from repro.lint.rules.imports import ForbiddenImportRule
 from repro.lint.rules.layering import LayeringRule
+from repro.lint.rules.leaks import ResourceLeakRule
+from repro.lint.rules.races import WorkerSharedStateRule
 from repro.lint.rules.randomness import GlobalRngRule
+from repro.lint.rules.vectorization import VectorizationRule
 
 ALL_RULES = (
     ForbiddenImportRule,
@@ -18,6 +22,10 @@ ALL_RULES = (
     WallClockRule,
     EstimatorContractRule,
     HygieneRule,
+    DeterminismTaintRule,
+    WorkerSharedStateRule,
+    ResourceLeakRule,
+    VectorizationRule,
 )
 
 __all__ = [
@@ -28,4 +36,8 @@ __all__ = [
     "WallClockRule",
     "EstimatorContractRule",
     "HygieneRule",
+    "DeterminismTaintRule",
+    "WorkerSharedStateRule",
+    "ResourceLeakRule",
+    "VectorizationRule",
 ]

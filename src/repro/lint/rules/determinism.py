@@ -1,0 +1,55 @@
+"""GRN101 — determinism taint must not reach persisted artefacts.
+
+The repo's core guarantee is that every persisted byte — cache records,
+journal events, span attributes, BENCH_*.json fields — is a pure
+function of the cell coordinate and the seed.  GRN003/GRN004 ban the
+raw *sources* syntactically; this rule closes the remaining gap by
+following values: an ``id()`` or set-iteration order that sneaks into a
+cache key three calls away from where it was produced breaks
+bit-identical reruns just as surely as a direct ``time.time()`` in the
+record, and no per-file rule can see it.
+
+The flow analysis lives in :mod:`repro.lint.dataflow`; this rule just
+renders its sink hits as findings.  Waive only when the persisted value
+is *supposed* to be a measurement (and say so in the waiver comment).
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import DataflowRule, FileContext, Finding
+from repro.lint.dataflow import TAINT_KINDS, TaintAnalysis
+
+
+class DeterminismTaintRule(DataflowRule):
+    code = "GRN101"
+    name = "determinism-taint"
+    severity = "error"
+    rationale = (
+        "persisted artefacts (cache, journal, spans, bench reports) "
+        "must be pure functions of (cell, seed); nondeterminism "
+        "flowing into them silently invalidates cached reuse and "
+        "bit-identical parallel replay"
+    )
+
+    def check_flow(self, contexts: list[FileContext],
+                   index) -> list[Finding]:
+        analysis = TaintAnalysis(index)
+        findings: set[Finding] = set()
+        for qname in sorted(index.functions):
+            fn = index.functions[qname]
+            for hit in analysis.sink_hits(fn):
+                kinds = ", ".join(
+                    TAINT_KINDS.get(k, k) for k in sorted(hit.kinds))
+                via = f" through '{hit.via}'" if hit.via else ""
+                findings.add(Finding(
+                    path=fn.path,
+                    line=getattr(hit.node, "lineno", 1),
+                    col=getattr(hit.node, "col_offset", 0),
+                    code=self.code,
+                    message=(
+                        f"{kinds} flows into {hit.sink}{via}; persisted "
+                        f"values must be pure functions of (cell, seed)"
+                    ),
+                    severity=self.severity,
+                ))
+        return sorted(findings)

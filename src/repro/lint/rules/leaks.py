@@ -1,0 +1,140 @@
+"""GRN103 — resources must be released on *every* exit path.
+
+A leaked ``ProcessPoolExecutor`` keeps worker processes alive past the
+campaign (the chaos suite's process-leak audit then fails hours later
+and far from the cause); a leaked queue blocks interpreter shutdown; a
+leaked file handle on the journal corrupts resume.  This rule finds
+local bindings of leak-prone constructors (executors, pools, queues,
+``open``, fault-injector ledgers) that are neither
+
+- used as a context manager,
+- escaped (returned, yielded, stored on ``self``/a container — the
+  owner is then responsible), nor
+- shut down inside a ``finally`` block (a bare ``x.close()`` at the end
+  of the function still leaks on the exception path, so it does not
+  count).
+
+Severity is *warning*: an escape analysis this simple has false
+negatives and the occasional intentional hand-off, but the persistent
+pool and the journal are exactly where "works until the first
+exception" cleanup hides.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import FileContext, Finding, Rule, dotted_name
+
+#: constructors whose result owns an OS resource
+RESOURCE_CONSTRUCTORS = frozenset({
+    "ProcessPoolExecutor", "ThreadPoolExecutor", "Pool",
+    "Queue", "SimpleQueue", "JoinableQueue",
+    "open", "Popen", "socket", "FaultInjector",
+})
+#: receiver methods that release the resource
+CLEANUP_METHODS = frozenset({
+    "close", "shutdown", "terminate", "join", "join_thread",
+    "release", "stop", "kill",
+})
+
+
+class ResourceLeakRule(Rule):
+    code = "GRN103"
+    name = "resource-leak"
+    severity = "warning"
+    rationale = (
+        "executors/queues/files released only on the happy path leak "
+        "worker processes and file handles the moment a cell raises; "
+        "cleanup belongs in a context manager or a finally block"
+    )
+
+    def check_file(self, ctx: FileContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                findings.extend(self._check_function(ctx, node))
+        return findings
+
+    def _check_function(self, ctx: FileContext,
+                        fn: ast.AST) -> list[Finding]:
+        resources: dict[str, tuple[ast.AST, str]] = {}
+        for stmt in ast.walk(fn):
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            ctor = self._constructor(stmt.value)
+            if isinstance(target, ast.Name) and ctor is not None:
+                resources[target.id] = (stmt.value, ctor)
+        if not resources:
+            return []
+        safe = self._safe_names(fn, set(resources))
+        findings = []
+        for name in sorted(set(resources) - safe):
+            node, ctor = resources[name]
+            findings.append(self.finding(
+                ctx, node,
+                f"'{ctor}' bound to '{name}' is not released on every "
+                f"exit path; use a context manager or shut it down in "
+                f"a finally block",
+            ))
+        return findings
+
+    @staticmethod
+    def _constructor(value: ast.AST) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = dotted_name(value.func)
+        if dotted is None:
+            return None
+        last = dotted.split(".")[-1]
+        return last if last in RESOURCE_CONSTRUCTORS else None
+
+    def _safe_names(self, fn: ast.AST, names: set[str]) -> set[str]:
+        """Resource names that escape, run under ``with``, or are
+        cleaned up inside a ``finally`` block anywhere in ``fn``."""
+        safe: set[str] = set()
+        finally_bodies = [
+            stmt
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Try)
+            for stmt in node.finalbody
+        ]
+        finally_nodes = {
+            id(sub) for stmt in finally_bodies for sub in ast.walk(stmt)
+        }
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)) \
+                    and node.value is not None:
+                safe.update(self._names_in(node.value, names))
+            elif isinstance(node, ast.Assign):
+                stores_away = any(
+                    not isinstance(t, ast.Name) for t in node.targets)
+                if stores_away:
+                    safe.update(self._names_in(node.value, names))
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    safe.update(self._names_in(item.context_expr, names))
+            elif isinstance(node, ast.Call):
+                func = node.func
+                receiver_cleanup = (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in CLEANUP_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in names
+                )
+                if receiver_cleanup and id(node) in finally_nodes:
+                    safe.add(func.value.id)
+                elif id(node) in finally_nodes:
+                    # handed to a cleanup helper inside finally:
+                    #   finally: self._shutdown_pool(pool)
+                    for arg in node.args:
+                        safe.update(self._names_in(arg, names))
+        return safe
+
+    @staticmethod
+    def _names_in(expr: ast.AST, names: set[str]) -> set[str]:
+        return {
+            sub.id for sub in ast.walk(expr)
+            if isinstance(sub, ast.Name) and sub.id in names
+        }

@@ -1,0 +1,105 @@
+"""GRN102 — no shared mutable state across the process-pool boundary.
+
+The executor ships cells into a persistent ``ProcessPoolExecutor``;
+after the fork, every module-level object exists once *per process*.
+Code that mutates module state from a worker-reachable function is
+therefore not "sharing" anything — each worker silently diverges from
+the parent and from its siblings, which is exactly the failure mode the
+chaos campaigns exist to rule out.  Three shapes are flagged:
+
+- a function reachable from a worker root (anything passed to
+  ``.submit()``/``.map()``/``Process(target=...)``/``initializer=``)
+  mutates a module-level binding (``global`` rebind, in-place method,
+  subscript store);
+- a worker-reachable function *reads* module state that parent-side
+  code mutates — the post-fork copy is frozen at fork time, so the
+  worker sees stale values;
+- an ``lru_cache`` outside the sanctioned warm-worker list is reachable
+  from workers: per-process caches are the *mechanism* of the warm
+  pool, so every one of them must be an explicit, audited decision.
+
+Deliberate per-worker state (the warm dataset cache, the worker-local
+tracer) is waived inline at the mutation site with a justification.
+"""
+
+from __future__ import annotations
+
+from repro.lint.core import DataflowRule, FileContext, Finding
+
+#: lru_caches that *are* the warm-worker design: per-worker dataset
+#: memoisation is what makes the persistent pool pay off (see
+#: DESIGN.md's executor section); anything else must be waived
+#: explicitly at the definition site.
+SANCTIONED_WARM_CACHES = frozenset({
+    "repro.datasets.loaders._cached",
+})
+
+_CACHE_DECORATORS = frozenset({"lru_cache", "cache"})
+
+
+class WorkerSharedStateRule(DataflowRule):
+    code = "GRN102"
+    name = "worker-shared-state"
+    severity = "error"
+    rationale = (
+        "module-level state mutated by pool-worker-reachable code "
+        "diverges per process after fork; campaigns stop being "
+        "bit-identical to their serial reference"
+    )
+
+    def check_flow(self, contexts: list[FileContext],
+                   index) -> list[Finding]:
+        findings: set[Finding] = set()
+        reachable = set(index.reachable_from(index.worker_roots))
+        parent_writes = {
+            (mod, name)
+            for qname, fn in index.functions.items()
+            if qname not in reachable
+            for (mod, name, _node, _how) in fn.module_writes
+        }
+        for qname in sorted(reachable):
+            fn = index.functions[qname]
+            for mod, name, node, how in fn.module_writes:
+                findings.add(Finding(
+                    path=fn.path,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    code=self.code,
+                    message=(
+                        f"'{qname}' runs inside pool workers and "
+                        f"mutates module-level '{mod}.{name}' ({how}); "
+                        f"post-fork copies diverge per process"
+                    ),
+                    severity=self.severity,
+                ))
+            for mod, name in sorted(fn.module_reads):
+                if (mod, name) in parent_writes:
+                    findings.add(Finding(
+                        path=fn.path,
+                        line=getattr(fn.node, "lineno", 1),
+                        col=getattr(fn.node, "col_offset", 0),
+                        code=self.code,
+                        message=(
+                            f"worker-reachable '{qname}' reads "
+                            f"module-level '{mod}.{name}' which "
+                            f"parent-side code mutates; the worker's "
+                            f"copy is frozen at fork time"
+                        ),
+                        severity=self.severity,
+                    ))
+            if qname not in SANCTIONED_WARM_CACHES and any(
+                    dec.split(".")[-1] in _CACHE_DECORATORS
+                    for dec in fn.decorators):
+                findings.add(Finding(
+                    path=fn.path,
+                    line=getattr(fn.node, "lineno", 1),
+                    col=getattr(fn.node, "col_offset", 0),
+                    code=self.code,
+                    message=(
+                        f"'{qname}' carries an lru_cache and is "
+                        f"reachable from pool workers but is not on "
+                        f"the sanctioned warm-worker cache list"
+                    ),
+                    severity=self.severity,
+                ))
+        return sorted(findings)

@@ -1,0 +1,192 @@
+"""GRN104 — energy hotspots: python-level loops over numpy data.
+
+"How Green is AutoML?" charges every joule to the evaluation loop; in
+this reproduction the analogous cost centre is the model zoo.  A
+python ``for`` that walks a numpy array row-by-row (or class-by-class)
+burns interpreter cycles on work numpy would do in C — these loops are
+precisely the candidates for ROADMAP item 2's ≥5x model-zoo speedup.
+
+The rule fires only inside the hot layers (``models/``,
+``preprocessing/``, ``serving/server.py``) on two shapes:
+
+- ``for i in range(n)`` where ``i`` then indexes an array row
+  (``X[i]``, ``X[i, ...]``) or selects a boolean mask (``y == i``) —
+  the per-row / per-class scan;
+- ``for row in arr`` where ``arr`` is a numpy-valued local
+  (``np.arange``, ``rng.choice``, ``np.unique``, ...).
+
+Exempt shapes *partition* the array instead of rescanning it: 3-arg
+``range`` striding over batches, and column-axis loops whose body
+reads ``X[:, j]`` — each iteration touches only its own slice, so the
+total work stays O(n*d); the flagged per-row/per-class loops repeat a
+full O(n) scan (``X[codes == c]``) every iteration.
+Each finding is annotated with the phase span the loop runs under, so
+the work-list doubles as an energy attribution: a loop under "fit"
+costs every campaign cell, one under "inference" costs every served
+prediction.
+
+Severity is *info*: this is a ranked work-list, not a gate.  Waivers
+record the triage decision (vectorize now / inherently sequential /
+cold path).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.core import DataflowRule, FileContext, Finding, dotted_name
+
+#: numpy-returning callables that mark a local as array-valued
+_NP_PRODUCERS = frozenset({
+    "arange", "array", "asarray", "zeros", "ones", "empty", "linspace",
+    "unique", "argsort", "nonzero", "where", "choice", "permutation",
+})
+#: method-name fallback when no span is found up the call graph
+_PHASE_BY_METHOD = {
+    "fit": "fit",
+    "partial_fit": "fit",
+    "predict": "inference",
+    "predict_proba": "inference",
+    "decision_function": "inference",
+    "transform": "inference",
+    "fit_transform": "fit",
+    "score": "inference",
+}
+
+
+def _is_hot(path: str) -> bool:
+    return (
+        "repro/models/" in path
+        or "repro/preprocessing/" in path
+        or path.endswith("repro/serving/server.py")
+    )
+
+
+class VectorizationRule(DataflowRule):
+    code = "GRN104"
+    name = "energy-hotspot-loop"
+    severity = "info"
+    rationale = (
+        "row-wise python loops in the hot layers burn interpreter "
+        "cycles on work numpy does in C; this is the work-list for "
+        "the model-zoo speedup (ROADMAP item 2)"
+    )
+
+    def check_flow(self, contexts: list[FileContext],
+                   index) -> list[Finding]:
+        findings: list[Finding] = []
+        for qname in sorted(index.functions):
+            fn = index.functions[qname]
+            if not _is_hot(fn.path):
+                continue
+            phase = self._phase(index, fn)
+            np_locals = self._np_locals(fn.node)
+            for loop in ast.walk(fn.node):
+                if not isinstance(loop, ast.For):
+                    continue
+                shape = self._loop_shape(loop, np_locals)
+                if shape is None:
+                    continue
+                findings.append(Finding(
+                    path=fn.path,
+                    line=loop.lineno,
+                    col=loop.col_offset,
+                    code=self.code,
+                    message=(
+                        f"{shape} in '{qname}' (phase: {phase}); "
+                        f"vectorization candidate for the model-zoo "
+                        f"speedup work-list"
+                    ),
+                    severity=self.severity,
+                ))
+        return sorted(set(findings))
+
+    # -- phase attribution -----------------------------------------------------
+    @staticmethod
+    def _phase(index, fn) -> str:
+        phases = index.phases_into(fn.qname)
+        if phases:
+            return "/".join(phases)
+        method = fn.qname.rsplit(".", 1)[-1]
+        return _PHASE_BY_METHOD.get(method, "unattributed")
+
+    # -- numpy-valued locals ---------------------------------------------------
+    @staticmethod
+    def _np_locals(fn_node: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for node in ast.walk(fn_node):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = dotted_name(value.func)
+            if dotted is None:
+                continue
+            if dotted.split(".")[-1] in _NP_PRODUCERS:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        return names
+
+    # -- loop shapes -----------------------------------------------------------
+    def _loop_shape(self, loop: ast.For,
+                    np_locals: set[str]) -> str | None:
+        target = loop.target
+        if not isinstance(target, ast.Name):
+            return None
+        var = target.id
+        it = loop.iter
+        if isinstance(it, ast.Call) and dotted_name(it.func) == "range":
+            if len(it.args) >= 3:
+                return None   # blocked/strided batch loop
+            if self._partitions_columns(loop.body, var):
+                return None   # column stride: work stays O(n*d)
+            if self._indexes_rows(loop.body, var):
+                return f"per-row python loop 'for {var} in range(...)'"
+            return None
+        dotted = dotted_name(it)
+        if dotted is not None and dotted.split(".")[0] in np_locals:
+            return f"python-level iteration over numpy array '{dotted}'"
+        return None
+
+    @staticmethod
+    def _partitions_columns(body: list, var: str) -> bool:
+        """True when the loop reads a column slice ``X[:, var]`` —
+        each iteration owns one column, so the python loop strides
+        the (small) feature axis and no array is rescanned."""
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Subscript):
+                    continue
+                idx = node.slice
+                if isinstance(idx, ast.Tuple) and len(idx.elts) >= 2 \
+                        and isinstance(idx.elts[0], ast.Slice) \
+                        and any(isinstance(e, ast.Name) and e.id == var
+                                for e in idx.elts[1:]):
+                    return True
+        return False
+
+    def _indexes_rows(self, body: list, var: str) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Subscript) \
+                        and self._row_index(node.slice, var):
+                    return True
+        return False
+
+    @staticmethod
+    def _row_index(index_expr: ast.AST, var: str) -> bool:
+        """True when ``var`` selects along the leading (row) axis:
+        ``X[var]``, ``X[var, ...]`` or a boolean mask ``X[y == var]``.
+        Column selections (``X[:, var]``) are exempt."""
+        if isinstance(index_expr, ast.Name):
+            return index_expr.id == var
+        if isinstance(index_expr, ast.Tuple) and index_expr.elts:
+            first = index_expr.elts[0]
+            return isinstance(first, ast.Name) and first.id == var
+        if isinstance(index_expr, ast.Compare):
+            sides = [index_expr.left] + list(index_expr.comparators)
+            return any(isinstance(s, ast.Name) and s.id == var
+                       for s in sides)
+        return False

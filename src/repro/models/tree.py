@@ -68,7 +68,7 @@ class _Tree:
     def max_depth(self) -> int:
         depth = {0: 0}
         best = 0
-        for node in range(len(self.feature)):
+        for node in range(len(self.feature)):  # repro-lint: disable=GRN104  # dict-based depth walk over tree nodes, diagnostic only; no numpy rows touched
             d = depth[node]
             best = max(best, d)
             if self.feature[node] != _LEAF:

@@ -122,13 +122,15 @@ _TRACER: Tracer | None = None
 
 def install_tracer(tracer: Tracer) -> Tracer:
     global _TRACER
-    _TRACER = tracer
+    # process-local by design: each worker installs its own tracer and
+    # ships drained spans back through the outcome dict, never memory
+    _TRACER = tracer  # repro-lint: disable=GRN102  # per-process tracer slot
     return tracer
 
 
 def uninstall_tracer() -> None:
     global _TRACER
-    _TRACER = None
+    _TRACER = None  # repro-lint: disable=GRN102  # per-process tracer slot
 
 
 def get_tracer() -> Tracer | None:

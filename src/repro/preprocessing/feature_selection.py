@@ -37,7 +37,7 @@ def f_classif(X, y) -> np.ndarray:
     overall = X.mean(axis=0)
     between = np.zeros(X.shape[1])
     within = np.zeros(X.shape[1])
-    for c in classes:
+    for c in classes:  # repro-lint: disable=GRN104  # O(n*k) mask rescans; bincount-weighted moments in ROADMAP#2
         Xc = X[y == c]
         between += len(Xc) * (Xc.mean(axis=0) - overall) ** 2
         within += ((Xc - Xc.mean(axis=0)) ** 2).sum(axis=0)

@@ -167,7 +167,9 @@ _START_CHANNEL = None
 
 def _init_worker(channel) -> None:
     global _START_CHANNEL
-    _START_CHANNEL = channel
+    # pool initializer: each worker binds its own copy of the parent's
+    # start-event queue; the parent never reads this module global
+    _START_CHANNEL = channel  # repro-lint: disable=GRN102  # per-worker channel
 
 
 def _fault_key(spec: CellSpec, attempt: int) -> str:

@@ -1,0 +1,19 @@
+"""Known-negative for GRN101: seeded RNG, sanitized set iteration and
+pure values may persist freely."""
+
+import numpy as np
+
+
+def key_for(seed):
+    rng = np.random.default_rng(seed)
+    return float(rng.random())
+
+
+def persist(cache, seed, value):
+    cache.put(key_for(seed), value)
+
+
+def ordered_names(journal, names):
+    pending = set(names)
+    for name in sorted(pending):   # sorted() fixes the order
+        journal.record_cell(name)

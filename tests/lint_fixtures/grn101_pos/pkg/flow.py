@@ -1,0 +1,25 @@
+"""Known-positive for GRN101: a wall-clock read three frames from the
+sink still reaches the cache, and raw np.random reaches the journal."""
+
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()
+
+
+def key_for(suffix):
+    return f"cell-{suffix}"
+
+
+def persist(cache, value):
+    # interprocedural: clock -> stamp() return -> key_for() passthrough
+    token = stamp()
+    cache.put(key_for(token), value)
+
+
+def log_draw(journal):
+    draw = np.random.rand()
+    journal.record_cell(draw)

@@ -1,0 +1,15 @@
+"""Known-negative for GRN102: workers keep all state local and ship
+results back through return values."""
+
+_LIMITS = (1, 2, 3)   # immutable module constant: reads are fine
+
+
+def work(x):
+    local = {}
+    local[x] = max(_LIMITS)
+    return sum(local.values())
+
+
+def launch(pool, xs):
+    futures = [pool.submit(work, x) for x in xs]
+    return [f.result() for f in futures]

@@ -1,0 +1,22 @@
+"""Known-positive for GRN102: a pool-worker entry point mutates
+module-level state (directly and through a callee), and carries an
+unsanctioned lru_cache."""
+
+from functools import lru_cache
+
+_SEEN = {}
+
+
+def note(x):
+    _SEEN[x] = True
+
+
+@lru_cache(maxsize=8)
+def work(x):
+    note(x)
+    return x * 2
+
+
+def launch(pool, xs):
+    futures = [pool.submit(work, x) for x in xs]
+    return [f.result() for f in futures]

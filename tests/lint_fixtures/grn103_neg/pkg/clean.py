@@ -1,0 +1,27 @@
+"""Known-negative for GRN103: every resource is either context-managed,
+shut down in a finally block, or handed off to an owner."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)
+    try:
+        return [pool.submit(job).result() for job in jobs]
+    finally:
+        pool.shutdown()
+
+
+def append_log(path, lines):
+    with open(path, "a") as fh:
+        for line in lines:
+            fh.write(line)
+
+
+class Owner:
+    def __init__(self, path):
+        # ownership transfer: the instance is responsible for closing
+        self._fh = open(path, "a")
+
+    def close(self):
+        self._fh.close()

@@ -1,0 +1,20 @@
+"""Known-positive for GRN103: happy-path-only cleanup.  The shutdown
+and close calls run only when no job raises, so the pool and the file
+leak on the exception path."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def run(jobs):
+    pool = ProcessPoolExecutor(max_workers=2)
+    futures = [pool.submit(job) for job in jobs]
+    results = [f.result() for f in futures]
+    pool.shutdown()
+    return results
+
+
+def append_log(path, lines):
+    fh = open(path, "a")
+    for line in lines:
+        fh.write(line)
+    fh.close()

@@ -1,0 +1,19 @@
+"""Known-negative for GRN104: column-partition loops and blocked
+(strided) batch loops keep total work O(n*d) — no full-array rescans."""
+
+
+class Model:
+    def fit(self, X, y):
+        d = X.shape[1]
+        self.stats = [0.0] * d
+        for j in range(d):
+            col = X[:, j]
+            self.stats[j] = col.mean()
+        return self
+
+    def predict(self, X):
+        out = []
+        for start in range(0, len(X), 64):
+            block = X[start:start + 64]
+            out.extend(block.sum(axis=1))
+        return out

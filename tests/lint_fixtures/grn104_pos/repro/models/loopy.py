@@ -1,0 +1,21 @@
+"""Known-positive for GRN104: per-class mask rescans and direct
+row iteration over a numpy array, in a hot-layer path."""
+
+import numpy as np
+
+
+class Model:
+    def fit(self, X, y):
+        k = 3
+        self.mu = []
+        for c in range(k):
+            rows = X[y == c]
+            self.mu.append(rows.mean(axis=0))
+        return self
+
+    def predict(self, X):
+        order = np.argsort(X[:, 0])
+        out = []
+        for row in order:
+            out.append(X[row].sum())
+        return out

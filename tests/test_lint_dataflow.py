@@ -1,0 +1,443 @@
+"""The whole-program dataflow tier (GRN101-GRN104) and its engine.
+
+Fixture packages under ``tests/lint_fixtures/`` carry one known-positive
+and one known-negative tree per rule; each rule is run in isolation over
+its fixtures so a failure names the rule, not the registry.  The rest
+covers the resolve pass (call graph, worker roots, package re-exports,
+phase spans), the taint engine's summaries, the SARIF reporter, the
+``--changed`` closure and the baseline ratchet.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import LintEngine, build_index, render_sarif
+from repro.lint.dataflow import TaintAnalysis, classify_source
+from repro.lint.rules.determinism import DeterminismTaintRule
+from repro.lint.rules.leaks import ResourceLeakRule
+from repro.lint.rules.races import WorkerSharedStateRule
+from repro.lint.rules.vectorization import VectorizationRule
+
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+RULE_OF = {
+    "GRN101": DeterminismTaintRule,
+    "GRN102": WorkerSharedStateRule,
+    "GRN103": ResourceLeakRule,
+    "GRN104": VectorizationRule,
+}
+
+
+def run_fixture(name: str, rule_cls):
+    root = FIXTURES / name
+    return LintEngine(rules=[rule_cls], root=root).run([root])
+
+
+# -- fixture-driven positive/negative pairs ------------------------------------
+class TestFixtures:
+    @pytest.mark.parametrize("code", sorted(RULE_OF))
+    def test_rule_fires_on_positive_fixture(self, code):
+        result = run_fixture(f"{code.lower()}_pos", RULE_OF[code])
+        fired = [f for f in result.findings if f.code == code]
+        assert fired, f"{code} silent on its positive fixture"
+
+    @pytest.mark.parametrize("code", sorted(RULE_OF))
+    def test_rule_silent_on_negative_fixture(self, code):
+        result = run_fixture(f"{code.lower()}_neg", RULE_OF[code])
+        fired = [f for f in result.findings if f.code == code]
+        assert not fired, fired
+
+    def test_grn101_reports_interprocedural_flow(self):
+        result = run_fixture("grn101_pos", DeterminismTaintRule)
+        messages = [f.message for f in result.findings]
+        assert any("wall-clock read" in m and "cache put" in m
+                   for m in messages), messages
+        assert any("unseeded global RNG" in m and "journal record" in m
+                   for m in messages), messages
+
+    def test_grn102_flags_indirect_write_and_cache(self):
+        result = run_fixture("grn102_pos", WorkerSharedStateRule)
+        messages = [f.message for f in result.findings]
+        # the mutation happens in note(), one call below the root
+        assert any("pkg.worker.note" in m and "_SEEN" in m
+                   for m in messages), messages
+        assert any("lru_cache" in m for m in messages), messages
+
+    def test_grn103_names_the_leaking_binding(self):
+        result = run_fixture("grn103_pos", ResourceLeakRule)
+        messages = [f.message for f in result.findings]
+        assert any("'ProcessPoolExecutor' bound to 'pool'" in m
+                   for m in messages), messages
+        assert any("'open' bound to 'fh'" in m for m in messages)
+
+    def test_grn104_annotates_phase(self):
+        result = run_fixture("grn104_pos", VectorizationRule)
+        phases = {
+            f.message.split("phase: ")[1].split(")")[0]
+            for f in result.findings
+        }
+        assert "fit" in phases and "inference" in phases, phases
+
+    def test_severity_tiers(self):
+        for code, severity in [("GRN101", "error"), ("GRN102", "error"),
+                               ("GRN103", "warning"), ("GRN104", "info")]:
+            result = run_fixture(f"{code.lower()}_pos", RULE_OF[code])
+            assert {f.severity for f in result.findings
+                    if f.code == code} == {severity}
+
+    def test_inline_waiver_silences_dataflow_finding(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").touch()
+        (pkg / "mod.py").write_text(
+            "import time\n"
+            "def persist(cache, v):\n"
+            "    cache.put(time.time(), v)"
+            "  # repro-lint: disable=GRN101  # latency is the payload\n"
+        )
+        result = LintEngine(
+            rules=[DeterminismTaintRule], root=tmp_path).run([tmp_path])
+        assert not result.findings
+        assert result.waived == 1
+
+
+# -- the resolve pass ----------------------------------------------------------
+def make_index(tmp_path, files: dict):
+    for rel, text in files.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text)
+        package_dir = tmp_path / Path(rel).parts[0]
+        (package_dir / "__init__.py").touch()
+        for part in Path(rel).parent.parts[1:]:
+            package_dir = package_dir / part
+            (package_dir / "__init__.py").touch()
+    result = LintEngine(rules=[], root=tmp_path).run([tmp_path])
+    return result.index
+
+
+class TestCallGraph:
+    def test_resolves_cross_module_calls(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/a.py": "from app.b import helper\n"
+                        "def top():\n    return helper()\n",
+            "app/b.py": "def helper():\n    return 1\n",
+        })
+        assert index.edges["app.a.top"] == ["app.b.helper"]
+        assert index.reverse_edges["app.b.helper"] == ["app.a.top"]
+
+    def test_resolves_package_reexports(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/__init__.py": "from app.inner import helper\n",
+            "app/inner.py": "def helper():\n    return 1\n",
+            "app/user.py": "from app import helper\n"
+                           "def top():\n    return helper()\n",
+        })
+        assert index.edges["app.user.top"] == ["app.inner.helper"]
+
+    def test_worker_roots_from_submit_and_initializer(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/w.py": (
+                "def job(x):\n    return x\n"
+                "def init(q):\n    pass\n"
+                "def launch(pool, Pool):\n"
+                "    pool.submit(job, 1)\n"
+                "    Pool(initializer=init)\n"
+            ),
+        })
+        assert index.worker_roots == ["app.w.init", "app.w.job"]
+
+    def test_reachability_is_transitive(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/w.py": (
+                "def leaf():\n    return 0\n"
+                "def mid():\n    return leaf()\n"
+                "def job():\n    return mid()\n"
+                "def launch(pool):\n    pool.submit(job)\n"
+            ),
+        })
+        reach = index.reachable_from(["app.w.job"])
+        assert reach == ["app.w.job", "app.w.leaf", "app.w.mid"]
+
+    def test_self_method_resolution_through_bases(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/c.py": (
+                "class Base:\n"
+                "    def helper(self):\n        return 1\n"
+                "class Child(Base):\n"
+                "    def run(self):\n        return self.helper()\n"
+            ),
+        })
+        assert index.edges["app.c.Child.run"] == ["app.c.Base.helper"]
+
+    def test_phase_spans_attach_to_call_sites(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/p.py": (
+                "from app.tracing import trace_span\n"
+                "def inner():\n    return 1\n"
+                "def outer():\n"
+                "    with trace_span('fit'):\n"
+                "        return inner()\n"
+            ),
+            "app/tracing.py": "def trace_span(name):\n    return name\n",
+        })
+        assert index.phases_into("app.p.inner") == ["fit"]
+
+    def test_module_mutable_table(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/m.py": "STATE = {}\nLIMIT = 3\nNAMES = ['a']\n",
+        })
+        mod = index.modules["app.m"]
+        assert set(mod.mutables) == {"STATE", "NAMES"}
+        assert set(mod.bindings) == {"STATE", "LIMIT", "NAMES"}
+
+
+# -- the taint engine ----------------------------------------------------------
+class TestDataflow:
+    def test_classify_source(self):
+        assert classify_source("time.time") == "clock"
+        assert classify_source("numpy.random.rand") == "rng"
+        assert classify_source("numpy.random.default_rng") is None
+        assert classify_source("os.urandom") == "entropy"
+        assert classify_source("id") == "id"
+        assert classify_source("sorted") is None
+
+    def test_summaries_propagate_through_returns(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/f.py": (
+                "import time\n"
+                "def stamp():\n    return time.time()\n"
+                "def wrap():\n    return stamp()\n"
+            ),
+        })
+        analysis = TaintAnalysis(index)
+        assert analysis.summaries["app.f.stamp"].returns == {"clock"}
+        assert analysis.summaries["app.f.wrap"].returns == {"clock"}
+
+    def test_param_to_sink_summary(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/f.py": (
+                "def store(cache, key):\n    cache.put(key, 1)\n"
+            ),
+        })
+        analysis = TaintAnalysis(index)
+        summary = analysis.summaries["app.f.store"]
+        assert summary.param_to_sink == {1: "cache put"}
+
+    def test_set_order_taint_and_sorted_sanitizer(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/f.py": (
+                "def bad(journal, xs):\n"
+                "    names = set(xs)\n"
+                "    out = list(names)\n"
+                "    journal.record_cell(out)\n"
+                "def good(journal, xs):\n"
+                "    names = set(xs)\n"
+                "    out = sorted(names)\n"
+                "    journal.record_cell(out)\n"
+            ),
+        })
+        analysis = TaintAnalysis(index)
+        bad = analysis.sink_hits(index.functions["app.f.bad"])
+        good = analysis.sink_hits(index.functions["app.f.good"])
+        assert [sorted(h.kinds) for h in bad] == [["set-order"]]
+        assert good == []
+
+    def test_field_taint_crosses_methods(self, tmp_path):
+        index = make_index(tmp_path, {
+            "app/f.py": (
+                "import time\n"
+                "class Runner:\n"
+                "    def start(self):\n"
+                "        self.t0 = time.time()\n"
+                "    def finish(self, journal):\n"
+                "        journal.record_cell(self.t0)\n"
+            ),
+        })
+        analysis = TaintAnalysis(index)
+        hits = analysis.sink_hits(index.functions["app.f.Runner.finish"])
+        assert [sorted(h.kinds) for h in hits] == [["clock"]]
+
+    def test_sanctioned_modules_are_taint_free(self, tmp_path):
+        index = make_index(tmp_path, {
+            "repro/utils/timer.py": (
+                "import time\n"
+                "def now():\n    return time.time()\n"
+            ),
+            "repro/other.py": (
+                "from repro.utils.timer import now\n"
+                "def persist(cache, v):\n    cache.put(now(), v)\n"
+            ),
+        })
+        analysis = TaintAnalysis(index)
+        assert analysis.summaries["repro.utils.timer.now"].returns == set()
+        hits = analysis.sink_hits(index.functions["repro.other.persist"])
+        assert hits == []
+
+
+# -- SARIF reporter ------------------------------------------------------------
+class TestSarif:
+    def test_sarif_document_shape(self):
+        result = run_fixture("grn101_pos", DeterminismTaintRule)
+        doc = json.loads(render_sarif(result.findings, []))
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "GRN101" in rule_ids
+        assert run["results"], "positive fixture must produce results"
+        for item in run["results"]:
+            assert item["baselineState"] == "new"
+            location = item["locations"][0]["physicalLocation"]
+            assert location["region"]["startLine"] >= 1
+            assert location["region"]["startColumn"] >= 1
+
+    def test_sarif_levels_follow_severity(self):
+        result = run_fixture("grn104_pos", VectorizationRule)
+        doc = json.loads(render_sarif(result.findings, []))
+        levels = {r["level"] for r in doc["runs"][0]["results"]}
+        assert levels == {"note"}
+
+    def test_sarif_marks_baselined_unchanged(self):
+        result = run_fixture("grn103_pos", ResourceLeakRule)
+        doc = json.loads(render_sarif([], result.findings))
+        states = {r["baselineState"]
+                  for r in doc["runs"][0]["results"]}
+        assert states == {"unchanged"}
+
+    def test_cli_emits_valid_sarif(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        code = main(["lint", str(target), "--format", "sarif",
+                     "--baseline", str(tmp_path / "b.json")])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"][0]["ruleId"] == "GRN004"
+
+
+# -- --changed closure ---------------------------------------------------------
+class TestChangedScope:
+    def test_restrict_seed_keeps_reverse_importers(self, tmp_path):
+        files = {
+            "app/base.py": "import time\n"
+                           "def t():\n    return time.time()\n",
+            "app/user.py": "from app.base import t\n"
+                           "def u(cache, v):\n    cache.put(t(), v)\n",
+            "app/stranger.py": "import os\n"
+                               "def s():\n    return os.getpid()\n",
+        }
+        for rel, text in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(text)
+        (tmp_path / "app" / "__init__.py").touch()
+        engine = LintEngine(rules=[DeterminismTaintRule], root=tmp_path)
+        result = engine.run([tmp_path], restrict_seed={"app/base.py"})
+        # user.py is in scope through the reverse-dependency closure
+        assert "app/user.py" in result.restricted
+        assert "app/stranger.py" not in result.restricted
+        assert {f.path for f in result.findings} == {"app/user.py"}
+
+    def test_restrict_filters_per_file_findings(self, tmp_path):
+        files = {
+            "app/a.py": "import time\nx = time.time()\n",
+            "app/b.py": "import time\ny = time.time()\n",
+        }
+        for rel, text in files.items():
+            (tmp_path / rel).parent.mkdir(parents=True, exist_ok=True)
+            (tmp_path / rel).write_text(text)
+        (tmp_path / "app" / "__init__.py").touch()
+        result = LintEngine(root=tmp_path).run(
+            [tmp_path], restrict_seed={"app/a.py"})
+        assert {f.path for f in result.findings} == {"app/a.py"}
+
+
+# -- baseline ratchet ----------------------------------------------------------
+class TestRatchet:
+    def test_first_write_is_allowed(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert baseline.exists()
+
+    def test_growth_is_refused(self, tmp_path, capsys):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        target.write_text(
+            "import time\na = time.time()\nb = time.time()\n")
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 1
+        err = capsys.readouterr().err
+        assert "refusing to grow the baseline" in err
+        # the committed file is untouched by the refused write
+        assert len(json.loads(baseline.read_text())["findings"]) == 1
+
+    def test_growth_override(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text("import time\na = time.time()\n")
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        target.write_text(
+            "import time\na = time.time()\nb = time.time()\n")
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline", "--allow-baseline-growth"]) == 0
+        assert len(json.loads(baseline.read_text())["findings"]) == 2
+
+    def test_shrinking_rewrite_is_allowed(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(
+            "import time\na = time.time()\nb = time.time()\n")
+        baseline = tmp_path / "b.json"
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        target.write_text("import time\na = time.time()\n")
+        assert main(["lint", str(target), "--baseline", str(baseline),
+                     "--write-baseline"]) == 0
+        assert len(json.loads(baseline.read_text())["findings"]) == 1
+
+
+# -- severity-aware exit code --------------------------------------------------
+class TestSeverityExit:
+    def test_info_findings_do_not_fail_the_run(self, tmp_path, capsys):
+        hot = tmp_path / "repro" / "models"
+        hot.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").touch()
+        (hot / "__init__.py").touch()
+        (hot / "loopy.py").write_text(
+            "class M:\n"
+            "    def fit(self, X, y):\n"
+            "        for c in range(3):\n"
+            "            rows = X[y == c]\n"
+            "        return self\n"
+        )
+        import os
+        cwd = os.getcwd()
+        os.chdir(tmp_path)
+        try:
+            code = main(["lint", "repro",
+                         "--baseline", str(tmp_path / "b.json")])
+            out = capsys.readouterr().out
+        finally:
+            os.chdir(cwd)
+        # GRN005 fires too (no predict) -> must fail; so isolate GRN104
+        # via the library instead for the pass case
+        assert "GRN104" in out
+
+    def test_engine_severity_partition(self):
+        result = run_fixture("grn104_pos", VectorizationRule)
+        assert result.findings
+        assert all(f.severity == "info" for f in result.findings)
+        failing = [f for f in result.findings
+                   if f.severity in ("error", "warning")]
+        assert not failing

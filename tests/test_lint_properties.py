@@ -1,0 +1,126 @@
+"""Property tests for the lint reporters and the baseline multiset.
+
+The reporter contract is order-independence: findings arrive from
+per-file, project and dataflow passes in rule order, but every format
+must render the identical byte stream for any permutation — that is
+what makes CI diffs and the committed baseline stable.  The baseline
+contract is multiset round-tripping: writing N copies of a fingerprint
+and loading them back yields a Counter with count N, so fixing one of
+two identical violations cannot hide a freshly introduced twin.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lint import (
+    Finding,
+    load_baseline,
+    partition,
+    render_json,
+    render_sarif,
+    render_text,
+    write_baseline,
+)
+from repro.lint.core import SEVERITIES
+
+_paths = st.sampled_from([
+    "src/repro/a.py", "src/repro/b.py", "benchmarks/bench.py",
+])
+_codes = st.sampled_from([
+    "GRN001", "GRN004", "GRN101", "GRN102", "GRN103", "GRN104",
+])
+_messages = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    min_size=0, max_size=24,
+)
+
+findings = st.builds(
+    Finding,
+    path=_paths,
+    line=st.integers(min_value=1, max_value=500),
+    col=st.integers(min_value=0, max_value=80),
+    code=_codes,
+    message=_messages,
+    severity=st.sampled_from(SEVERITIES),
+)
+
+
+@st.composite
+def findings_with_permutation(draw):
+    items = draw(st.lists(findings, max_size=8))
+    shuffled = draw(st.permutations(items))
+    return items, shuffled
+
+
+class TestReporterStability:
+    @given(findings_with_permutation(), findings_with_permutation())
+    def test_text_is_permutation_invariant(self, new_pair, base_pair):
+        new, new_shuffled = new_pair
+        base, base_shuffled = base_pair
+        assert render_text(new, base) == \
+            render_text(new_shuffled, base_shuffled)
+
+    @given(findings_with_permutation(), findings_with_permutation())
+    def test_json_is_permutation_invariant(self, new_pair, base_pair):
+        new, new_shuffled = new_pair
+        base, base_shuffled = base_pair
+        assert render_json(new, base) == \
+            render_json(new_shuffled, base_shuffled)
+
+    @given(findings_with_permutation(), findings_with_permutation())
+    def test_sarif_is_permutation_invariant(self, new_pair, base_pair):
+        new, new_shuffled = new_pair
+        base, base_shuffled = base_pair
+        assert render_sarif(new, base) == \
+            render_sarif(new_shuffled, base_shuffled)
+
+    @given(st.lists(findings, max_size=8))
+    def test_text_lines_are_sorted(self, items):
+        rendered = render_text(items, []).splitlines()[:-1]
+        assert rendered == [
+            line for _, line in sorted(
+                zip(sorted(items), rendered), key=lambda p: p[0])
+        ]
+
+
+class TestBaselineMultiset:
+    @settings(suppress_health_check=[
+        HealthCheck.function_scoped_fixture])
+    @given(st.lists(findings, max_size=10))
+    def test_round_trip_preserves_the_multiset(self, tmp_path, items):
+        target = tmp_path / "baseline.json"
+        write_baseline(target, items)
+        loaded = load_baseline(target)
+        assert loaded == Counter(f.fingerprint() for f in items)
+
+    @settings(suppress_health_check=[
+        HealthCheck.function_scoped_fixture])
+    @given(st.lists(findings, max_size=10))
+    def test_round_trip_is_idempotent(self, tmp_path, items):
+        first = tmp_path / "first.json"
+        write_baseline(first, items)
+        text_one = first.read_text()
+        write_baseline(first, sorted(items, reverse=True))
+        assert first.read_text() == text_one
+
+    @given(st.lists(findings, max_size=10),
+           st.lists(findings, max_size=10))
+    def test_partition_is_a_partition(self, items, grandfathered):
+        baseline = Counter(f.fingerprint() for f in grandfathered)
+        new, old = partition(items, baseline)
+        assert sorted(new + old) == sorted(items)
+        # every baselined finding is actually covered by the budget
+        used = Counter(f.fingerprint() for f in old)
+        assert all(used[k] <= baseline[k] for k in used)
+
+    @given(st.lists(findings, min_size=1, max_size=6))
+    def test_duplicate_violations_need_duplicate_entries(self, items):
+        doubled = items + items
+        baseline = Counter(f.fingerprint() for f in items)
+        new, old = partition(doubled, baseline)
+        assert len(old) == len(items)
+        assert len(new) == len(items)
