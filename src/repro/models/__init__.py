@@ -7,13 +7,15 @@ plus ``inference_flops`` for the analytic energy model.
 """
 
 from repro.models.base import BaseEstimator, ClassifierMixin, RegressorMixin, clone
+from repro.models.binning import FeatureBinner
 from repro.models.boosting import AdaBoostClassifier, GradientBoostingClassifier
 from repro.models.discriminant import (
     LinearDiscriminantAnalysis,
     QuadraticDiscriminantAnalysis,
 )
 from repro.models.dummy import DummyClassifier
-from repro.models.kernel import KernelApproxSVC, RBFSampler
+from repro.models.kernel import KernelApproxSVC, Nystroem, RBFSampler
+from repro.models.pairwise import pairwise_sq_dists, rbf_kernel
 from repro.models.forest import (
     ExtraTreesClassifier,
     RandomForestClassifier,
@@ -47,6 +49,10 @@ __all__ = [
     "KNeighborsClassifier",
     "KernelApproxSVC",
     "RBFSampler",
+    "Nystroem",
+    "FeatureBinner",
+    "pairwise_sq_dists",
+    "rbf_kernel",
     "MLPClassifier",
     "LinearDiscriminantAnalysis",
     "QuadraticDiscriminantAnalysis",

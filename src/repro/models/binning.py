@@ -1,0 +1,99 @@
+"""Feature quantization for histogram-binned tree building.
+
+The exact CART builder re-sorts every candidate feature at every node —
+an ``O(n log n)`` argsort per node per feature that dominates the fit
+energy of every tree ensemble in the zoo.  Histogram binning pays one
+quantization pass per fit (``O(n d)`` plus one sort per feature) and
+turns each node's split search into prefix scans over at most
+``max_bins`` class counts, the LightGBM-style trade the paper's energy
+numbers reward: the binned fit touches each row once per node instead
+of once per node *per feature ordering*.
+
+A :class:`FeatureBinner` is deliberately dumb and shareable: a forest
+fits it once on the full training matrix and hands the same binned
+``uint8`` matrix to every tree (bootstrap resampling then indexes rows
+of the binned matrix instead of re-quantizing per tree), and gradient
+boosting reuses one binned matrix across all rounds and classes.
+
+Exactness contract: bin edges are midpoints between distinct adjacent
+values (small-cardinality features) or quantile cuts (continuous
+features), so every binned split threshold is also a threshold the
+exact builder could have chosen; fitted trees store real-valued
+thresholds and predict on raw, un-binned matrices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import BaseEstimator
+from repro.utils.validation import check_array, check_is_fitted
+
+#: bin codes must fit a uint8 alongside a reserved headroom code, and the
+#: gain scan is O(max_bins) per node per feature — 255 is the classic cap
+MAX_BINS = 255
+
+
+class FeatureBinner(BaseEstimator):
+    """Quantize each feature into at most ``max_bins`` ordinal codes.
+
+    ``edges_[j]`` holds the ascending candidate thresholds of feature
+    ``j``; code ``b`` collects the values ``edges_[j][b-1] < v <=
+    edges_[j][b]``, i.e. ``transform`` maps ``v`` to
+    ``searchsorted(edges_[j], v, side="left")``.  A split "go left iff
+    ``v <= edges_[j][t]``" is therefore exactly "go left iff
+    ``code <= t``", which is the identity the binned builder relies on
+    to emit real-valued thresholds while searching in bin space.
+    """
+
+    def __init__(self, max_bins: int = MAX_BINS):
+        self.max_bins = max_bins
+
+    def fit(self, X, y=None) -> "FeatureBinner":
+        if not 2 <= int(self.max_bins) <= MAX_BINS:
+            raise ValueError(
+                f"max_bins must be in [2, {MAX_BINS}], got {self.max_bins}"
+            )
+        X = check_array(X)
+        edges: list[np.ndarray] = []
+        for j in range(X.shape[1]):
+            col = X[:, j]
+            uniq = np.unique(col)
+            if len(uniq) <= self.max_bins:
+                # midpoints between adjacent distinct values: the same
+                # candidate set the exact sort-based search enumerates
+                cuts = 0.5 * (uniq[1:] + uniq[:-1])
+            else:
+                qs = np.quantile(
+                    col, np.linspace(0.0, 1.0, self.max_bins + 1)[1:-1]
+                )
+                cuts = np.unique(qs)
+            edges.append(np.asarray(cuts, dtype=np.float64))
+        self.edges_ = edges
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        """Return the ``uint8`` code matrix for ``X``."""
+        check_is_fitted(self, "edges_")
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, binner was fitted on "
+                f"{self.n_features_in_}"
+            )
+        codes = np.empty(X.shape, dtype=np.uint8)
+        for j in range(X.shape[1]):
+            codes[:, j] = np.searchsorted(
+                self.edges_[j], X[:, j], side="left"
+            )
+        return codes
+
+    def fit_transform(self, X, y=None) -> np.ndarray:
+        return self.fit(X, y).transform(X)
+
+    @property
+    def n_bins_(self) -> np.ndarray:
+        """Occupied bin count per feature (``len(edges) + 1``)."""
+        check_is_fitted(self, "edges_")
+        return np.asarray([len(e) + 1 for e in self.edges_], dtype=np.int64)

@@ -1,4 +1,10 @@
-"""Linear and quadratic discriminant analysis."""
+"""Linear and quadratic discriminant analysis.
+
+Class means come from one-hot matmuls and the pooled scatter from a
+single centered gram product, so fitting is one pass over the data
+instead of one boolean mask rescan per class; decision functions are
+batched matmuls/einsums over all classes at once.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +12,18 @@ import numpy as np
 
 from repro.models.base import BaseEstimator, ClassifierMixin
 from repro.utils.validation import check_is_fitted, check_X_y
+
+#: cap on the (rows x classes x features) mahalanobis tensor per chunk
+_MAHA_CHUNK_ELEMENTS = 2**22
+
+
+def _class_means(X, codes, k):
+    """Per-class counts, priors and mean rows in one pass."""
+    onehot = np.zeros((len(codes), k))
+    onehot[np.arange(len(codes)), codes] = 1.0
+    counts = np.bincount(codes, minlength=k).astype(np.float64)
+    means = (onehot.T @ X) / counts[:, None]
+    return counts, means
 
 
 class LinearDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
@@ -19,16 +37,12 @@ class LinearDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
         codes = self._encode_labels(y)
         k = len(self.classes_)
         d = X.shape[1]
-        self.means_ = np.zeros((k, d))
-        self.priors_ = np.zeros(k)
-        pooled = np.zeros((d, d))
-        for c in range(k):  # repro-lint: disable=GRN104  # O(n*k) mask rescans; one sorted/bincount pass in ROADMAP#2
-            Xc = X[codes == c]
-            self.means_[c] = Xc.mean(axis=0)
-            self.priors_[c] = len(Xc) / len(X)
-            if len(Xc) > 1:
-                diff = Xc - self.means_[c]
-                pooled += diff.T @ diff
+        counts, self.means_ = _class_means(X, codes, k)
+        self.priors_ = counts / len(X)
+        # singleton classes center to exactly zero, so the all-rows gram
+        # equals the per-class scatter sum the loop form accumulated
+        centered = X - self.means_[codes]
+        pooled = centered.T @ centered
         pooled /= max(len(X) - k, 1)
         trace = np.trace(pooled) / d if d else 1.0
         pooled = (1 - self.shrinkage) * pooled + self.shrinkage * trace * np.eye(d)
@@ -39,13 +53,10 @@ class LinearDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
     def decision_function(self, X) -> np.ndarray:
         check_is_fitted(self, "means_")
         X = np.asarray(X, dtype=float)
-        scores = np.empty((X.shape[0], len(self.classes_)))
-        for c in range(len(self.classes_)):  # repro-lint: disable=GRN104  # k small; stack means into one (k,d)@ (d,d) matmul in ROADMAP#2
-            mu = self.means_[c]
-            w = self._precision @ mu
-            b = -0.5 * mu @ w + np.log(self.priors_[c] + 1e-300)
-            scores[:, c] = X @ w + b
-        return scores
+        W = self.means_ @ self._precision.T  # (k, d) class discriminants
+        b = (-0.5 * np.einsum("kd,kd->k", self.means_, W)
+             + np.log(self.priors_ + 1e-300))
+        return X @ W.T + b
 
     def predict_proba(self, X) -> np.ndarray:
         s = self.decision_function(X)
@@ -65,14 +76,15 @@ class QuadraticDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
         codes = self._encode_labels(y)
         k = len(self.classes_)
         d = X.shape[1]
-        self.means_ = np.zeros((k, d))
-        self.priors_ = np.zeros(k)
+        counts, self.means_ = _class_means(X, codes, k)
+        self.priors_ = counts / len(X)
         self._precisions = []
         self._logdets = []
-        for c in range(k):  # repro-lint: disable=GRN104  # O(n*k) mask rescans; one sorted/bincount pass in ROADMAP#2
-            Xc = X[codes == c]
-            self.means_[c] = Xc.mean(axis=0)
-            self.priors_[c] = len(Xc) / len(X)
+        # one stable argsort groups rows by class; the remaining loop is
+        # per-class linear algebra (pinv/slogdet), not data rescans
+        order = np.argsort(codes, kind="stable")
+        splits = np.cumsum(np.bincount(codes, minlength=k))[:-1]
+        for c, Xc in enumerate(np.split(X[order], splits)):
             if len(Xc) > 1:
                 diff = Xc - self.means_[c]
                 cov = diff.T @ diff / (len(Xc) - 1)
@@ -94,14 +106,18 @@ class QuadraticDiscriminantAnalysis(BaseEstimator, ClassifierMixin):
     def decision_function(self, X) -> np.ndarray:
         check_is_fitted(self, "means_")
         X = np.asarray(X, dtype=float)
-        scores = np.empty((X.shape[0], len(self.classes_)))
-        for c in range(len(self.classes_)):  # repro-lint: disable=GRN104  # per-class einsum; batch the mahalanobis over c in ROADMAP#2
-            diff = X - self.means_[c]
-            maha = np.einsum("ij,jk,ik->i", diff, self._precisions[c], diff)
-            scores[:, c] = (
-                -0.5 * (maha + self._logdets[c])
-                + np.log(self.priors_[c] + 1e-300)
-            )
+        n = X.shape[0]
+        k = len(self.classes_)
+        d = max(1, X.shape[1])
+        P = np.stack(self._precisions)
+        offset = (-0.5 * np.asarray(self._logdets)
+                  + np.log(self.priors_ + 1e-300))
+        scores = np.empty((n, k))
+        step = max(1, _MAHA_CHUNK_ELEMENTS // (k * d))
+        for r0 in range(0, n, step):
+            diff = X[r0:r0 + step, None, :] - self.means_
+            maha = np.einsum("nkd,kde,nke->nk", diff, P, diff)
+            scores[r0:r0 + step] = -0.5 * maha + offset
         return scores
 
     def predict_proba(self, X) -> np.ndarray:

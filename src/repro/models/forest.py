@@ -1,10 +1,17 @@
-"""Tree ensembles: random forests and extremely randomised trees."""
+"""Tree ensembles: random forests and extremely randomised trees.
+
+With ``binning`` enabled the forest quantizes the training matrix exactly
+once (one :class:`~repro.models.binning.FeatureBinner` per forest) and every
+tree fits on row-subsets of the same shared binned matrix — bootstrap
+resampling indexes uint8 codes instead of re-quantizing floats per tree.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.models.base import BaseEstimator, ClassifierMixin, RegressorMixin
+from repro.models.binning import FeatureBinner
 from repro.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from repro.utils.rng import check_random_state, spawn_seeds
 from repro.utils.validation import check_is_fitted, check_X_y
@@ -15,7 +22,8 @@ class _BaseForest(BaseEstimator):
 
     def __init__(self, n_estimators=100, max_depth=None, min_samples_split=2,
                  min_samples_leaf=1, max_features="sqrt", max_leaf_nodes=None,
-                 bootstrap=True, splitter="best", random_state=None):
+                 bootstrap=True, splitter="best", random_state=None,
+                 binning=None):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.min_samples_split = min_samples_split
@@ -25,6 +33,7 @@ class _BaseForest(BaseEstimator):
         self.bootstrap = bootstrap
         self.splitter = splitter
         self.random_state = random_state
+        self.binning = binning
 
     def _make_tree(self, seed):
         raise NotImplementedError
@@ -35,14 +44,26 @@ class _BaseForest(BaseEstimator):
         rng = check_random_state(self.random_state)
         seeds = spawn_seeds(rng, self.n_estimators)
         n = X.shape[0]
+        if self.binning is not None:
+            # Quantize once, share the code matrix across every tree.
+            binner = FeatureBinner(self.binning)
+            Xb = binner.fit_transform(X)
+            edges = binner.edges_
+        else:
+            Xb = edges = None
         self.estimators_ = []
         for seed in seeds:
             tree = self._make_tree(seed)
             if self.bootstrap:
                 idx = check_random_state(seed).integers(0, n, size=n)
-                tree.fit(X[idx], y[idx])
-            else:
+                if Xb is None:
+                    tree.fit(X[idx], y[idx])
+                else:
+                    tree.fit_binned(Xb[idx], y[idx], edges)
+            elif Xb is None:
                 tree.fit(X, y)
+            else:
+                tree.fit_binned(Xb, y, edges)
             self.estimators_.append(tree)
         self.n_features_in_ = X.shape[1]
 
@@ -94,13 +115,13 @@ class ExtraTreesClassifier(RandomForestClassifier):
 
     def __init__(self, n_estimators=100, max_depth=None, min_samples_split=2,
                  min_samples_leaf=1, max_features="sqrt", max_leaf_nodes=None,
-                 bootstrap=False, random_state=None):
+                 bootstrap=False, random_state=None, binning=None):
         super().__init__(
             n_estimators=n_estimators, max_depth=max_depth,
             min_samples_split=min_samples_split,
             min_samples_leaf=min_samples_leaf, max_features=max_features,
             max_leaf_nodes=max_leaf_nodes, bootstrap=bootstrap,
-            splitter="random", random_state=random_state,
+            splitter="random", random_state=random_state, binning=binning,
         )
 
 

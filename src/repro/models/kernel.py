@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.models.base import BaseEstimator, ClassifierMixin
 from repro.models.linear import LogisticRegression
+from repro.models.pairwise import rbf_kernel
 from repro.utils.rng import check_random_state
 from repro.utils.validation import check_is_fitted, check_X_y
 
@@ -47,6 +48,53 @@ class RBFSampler(BaseEstimator):
         X = np.asarray(X, dtype=float)
         projection = X @ self.weights_ + self.offset_
         return np.sqrt(2.0 / self.n_components) * np.cos(projection)
+
+    def fit_transform(self, X, y=None):
+        return self.fit(X, y).transform(X)
+
+    def transform_flops(self, n_samples: int) -> float:
+        return float(n_samples) * float(self.complexity_)
+
+
+class Nystroem(BaseEstimator):
+    """Nystroem RBF-kernel approximation from sampled landmarks.
+
+    Keeps ``n_components`` training rows as landmarks and maps inputs
+    through the blocked :func:`repro.models.pairwise.rbf_kernel` against
+    them, whitened by the landmark kernel's inverse square root — the
+    data-dependent counterpart to :class:`RBFSampler`'s random features.
+    """
+
+    def __init__(self, gamma=1.0, n_components=64, random_state=None):
+        self.gamma = gamma
+        self.n_components = n_components
+        self.random_state = random_state
+
+    def fit(self, X, y=None):
+        X = np.asarray(X, dtype=float)
+        if self.n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        rng = check_random_state(self.random_state)
+        n = X.shape[0]
+        m = min(self.n_components, n)
+        idx = rng.choice(n, size=m, replace=False)
+        self.components_ = X[idx]
+        K_mm = rbf_kernel(self.components_, self.components_, self.gamma)
+        # inverse square root of the landmark kernel; clip tiny/negative
+        # eigenvalues so near-duplicate landmarks cannot blow it up
+        vals, vecs = np.linalg.eigh(K_mm)
+        vals = np.maximum(vals, 1e-12)
+        self.normalization_ = (vecs / np.sqrt(vals)) @ vecs.T
+        self.complexity_ = 2.0 * X.shape[1] * m + 2.0 * m * m
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        check_is_fitted(self, "components_")
+        X = np.asarray(X, dtype=float)
+        return rbf_kernel(X, self.components_, self.gamma) \
+            @ self.normalization_
 
     def fit_transform(self, X, y=None):
         return self.fit(X, y).transform(X)

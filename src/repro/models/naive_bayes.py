@@ -1,4 +1,9 @@
-"""Naive Bayes classifiers (Gaussian, Multinomial, Bernoulli)."""
+"""Naive Bayes classifiers (Gaussian, Multinomial, Bernoulli).
+
+Class-conditional moments are accumulated with one-hot matmuls and
+``bincount`` instead of per-class boolean mask rescans, so fitting costs
+one pass over the data regardless of the number of classes.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +11,15 @@ import numpy as np
 
 from repro.models.base import BaseEstimator, ClassifierMixin
 from repro.utils.validation import check_is_fitted, check_X_y
+
+#: cap on the (rows x classes x features) broadcast tensor per chunk
+_JLL_CHUNK_ELEMENTS = 2**22
+
+
+def _class_onehot(codes: np.ndarray, k: int) -> np.ndarray:
+    onehot = np.zeros((len(codes), k))
+    onehot[np.arange(len(codes)), codes] = 1.0
+    return onehot
 
 
 class GaussianNB(BaseEstimator, ClassifierMixin):
@@ -19,27 +33,31 @@ class GaussianNB(BaseEstimator, ClassifierMixin):
         codes = self._encode_labels(y)
         k = len(self.classes_)
         d = X.shape[1]
-        self.theta_ = np.zeros((k, d))
-        self.var_ = np.zeros((k, d))
-        self.class_prior_ = np.zeros(k)
         eps = self.var_smoothing * float(np.var(X, axis=0).max() or 1.0)
-        for c in range(k):  # repro-lint: disable=GRN104  # O(n*k) mask rescans; np.add.at class-binned moments in ROADMAP#2
-            Xc = X[codes == c]
-            self.theta_[c] = Xc.mean(axis=0)
-            self.var_[c] = Xc.var(axis=0) + eps
-            self.class_prior_[c] = len(Xc) / len(X)
+        onehot = _class_onehot(codes, k)
+        counts = np.bincount(codes, minlength=k).astype(np.float64)
+        self.class_prior_ = counts / len(X)
+        self.theta_ = (onehot.T @ X) / counts[:, None]
+        # centered second moment: one more matmul, same two-pass
+        # stability as the per-class ``Xc.var`` it replaces
+        centered = X - self.theta_[codes]
+        self.var_ = (onehot.T @ (centered * centered)) / counts[:, None] + eps
         self.complexity_ = 4.0 * k * d
         return self
 
     def _joint_log_likelihood(self, X) -> np.ndarray:
         X = np.asarray(X, dtype=float)
-        jll = np.empty((X.shape[0], len(self.classes_)))
-        for c in range(len(self.classes_)):  # repro-lint: disable=GRN104  # k broadcast steps; fold into one (n,k,d) broadcast in ROADMAP#2
-            diff = X - self.theta_[c]
-            log_pdf = -0.5 * (
-                np.log(2 * np.pi * self.var_[c]) + diff**2 / self.var_[c]
-            ).sum(axis=1)
-            jll[:, c] = np.log(self.class_prior_[c] + 1e-300) + log_pdf
+        n = X.shape[0]
+        k = len(self.classes_)
+        d = max(1, X.shape[1])
+        jll = np.empty((n, k))
+        log_norm = np.log(2 * np.pi * self.var_).sum(axis=1)
+        log_prior = np.log(self.class_prior_ + 1e-300)
+        step = max(1, _JLL_CHUNK_ELEMENTS // (k * d))
+        for r0 in range(0, n, step):
+            diff = X[r0:r0 + step, None, :] - self.theta_
+            quad = (diff * diff / self.var_).sum(axis=2)
+            jll[r0:r0 + step] = log_prior - 0.5 * (log_norm + quad)
         return jll
 
     def predict_proba(self, X) -> np.ndarray:
@@ -63,13 +81,12 @@ class MultinomialNB(BaseEstimator, ClassifierMixin):
         codes = self._encode_labels(y)
         k = len(self.classes_)
         d = X.shape[1]
-        self.feature_log_prob_ = np.zeros((k, d))
-        self.class_log_prior_ = np.zeros(k)
-        for c in range(k):  # repro-lint: disable=GRN104  # O(n*k) mask rescans; np.add.at class-binned counts in ROADMAP#2
-            Xc = X[codes == c]
-            counts = Xc.sum(axis=0) + self.alpha
-            self.feature_log_prob_[c] = np.log(counts / counts.sum())
-            self.class_log_prior_[c] = np.log(len(Xc) / len(X))
+        n_c = np.bincount(codes, minlength=k).astype(np.float64)
+        counts = _class_onehot(codes, k).T @ X + self.alpha
+        self.feature_log_prob_ = np.log(
+            counts / counts.sum(axis=1, keepdims=True)
+        )
+        self.class_log_prior_ = np.log(n_c / len(X))
         self._shift = None
         self.complexity_ = 2.0 * k * d
         return self
@@ -98,15 +115,12 @@ class BernoulliNB(BaseEstimator, ClassifierMixin):
         codes = self._encode_labels(y)
         k = len(self.classes_)
         d = X.shape[1]
-        self.feature_log_prob_ = np.zeros((k, d))
-        self.neg_log_prob_ = np.zeros((k, d))
-        self.class_log_prior_ = np.zeros(k)
-        for c in range(k):  # repro-lint: disable=GRN104  # O(n*k) mask rescans; np.add.at class-binned counts in ROADMAP#2
-            Bc = B[codes == c]
-            p = (Bc.sum(axis=0) + self.alpha) / (len(Bc) + 2 * self.alpha)
-            self.feature_log_prob_[c] = np.log(p)
-            self.neg_log_prob_[c] = np.log(1.0 - p)
-            self.class_log_prior_[c] = np.log(len(Bc) / len(X))
+        n_c = np.bincount(codes, minlength=k).astype(np.float64)
+        pos = _class_onehot(codes, k).T @ B
+        p = (pos + self.alpha) / (n_c[:, None] + 2 * self.alpha)
+        self.feature_log_prob_ = np.log(p)
+        self.neg_log_prob_ = np.log(1.0 - p)
+        self.class_log_prior_ = np.log(n_c / len(X))
         self.complexity_ = 3.0 * k * d
         return self
 

@@ -2,7 +2,8 @@
 
 kNN carries its whole training set to inference, making it — like TabPFN —
 a model whose energy bill lands in the *inference* stage rather than the
-execution stage.
+execution stage.  Distance computation delegates to the shared blocked
+kernel in :mod:`repro.models.pairwise`.
 """
 
 from __future__ import annotations
@@ -10,20 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.models.base import BaseEstimator, ClassifierMixin
+from repro.models.pairwise import pairwise_sq_dists, sq_norms_if_safe
 from repro.utils.validation import check_is_fitted, check_X_y
-
-
-#: ceiling on the (batch, chunk, n_features) pairwise-diff tensor in the
-#: overflow fallback — ~32 MB of float64, comparable to the matmul
-#: working set instead of materialising all n_train rows at once
-_FALLBACK_CHUNK_ELEMENTS = 2 ** 22
-
-
-def _norm_expansion_limit(n_features: int) -> float:
-    """Largest |x| for which the ``a²-2ab+b²`` expansion stays finite:
-    squares, their feature-sums and the cross term must all fit in a
-    float64 with headroom for the subtraction."""
-    return float(np.sqrt(np.finfo(float).max / (4.0 * max(n_features, 1))))
 
 
 class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
@@ -42,44 +31,11 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
             raise ValueError("n_neighbors must be >= 1")
         self._X = X
         self._codes = self._encode_labels(y)
-        self._limit = _norm_expansion_limit(X.shape[1])
-        # Norm expansion overflows on extreme feature values (xb² → inf,
-        # inf - inf → NaN → argpartition picks arbitrary neighbours);
-        # precompute the norms only when the training side is in range.
-        if np.abs(X).max(initial=0.0) <= self._limit:
-            self._sq_norms = np.sum(X**2, axis=1)
-        else:
-            self._sq_norms = None
+        # cached once: None marks a training side whose squares overflow
+        self._sq_norms = sq_norms_if_safe(X)
         # Every prediction computes n_train × n_features distances.
         self.complexity_ = 3.0 * X.shape[0] * X.shape[1]
         return self
-
-    def _distances(self, xb: np.ndarray) -> np.ndarray:
-        """Squared distances from a batch to every training row.
-
-        The fast ``a²-2ab+b²`` path needs every operand finite; when the
-        training set or the batch carries near-overflow values, fall back
-        to direct pairwise differences with overflow saturating to +inf
-        (an out-of-range point is simply maximally distant — finite
-        neighbours still rank correctly and nothing turns into NaN).
-        """
-        if self._sq_norms is not None \
-                and np.abs(xb).max(initial=0.0) <= self._limit:
-            return (
-                np.sum(xb**2, axis=1)[:, None]
-                - 2.0 * xb @ self._X.T
-                + self._sq_norms[None, :]
-            )
-        n_train, n_features = self._X.shape
-        d2 = np.empty((len(xb), n_train))
-        step = max(
-            1, _FALLBACK_CHUNK_ELEMENTS // max(len(xb) * n_features, 1)
-        )
-        with np.errstate(over="ignore", invalid="ignore"):
-            for s in range(0, n_train, step):
-                diff = xb[:, None, :] - self._X[None, s:s + step, :]
-                d2[:, s:s + step] = np.sum(diff * diff, axis=-1)
-        return np.where(np.isnan(d2), np.inf, d2)
 
     def predict_proba(self, X) -> np.ndarray:
         check_is_fitted(self, "_X")
@@ -91,17 +47,20 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
         out = np.zeros((X.shape[0], n_classes))
         for start in range(0, X.shape[0], self.batch_size):
             xb = X[start:start + self.batch_size]
-            d2 = self._distances(xb)
+            d2 = pairwise_sq_dists(xb, self._X, self._sq_norms)
             nn = np.argpartition(d2, k - 1, axis=1)[:, :k]
             rows = np.arange(len(xb))[:, None]
             labels = self._codes[nn]
             if self.weights == "distance":
-                w = 1.0 / np.maximum(np.sqrt(np.maximum(d2[rows, nn], 0)), 1e-12)
+                w = 1.0 / np.maximum(
+                    np.sqrt(np.maximum(d2[rows, nn], 0)), 1e-12
+                )
             else:
                 w = np.ones_like(nn, dtype=float)
-            for c in range(n_classes):
-                out[start:start + len(xb), c] = np.sum(
-                    w * (labels == c), axis=1
-                )
+            # weighted votes for all classes in one flat bincount
+            out[start:start + len(xb)] = np.bincount(
+                (rows * n_classes + labels).ravel(), weights=w.ravel(),
+                minlength=len(xb) * n_classes,
+            ).reshape(len(xb), n_classes)
         out /= np.maximum(out.sum(axis=1, keepdims=True), 1e-12)
         return out

@@ -1,0 +1,76 @@
+"""Blocked pairwise squared-distance kernels.
+
+Shared by the instance-based models (kNN, Nystroem landmarks): one
+implementation of the ``a²-2ab+b²`` norm-expansion fast path with its
+overflow guard, and a chunked direct-difference fallback whose working
+set stays bounded regardless of the training-set size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ceiling on the (rows_a, chunk, n_features) pairwise-diff tensor in the
+#: overflow fallback — ~32 MB of float64, comparable to the matmul
+#: working set instead of materialising all rows of ``B`` at once.
+#: Read at call time so tests can monkeypatch it.
+_FALLBACK_CHUNK_ELEMENTS = 2 ** 22
+
+
+def _norm_expansion_limit(n_features: int) -> float:
+    """Largest |x| for which the ``a²-2ab+b²`` expansion stays finite:
+    squares, their feature-sums and the cross term must all fit in a
+    float64 with headroom for the subtraction."""
+    return float(np.sqrt(np.finfo(float).max / (4.0 * max(n_features, 1))))
+
+
+def sq_norms_if_safe(X: np.ndarray) -> np.ndarray | None:
+    """Row squared norms, or ``None`` when squaring could overflow.
+
+    Norm expansion overflows on extreme feature values (x² → inf,
+    inf - inf → NaN → argpartition picks arbitrary neighbours); callers
+    cache this per training set and fall back when it is ``None``.
+    """
+    if np.abs(X).max(initial=0.0) <= _norm_expansion_limit(X.shape[1]):
+        return np.sum(X**2, axis=1)
+    return None
+
+
+def pairwise_sq_dists(A, B, b_sq_norms=None) -> np.ndarray:
+    """Squared euclidean distances, shape ``(len(A), len(B))``.
+
+    The fast ``a²-2ab+b²`` path needs every operand finite; when either
+    side carries near-overflow values, fall back to direct pairwise
+    differences over bounded chunks of ``B`` with overflow saturating to
+    +inf (an out-of-range point is simply maximally distant — finite
+    rows still rank correctly and nothing turns into NaN).
+    """
+    A = np.asarray(A, dtype=float)
+    B = np.asarray(B, dtype=float)
+    limit = _norm_expansion_limit(B.shape[1])
+    if b_sq_norms is None and np.abs(B).max(initial=0.0) <= limit:
+        b_sq_norms = np.sum(B**2, axis=1)
+    if b_sq_norms is not None \
+            and np.abs(A).max(initial=0.0) <= limit:
+        return (
+            np.sum(A**2, axis=1)[:, None]
+            - 2.0 * A @ B.T
+            + b_sq_norms[None, :]
+        )
+    n_b, n_features = B.shape
+    d2 = np.empty((len(A), n_b))
+    step = max(
+        1, _FALLBACK_CHUNK_ELEMENTS // max(len(A) * n_features, 1)
+    )
+    with np.errstate(over="ignore", invalid="ignore"):
+        for s in range(0, n_b, step):
+            diff = A[:, None, :] - B[None, s:s + step, :]
+            d2[:, s:s + step] = np.sum(diff * diff, axis=-1)
+    return np.where(np.isnan(d2), np.inf, d2)
+
+
+def rbf_kernel(A, B, gamma: float, b_sq_norms=None) -> np.ndarray:
+    """RBF kernel matrix ``exp(-gamma * ||a - b||²)``."""
+    d2 = np.maximum(pairwise_sq_dists(A, B, b_sq_norms), 0.0)
+    with np.errstate(under="ignore"):
+        return np.exp(-gamma * d2)

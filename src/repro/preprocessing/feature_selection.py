@@ -31,18 +31,24 @@ class VarianceThreshold(Transformer):
 
 
 def f_classif(X, y) -> np.ndarray:
-    """One-way ANOVA F statistic per feature."""
+    """One-way ANOVA F statistic per feature.
+
+    Class moments come from one one-hot matmul over the data instead of
+    one boolean mask rescan per class.
+    """
     X, y = check_X_y(X, y)
-    classes = np.unique(y)
+    classes, y_codes = np.unique(y, return_inverse=True)
+    n, k = len(X), len(classes)
+    counts = np.bincount(y_codes, minlength=k).astype(np.float64)
+    onehot = np.zeros((n, k))
+    onehot[np.arange(n), y_codes] = 1.0
+    means = (onehot.T @ X) / counts[:, None]
     overall = X.mean(axis=0)
-    between = np.zeros(X.shape[1])
-    within = np.zeros(X.shape[1])
-    for c in classes:  # repro-lint: disable=GRN104  # O(n*k) mask rescans; bincount-weighted moments in ROADMAP#2
-        Xc = X[y == c]
-        between += len(Xc) * (Xc.mean(axis=0) - overall) ** 2
-        within += ((Xc - Xc.mean(axis=0)) ** 2).sum(axis=0)
-    df_between = max(len(classes) - 1, 1)
-    df_within = max(len(X) - len(classes), 1)
+    between = (counts[:, None] * (means - overall) ** 2).sum(axis=0)
+    centered = X - means[y_codes]
+    within = (centered * centered).sum(axis=0)
+    df_between = max(k - 1, 1)
+    df_within = max(n - k, 1)
     return (between / df_between) / np.maximum(within / df_within, 1e-12)
 
 
@@ -53,13 +59,14 @@ def mutual_info_classif(X, y, n_bins: int = 8) -> np.ndarray:
     n, d = X.shape
     py = np.bincount(y_codes) / n
     mi = np.zeros(d)
+    k = len(classes)
     for j in range(d):
         col = X[:, j]
         edges = np.quantile(col, np.linspace(0, 1, n_bins + 1)[1:-1])
         bins = np.searchsorted(edges, col)
-        joint = np.zeros((n_bins, len(classes)))
-        for b, c in zip(bins, y_codes):
-            joint[b, c] += 1
+        # joint (bin, class) histogram in one flat bincount pass
+        joint = np.bincount(bins * k + y_codes, minlength=n_bins * k) \
+            .reshape(n_bins, k).astype(np.float64)
         joint /= n
         px = joint.sum(axis=1)
         outer = px[:, None] * py[None, :]

@@ -50,6 +50,29 @@ def check_X_y(X, y, *, allow_nan: bool = False):
     return X, y
 
 
+def check_sample_weight(sample_weight, n_samples: int):
+    """Validate per-row weights against a sample count.
+
+    ``None`` passes through (meaning "unweighted"); anything else must be
+    a finite non-negative vector of length ``n_samples`` with positive
+    total weight, returned as float64.
+    """
+    if sample_weight is None:
+        return None
+    w = np.asarray(sample_weight, dtype=np.float64).ravel()
+    if w.shape[0] != n_samples:
+        raise ValueError(
+            f"sample_weight has {w.shape[0]} entries for {n_samples} samples"
+        )
+    if not np.isfinite(w).all():
+        raise ValueError("sample_weight contains NaN or infinity")
+    if (w < 0).any():
+        raise ValueError("sample_weight must be non-negative")
+    if w.sum() <= 0:
+        raise ValueError("sample_weight must have positive total weight")
+    return w
+
+
 def check_is_fitted(estimator, attributes) -> None:
     """Raise :class:`NotFittedError` unless all ``attributes`` exist."""
     if isinstance(attributes, str):

@@ -193,7 +193,7 @@ class TestKNN:
         # the fallback walks training rows in bounded chunks (so one
         # extreme value cannot trigger a (batch, n_train, n_features)
         # allocation); a tiny chunk ceiling must not change the result
-        import repro.models.neighbors as neighbors_mod
+        import repro.models.pairwise as pairwise_mod
 
         rng = np.random.default_rng(2)
         X = rng.normal(size=(150, 4))
@@ -203,7 +203,7 @@ class TestKNN:
         single = KNeighborsClassifier(n_neighbors=5).fit(X, y) \
             .predict_proba(queries)
         monkeypatch.setattr(
-            neighbors_mod, "_FALLBACK_CHUNK_ELEMENTS", 64)
+            pairwise_mod, "_FALLBACK_CHUNK_ELEMENTS", 64)
         chunked = KNeighborsClassifier(n_neighbors=5).fit(X, y) \
             .predict_proba(queries)
         assert np.array_equal(chunked, single)
