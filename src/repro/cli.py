@@ -69,6 +69,22 @@ def _render_worker_table(event) -> str:
     )
 
 
+def _render_shard_table(shards: dict) -> str:
+    """Per-shard rows from a sharded campaign's coordinator: lease
+    epoch, lifecycle state, and the fence/steal traffic."""
+    rows = [
+        [sid, stats.state, stats.epoch, stats.done, stats.failed,
+         f"{stats.execution_kwh:.2e}", stats.stolen,
+         stats.reassigned_in, stats.beats]
+        for sid, stats in sorted(shards.items())
+    ]
+    return format_table(
+        ["shard", "state", "epoch", "done", "failed", "kWh",
+         "stolen", "reassigned", "beats"],
+        rows,
+    )
+
+
 def _cmd_grid(args) -> int:
     config = ExperimentConfig(
         systems=tuple(args.systems),
@@ -95,13 +111,20 @@ def _cmd_grid(args) -> int:
     trace_clock = "wall" if args.profile else "ticks"
     store = run_grid(
         config, verbose=not args.quiet,
-        workers=args.workers, cache_dir=args.cache_dir,
+        workers=args.workers, shards=args.shards,
+        cache_dir=args.cache_dir,
         resume=args.resume, journal_path=args.journal,
         progress=progress, telemetry=telemetry,
         trace=trace, trace_clock=trace_clock,
     )
     if last_event is not None and last_event.workers and not args.quiet:
         print(_render_worker_table(last_event))
+    shard_rows = telemetry.get("shards")
+    if shard_rows and not args.quiet:
+        print(_render_shard_table(shard_rows))
+        print(f"journal merge: {telemetry.get('fenced_commits', 0)} "
+              f"fenced + {telemetry.get('dedup_commits', 0)} duplicate "
+              f"commit(s) resolved")
     if args.profile:
         print(_render_profile(telemetry.get("spans", [])))
     cache_stats = telemetry.get("cache")
@@ -151,7 +174,11 @@ def _cmd_trace(args) -> int:
     """Render the observability records of a traced campaign journal."""
     import json
 
-    from repro.observability import phase_rollup, render_span_tree
+    from repro.observability import (
+        phase_rollup,
+        render_span_tree,
+        validate_span_tree,
+    )
     from repro.runtime.journal import CampaignJournal
 
     state = CampaignJournal.load(args.journal)
@@ -161,6 +188,16 @@ def _cmd_trace(args) -> int:
         return 1
     roots = [root for event in state.spans
              for root in event.get("spans", ())]
+    # a merged multi-shard journal carries several clock domains (one
+    # per shard's workers); each spans event is one domain, so trees
+    # are validated per event, never across shards
+    problems_by_shard: dict = {}
+    for event in state.spans:
+        shard = event.get("shard")
+        for root in event.get("spans", ()):
+            problems_by_shard.setdefault(shard, []).extend(
+                validate_span_tree(root)
+            )
     rollup = phase_rollup(roots)
     if args.format == "json":
         print(json.dumps({
@@ -169,14 +206,34 @@ def _cmd_trace(args) -> int:
             "spans": state.spans,
             "rollup": rollup,
             "metrics": state.metrics,
+            "span_problems": {
+                str(shard): problems
+                for shard, problems in sorted(
+                    problems_by_shard.items(),
+                    key=lambda kv: (kv[0] is None, kv[0]),
+                ) if problems
+            },
         }, indent=2, sort_keys=True))
         return 0
     for event in state.spans:
-        print(f"cell {event['index']} attempt {event['attempt']} "
-              f"(key {str(event['key'])[:12]}…)")
+        header = (f"cell {event['index']} attempt {event['attempt']} "
+                  f"(key {str(event['key'])[:12]}…)")
+        if event.get("shard") is not None:
+            header += (f" [shard {event['shard']}"
+                       f"/e{event.get('epoch', 0)}]")
+        print(header)
         for root in event.get("spans", ()):
             print(render_span_tree(root))
         print()
+    broken = {shard: problems
+              for shard, problems in problems_by_shard.items()
+              if problems}
+    if broken:
+        for shard, problems in broken.items():
+            where = ("serial" if shard is None else f"shard {shard}")
+            print(f"WARNING: {len(problems)} malformed span(s) in "
+                  f"{where} clock domain: {problems[:3]}",
+                  file=sys.stderr)
     print("phase rollup (share within each system):")
     print(format_table(
         ["system", "phase", "count", "self", "charged (s)", "share"],
@@ -194,7 +251,11 @@ def _cmd_chaos(args) -> int:
     """Run seeded fault-injection campaigns and audit the invariants."""
     import tempfile
 
-    from repro.runtime.chaos import default_chaos_config, run_chaos_campaign
+    from repro.runtime.chaos import (
+        default_chaos_config,
+        run_chaos_campaign,
+        run_shard_chaos_campaign,
+    )
 
     config = default_chaos_config(n_runs=args.runs)
     failed_seeds = []
@@ -206,6 +267,11 @@ def _cmd_chaos(args) -> int:
                 report = run_serving_chaos(
                     seed, work_dir, rate=args.rate, delay_s=args.delay,
                     n_requests=args.requests, n_slots=args.workers,
+                )
+            elif args.shards > 1:
+                report = run_shard_chaos_campaign(
+                    seed, work_dir, shards=args.shards,
+                    workers=args.workers, config=config,
                 )
             else:
                 report = run_chaos_campaign(
@@ -459,6 +525,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--workers", type=int, default=1,
                         help="process-pool size (1 = serial, identical "
                              "results)")
+    p_grid.add_argument("--shards", type=int, default=1,
+                        help="fault-fenced shard groups (each with its "
+                             "own --workers pool and journal segment); "
+                             "the merged journal is bit-identical to "
+                             "the serial run")
     p_grid.add_argument("--cache-dir", default=None, dest="cache_dir",
                         help="content-addressed result cache; warm cells "
                              "are not re-executed")
@@ -510,6 +581,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "seams over a seeded loadtest)")
     p_chaos.add_argument("--requests", type=int, default=2000,
                          help="requests per --serving chaos run")
+    p_chaos.add_argument("--shards", type=int, default=1,
+                         help="chaos the shard coordinator instead: "
+                              "shard_death + lease_expire + "
+                              "segment_torn seams over a --shards-wide "
+                              "sharded campaign, checked bit-identical "
+                              "against the fault-free serial reference")
     p_chaos.set_defaults(func=_cmd_chaos)
 
     def add_serving_args(p):

@@ -144,7 +144,8 @@ def grid_cells(config: ExperimentConfig, *, n_cores: int = 1,
 def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
              use_gpu: bool = False, verbose: bool = False,
              system_kwargs: dict[str, dict] | None = None,
-             workers: int = 1, cache_dir=None, resume: bool = False,
+             workers: int = 1, shards: int = 1, cache_dir=None,
+             resume: bool = False,
              journal_path=None, progress=None,
              telemetry: dict | None = None,
              trace: bool = False,
@@ -168,8 +169,19 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
     is the deterministic counter, ``"wall"`` measures real durations
     (what ``repro grid --profile`` uses).  Tracing never changes
     results: cache keys, budgets and seeds are untouched.
+
+    ``shards > 1`` runs the campaign under a fault-fenced
+    :class:`repro.runtime.ShardCoordinator`: the grid is partitioned
+    across ``shards`` shard groups (each with its own ``workers``-sized
+    pool and journal segment) and the merged journal written to
+    ``journal_path`` is bit-identical to the serial single-journal run.
     """
-    from repro.runtime import CampaignExecutor, CampaignJournal, ResultCache
+    from repro.runtime import (
+        CampaignExecutor,
+        CampaignJournal,
+        ResultCache,
+        ShardCoordinator,
+    )
 
     if resume and journal_path is None:
         raise ValueError("resume=True requires a journal_path")
@@ -178,9 +190,41 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         def callback(event):
             print(event.render())
 
+    cells = grid_cells(
+        config, n_cores=n_cores, use_gpu=use_gpu,
+        system_kwargs=system_kwargs,
+    )
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    if shards > 1:
+        coordinator = ShardCoordinator(
+            shards=shards, workers=workers, cache=cache,
+            journal_path=journal_path, resume=resume,
+            progress_callback=callback,
+            trace=trace, trace_clock=trace_clock,
+        )
+        store = coordinator.run(cells)
+        if telemetry is not None:
+            if cache is not None:
+                telemetry["cache"] = cache.stats.as_dict()
+            merged = coordinator.merged
+            telemetry["pool_rebuilds"] = sum(
+                s.executor.pool_rebuilds
+                for s in coordinator._shards
+            )
+            telemetry["metrics"] = coordinator.metrics_snapshot()
+            telemetry["shards"] = {
+                sid: stats
+                for sid, stats in coordinator.tracker.shards.items()
+            }
+            telemetry["fenced_commits"] = merged.fenced_commits
+            telemetry["dedup_commits"] = merged.dedup_commits
+            if trace:
+                telemetry["spans"] = list(coordinator.cell_spans)
+        return store
+
     executor = CampaignExecutor(
         workers=workers,
-        cache=ResultCache(cache_dir) if cache_dir is not None else None,
+        cache=cache,
         journal=(
             CampaignJournal(journal_path)
             if journal_path is not None else None
@@ -189,10 +233,7 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         progress_callback=callback,
         trace=trace, trace_clock=trace_clock,
     )
-    store = executor.run(grid_cells(
-        config, n_cores=n_cores, use_gpu=use_gpu,
-        system_kwargs=system_kwargs,
-    ))
+    store = executor.run(cells)
     if telemetry is not None:
         if executor.cache is not None:
             telemetry["cache"] = executor.cache.stats.as_dict()

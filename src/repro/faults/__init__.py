@@ -27,8 +27,11 @@ from repro.faults.plan import (
     SEAM_CACHE_CORRUPT,
     SEAM_CELL_ERROR,
     SEAM_JOURNAL_TORN,
+    SEAM_LEASE_EXPIRE,
     SEAM_RAPL_READ,
     SEAM_REQUEST_TIMEOUT,
+    SEAM_SEGMENT_TORN,
+    SEAM_SHARD_DEATH,
     SEAM_SLOW_CELL,
     SEAM_TRIAL_ERROR,
     SEAM_WORKER_DEATH,
@@ -53,4 +56,7 @@ __all__ = [
     "SEAM_TRIAL_ERROR",
     "SEAM_ARTIFACT_CORRUPT",
     "SEAM_REQUEST_TIMEOUT",
+    "SEAM_SHARD_DEATH",
+    "SEAM_LEASE_EXPIRE",
+    "SEAM_SEGMENT_TORN",
 ]

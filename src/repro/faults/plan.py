@@ -3,7 +3,8 @@
 A :class:`FaultPlan` names the *seams* where failures may be injected
 (``cell_error``, ``worker_death``, ``slow_cell``, ``cache_corrupt``,
 ``journal_torn``, ``rapl_read``, ``trial_error``, ``artifact_corrupt``,
-``request_timeout``) and, per seam, how often and in what pattern they
+``request_timeout``, ``shard_death``, ``lease_expire``,
+``segment_torn``) and, per seam, how often and in what pattern they
 fire.  Decisions are **order-independent
 pure functions** of ``(plan seed, seam, key)``: the draw is a sha256
 hash mapped to [0, 1), so the parent process, a pool worker, and a
@@ -36,6 +37,10 @@ SEAM_RAPL_READ = "rapl_read"          # RaplCounter.read() failure
 SEAM_TRIAL_ERROR = "trial_error"      # one pipeline evaluation raises
 SEAM_ARTIFACT_CORRUPT = "artifact_corrupt"   # garbled artifact payload bytes
 SEAM_REQUEST_TIMEOUT = "request_timeout"     # one served request stalls
+SEAM_SHARD_DEATH = "shard_death"      # a whole shard group dies mid-batch
+SEAM_LEASE_EXPIRE = "lease_expire"    # a shard wedges past its lease, then
+                                      # resurrects as a fenced straggler
+SEAM_SEGMENT_TORN = "segment_torn"    # truncated shard journal-segment line
 
 KNOWN_SEAMS = (
     SEAM_CELL_ERROR,
@@ -47,6 +52,9 @@ KNOWN_SEAMS = (
     SEAM_TRIAL_ERROR,
     SEAM_ARTIFACT_CORRUPT,
     SEAM_REQUEST_TIMEOUT,
+    SEAM_SHARD_DEATH,
+    SEAM_LEASE_EXPIRE,
+    SEAM_SEGMENT_TORN,
 )
 
 #: firing patterns a seam supports

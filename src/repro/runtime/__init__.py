@@ -12,7 +12,10 @@ restartable campaign engine:
   crash-safe resume;
 - :mod:`repro.runtime.progress` — throughput/ETA/energy telemetry;
 - :mod:`repro.runtime.executor` — the process-pool executor with
-  per-cell retries and failure quarantine.
+  per-cell retries and failure quarantine;
+- :mod:`repro.runtime.shard` — the fault-fenced multi-shard
+  coordinator (epoch-fenced leases, deterministic journal merge,
+  tenant quotas).
 
 Because every system charges a *simulated* clock (see
 :mod:`repro.energy.train_cost`), a cell's result is a pure function of
@@ -24,7 +27,19 @@ from repro.runtime.cache import ResultCache
 from repro.runtime.cells import CACHE_KEY_VERSION, CellSpec
 from repro.runtime.executor import CampaignExecutor, RetryPolicy, execute_cells
 from repro.runtime.journal import CampaignJournal, JournalState
-from repro.runtime.progress import ProgressEvent, ProgressTracker
+from repro.runtime.progress import (
+    ProgressEvent,
+    ProgressTracker,
+    ShardStats,
+)
+from repro.runtime.shard import (
+    MergedJournal,
+    ShardCoordinator,
+    ShardPolicy,
+    canonical_state_bytes,
+    merge_journals,
+    partition_cells,
+)
 
 __all__ = [
     "CACHE_KEY_VERSION",
@@ -37,4 +52,11 @@ __all__ = [
     "CampaignExecutor",
     "RetryPolicy",
     "execute_cells",
+    "ShardStats",
+    "ShardCoordinator",
+    "ShardPolicy",
+    "MergedJournal",
+    "canonical_state_bytes",
+    "merge_journals",
+    "partition_cells",
 ]

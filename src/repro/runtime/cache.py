@@ -10,8 +10,10 @@ never as an error.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import threading
 import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -19,6 +21,20 @@ from pathlib import Path
 from repro.experiments.results import RunRecord
 from repro.faults import SEAM_CACHE_CORRUPT, FaultInjector
 from repro.observability import MetricsRegistry
+
+
+def _payload_digest(payload: str) -> str:
+    """Digest of a serialised entry with ``energy_source`` masked: two
+    writers racing the same pure cell may legitimately disagree only on
+    the measurement channel (a RAPL fault on one side)."""
+    try:
+        doc = json.loads(payload)
+        record = dict(doc.get("record") or {})
+    except (json.JSONDecodeError, TypeError, AttributeError):
+        return hashlib.sha256(payload.encode()).hexdigest()
+    record.pop("energy_source", None)
+    canon = json.dumps(record, sort_keys=True)
+    return hashlib.sha256(canon.encode()).hexdigest()
 
 
 def _owner_alive(suffix: str) -> bool:
@@ -82,9 +98,24 @@ class CacheStats:
         corruption count."""
         return self.corrupt
 
+    @property
+    def dedup_hits(self) -> int:
+        """Puts dropped because an identical entry already existed —
+        the losing side of a cross-shard duplicate-compute race."""
+        return self._count("dedup_hits")
+
+    @property
+    def dedup_conflicts(self) -> int:
+        """Dedup'd puts whose payload digest did NOT match the existing
+        entry (always 0 for pure cells; anything else is a bug surfaced
+        with a warning rather than a silent overwrite)."""
+        return self._count("dedup_conflicts")
+
     def as_dict(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "writes": self.writes, "corrupt": self.corrupt}
+                "writes": self.writes, "corrupt": self.corrupt,
+                "dedup_hits": self.dedup_hits,
+                "dedup_conflicts": self.dedup_conflicts}
 
 
 @dataclass
@@ -101,6 +132,10 @@ class ResultCache:
     def __post_init__(self):
         self.root = Path(self.root)
         self.root.mkdir(parents=True, exist_ok=True)
+        # shard threads in one coordinator share this cache object; the
+        # lock makes the exists-check + replace in put() one atomic step
+        # in-process (cross-process writers stay safe via os.replace)
+        self._lock = threading.Lock()
         # a crash between tmp.write_text and os.replace strands the tmp
         # file forever (its pid never comes back); opening the cache is
         # the safe moment to sweep them
@@ -146,6 +181,14 @@ class ResultCache:
         return record
 
     def put(self, key: str, record: RunRecord) -> None:
+        """First write wins.  A second ``put`` for a key that already
+        holds a *valid* entry is dropped and counted as ``dedup_hits``
+        (the cross-shard duplicate-compute race resolves here instead of
+        silently overwriting); the payload digests are compared —
+        modulo ``energy_source``, the one legitimately varying field —
+        and a mismatch is surfaced as a warning + ``dedup_conflicts``.
+        A corrupt existing entry is repaired by overwriting it.
+        """
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = json.dumps({"key": key, "record": asdict(record)})
@@ -153,10 +196,35 @@ class ResultCache:
             payload = self.fault_injector.corrupt(
                 SEAM_CACHE_CORRUPT, key, payload
             )
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(payload)
-        os.replace(tmp, path)
-        self.stats.record("writes")
+        with self._lock:
+            existing = self._read_digest(path)
+            if existing is not None:
+                self.stats.record("dedup_hits")
+                if existing != _payload_digest(payload):
+                    self.stats.record("dedup_conflicts")
+                    warnings.warn(
+                        f"cache key {key[:12]}… was written twice with "
+                        f"different payloads; keeping the first write "
+                        f"(cells must be pure functions of their spec)",
+                        stacklevel=2,
+                    )
+                return
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(payload)
+            os.replace(tmp, path)
+            self.stats.record("writes")
+
+    @staticmethod
+    def _read_digest(path: Path) -> str | None:
+        """Digest of the valid entry at ``path``, or None (missing or
+        corrupt — both mean the incoming put should really write)."""
+        try:
+            payload = path.read_text()
+            json.loads(payload)["record"]
+        except (FileNotFoundError, json.JSONDecodeError, KeyError,
+                TypeError, OSError):
+            return None
+        return _payload_digest(payload)
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*/*.json"))

@@ -50,6 +50,11 @@ class CellSpec:
     n_cores: int = 1
     use_gpu: bool = False
     system_kwargs: dict | None = field(default=None)
+    #: multi-tenant admission identity (per-tenant joules quotas at the
+    #: shard coordinator).  Deliberately NOT part of the cache key: two
+    #: tenants submitting the same pure cell share one cached result —
+    #: that cross-tenant reuse is the whole point of the shared cache.
+    tenant: str = "default"
 
     def cache_key(self, dataset_fingerprint: str) -> str:
         """sha256 over every input that can change the cell's result."""

@@ -33,6 +33,7 @@ whose named checks encode the contract chaos must never break:
 
 from __future__ import annotations
 
+import json
 import os
 import time
 import warnings
@@ -45,16 +46,28 @@ from repro.faults import (
     SEAM_CACHE_CORRUPT,
     SEAM_CELL_ERROR,
     SEAM_JOURNAL_TORN,
+    SEAM_LEASE_EXPIRE,
     SEAM_RAPL_READ,
+    SEAM_SEGMENT_TORN,
+    SEAM_SHARD_DEATH,
     SEAM_SLOW_CELL,
     SEAM_WORKER_DEATH,
     FailureRecord,
     FaultPlan,
+    SeamSpec,
 )
 from repro.observability import validate_span_tree
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import CampaignExecutor, RetryPolicy
-from repro.runtime.journal import CampaignJournal
+from repro.runtime.journal import CampaignJournal, iter_journal_events
+from repro.runtime.shard import (
+    ShardCoordinator,
+    ShardPolicy,
+    canonical_state_bytes,
+    coordinator_path,
+    merge_journals,
+    segment_path,
+)
 
 #: the infrastructure seams a chaos campaign arms by default
 DEFAULT_SEAMS = (
@@ -386,5 +399,231 @@ def run_chaos_campaign(
         len(seams_fired) >= 4 and len(hurt_labels) >= len(cells) // 10,
         f"{len(seams_fired)} seam(s) fired across "
         f"{len(hurt_labels)}/{len(cells)} cells",
+    ))
+    return report
+
+
+def shard_chaos_plan(seed: int, torn_rate: float = 0.4) -> FaultPlan:
+    """The shard-seam plan: exactly one whole-shard death and one lease
+    expiry per campaign (``one_shot``), plus bernoulli segment tears.
+    No cell-level seams — the headline invariant is *absolute*
+    bit-identity of the merged result to the fault-free reference."""
+    return FaultPlan(seed=seed, seams={
+        SEAM_SHARD_DEATH: SeamSpec(rate=1.0, mode="one_shot"),
+        SEAM_LEASE_EXPIRE: SeamSpec(rate=1.0, mode="one_shot"),
+        SEAM_SEGMENT_TORN: SeamSpec(rate=torn_rate),
+    })
+
+
+def _torn_tails(paths) -> int:
+    """How many of ``paths`` end in an unparseable (torn) final line —
+    the tears :func:`iter_journal_events` silently drops."""
+    tails = 0
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            continue
+        lines = [line for line
+                 in path.read_text(encoding="utf-8").splitlines()
+                 if line.strip()]
+        if not lines:
+            continue
+        try:
+            json.loads(lines[-1])["type"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            tails += 1
+    return tails
+
+
+def run_shard_chaos_campaign(
+    seed: int,
+    work_dir,
+    *,
+    shards: int = 3,
+    workers: int = 2,
+    lease_timeout_s: float = 1.5,
+    config: ExperimentConfig | None = None,
+    progress=None,
+) -> ChaosReport:
+    """Kill a whole shard mid-campaign and prove nothing was lost.
+
+    Runs the grid twice: a fault-free **serial single-journal
+    reference**, then a sharded campaign under
+    :func:`shard_chaos_plan` (one shard group dies mid-batch, one shard
+    wedges past its lease and straggles back as a fenced zombie,
+    segment lines tear at random).  The audit asserts the headline
+    invariant — the deterministically merged journal is **bit-identical**
+    to the reference — plus the fencing ledger: every orphan reassigned
+    exactly once per fence, every fenced duplicate counted, every torn
+    line accounted for, no worker process leaked.
+    """
+    config = config or default_chaos_config()
+    work_dir = Path(work_dir)
+    cells = grid_cells(config)
+
+    # 1. the fault-free serial single-journal reference
+    ref_path = work_dir / "reference.jsonl"
+    CampaignExecutor(
+        workers=1, journal=CampaignJournal(ref_path),
+    ).run(cells)
+    ref_bytes = canonical_state_bytes(
+        CampaignJournal.load(ref_path), mask_energy_source=True,
+    )
+
+    # 2. the sharded chaos run
+    plan = shard_chaos_plan(seed)
+    cache = ResultCache(work_dir / "cache")
+    merged_path = work_dir / "campaign.jsonl"
+    coordinator = ShardCoordinator(
+        shards=shards, workers=workers, cache=cache,
+        journal_path=merged_path,
+        policy=RetryPolicy(max_retries=2),
+        shard_policy=ShardPolicy(
+            batch_size=2, lease_timeout_s=lease_timeout_s,
+            poll_interval_s=0.05,
+        ),
+        fault_plan=plan, progress_callback=progress,
+    )
+    store = coordinator.run(cells)
+    merged = coordinator.merged
+
+    report = ChaosReport(
+        seed=seed, workers=shards * workers, n_cells=len(cells),
+        survivors=sum(1 for r in store.records if not r.failed),
+        quarantined=sum(1 for r in store.records if r.failed),
+        fault_counts=coordinator.fault_counts,
+        subsystem="shard",
+    )
+    check = report.checks.append
+
+    def counter(name: str) -> int:
+        return int(coordinator.metrics.counter(name).value)
+
+    # -- completion -----------------------------------------------------------
+    completed = len(coordinator.last_results)
+    check(ChaosCheck(
+        "completes", completed == len(cells),
+        f"{completed}/{len(cells)} cells resolved "
+        f"(records + budget skips)",
+    ))
+
+    # -- the headline: merged == fault-free serial reference ------------------
+    merged_bytes = canonical_state_bytes(
+        merged.state, mask_energy_source=True,
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        replayed_bytes = canonical_state_bytes(
+            CampaignJournal.load(merged_path), mask_energy_source=True,
+        )
+    check(ChaosCheck(
+        "merged-bit-identical",
+        merged_bytes == ref_bytes and replayed_bytes == ref_bytes,
+        ("the merged journal state and its written replay both "
+         "bit-match the serial reference (modulo energy_source)"
+         if merged_bytes == ref_bytes == replayed_bytes
+         else "merged state diverged from the serial reference"),
+    ))
+
+    # -- a whole shard actually died, and was fenced --------------------------
+    deaths = counter("shard.deaths")
+    injected_deaths = report.fault_counts.get(SEAM_SHARD_DEATH, 0)
+    check(ChaosCheck(
+        "shard-death-fenced",
+        injected_deaths >= 1 and deaths >= injected_deaths,
+        f"{injected_deaths} injected death(s), {deaths} dead shard(s) "
+        f"fenced by the monitor",
+    ))
+
+    # -- a lease expired, the zombie straggled, the shard resurrected ---------
+    expiries = counter("shard.lease_expiries")
+    resurrections = counter("shard.resurrections")
+    injected_wedges = report.fault_counts.get(SEAM_LEASE_EXPIRE, 0)
+    check(ChaosCheck(
+        "lease-expiry-resurrected",
+        injected_wedges >= 1 and expiries >= injected_wedges
+        and resurrections >= injected_wedges,
+        f"{injected_wedges} injected wedge(s), {expiries} lease "
+        f"expiry fence(s), {resurrections} epoch resurrection(s)",
+    ))
+
+    # -- every orphan reassigned exactly once per fence -----------------------
+    fence_moves = [entry for entry in coordinator.reassignments
+                   if entry["reason"] != "steal"]
+    seen: dict[tuple, int] = {}
+    for entry in fence_moves:
+        origin = (entry["index"], entry["from_shard"],
+                  entry["from_epoch"])
+        seen[origin] = seen.get(origin, 0) + 1
+    doubled = {origin: n for origin, n in seen.items() if n != 1}
+    check(ChaosCheck(
+        "orphans-exactly-once",
+        bool(fence_moves) and not doubled,
+        (f"{len(fence_moves)} orphan(s) reassigned exactly once per "
+         f"(cell, fenced shard, fenced epoch)"
+         if not doubled else f"double reassignments: {doubled}"),
+    ))
+
+    # -- fenced duplicates counted, and the count recomputes ------------------
+    segments = [coordinator_path(merged_path),
+                *(segment_path(merged_path, s.id)
+                  for s in coordinator._shards)]
+    events = []
+    for path in segments:
+        events.extend(iter_journal_events(path)[0])
+    fenced_epochs = set(merged.fenced_epochs)
+    by_key: dict[str, list[dict]] = {}
+    for event in events:
+        if event.get("type") in ("cell", "skip") and "key" in event:
+            by_key.setdefault(event["key"], []).append(event)
+    recount = 0
+    for candidates in by_key.values():
+        fenced_here = [
+            c for c in candidates
+            if isinstance(c.get("shard"), int)
+            and (c["shard"], int(c.get("epoch", 0))) in fenced_epochs
+        ]
+        if len(fenced_here) < len(candidates):
+            recount += len(fenced_here)      # a live commit won
+        else:
+            recount += max(0, len(fenced_here) - 1)
+    check(ChaosCheck(
+        "fenced-commits-counted",
+        merged.fenced_commits >= 1
+        and merged.fenced_commits == recount,
+        f"{merged.fenced_commits} fenced duplicate commit(s), "
+        f"independent recount {recount}",
+    ))
+
+    # -- every torn segment line accounted ------------------------------------
+    injected_tears = report.fault_counts.get(SEAM_SEGMENT_TORN, 0)
+    tails = _torn_tails(segments)
+    accounted = merged.state.skipped_lines + tails
+    check(ChaosCheck(
+        "torn-segments-accounted",
+        accounted == injected_tears,
+        f"{injected_tears} injected tear(s) = "
+        f"{merged.state.skipped_lines} skipped line(s) + "
+        f"{tails} torn tail(s)",
+    ))
+
+    # -- the merge is order-independent ---------------------------------------
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        shuffled = merge_journals(list(reversed(segments)))
+    check(ChaosCheck(
+        "merge-order-independent",
+        shuffled.canonical_bytes() == merged.canonical_bytes(),
+        "re-merging the segments in reverse order reproduces the "
+        "canonical journal byte for byte",
+    ))
+
+    # -- no leaked worker processes -------------------------------------------
+    pids = set(coordinator.tracker.workers) - {os.getpid()}
+    leaked = _await_worker_exit(pids)
+    check(ChaosCheck(
+        "no-leaked-workers", not leaked,
+        (f"all {len(pids)} worker pid(s) across every shard pool "
+         f"exited" if not leaked else f"still alive: {leaked}"),
     ))
     return report

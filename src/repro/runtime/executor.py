@@ -102,6 +102,21 @@ _MIN_BUDGET_MARKER = "does not support budgets below"
 _INFLIGHT_PER_WORKER = 2
 
 
+def backoff_jitter(seed: int, draw: int) -> float:
+    """Deterministic jitter draw in [0, 1) for backoff number ``draw``.
+
+    A sha256 counter hash (same construction as
+    :func:`repro.faults.plan._uniform`), so N shards retrying the same
+    poisoned dataset de-stampede without any global RNG: each shard's
+    policy carries its own ``jitter_seed`` and the sequence per seed is
+    pinned by a regression test.
+    """
+    import hashlib
+
+    digest = hashlib.sha256(f"backoff|{seed}|{draw}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
 @dataclass
 class RetryPolicy:
     """Bounded retries with linear backoff, then quarantine.
@@ -115,6 +130,13 @@ class RetryPolicy:
     ``poll_interval_s`` bounds how long the pooled scheduler blocks
     waiting for a completion when deadlines are armed — it is the
     resolution of timeout enforcement, not a busy-wait.
+
+    ``jitter_ratio`` spreads each backoff by a seeded deterministic
+    factor in ``[1 - ratio, 1 + ratio)`` — injectable like ``sleep``/
+    ``clock`` in the sense that the stream is a pure function of
+    ``jitter_seed`` and the draw counter, so retries across N shards
+    (each shard gets a distinct seed) never stampede in lockstep yet
+    replay identically for the same seed.
     """
 
     max_retries: int = 1
@@ -123,6 +145,22 @@ class RetryPolicy:
     sleep: Callable[[float], None] = time.sleep
     clock: Callable[[], float] = time.monotonic
     poll_interval_s: float = 0.05
+    jitter_ratio: float = 0.0
+    jitter_seed: int = 0
+
+    def __post_init__(self):
+        if not 0.0 <= self.jitter_ratio <= 1.0:
+            raise ValueError("jitter_ratio must be in [0, 1]")
+        self._jitter_draws = 0
+
+    def backoff_delay(self, attempts: int) -> float:
+        """The (possibly jittered) delay before retry ``attempts``."""
+        delay = self.retry_backoff_s * attempts
+        if delay <= 0.0 or self.jitter_ratio <= 0.0:
+            return max(delay, 0.0)
+        self._jitter_draws += 1
+        u = backoff_jitter(self.jitter_seed, self._jitter_draws)
+        return delay * (1.0 + self.jitter_ratio * (2.0 * u - 1.0))
 
 
 @dataclass
@@ -323,7 +361,8 @@ class CampaignExecutor:
                  resume: bool = False, policy: RetryPolicy | None = None,
                  progress_callback=None,
                  fault_plan: FaultPlan | None = None,
-                 trace: bool = False, trace_clock: str = "ticks"):
+                 trace: bool = False, trace_clock: str = "ticks",
+                 persistent: bool = False):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if trace_clock not in ("ticks", "wall"):
@@ -334,7 +373,21 @@ class CampaignExecutor:
         self.resume = resume
         self.policy = policy or RetryPolicy()
         self.progress_callback = progress_callback
+        #: ``persistent=True`` is shard mode: the pool and the journal
+        #: outlive each ``run``/``run_indexed`` call (warm workers serve
+        #: many small batches) and the campaign header is the owner's
+        #: job — call :meth:`close` when the shard is done
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+        self._channel = None
+        #: futures whose cell timed out; kept across batches in
+        #: persistent mode because their workers stay wedged
+        self._abandoned: set = set()
+        #: submission tokens, unique across batches so a stale start
+        #: report from an abandoned worker can never alias a new cell
+        self._tokens = itertools.count()
         self.tracker: ProgressTracker | None = None
+        self.last_results: list[RunRecord | None] = []
         #: campaign-wide metrics registry; worker snapshots merge here
         self.metrics = MetricsRegistry()
         #: tracing: None = off; otherwise the worker clock domain
@@ -490,15 +543,31 @@ class CampaignExecutor:
 
     # -- orchestration ---------------------------------------------------------
     def run(self, cells) -> ResultsStore:
-        cells = list(cells)
-        results: list[RunRecord | None] = [None] * len(cells)
+        results = self._run_pairs(list(enumerate(cells)))
+        return ResultsStore(
+            [r for r in self.last_results if r is not None]
+        )
+
+    def run_indexed(self, pairs) -> dict[int, RunRecord | None]:
+        """Run ``(global_index, spec)`` pairs and return records keyed
+        by those indices (``None`` = skipped cell).
+
+        This is the shard-facing API: a shard executes an arbitrary
+        slice of a campaign grid (plus anything it stole), and commits
+        must carry the *global* cell index so its journal segment merges
+        cleanly with every other shard's.
+        """
+        return self._run_pairs([(int(i), spec) for i, spec in pairs])
+
+    def _run_pairs(self, pairs) -> dict[int, RunRecord | None]:
+        results: dict[int, RunRecord | None] = {}
         self.tracker = ProgressTracker(
-            len(cells), callback=self.progress_callback
+            len(pairs), callback=self.progress_callback
         )
         self._arm_faults()
         prior = self._load_prior_state()
         pending: list[_Pending] = []
-        for index, spec in enumerate(cells):
+        for index, spec in pairs:
             fingerprint = load_dataset(spec.dataset).fingerprint()
             key = spec.cache_key(fingerprint)
             if key in prior.completed:
@@ -528,13 +597,13 @@ class CampaignExecutor:
                 self._run_serial(pending, results)
             else:
                 self._run_pooled(pending, results)
-        if self.journal is not None:
+        if self.journal is not None and not self.persistent:
             if self.trace:
                 self.journal.record_metrics(self.metrics_snapshot())
             self.journal.close()
         #: positional view kept for execute_cells (None = skipped cell)
-        self.last_results = results
-        return ResultsStore([r for r in results if r is not None])
+        self.last_results = [results.get(i) for i, _ in pairs]
+        return {i: results.get(i) for i, _ in pairs}
 
     def _load_prior_state(self):
         from repro.runtime.journal import CampaignJournal, JournalState
@@ -543,24 +612,57 @@ class CampaignExecutor:
             state = CampaignJournal.load(self.journal.path)
         else:
             state = JournalState()
-        if self.journal is not None:
+        if self.journal is not None and not self.persistent:
+            # persistent (shard) mode: the coordinator owns the segment
+            # header; batches must not re-open the campaign
             self.journal.open_campaign(
                 self.tracker.total, fault_plan=self._plan_dict,
             )
         return state
 
-    # -- bookkeeping shared by both paths --------------------------------------
-    def _journal_cell(self, index: int, key: str,
-                      record: RunRecord) -> None:
+    # -- pool lifecycle --------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            if self._channel is None:
+                self._channel = multiprocessing.Queue()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker, initargs=(self._channel,),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release the persistent pool, start channel and journal.
+
+        Idempotent; a non-persistent ``run`` already tears everything
+        down itself, so this only matters for shard-owned executors.
+        """
+        if self._pool is not None:
+            self._shutdown_pool(self._pool)
+            self._pool = None
+        if self._channel is not None:
+            self._channel.close()
+            self._channel.join_thread()
+            self._channel = None
+        self._abandoned.clear()
         if self.journal is not None:
-            self.journal.record_cell(index, key, record)
+            self.journal.close()
+
+    # -- bookkeeping shared by both paths --------------------------------------
+    def _journal_cell(self, index: int, key: str, record: RunRecord,
+                      attempt: int = 0) -> None:
+        if self.journal is not None:
+            # segments stamp the commit attempt (merge resolves fenced
+            # duplicates by it); serial journal bytes stay unchanged
+            stamp = attempt if self.journal.shard is not None else None
+            self.journal.record_cell(index, key, record, attempt=stamp)
 
     def _commit(self, item: _Pending, record: RunRecord,
-                results: list, worker: int | None,
+                results, worker: int | None,
                 warm_hits: int | None = None) -> None:
         if self.cache is not None:
             self.cache.put(item.key, record)
-        self._journal_cell(item.index, item.key, record)
+        self._journal_cell(item.index, item.key, record, item.attempts)
         results[item.index] = record
         self.metrics.counter("cells.executed").inc()
         if warm_hits is not None:
@@ -602,7 +704,7 @@ class CampaignExecutor:
     def _exhausted(self, item: _Pending) -> bool:
         return item.attempts > self.policy.max_retries
 
-    def _quarantine(self, item: _Pending, results: list, failure,
+    def _quarantine(self, item: _Pending, results, failure,
                     worker: int | None = None) -> None:
         self.metrics.counter("cells.quarantined").inc()
         record = self._coerce_failure(failure, item.attempts)
@@ -615,7 +717,7 @@ class CampaignExecutor:
 
     def _backoff(self, item: _Pending) -> None:
         if self.policy.retry_backoff_s > 0:
-            self.policy.sleep(self.policy.retry_backoff_s * item.attempts)
+            self.policy.sleep(self.policy.backoff_delay(item.attempts))
 
     @staticmethod
     def _outcome_failure(outcome: dict):
@@ -627,7 +729,7 @@ class CampaignExecutor:
         return outcome.get("error", "")
 
     # -- serial path (workers=1): the old runner, cell by cell ----------------
-    def _run_serial(self, pending: list[_Pending], results: list) -> None:
+    def _run_serial(self, pending: list[_Pending], results) -> None:
         for item in pending:
             while True:
                 self._plan_worker_faults(item)
@@ -664,7 +766,7 @@ class CampaignExecutor:
                 self._backoff(item)
 
     # -- pooled path (workers>1): completion-order streaming ------------------
-    def _run_pooled(self, pending: list[_Pending], results: list) -> None:
+    def _run_pooled(self, pending: list[_Pending], results) -> None:
         """One persistent pool, harvested in completion order.
 
         State, per in-flight submission: a unique ``token`` (so start
@@ -677,18 +779,15 @@ class CampaignExecutor:
         pool capacity.
         """
         todo: deque[_Pending] = deque(pending)
-        tokens = itertools.count()
-        channel = multiprocessing.Queue()
-        pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=_init_worker, initargs=(channel,),
-        )
+        tokens = self._tokens
+        pool = self._ensure_pool()
+        channel = self._channel
         inflight: dict = {}   # future -> (token, item)
         starts: dict = {}     # token -> worker-reported start timestamp
-        abandoned: set = set()
+        abandoned = self._abandoned
         try:
             while todo or inflight:
-                abandoned = {f for f in abandoned if not f.done()}
+                abandoned -= {f for f in abandoned if f.done()}
                 capacity = self.workers - len(abandoned)
                 if capacity <= 0:
                     # every worker is wedged on an abandoned cell, so an
@@ -721,7 +820,7 @@ class CampaignExecutor:
                         starts.clear()
                         requeued.sort(key=lambda it: it.index)
                         todo.extendleft(reversed(requeued))
-                        pool = self._replace_pool(pool, channel)
+                        pool = self._replace_pool(channel)
                         abandoned.clear()
                         continue
                 try:
@@ -758,23 +857,24 @@ class CampaignExecutor:
                     inflight.clear()
                     starts.clear()
                     abandoned.clear()
-                    pool = self._replace_pool(pool, channel)
+                    pool = self._replace_pool(channel)
                     continue
                 self._expire_deadlines(
                     inflight, starts, abandoned, results, todo
                 )
         finally:
-            self._shutdown_pool(pool)
-            channel.close()
-            channel.join_thread()
+            if not self.persistent:
+                self.close()
 
-    def _replace_pool(self, pool, channel) -> ProcessPoolExecutor:
-        self._shutdown_pool(pool)
+    def _replace_pool(self, channel) -> ProcessPoolExecutor:
+        if self._pool is not None:
+            self._shutdown_pool(self._pool)
         self.metrics.counter("executor.pool_rebuilds").inc()
-        return ProcessPoolExecutor(
+        self._pool = ProcessPoolExecutor(
             max_workers=self.workers,
             initializer=_init_worker, initargs=(channel,),
         )
+        return self._pool
 
     @staticmethod
     def _shutdown_pool(pool) -> None:

@@ -20,6 +20,14 @@ Event types::
     {"type": "spans", "index": i, "key": k, "attempt": n,
      "spans": [span tree dicts]}
     {"type": "metrics", "snapshot": {...}}
+    {"type": "lease", "beat": n, "done": d}          (shard segments only)
+
+A journal opened with ``shard=<k>`` is a *shard segment*: every event it
+appends is additionally stamped with ``"shard"`` and ``"epoch"`` (the
+shard's current lease epoch, bumped on resurrection) so
+:func:`repro.runtime.shard.merge_journals` can fold N segments into one
+:class:`JournalState` and resolve fenced-epoch duplicates.  Serial
+journals (``shard=None``) are byte-for-byte what they always were.
 
 ``spans`` and ``metrics`` are observability records (written only when
 the executor runs with tracing enabled): span trees per executed cell
@@ -44,6 +52,37 @@ from pathlib import Path
 
 from repro.experiments.results import RunRecord
 from repro.faults import SEAM_JOURNAL_TORN, FailureRecord, FaultInjector
+
+
+def iter_journal_events(path) -> tuple[list[dict], int]:
+    """Leniently parse one JSONL journal into ``(events, skipped_lines)``.
+
+    The tolerance contract shared by :meth:`CampaignJournal.load` and
+    :func:`repro.runtime.shard.merge_journals`: a torn *final* line (the
+    crash/shard-death artefact) is silently ignored; a corrupt line
+    anywhere earlier is counted in ``skipped_lines`` so the replay keeps
+    going instead of truncating everything after the damage.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    lines = [line for line
+             in path.read_text(encoding="utf-8").splitlines()
+             if line.strip()]
+    events: list[dict] = []
+    skipped = 0
+    for position, line in enumerate(lines):
+        tail = position == len(lines) - 1
+        try:
+            event = json.loads(line)
+            event["type"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            if tail:
+                break   # torn tail from a crash mid-append
+            skipped += 1
+            continue
+        events.append(event)
+    return events, skipped
 
 
 @dataclass
@@ -87,27 +126,41 @@ class CampaignJournal:
     """Appender/replayer for one campaign's JSONL checkpoint file."""
 
     def __init__(self, path, *, durable: bool = True,
-                 fault_injector: FaultInjector | None = None):
+                 fault_injector: FaultInjector | None = None,
+                 shard: int | None = None,
+                 torn_seam: str = SEAM_JOURNAL_TORN):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.durable = durable
         #: chaos hook: when armed, an appended line may be written torn
         #: (truncated mid-JSON) to exercise the replay tolerance
         self.fault_injector = fault_injector
+        #: shard id when this journal is one segment of a sharded
+        #: campaign; every appended event then carries shard + epoch
+        self.shard = shard
+        #: the shard's current lease epoch; the coordinator bumps this
+        #: on resurrection so straggler commits stay distinguishable
+        self.epoch = 0
+        #: which seam tears lines (segments use ``segment_torn`` so
+        #: shard chaos composes with classic journal chaos)
+        self.torn_seam = torn_seam
         self._fh = None
 
     # -- writing ---------------------------------------------------------------
     def _append(self, event: dict) -> None:
         if self._fh is None:
             self._fh = open(self.path, "a", encoding="utf-8")
+        if self.shard is not None:
+            event = {**event, "shard": self.shard, "epoch": self.epoch}
         line = json.dumps(event)
         # the campaign header is exempt: it carries the fault plan that
         # makes the chaos run reproducible — tearing it would destroy
         # the provenance needed to audit the tear
         if self.fault_injector is not None \
                 and event.get("type") != "campaign":
-            key = f"{event.get('type')}:{event.get('index', '-')}"
-            line = self.fault_injector.corrupt(SEAM_JOURNAL_TORN, key, line)
+            key = (f"{event.get('type')}:"
+                   f"{event.get('index', event.get('beat', '-'))}")
+            line = self.fault_injector.corrupt(self.torn_seam, key, line)
         self._fh.write(line + "\n")
         self._fh.flush()
         if self.durable:
@@ -122,11 +175,17 @@ class CampaignJournal:
             event["fault_plan"] = fault_plan
         self._append(event)
 
-    def record_cell(self, index: int, key: str, record: RunRecord) -> None:
-        self._append({
+    def record_cell(self, index: int, key: str, record: RunRecord,
+                    attempt: int | None = None) -> None:
+        event = {
             "type": "cell", "index": index, "key": key,
             "record": asdict(record),
-        })
+        }
+        if attempt is not None:
+            # commit attempt stamp: merge resolves fenced duplicates
+            # first-write-wins *by attempt*, not by file position
+            event["attempt"] = attempt
+        self._append(event)
 
     def record_skip(self, index: int, key: str, note: str) -> None:
         self._append({
@@ -165,6 +224,20 @@ class CampaignJournal:
         """Append the campaign's merged metrics snapshot."""
         self._append({"type": "metrics", "snapshot": snapshot})
 
+    def record_lease(self, beat: int, done: int) -> None:
+        """Append one shard heartbeat: the shard is alive, holds its
+        epoch, and has committed ``done`` cells so far.  No timestamp —
+        liveness is the coordinator's in-memory clock; the journalled
+        beat is replayable provenance."""
+        self._append({"type": "lease", "beat": beat, "done": done})
+
+    def record_event(self, event: dict) -> None:
+        """Append an arbitrary typed event (coordinator bookkeeping:
+        fences, reassignments, shard roster)."""
+        if "type" not in event:
+            raise ValueError("journal events need a 'type'")
+        self._append(event)
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -189,22 +262,9 @@ class CampaignJournal:
         and reported with a warning.
         """
         state = JournalState()
-        path = Path(path)
-        if not path.exists():
-            return state
-        lines = [line for line
-                 in path.read_text(encoding="utf-8").splitlines()
-                 if line.strip()]
-        for position, line in enumerate(lines):
-            tail = position == len(lines) - 1
-            try:
-                event = json.loads(line)
-                kind = event["type"]
-            except (json.JSONDecodeError, KeyError, TypeError):
-                if tail:
-                    break   # torn tail from a crash mid-append
-                state.skipped_lines += 1
-                continue
+        events, state.skipped_lines = iter_journal_events(path)
+        for event in events:
+            kind = event["type"]
             if kind == "campaign":
                 state.n_cells = event.get("n_cells")
                 state.fault_plan = event.get("fault_plan")
@@ -212,8 +272,8 @@ class CampaignJournal:
                 try:
                     record = RunRecord(**event["record"])
                 except (KeyError, TypeError):
-                    if tail:
-                        break
+                    # parseable JSON with a malformed record payload is
+                    # damage, not a torn tail: count and keep replaying
                     state.skipped_lines += 1
                     continue
                 state.completed[event["key"]] = record

@@ -40,6 +40,25 @@ class WorkerStats:
 
 
 @dataclass
+class ShardStats:
+    """Per-shard counters for a sharded campaign (coordinator-owned)."""
+
+    #: current lease epoch (bumps on every fence + resurrection)
+    epoch: int = 0
+    #: lifecycle: running | wedged | dead | done
+    state: str = "running"
+    done: int = 0
+    failed: int = 0
+    execution_kwh: float = 0.0
+    #: cells this shard pulled from a sibling's queue (steal == recover)
+    stolen: int = 0
+    #: cells pushed INTO this shard by a fence/steal reassignment
+    reassigned_in: int = 0
+    #: lease heartbeats journalled into the shard's segment
+    beats: int = 0
+
+
+@dataclass
 class ProgressEvent:
     """Snapshot emitted after every finished cell."""
 
@@ -55,6 +74,8 @@ class ProgressEvent:
     eta_s: float
     execution_kwh: float
     workers: dict[int, WorkerStats] = field(default_factory=dict)
+    #: per-shard rows when the campaign runs under a ShardCoordinator
+    shards: dict[int, ShardStats] = field(default_factory=dict)
     label: str = ""
 
     def render(self) -> str:
@@ -89,6 +110,7 @@ class ProgressTracker:
         self.failed = 0
         self.execution_kwh = 0.0
         self.workers: dict[int, WorkerStats] = {}
+        self.shards: dict[int, ShardStats] = {}
 
     @property
     def done(self) -> int:
@@ -102,14 +124,20 @@ class ProgressTracker:
         """
         self.workers.setdefault(worker, WorkerStats()).current = label
 
+    def shard_stats(self, shard: int) -> ShardStats:
+        """The (auto-created) stats row for ``shard``."""
+        return self.shards.setdefault(shard, ShardStats())
+
     def update(self, *, record=None, kind: str = "executed",
                worker: int | None = None, label: str = "",
-               warm_hits: int | None = None) -> ProgressEvent:
+               warm_hits: int | None = None,
+               shard: int | None = None) -> ProgressEvent:
         """Register one finished cell.
 
         ``kind`` is one of ``executed``/``cached``/``resumed``/``skipped``.
         ``warm_hits`` is the worker-reported cumulative dataset-cache hit
-        count for the executing process.
+        count for the executing process.  ``shard`` attributes the cell
+        to one shard's row in a sharded campaign.
         """
         if kind == "executed":
             self.executed += 1
@@ -137,6 +165,12 @@ class ProgressTracker:
                 # cumulative per-process counter: keep the latest high-water
                 # mark rather than summing re-reports
                 stats.warm_hits = max(stats.warm_hits, warm_hits)
+        if shard is not None:
+            row = self.shard_stats(shard)
+            row.done += 1
+            row.failed += int(failed)
+            if record is not None:
+                row.execution_kwh += record.execution_kwh
         event = self.snapshot(label=label)
         if self.callback is not None:
             self.callback(event)
@@ -161,5 +195,7 @@ class ProgressTracker:
             execution_kwh=self.execution_kwh,
             workers={pid: replace(stats)
                      for pid, stats in self.workers.items()},
+            shards={sid: replace(stats)
+                    for sid, stats in self.shards.items()},
             label=label,
         )
