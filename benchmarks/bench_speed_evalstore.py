@@ -1,0 +1,127 @@
+"""Speed bench — zero-cost what-if ensembling from the evaluation store.
+
+Runs a small seeded campaign with the evaluation store armed, then
+answers the ensembling question twice:
+
+* **refit-based**: what a conventional ensembler pays — re-fitting every
+  pool member before selection (priced by the same deterministic energy
+  model the campaign runs under);
+* **what-if replay**: Caruana selection replayed over the stored
+  out-of-fold predictions — a pure array computation, zero refits.
+
+The headline artefact is ``BENCH_evalstore.json``: the simulated
+refit joules, the modelled what-if joules, and their ratio, plus the
+store ingest/query shape.  ``REPRO_BENCH_SMOKE=1`` shrinks the grid for
+CI; results are bit-identical per seed either way.
+"""
+
+import os
+
+from conftest import emit, write_bench_json
+
+from repro.analysis.reporting import format_table
+from repro.evalstore import (
+    EvalStore,
+    ensemble_frontier,
+    mine_portfolio,
+    trial_front,
+    whatif_ensemble,
+)
+from repro.experiments import ExperimentConfig, run_grid
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: ensembling systems only — what-if replay needs a fixed validation
+#: split per cell, which is how ASKL-style Caruana ensembling works
+CONFIG = ExperimentConfig(
+    systems=("AutoSklearn1",) if SMOKE else ("AutoSklearn1", "AutoSklearn2"),
+    datasets=("credit-g",) if SMOKE else ("credit-g", "kc1", "phoneme"),
+    budgets=(30.0,) if SMOKE else (30.0, 60.0),
+    n_runs=1 if SMOKE else 2,
+    time_scale=0.005,
+)
+
+
+def _run_evalstore_bench(store_dir):
+    telemetry: dict = {}
+    run_grid(CONFIG, eval_store_dir=store_dir, telemetry=telemetry)
+    store = EvalStore(store_dir)
+    cells = {}
+    for record in store.query(kept_only=True):
+        key = (record.dataset, record.system, record.budget_s,
+               record.seed)
+        cells.setdefault(key, []).append(record)
+    results = {
+        key: whatif_ensemble(pool, top_k=25)
+        for key, pool in sorted(cells.items())
+    }
+    portfolio = mine_portfolio(store.records(), size=4)
+    front = trial_front(store.records())
+    frontier = ensemble_frontier(
+        next(iter(sorted(cells.items())))[1], max_size=6,
+    )
+    return telemetry, store, results, portfolio, front, frontier
+
+
+def test_speed_evalstore(benchmark, tmp_path):
+    telemetry, store, results, portfolio, front, frontier = \
+        benchmark.pedantic(
+            _run_evalstore_bench, args=(tmp_path / "store",),
+            rounds=1, iterations=1,
+        )
+    refit_joules = sum(r.refit_joules for r in results.values())
+    whatif_joules = sum(r.whatif_joules for r in results.values())
+    assert whatif_joules > 0 and refit_joules > whatif_joules
+    ratio = refit_joules / whatif_joules
+    path = write_bench_json("BENCH_evalstore.json", {
+        "config": {
+            "systems": list(CONFIG.systems),
+            "datasets": list(CONFIG.datasets),
+            "budgets": list(CONFIG.budgets),
+            "n_runs": CONFIG.n_runs,
+            "smoke": SMOKE,
+        },
+        "store": {
+            "stats": telemetry["evalstore"],
+            "n_records": len(store.records()),
+            "digest": store.digest(),
+        },
+        "whatif": {
+            "n_cells": len(results),
+            "refit_joules": refit_joules,
+            "whatif_joules": whatif_joules,
+            "joules_ratio": ratio,
+            "cells": [
+                {"dataset": ds, "system": system, "budget_s": budget,
+                 "seed": seed, "val_score": r.val_score,
+                 "n_members": r.n_members}
+                for (ds, system, budget, seed), r in sorted(results.items())
+            ],
+        },
+        "portfolio": {"configs": portfolio.configs},
+        "pareto": {
+            "trial_front": [p.as_dict() for p in front],
+            "ensemble_frontier": frontier,
+        },
+    })
+    rows = [
+        [ds, system, f"{budget:g}", seed, r.pool_size, r.n_members,
+         f"{r.val_score:.4f}", f"{r.refit_joules:.4g}",
+         f"{r.whatif_joules:.3g}"]
+        for (ds, system, budget, seed), r in sorted(results.items())
+    ]
+    emit(
+        f"What-if ensembling from the evaluation store — "
+        f"{len(store.records())} stored trial(s), zero refits\n\n"
+        + format_table(
+            ["dataset", "system", "budget", "seed", "pool", "members",
+             "val acc", "refit J", "what-if J"], rows)
+        + f"\n\nrefit-based ensembling would cost {refit_joules:.4g} J; "
+          f"what-if replay cost {whatif_joules:.4g} J "
+          f"({ratio:,.0f}x cheaper)\n"
+          f"mined portfolio: {len(portfolio.configs)} config(s); "
+          f"trial Pareto front: {len(front)} point(s)\n"
+          f"wrote {path}"
+    )
+    assert all(r.n_members >= 1 for r in results.values())
+    assert len(front) >= 1

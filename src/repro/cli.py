@@ -9,6 +9,13 @@
         --journal campaign.jsonl --resume
     python -m repro grid ... --trace --journal campaign.jsonl
     python -m repro grid ... --profile
+    python -m repro grid ... --eval-store .repro-store
+    python -m repro store stats --store .repro-store
+    python -m repro store query --store .repro-store --dataset kc1
+    python -m repro store portfolio --store .repro-store --size 8
+    python -m repro whatif --store .repro-store --dataset kc1 \\
+        --system CAML --budget 10 --seed 0
+    python -m repro pareto --store .repro-store --dataset kc1
     python -m repro trace campaign.jsonl --format json
     python -m repro recommend --budget 300 --classes 2 --priority accuracy
     python -m repro chaos --seeds 0 1 2 --workers 2
@@ -116,6 +123,7 @@ def _cmd_grid(args) -> int:
         resume=args.resume, journal_path=args.journal,
         progress=progress, telemetry=telemetry,
         trace=trace, trace_clock=trace_clock,
+        eval_store_dir=args.eval_store,
     )
     if last_event is not None and last_event.workers and not args.quiet:
         print(_render_worker_table(last_event))
@@ -136,6 +144,11 @@ def _cmd_grid(args) -> int:
             line += (f", {cache_stats['corrupt']} corrupt entr(y/ies) "
                      f"re-executed")
         print(line)
+    evalstore_stats = telemetry.get("evalstore")
+    if evalstore_stats is not None:
+        print(f"evaluation store: {evalstore_stats['writes']} trial "
+              f"record(s) written, {evalstore_stats['dedup_hits']} "
+              f"dedup(s) -> {args.eval_store}")
     if args.out:
         store.save(args.out)
         print(f"wrote {len(store)} records to {args.out}")
@@ -286,6 +299,173 @@ def _cmd_chaos(args) -> int:
         print(f"chaos FAILED for seed(s): {failed_seeds}", file=sys.stderr)
         return 1
     print(f"chaos OK: {len(args.seeds)} seed(s), all invariants held")
+    return 0
+
+
+def _open_eval_store(args):
+    from pathlib import Path
+
+    from repro.evalstore import EvalStore
+
+    root = Path(args.store)
+    if not root.exists():
+        print(f"no evaluation store at {root} — populate one with "
+              f"'repro grid ... --eval-store {root}'", file=sys.stderr)
+        return None
+    return EvalStore(root)
+
+
+def _store_query(store, args):
+    """The shared record filter behind store query/whatif/pareto."""
+    return store.query(
+        dataset=args.dataset, system=args.system,
+        budget_s=args.budget, seed=args.seed,
+        kept_only=getattr(args, "kept_only", False),
+    )
+
+
+def _cmd_store(args) -> int:
+    """Inspect an evaluation store: stats, record listing, portfolio."""
+    import json
+
+    store = _open_eval_store(args)
+    if store is None:
+        return 2
+    if args.store_command == "stats":
+        records = store.records()
+        kept = sum(1 for r in records if r.kept)
+        rows = [
+            ["trial records", len(records)],
+            ["kept (ensemble-eligible)", kept],
+            ["datasets", len({r.dataset for r in records})],
+            ["systems", len({r.system for r in records})],
+            ["distinct configs",
+             len({r.config_digest for r in records})],
+            ["corrupt entries", store.stats.corrupt],
+            ["store digest", store.digest()[:16] + "…"],
+        ]
+        print(format_table(["metric", "value"], rows))
+        return 0
+    if args.store_command == "portfolio":
+        from repro.evalstore import mine_portfolio
+
+        portfolio = mine_portfolio(store.records(), size=args.size)
+        if not portfolio.configs:
+            print("store holds no records to mine", file=sys.stderr)
+            return 1
+        print(f"mined {len(portfolio.configs)}-config portfolio "
+              f"(greedy submodular cover over "
+              f"{len({r.dataset for r in store.records()})} dataset(s))")
+        print(format_table(
+            ["rank", "config"],
+            [[rank, json.dumps(config, sort_keys=True)]
+             for rank, config in enumerate(portfolio.configs)],
+        ))
+        return 0
+    records = _store_query(store, args)
+    if args.format == "json":
+        print(json.dumps([r.as_dict() for r in records], indent=2,
+                         sort_keys=True))
+        return 0
+    rows = [
+        [r.dataset, r.system, f"{r.budget_s:g}", r.seed, r.trial_index,
+         r.config_digest, f"{r.val_score:.4f}",
+         "yes" if r.kept else "no", f"{r.charged_s:.3g}"]
+        for r in records
+    ]
+    print(format_table(
+        ["dataset", "system", "budget", "seed", "trial", "config",
+         "val acc", "kept", "charged (s)"], rows,
+    ))
+    print(f"{len(records)} record(s)")
+    return 0
+
+
+def _cmd_whatif(args) -> int:
+    """Zero-refit Caruana replay over stored OOF predictions."""
+    import json
+
+    from repro.evalstore import whatif_ensemble
+
+    store = _open_eval_store(args)
+    if store is None:
+        return 2
+    records = _store_query(store, args)
+    try:
+        result = whatif_ensemble(
+            records, top_k=args.top_k, max_rounds=args.rounds,
+        )
+    except ValueError as exc:
+        print(f"what-if failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"what-if ensemble over {result.pool_size} stored trial(s) "
+          f"({result.dataset} / {result.system}): zero refits")
+    print(format_table(
+        ["member config", "trial", "weight"],
+        [[digest, trial, f"{weight:.4f}"]
+         for digest, trial, weight in zip(
+             result.member_digests, result.member_trials, result.weights)],
+    ))
+    ratio = (f"{result.joules_ratio:.3g}x"
+             if result.whatif_joules > 0 else "inf")
+    print(f"validation balanced accuracy: {result.val_score:.6f}")
+    print(f"refit would cost {result.refit_joules:.4g} J; replay cost "
+          f"{result.whatif_joules:.4g} J ({ratio} cheaper)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result.as_dict(), fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_pareto(args) -> int:
+    """Energy-vs-accuracy frontiers answered from the store."""
+    import json
+
+    from repro.evalstore import ensemble_frontier, trial_front, trial_points
+
+    store = _open_eval_store(args)
+    if store is None:
+        return 2
+    records = _store_query(store, args)
+    if not records:
+        print("no records match the filter", file=sys.stderr)
+        return 1
+    points = trial_points(records)
+    front = trial_front(records)
+    on_front = {p.label for p in front}
+    rows = [
+        [p.label, f"{p.joules:.4g}", f"{p.score:.4f}",
+         "*" if p.label in on_front else ""]
+        for p in points
+    ]
+    print(f"trial frontier: {len(front)}/{len(points)} config(s) "
+          f"non-dominated")
+    print(format_table(
+        ["config", "refit joules", "val acc", "front"], rows,
+    ))
+    payload: dict = {
+        "points": [p.as_dict() for p in points],
+        "front": [p.as_dict() for p in front],
+    }
+    if args.frontier:
+        try:
+            frontier = ensemble_frontier(records, max_size=args.max_size)
+        except ValueError as exc:
+            print(f"ensemble frontier failed: {exc}", file=sys.stderr)
+            return 1
+        print("ensemble-size frontier (what-if replay, zero refits):")
+        print(format_table(
+            ["pool", "members", "val acc", "refit J", "what-if J"],
+            [[row["pool_size"], row["n_members"],
+              f"{row['val_score']:.4f}", f"{row['refit_joules']:.4g}",
+              f"{row['whatif_joules']:.4g}"] for row in frontier],
+        ))
+        payload["ensemble_frontier"] = frontier
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -545,7 +725,77 @@ def build_parser() -> argparse.ArgumentParser:
     p_grid.add_argument("--profile", action="store_true",
                         help="trace on the wall clock and print a "
                              "per-phase self-time table after the run")
+    p_grid.add_argument("--eval-store", default=None, dest="eval_store",
+                        help="evaluation-store directory: persist every "
+                             "scored trial (config, score, OOF "
+                             "predictions) for zero-refit 'repro "
+                             "whatif' / 'repro pareto' queries")
     p_grid.set_defaults(func=_cmd_grid)
+
+    def add_store_args(p, with_filters=True):
+        p.add_argument("--store", required=True,
+                       help="evaluation-store directory written by "
+                            "grid --eval-store")
+        if with_filters:
+            p.add_argument("--dataset", default=None)
+            p.add_argument("--system", default=None)
+            p.add_argument("--budget", type=float, default=None)
+            p.add_argument("--seed", type=int, default=None)
+
+    p_store = sub.add_parser(
+        "store",
+        help="inspect an evaluation store (stats, records, mined "
+             "portfolio)")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_sstats = store_sub.add_parser(
+        "stats", help="record counts, corruption and the store digest")
+    add_store_args(p_sstats, with_filters=False)
+    p_squery = store_sub.add_parser(
+        "query", help="filtered, canonical-order record listing")
+    add_store_args(p_squery)
+    p_squery.add_argument("--kept-only", action="store_true",
+                          dest="kept_only",
+                          help="only ensemble-eligible trials")
+    p_squery.add_argument("--format", choices=["text", "json"],
+                          default="text")
+    p_sport = store_sub.add_parser(
+        "portfolio",
+        help="mine a greedy submodular warm-start portfolio across "
+             "every stored campaign")
+    add_store_args(p_sport, with_filters=False)
+    p_sport.add_argument("--size", type=int, default=8)
+    p_store.set_defaults(func=_cmd_store)
+
+    p_whatif = sub.add_parser(
+        "whatif",
+        help="replay Caruana ensemble selection over stored OOF "
+             "predictions — bit-identical weights, zero refits")
+    add_store_args(p_whatif)
+    p_whatif.add_argument("--top-k", type=int, default=25, dest="top_k",
+                          help="pool size (best stored trials by "
+                               "validation score)")
+    p_whatif.add_argument("--rounds", type=int, default=50,
+                          help="greedy selection rounds")
+    p_whatif.add_argument("--out", default=None,
+                          help="write the what-if result as JSON")
+    p_whatif.set_defaults(func=_cmd_whatif)
+
+    p_pareto = sub.add_parser(
+        "pareto",
+        help="energy-vs-accuracy frontiers answered from the store")
+    add_store_args(p_pareto)
+    p_pareto.add_argument("--kept-only", action="store_true",
+                          dest="kept_only")
+    p_pareto.add_argument("--frontier", action="store_true",
+                          help="also chart the ensemble-size frontier "
+                               "via what-if replay (filter down to one "
+                               "cell's pool first)")
+    p_pareto.add_argument("--max-size", type=int, default=8,
+                          dest="max_size",
+                          help="largest what-if pool on the frontier")
+    p_pareto.add_argument("--out", default=None,
+                          help="write points + front as JSON")
+    p_pareto.set_defaults(func=_cmd_pareto)
 
     p_trace = sub.add_parser(
         "trace", help="render the span trees of a traced campaign journal")

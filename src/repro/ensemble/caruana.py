@@ -4,16 +4,114 @@ Both ASKL and AutoGluon weight their trained models with this greedy
 forward-selection-with-replacement procedure (Table 1).  It is also the
 root cause of the paper's Observation O1: the selected ensemble carries
 every distinct member to inference, multiplying inference energy.
+
+The selection itself is a pure function of the candidates' validation
+probabilities — it never touches the fitted models — so it lives here
+as :func:`caruana_select` over plain arrays.  :class:`CaruanaEnsemble`
+wraps it for the live path (models in hand); the evaluation store's
+what-if engine replays the *same* core over stored out-of-fold
+predictions, which is what makes replayed weights bit-identical to a
+live fit on the same pool.
 """
 
 from __future__ import annotations
 
 from collections import Counter
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.metrics.classification import balanced_accuracy_score
 from repro.utils.validation import check_is_fitted
+
+
+def align_proba(proba: np.ndarray, model_classes,
+                ensemble_classes) -> np.ndarray:
+    """Probabilities re-indexed from a model's class order onto the
+    ensemble's class set (absent classes stay zero)."""
+    proba = np.asarray(proba, dtype=float)
+    ensemble_classes = np.asarray(ensemble_classes)
+    out = np.zeros((proba.shape[0], len(ensemble_classes)))
+    lookup = {c: j for j, c in enumerate(ensemble_classes.tolist())}
+    for j, c in enumerate(np.asarray(model_classes).tolist()):
+        if c in lookup:
+            out[:, lookup[c]] = proba[:, j]
+    return out
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """What greedy selection decided, independent of any live model."""
+
+    #: distinct selected candidate indices, ascending
+    indices: list[int] = field(default_factory=list)
+    #: normalised weight per entry of ``indices``
+    weights: np.ndarray = field(default_factory=lambda: np.array([]))
+    #: raw pick counts keyed by candidate index
+    counts: dict[int, int] = field(default_factory=dict)
+    #: metric of the final blended prediction on the validation split
+    val_score: float = float("nan")
+
+
+def caruana_select(probas, y_val, classes, *, max_rounds: int = 50,
+                   sorted_init: int = 5,
+                   metric=balanced_accuracy_score) -> SelectionResult:
+    """Greedy forward selection with replacement over aligned
+    probability matrices (one per candidate, all on ``classes``).
+
+    This is the exact procedure :class:`CaruanaEnsemble.fit` always
+    ran, factored out so stored predictions replay it bit for bit:
+    sorted initialisation seeds the ensemble with the individually
+    best candidates (ties break toward the higher index, matching the
+    historical ``sort(reverse=True)`` on (score, index) pairs), then
+    each round adds the candidate maximising the blended score.
+    """
+    if not probas:
+        raise ValueError("need at least one candidate")
+    if max_rounds < 1:
+        raise ValueError("max_rounds must be >= 1")
+    if sorted_init < 0:
+        raise ValueError("sorted_init must be >= 0")
+    y_val = np.asarray(y_val)
+    classes = np.asarray(classes)
+    probas = [np.asarray(p, dtype=float) for p in probas]
+
+    counts: Counter[int] = Counter()
+    running = np.zeros_like(probas[0])
+    n_picked = 0
+    # Sorted initialisation (Caruana et al. 2004): seed the ensemble with
+    # the individually best models before greedy selection — this is what
+    # keeps the selected ensemble *an ensemble* instead of collapsing
+    # onto one lucky model on small validation sets.
+    if sorted_init:
+        solo = []
+        for i, p in enumerate(probas):
+            pred = classes[np.argmax(p, axis=1)]
+            solo.append((metric(y_val, pred), i))
+        solo.sort(reverse=True)
+        for _, i in solo[: min(sorted_init, len(probas))]:
+            counts[i] += 1
+            n_picked += 1
+            running = (running * (n_picked - 1) + probas[i]) / n_picked
+    for _ in range(max_rounds):
+        best_i, best_score = -1, -np.inf
+        for i, p in enumerate(probas):
+            cand = (running * n_picked + p) / (n_picked + 1)
+            pred = classes[np.argmax(cand, axis=1)]
+            score = metric(y_val, pred)
+            if score > best_score:
+                best_score, best_i = score, i
+        counts[best_i] += 1
+        n_picked += 1
+        running = (running * (n_picked - 1) + probas[best_i]) / n_picked
+    total = sum(counts.values())
+    indices = sorted(counts)
+    return SelectionResult(
+        indices=indices,
+        weights=np.array([counts[i] / total for i in indices]),
+        counts=dict(counts),
+        val_score=metric(y_val, classes[np.argmax(running, axis=1)]),
+    )
 
 
 class CaruanaEnsemble:
@@ -44,54 +142,21 @@ class CaruanaEnsemble:
         y_val = np.asarray(y_val)
         self.classes_ = np.unique(y_val)
         probas = [self._aligned_proba(m, X_val) for m in models]
-
-        counts: Counter[int] = Counter()
-        running = np.zeros_like(probas[0])
-        n_picked = 0
-        # Sorted initialisation (Caruana et al. 2004): seed the ensemble with
-        # the individually best models before greedy selection — this is what
-        # keeps the selected ensemble *an ensemble* instead of collapsing
-        # onto one lucky model on small validation sets.
-        if self.sorted_init:
-            solo = []
-            for i, p in enumerate(probas):
-                pred = self.classes_[np.argmax(p, axis=1)]
-                solo.append((self.metric(y_val, pred), i))
-            solo.sort(reverse=True)
-            for _, i in solo[: min(self.sorted_init, len(probas))]:
-                counts[i] += 1
-                n_picked += 1
-                running = (running * (n_picked - 1) + probas[i]) / n_picked
-        for _ in range(self.max_rounds):
-            best_i, best_score = -1, -np.inf
-            for i, p in enumerate(probas):
-                cand = (running * n_picked + p) / (n_picked + 1)
-                pred = self.classes_[np.argmax(cand, axis=1)]
-                score = self.metric(y_val, pred)
-                if score > best_score:
-                    best_score, best_i = score, i
-            counts[best_i] += 1
-            n_picked += 1
-            running = (running * (n_picked - 1) + probas[best_i]) / n_picked
-        total = sum(counts.values())
-        self.members_ = [models[i] for i in sorted(counts)]
-        self.weights_ = np.array(
-            [counts[i] / total for i in sorted(counts)]
+        selection = caruana_select(
+            probas, y_val, self.classes_,
+            max_rounds=self.max_rounds, sorted_init=self.sorted_init,
+            metric=self.metric,
         )
-        self.val_score_ = self.metric(
-            y_val, self.classes_[np.argmax(running, axis=1)]
-        )
+        self.members_ = [models[i] for i in selection.indices]
+        self.weights_ = selection.weights
+        self.val_score_ = selection.val_score
         return self
 
     def _aligned_proba(self, model, X) -> np.ndarray:
         """Model probabilities re-indexed onto the ensemble's class set."""
-        proba = model.predict_proba(X)
-        out = np.zeros((proba.shape[0], len(self.classes_)))
-        lookup = {c: j for j, c in enumerate(self.classes_.tolist())}
-        for j, c in enumerate(model.classes_.tolist()):
-            if c in lookup:
-                out[:, lookup[c]] = proba[:, j]
-        return out
+        return align_proba(
+            model.predict_proba(X), model.classes_, self.classes_,
+        )
 
     # -- prediction -----------------------------------------------------------
     @property

@@ -1,0 +1,95 @@
+"""Portfolio mining: learn warm-start portfolios from stored campaigns.
+
+ASKL2's static portfolio is a greedy submodular cover of configurations
+over an offline repository (``repro.metalearning.portfolio``); the
+systems layer ships with hand-rolled stand-ins for that repository.
+With an evaluation store, the repository is *real*: every campaign ever
+run contributes scored configurations per dataset, and the same greedy
+cover mines them into a portfolio — zero additional search energy, the
+development-stage amortisation the paper's Figure 4 argues for.
+
+:func:`meta_database_from_store` exposes the same knowledge through the
+:class:`~repro.metalearning.warmstart.MetaDatabase` interface, so the
+ASKL-style systems warm-start from mined results without code changes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.loaders import load_dataset
+from repro.datasets.metafeatures import compute_metafeatures
+from repro.evalstore.records import TrialRecord
+from repro.metalearning.portfolio import Portfolio, greedy_portfolio
+from repro.metalearning.warmstart import MetaDatabase, MetaEntry
+
+#: the score a config is assumed to get on a dataset it never ran on —
+#: the failure floor, so unproven configs never look attractive
+MISSING_SCORE = -1.0
+
+
+def performance_matrix(records: list[TrialRecord]):
+    """Fold trial records into the (datasets x configs) score matrix.
+
+    Configs are deduplicated by digest; a config's score on a dataset
+    is the best validation score any of its trials achieved there, and
+    :data:`MISSING_SCORE` where it never ran.  Row/column orders are
+    sorted (dataset name, config digest), so the matrix — and
+    everything mined from it — is insertion-order-invariant.
+
+    Returns ``(datasets, digests, configs, matrix)``.
+    """
+    datasets = sorted({r.dataset for r in records})
+    by_digest: dict[str, dict] = {}
+    for r in sorted(records, key=lambda r: r.config_digest):
+        by_digest.setdefault(r.config_digest, r.config)
+    digests = sorted(by_digest)
+    row = {d: i for i, d in enumerate(datasets)}
+    col = {c: j for j, c in enumerate(digests)}
+    matrix = np.full((len(datasets), len(digests)), MISSING_SCORE)
+    for r in records:
+        i, j = row[r.dataset], col[r.config_digest]
+        matrix[i, j] = max(matrix[i, j], float(r.val_score))
+    configs = [by_digest[c] for c in digests]
+    return datasets, digests, configs, matrix
+
+
+def mine_portfolio(records: list[TrialRecord],
+                   size: int = 8) -> Portfolio:
+    """Greedy submodular portfolio over every stored campaign."""
+    if not records:
+        return Portfolio()
+    _, _, configs, matrix = performance_matrix(records)
+    return greedy_portfolio(matrix, configs, size)
+
+
+def meta_database_from_store(records: list[TrialRecord], *,
+                             top_k: int = 3) -> MetaDatabase:
+    """A warm-start :class:`MetaDatabase` mined from stored trials.
+
+    One :class:`MetaEntry` per dataset: its top-``top_k`` configs by
+    best stored validation score (ties broken by config digest for a
+    deterministic ranking), metafeatures recomputed from the dataset
+    registry.  The offline energy was already paid by the campaigns
+    that filled the store — the whole point of mining over re-running.
+    """
+    db = MetaDatabase()
+    by_dataset: dict[str, dict[str, TrialRecord]] = {}
+    for r in records:
+        best = by_dataset.setdefault(r.dataset, {})
+        prior = best.get(r.config_digest)
+        if prior is None or r.val_score > prior.val_score:
+            best[r.config_digest] = r
+    for dataset in sorted(by_dataset):
+        ranked = sorted(
+            by_dataset[dataset].values(),
+            key=lambda r: (-float(r.val_score), r.config_digest),
+        )[:top_k]
+        ds = load_dataset(dataset)
+        db.entries.append(MetaEntry(
+            dataset=dataset,
+            metafeatures=compute_metafeatures(ds.X_train, ds.y_train),
+            best_configs=[r.config for r in ranked],
+            best_scores=[float(r.val_score) for r in ranked],
+        ))
+    return db

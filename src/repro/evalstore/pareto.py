@@ -1,0 +1,108 @@
+"""Energy-vs-accuracy Pareto queries over the evaluation store.
+
+Two frontiers, both answered from stored records without refitting:
+
+* the **trial frontier** — every stored trial priced at its modelled
+  refit energy, dominated points removed (which single pipelines are
+  worth their joules);
+* the **ensemble-size frontier** — the "More the Merrier" question:
+  replay what-if selection at pool sizes 1..K and chart validation
+  score against the refit energy that pool would cost, so the
+  ensemble-size/accuracy/energy trade-off is a query, not a recompute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.machines import DEFAULT_MACHINE, MachineProfile
+from repro.evalstore.records import TrialRecord
+from repro.evalstore.whatif import whatif_ensemble
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One candidate on the energy/accuracy plane."""
+
+    joules: float
+    score: float
+    label: str
+
+    def as_dict(self) -> dict:
+        return {"joules": self.joules, "score": self.score,
+                "label": self.label}
+
+
+def pareto_front(points: list[ParetoPoint]) -> list[ParetoPoint]:
+    """Non-dominated subset: maximise score, minimise joules.
+
+    Sorted by (joules, -score, label) before the sweep, so the front
+    is a pure function of the point *set* — input order never matters.
+    Ties on joules keep only the best-scoring point.
+    """
+    ordered = sorted(points,
+                     key=lambda p: (p.joules, -p.score, p.label))
+    front: list[ParetoPoint] = []
+    for point in ordered:
+        if front and front[-1].joules == point.joules:
+            continue   # same cost, strictly worse or equal score
+        if front and point.score <= front[-1].score:
+            continue   # dominated: costs more, scores no better
+        front.append(point)
+    return front
+
+
+def trial_points(records: list[TrialRecord],
+                 machine: MachineProfile = DEFAULT_MACHINE,
+                 ) -> list[ParetoPoint]:
+    """Every stored trial as (modelled refit joules, validation score);
+    per config digest only its best-scoring trial survives, labelled by
+    digest so the front reads back to a concrete configuration."""
+    best: dict[str, ParetoPoint] = {}
+    for r in records:
+        point = ParetoPoint(
+            joules=float(r.refit_joules(machine)),
+            score=float(r.val_score),
+            label=r.config_digest,
+        )
+        prior = best.get(r.config_digest)
+        if prior is None or (point.score, -point.joules) \
+                > (prior.score, -prior.joules):
+            best[r.config_digest] = point
+    return [best[digest] for digest in sorted(best)]
+
+
+def trial_front(records: list[TrialRecord],
+                machine: MachineProfile = DEFAULT_MACHINE,
+                ) -> list[ParetoPoint]:
+    return pareto_front(trial_points(records, machine))
+
+
+def ensemble_frontier(records: list[TrialRecord], *, max_size: int = 8,
+                      max_rounds: int = 50, sorted_init: int = 5,
+                      machine: MachineProfile = DEFAULT_MACHINE,
+                      ) -> list[dict]:
+    """Score/energy of what-if ensembles at pool sizes 1..max_size.
+
+    Each row carries the replayed validation score, the refit joules
+    that pool would cost a refit-based ensembler, and the what-if
+    joules actually spent answering — the stored-predictions version of
+    the ensemble-size ablation.
+    """
+    if max_size < 1:
+        raise ValueError("max_size must be >= 1")
+    n_kept = sum(1 for r in records if r.kept)
+    rows = []
+    for size in range(1, min(max_size, n_kept) + 1):
+        result = whatif_ensemble(
+            records, top_k=size, max_rounds=max_rounds,
+            sorted_init=min(sorted_init, size), machine=machine,
+        )
+        rows.append({
+            "pool_size": size,
+            "n_members": result.n_members,
+            "val_score": result.val_score,
+            "refit_joules": result.refit_joules,
+            "whatif_joules": result.whatif_joules,
+        })
+    return rows

@@ -1,0 +1,103 @@
+"""Versioned trial records: the unit the evaluation store persists.
+
+Every scored pipeline evaluation inside a campaign cell becomes one
+:class:`TrialRecord`: the configuration and its digest, the validation
+score, the simulated seconds charged to the budget clock, and — the
+part that makes the store more than a log — the trial's out-of-fold
+class probabilities on the validation split.  Stored OOF predictions
+are what turn ensembling and portfolio construction into zero-cost
+table lookups (TabRepo): Caruana selection replays over them without a
+single refit.
+
+Records are content-addressed by ``(cell cache key, trial index)``
+under :data:`TRIAL_RECORD_VERSION`; bump the version whenever the
+record's meaning changes (new fields, changed OOF semantics) so stale
+stores go cold instead of aliasing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.energy.machines import DEFAULT_MACHINE, MachineProfile
+
+#: bump when the record schema or OOF semantics change, so old stores
+#: read as misses rather than aliasing the new meaning
+TRIAL_RECORD_VERSION = "trial-v1"
+
+
+def config_digest(config: dict) -> str:
+    """Short stable digest of one pipeline configuration (the same
+    sha256-over-sorted-items form the systems layer journals in trial
+    spans, so store rows join against span records)."""
+    payload = repr(sorted(config.items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def trial_key(cell_key: str, trial_index: int) -> str:
+    """sha256 address of one trial inside one campaign cell."""
+    payload = f"{TRIAL_RECORD_VERSION}|{cell_key}|{int(trial_index)}"
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """One scored pipeline evaluation with its OOF predictions.
+
+    ``charged_s`` is in *scaled* simulated seconds (what the cell's
+    :class:`~repro.systems.base.Deadline` was charged); dividing by
+    ``time_scale`` recovers paper-seconds, which is what the refit
+    energy model prices.  ``kept`` mirrors the evaluator's ``keep``
+    flag: only kept trials are in the live ensembling pool.  ``oof``
+    is the raw ``predict_proba`` output on the validation split and
+    ``classes`` the trial pipeline's own class order — alignment onto
+    the ensemble's class set happens at query time, exactly as the
+    live :class:`~repro.ensemble.caruana.CaruanaEnsemble` does it.
+    """
+
+    cell_key: str
+    trial_index: int
+    system: str
+    dataset: str
+    budget_s: float
+    seed: int
+    time_scale: float
+    config: dict
+    config_digest: str
+    val_score: float
+    charged_s: float
+    kept: bool
+    n_train: int
+    classes: list
+    y_val: list
+    oof: list
+    version: str = field(default=TRIAL_RECORD_VERSION)
+
+    @property
+    def key(self) -> str:
+        return trial_key(self.cell_key, self.trial_index)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrialRecord":
+        return cls(**payload)
+
+    def canonical_json(self) -> str:
+        """The byte-stable serialised form (sorted keys; floats via
+        repr round-trip, so OOF probabilities reload bit-identically)."""
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    def refit_joules(self,
+                     machine: MachineProfile = DEFAULT_MACHINE) -> float:
+        """Modelled energy to refit this trial's pipeline once: machine
+        power at one core times the trial's paper-seconds fit cost — the
+        same deterministic pricing quota admission uses, so 'joules
+        saved by not refitting' is replayable."""
+        if self.time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        budget_seconds = float(self.charged_s) / float(self.time_scale)
+        return machine.power(1) * budget_seconds

@@ -1,0 +1,162 @@
+"""Zero-cost what-if ensembling: replay Caruana over stored OOF rows.
+
+The live path (:class:`~repro.ensemble.caruana.CaruanaEnsemble`) holds
+N fitted models and calls ``predict_proba`` per greedy round; here the
+probabilities already sit in the store, so selection is pure array
+arithmetic — the paper's point that most AutoML energy re-derives
+known outcomes.  Both paths run the *same* selection core
+(:func:`~repro.ensemble.caruana.caruana_select`), so replayed weights
+and validation score are bit-identical to what a live ensemble fit on
+the same pool would produce — pinned by test, not merely asserted.
+
+The pool mirrors the live library construction exactly: kept trials in
+evaluation order, ranked by a stable descending sort on validation
+score (``PipelineEvaluator.top_models``), truncated to ``top_k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.energy.machines import DEFAULT_MACHINE, MachineProfile
+from repro.ensemble.caruana import align_proba, caruana_select
+from repro.evalstore.records import TrialRecord
+from repro.metrics.classification import balanced_accuracy_score
+
+#: modelled FLOPs per (row x class) cell of one greedy scoring pass
+#: (blend update, argmax, confusion tally)
+SELECT_FLOPS_PER_CELL = 8.0
+
+
+def select_pool(records: list[TrialRecord],
+                top_k: int) -> list[TrialRecord]:
+    """The stored twin of ``evaluator.top_models(top_k)``: kept trials
+    in evaluation order, stable-sorted by score descending."""
+    if top_k < 1:
+        raise ValueError("top_k must be >= 1")
+    kept = sorted((r for r in records if r.kept),
+                  key=lambda r: (r.cell_key, r.trial_index))
+    ranked = sorted(kept, key=lambda r: r.val_score, reverse=True)
+    return ranked[:top_k]
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """One replayed ensemble selection plus its energy ledger.
+
+    ``refit_joules`` prices what a refit-based ensembler would burn to
+    rebuild the pool (every member refit once, deterministic power
+    model); ``whatif_joules`` prices the selection arithmetic actually
+    performed over the stored arrays.  Their ratio is the headline of
+    ``BENCH_evalstore.json``.
+    """
+
+    dataset: str
+    system: str
+    pool_size: int
+    n_rounds: int
+    member_digests: list[str] = field(default_factory=list)
+    member_trials: list[int] = field(default_factory=list)
+    weights: list[float] = field(default_factory=list)
+    val_score: float = float("nan")
+    refit_joules: float = 0.0
+    whatif_joules: float = 0.0
+
+    @property
+    def n_members(self) -> int:
+        return len(self.member_digests)
+
+    @property
+    def joules_ratio(self) -> float:
+        """Refit-vs-replay energy ratio (>> 1 is the win)."""
+        if self.whatif_joules <= 0:
+            return float("inf")
+        return self.refit_joules / self.whatif_joules
+
+    def as_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "system": self.system,
+            "pool_size": self.pool_size,
+            "n_rounds": self.n_rounds,
+            "member_digests": list(self.member_digests),
+            "member_trials": list(self.member_trials),
+            "weights": list(self.weights),
+            "val_score": self.val_score,
+            "n_members": self.n_members,
+            "refit_joules": self.refit_joules,
+            "whatif_joules": self.whatif_joules,
+            "joules_ratio": self.joules_ratio,
+        }
+
+
+def selection_joules(pool_size: int, n_rounds: int, n_rows: int,
+                     n_classes: int,
+                     machine: MachineProfile = DEFAULT_MACHINE) -> float:
+    """Modelled energy of the replayed selection itself.
+
+    Sorted init scores every candidate once; every greedy round scores
+    every candidate against the running blend.  Priced through the
+    machine's FLOPs-per-joule figure — the same analytic channel the
+    inference cost model uses, so the refit-vs-replay ratio compares
+    like with like.
+    """
+    passes = pool_size * (1 + n_rounds)
+    flops = passes * n_rows * n_classes * SELECT_FLOPS_PER_CELL
+    return flops / machine.flops_per_joule
+
+
+def whatif_ensemble(records: list[TrialRecord], *, top_k: int = 25,
+                    max_rounds: int = 50, sorted_init: int = 5,
+                    metric=balanced_accuracy_score,
+                    machine: MachineProfile = DEFAULT_MACHINE,
+                    ) -> WhatIfResult:
+    """Replay Caruana selection over stored OOF predictions.
+
+    Raises :class:`ValueError` when the pool is empty or the candidate
+    trials disagree on the validation split (what-if parity needs one
+    fixed split, the evaluator default).
+    """
+    pool = select_pool(records, top_k)
+    if not pool:
+        raise ValueError(
+            "no kept trials to ensemble — was the campaign run with an "
+            "evaluation store attached?"
+        )
+    y_ref = pool[0].y_val
+    if any(r.y_val != y_ref for r in pool[1:]):
+        raise ValueError(
+            "pool trials were scored on different validation splits; "
+            "what-if replay needs a fixed split"
+        )
+    y_val = np.asarray(y_ref)
+    classes = np.unique(y_val)
+    probas = [
+        align_proba(np.asarray(r.oof, dtype=float),
+                    np.asarray(r.classes), classes)
+        for r in pool
+    ]
+    selection = caruana_select(
+        probas, y_val, classes,
+        max_rounds=max_rounds, sorted_init=sorted_init, metric=metric,
+    )
+    refit = sum(r.refit_joules(machine) for r in pool)
+    replay = selection_joules(
+        len(pool), max_rounds, len(y_val), len(classes), machine,
+    )
+    return WhatIfResult(
+        dataset=pool[0].dataset,
+        system=pool[0].system,
+        pool_size=len(pool),
+        n_rounds=max_rounds,
+        member_digests=[pool[i].config_digest
+                        for i in selection.indices],
+        member_trials=[int(pool[i].trial_index)
+                       for i in selection.indices],
+        weights=[float(w) for w in selection.weights],
+        val_score=float(selection.val_score),
+        refit_joules=float(refit),
+        whatif_joules=float(replay),
+    )

@@ -149,7 +149,8 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
              journal_path=None, progress=None,
              telemetry: dict | None = None,
              trace: bool = False,
-             trace_clock: str = "ticks") -> ResultsStore:
+             trace_clock: str = "ticks",
+             eval_store_dir=None) -> ResultsStore:
     """Run the full campaign described by ``config``.
 
     ``workers`` fans cells out over a process pool (``1`` = in-process
@@ -175,7 +176,17 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
     across ``shards`` shard groups (each with its own ``workers``-sized
     pool and journal segment) and the merged journal written to
     ``journal_path`` is bit-identical to the serial single-journal run.
+
+    ``eval_store_dir`` turns on the evaluation store: every scored
+    trial (config, validation score, charged budget, out-of-fold
+    predictions) is written through to a
+    :class:`repro.evalstore.EvalStore` at that path for zero-refit
+    what-if ensembling, portfolio mining and Pareto queries
+    (``repro whatif`` / ``repro pareto``).  Capture never changes
+    results: the store digest is byte-identical for any worker/shard
+    layout, and a captured run's records match an uncaptured one.
     """
+    from repro.evalstore import EvalStore
     from repro.runtime import (
         CampaignExecutor,
         CampaignJournal,
@@ -195,17 +206,22 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         system_kwargs=system_kwargs,
     )
     cache = ResultCache(cache_dir) if cache_dir is not None else None
+    eval_store = (EvalStore(eval_store_dir)
+                  if eval_store_dir is not None else None)
     if shards > 1:
         coordinator = ShardCoordinator(
             shards=shards, workers=workers, cache=cache,
             journal_path=journal_path, resume=resume,
             progress_callback=callback,
             trace=trace, trace_clock=trace_clock,
+            eval_store=eval_store,
         )
         store = coordinator.run(cells)
         if telemetry is not None:
             if cache is not None:
                 telemetry["cache"] = cache.stats.as_dict()
+            if eval_store is not None:
+                telemetry["evalstore"] = eval_store.stats.as_dict()
             merged = coordinator.merged
             telemetry["pool_rebuilds"] = sum(
                 s.executor.pool_rebuilds
@@ -232,11 +248,14 @@ def run_grid(config: ExperimentConfig, *, n_cores: int = 1,
         resume=resume,
         progress_callback=callback,
         trace=trace, trace_clock=trace_clock,
+        eval_store=eval_store,
     )
     store = executor.run(cells)
     if telemetry is not None:
         if executor.cache is not None:
             telemetry["cache"] = executor.cache.stats.as_dict()
+        if eval_store is not None:
+            telemetry["evalstore"] = eval_store.stats.as_dict()
         telemetry["pool_rebuilds"] = executor.pool_rebuilds
         telemetry["metrics"] = executor.metrics_snapshot()
         if trace:

@@ -33,6 +33,7 @@ from repro.faults.plan import (
     SEAM_SEGMENT_TORN,
     SEAM_SHARD_DEATH,
     SEAM_SLOW_CELL,
+    SEAM_STORE_CORRUPT,
     SEAM_TRIAL_ERROR,
     SEAM_WORKER_DEATH,
     FaultPlan,
@@ -59,4 +60,5 @@ __all__ = [
     "SEAM_SHARD_DEATH",
     "SEAM_LEASE_EXPIRE",
     "SEAM_SEGMENT_TORN",
+    "SEAM_STORE_CORRUPT",
 ]

@@ -4,7 +4,8 @@ A :class:`FaultPlan` names the *seams* where failures may be injected
 (``cell_error``, ``worker_death``, ``slow_cell``, ``cache_corrupt``,
 ``journal_torn``, ``rapl_read``, ``trial_error``, ``artifact_corrupt``,
 ``request_timeout``, ``shard_death``, ``lease_expire``,
-``segment_torn``) and, per seam, how often and in what pattern they
+``segment_torn``, ``store_corrupt``) and, per seam, how often and in
+what pattern they
 fire.  Decisions are **order-independent
 pure functions** of ``(plan seed, seam, key)``: the draw is a sha256
 hash mapped to [0, 1), so the parent process, a pool worker, and a
@@ -41,6 +42,7 @@ SEAM_SHARD_DEATH = "shard_death"      # a whole shard group dies mid-batch
 SEAM_LEASE_EXPIRE = "lease_expire"    # a shard wedges past its lease, then
                                       # resurrects as a fenced straggler
 SEAM_SEGMENT_TORN = "segment_torn"    # truncated shard journal-segment line
+SEAM_STORE_CORRUPT = "store_corrupt"  # garbled EvalStore trial payload bytes
 
 KNOWN_SEAMS = (
     SEAM_CELL_ERROR,
@@ -55,6 +57,7 @@ KNOWN_SEAMS = (
     SEAM_SHARD_DEATH,
     SEAM_LEASE_EXPIRE,
     SEAM_SEGMENT_TORN,
+    SEAM_STORE_CORRUPT,
 )
 
 #: firing patterns a seam supports

@@ -4,8 +4,8 @@ The package is stratified so that the compute stack composes strictly
 upward::
 
     exceptions < utils < faults/metrics < models/preprocessing/datasets
-        < pipeline < energy < ensemble/metalearning/hpo < systems
-        < devtuning < runtime/experiments/analysis < serving
+        < pipeline < energy < ensemble/metalearning/hpo < evalstore
+        < systems < devtuning < runtime/experiments/analysis < serving
         < cli/__main__
 
 ``faults`` and ``observability`` sit low on purpose: the runtime,
@@ -45,19 +45,23 @@ LAYERS: dict[str, int] = {
     "ensemble": 6,
     "metalearning": 6,
     "hpo": 6,
-    "systems": 7,
-    "devtuning": 8,
-    "runtime": 9,
-    "experiments": 9,
-    "analysis": 9,
-    "lint": 9,
+    # the evaluation store replays ensemble selection and mines
+    # portfolios over persisted trials, so it sits above those engines;
+    # systems write through to it via the capture hook, so it sits below
+    "evalstore": 7,
+    "systems": 8,
+    "devtuning": 9,
+    "runtime": 10,
+    "experiments": 10,
+    "analysis": 10,
+    "lint": 10,
     # serving deploys what the campaign layer trained: it loads systems
     # and reuses the runtime's chaos-report shape, so it sits above the
     # application layer and below the CLI
-    "serving": 10,
-    "cli": 11,
-    "__main__": 11,
-    "__init__": 11,
+    "serving": 11,
+    "cli": 12,
+    "__main__": 12,
+    "__init__": 12,
 }
 
 #: same-rank edges that are part of the design rather than drift

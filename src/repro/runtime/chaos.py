@@ -40,6 +40,7 @@ import warnings
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
+from repro.evalstore import EvalStore, mine_portfolio, whatif_ensemble
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import grid_cells
 from repro.faults import (
@@ -51,6 +52,7 @@ from repro.faults import (
     SEAM_SEGMENT_TORN,
     SEAM_SHARD_DEATH,
     SEAM_SLOW_CELL,
+    SEAM_STORE_CORRUPT,
     SEAM_WORKER_DEATH,
     FailureRecord,
     FaultPlan,
@@ -77,6 +79,7 @@ DEFAULT_SEAMS = (
     SEAM_CACHE_CORRUPT,
     SEAM_JOURNAL_TORN,
     SEAM_RAPL_READ,
+    SEAM_STORE_CORRUPT,
 )
 
 #: seams whose firing makes one (cell, attempt) submission fail
@@ -226,6 +229,7 @@ def run_chaos_campaign(
         seed, DEFAULT_SEAMS, rate, delay_s=delay_s,
     )
     cache = ResultCache(work_dir / "cache")
+    eval_store = EvalStore(work_dir / "evalstore")
     journal_path = work_dir / "journal.jsonl"
     journal = CampaignJournal(journal_path)
     policy = RetryPolicy(
@@ -235,7 +239,7 @@ def run_chaos_campaign(
     executor = CampaignExecutor(
         workers=workers, cache=cache, journal=journal,
         policy=policy, fault_plan=plan, progress_callback=progress,
-        trace=True,
+        trace=True, eval_store=eval_store,
     )
     store = executor.run(cells)
 
@@ -320,6 +324,50 @@ def run_chaos_campaign(
         not undetected and detected == len(corrupt_keys),
         f"{detected}/{len(corrupt_keys)} corrupted cache entries "
         f"re-read as misses (corrupt_entries counter agrees)",
+    ))
+
+    # -- store corruption degrades to warned misses, queries survive ----------
+    # every garbled evaluation-store payload must re-read as a counted
+    # miss, and the query layer (what-if replay, portfolio mining) must
+    # keep answering from the surviving records — corruption thins the
+    # pool, it never poisons a query
+    store_corrupt_keys = {key for seam, key in parent_events
+                          if seam == SEAM_STORE_CORRUPT}
+    store_before = eval_store.stats.corrupt
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        store_undetected = [key for key in store_corrupt_keys
+                            if eval_store.get(key) is not None]
+    store_detected = eval_store.stats.corrupt - store_before
+    query_error = ""
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            surviving = eval_store.records()
+            mine_portfolio(surviving, size=4)
+            # pool per (cell, validation split): systems that resample
+            # validation per trial (CAML) yield mixed-split cells, which
+            # what-if legitimately refuses — same-split pools must work
+            pools: dict[tuple, list] = {}
+            for record in surviving:
+                if record.kept:
+                    pools.setdefault(
+                        (record.cell_key, tuple(record.y_val)), []
+                    ).append(record)
+            for pool in pools.values():
+                whatif_ensemble(pool, top_k=5)
+    except Exception as exc:   # any query failure fails the invariant
+        query_error = f"{type(exc).__name__}: {exc}"
+    check(ChaosCheck(
+        "store-corruption-degrades",
+        not store_undetected
+        and store_detected == len(store_corrupt_keys)
+        and not query_error,
+        (f"{store_detected}/{len(store_corrupt_keys)} corrupted store "
+         f"entries re-read as warned misses; what-if and portfolio "
+         f"queries answered from {len(surviving)} surviving record(s)"
+         if not query_error
+         else f"store query failed after corruption: {query_error}"),
     ))
 
     torn_failures = sum(

@@ -68,6 +68,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.datasets.loaders import Dataset, dataset_cache_hits, load_dataset
+from repro.evalstore.capture import install_capture, uninstall_capture
 from repro.experiments.results import ResultsStore, RunRecord
 from repro.faults import (
     SEAM_CELL_ERROR,
@@ -237,7 +238,8 @@ def _error_outcome(failure: FailureRecord, error: str | None = None,
 
 def _execute_cell(spec: CellSpec, token: int | None = None,
                   fault_plan: dict | None = None,
-                  attempt: int = 0, trace_mode: str | None = None) -> dict:
+                  attempt: int = 0, trace_mode: str | None = None,
+                  capture: bool = False) -> dict:
     """Worker entry point (module-level so it pickles).
 
     Installs a process-local :class:`Tracer` when ``trace_mode`` is set
@@ -248,6 +250,14 @@ def _execute_cell(spec: CellSpec, token: int | None = None,
     the pool, so the parent merges both without shared state.  Metrics
     are drained even when tracing is off: the registry counters
     (trial/cache instrumentation) are always-on telemetry.
+
+    ``capture=True`` installs a process-local
+    :class:`~repro.evalstore.capture.TrialCapture` for the duration of
+    the cell, and ships the drained trial payloads back as
+    ``outcome["trials"]`` on success — the parent ingests them into the
+    campaign's :class:`~repro.evalstore.store.EvalStore` only when the
+    attempt actually commits, so retried/abandoned attempts never leak
+    rows into the store.
     """
     tracer = None
     if trace_mode is not None:
@@ -257,13 +267,18 @@ def _execute_cell(spec: CellSpec, token: int | None = None,
             tracer = install_tracer(Tracer(clock=worker_now))
         else:
             tracer = install_tracer(Tracer())
+    trial_capture = install_capture() if capture else None
     try:
         outcome = _execute_cell_inner(spec, token, fault_plan, attempt)
     finally:
+        if trial_capture is not None:
+            uninstall_capture()
         if tracer is not None:
             uninstall_tracer()
     if tracer is not None:
         outcome["spans"] = tracer.drain()
+    if trial_capture is not None and outcome.get("status") == "ok":
+        outcome["trials"] = trial_capture.drain()
     worker_metrics = get_registry().drain()
     if worker_metrics:
         outcome["metrics"] = worker_metrics
@@ -362,7 +377,7 @@ class CampaignExecutor:
                  progress_callback=None,
                  fault_plan: FaultPlan | None = None,
                  trace: bool = False, trace_clock: str = "ticks",
-                 persistent: bool = False):
+                 persistent: bool = False, eval_store=None):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if trace_clock not in ("ticks", "wall"):
@@ -370,6 +385,12 @@ class CampaignExecutor:
         self.workers = workers
         self.cache = cache
         self.journal = journal
+        #: optional :class:`~repro.evalstore.store.EvalStore`; when set,
+        #: workers capture per-trial OOF payloads and the parent writes
+        #: them through on commit (first-write-wins, so replays and
+        #: shard overlap dedup instead of duplicating)
+        self.eval_store = eval_store
+        self._capture = eval_store is not None
         self.resume = resume
         self.policy = policy or RetryPolicy()
         self.progress_callback = progress_callback
@@ -502,6 +523,9 @@ class CampaignExecutor:
         if self.journal is not None \
                 and self.journal.fault_injector is None:
             self.journal.fault_injector = injector
+        if self.eval_store is not None \
+                and self.eval_store.fault_injector is None:
+            self.eval_store.fault_injector = injector
 
     def _plan_worker_faults(self, item: _Pending) -> None:
         """Account the worker-side faults this submission will fire.
@@ -659,9 +683,14 @@ class CampaignExecutor:
 
     def _commit(self, item: _Pending, record: RunRecord,
                 results, worker: int | None,
-                warm_hits: int | None = None) -> None:
+                warm_hits: int | None = None,
+                trials: list[dict] | None = None) -> None:
         if self.cache is not None:
             self.cache.put(item.key, record)
+        if self.eval_store is not None and trials:
+            # only the committed attempt's trials persist: the store
+            # stays a pure function of the grid, not of retry history
+            self.eval_store.ingest(item.spec, item.key, trials)
         self._journal_cell(item.index, item.key, record, item.attempts)
         results[item.index] = record
         self.metrics.counter("cells.executed").inc()
@@ -736,7 +765,7 @@ class CampaignExecutor:
                 submitted = self._stamp()
                 outcome = _execute_cell(
                     item.spec, None, self._plan_dict, item.attempts,
-                    self._trace_mode,
+                    self._trace_mode, self._capture,
                 )
                 finished = self._stamp()
                 spans = self._absorb(outcome)
@@ -750,6 +779,7 @@ class CampaignExecutor:
                     self._commit(
                         item, RunRecord(**outcome["record"]), results,
                         outcome.get("pid"), outcome.get("warm_hits"),
+                        trials=outcome.get("trials"),
                     )
                     break
                 if outcome["status"] == "skip":
@@ -909,6 +939,7 @@ class CampaignExecutor:
                 future = pool.submit(
                     _execute_cell, item.spec, token,
                     self._plan_dict, item.attempts, self._trace_mode,
+                    self._capture,
                 )
             except BrokenProcessPool:
                 # the pool died under us: put the cell back before the
@@ -1001,6 +1032,7 @@ class CampaignExecutor:
             self._commit(
                 item, RunRecord(**outcome["record"]), results,
                 outcome.get("pid"), outcome.get("warm_hits"),
+                trials=outcome.get("trials"),
             )
         elif outcome["status"] == "skip":
             self._commit_skip(item, outcome["note"])

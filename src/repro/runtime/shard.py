@@ -437,7 +437,7 @@ class ShardCoordinator:
                  trace: bool = False, trace_clock: str = "ticks",
                  quotas: dict[str, float] | None = None,
                  quota_machine: MachineProfile = DEFAULT_MACHINE,
-                 progress_callback=None):
+                 progress_callback=None, eval_store=None):
         if shards < 1:
             raise ValueError("shards must be >= 1")
         if workers < 1:
@@ -445,6 +445,10 @@ class ShardCoordinator:
         self.n_shards = shards
         self.workers = workers
         self.cache = cache
+        #: shared evaluation store — one instance across all shards;
+        #: first-write-wins puts make cross-shard overlap a dedup, not
+        #: a conflict, so the merged store digest is layout-invariant
+        self.eval_store = eval_store
         self.resume = resume
         self.policy = policy or RetryPolicy()
         self.shard_policy = shard_policy or ShardPolicy()
@@ -503,7 +507,7 @@ class ShardCoordinator:
             workers=self.workers, cache=self.cache, journal=journal,
             resume=False, policy=policy, fault_plan=self.fault_plan,
             trace=self.trace, trace_clock=self.trace_clock,
-            persistent=True,
+            persistent=True, eval_store=self.eval_store,
         )
         shard = _ShardRuntime(sid, executor, journal, injector)
         # executor progress doubles as a liveness heartbeat: a shard

@@ -31,6 +31,7 @@ from repro.energy.parallel import (
     budget_bound_execution,
     parallel_execution,
 )
+from repro.evalstore.capture import active_capture
 from repro.exceptions import BudgetExhaustedError, NotFittedError
 from repro.faults import SEAM_TRIAL_ERROR, FailureRecord
 from repro.metrics.classification import balanced_accuracy_score
@@ -239,6 +240,18 @@ class PipelineEvaluator:
             get_registry().counter("trials.evaluated").inc()
             if keep:
                 self.models.append((score, pipeline))
+            capture = active_capture()
+            if capture is not None:
+                # write-through to the evaluation store: OOF predictions
+                # are computed only while a capture is installed, never
+                # consume RNG draws, and never touch the budget clock —
+                # a captured run stays bit-identical to an uncaptured one
+                capture.record(
+                    config=config, val_score=float(score),
+                    kept=bool(keep), charged_s=float(fit_seconds),
+                    n_train=len(y_tr), classes=pipeline.classes_,
+                    y_val=y_val, oof=pipeline.predict_proba(X_val),
+                )
             return score, pipeline
 
     def refit_on_all(self, config: dict) -> object:

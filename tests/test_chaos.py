@@ -106,6 +106,10 @@ class TestChaosHarness:
         assert report.n_cells == 20
         assert sum(report.fault_counts.values()) >= 2
         assert len(report.fault_counts) >= 4
+        # the evaluation-store invariant rides along: corrupted store
+        # entries must degrade to warned misses, never poison queries
+        assert any(check.name == "store-corruption-degrades"
+                   for check in report.checks)
 
     def test_cli_parser_wires_chaos(self):
         from repro.cli import build_parser

@@ -1,0 +1,681 @@
+"""The evaluation store: records, write-through, queries, what-if.
+
+The load-bearing pins live here:
+
+* **what-if parity** — Caruana selection replayed over stored OOF
+  predictions is bit-identical (weights and score) to a live
+  :class:`CaruanaEnsemble` fit on the same pool;
+* **layout invariance** — populating the store through any worker x
+  shard layout yields byte-identical store digests and identical
+  what-if answers;
+* **corruption degrades** — a garbled entry is a warned miss, never a
+  poisoned query.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+from repro.datasets.loaders import load_dataset
+from repro.ensemble.caruana import CaruanaEnsemble
+from repro.evalstore import (
+    EvalStore,
+    TrialRecord,
+    config_digest,
+    ensemble_frontier,
+    meta_database_from_store,
+    mine_portfolio,
+    pareto_front,
+    performance_matrix,
+    select_pool,
+    trial_front,
+    trial_points,
+    trial_key,
+    whatif_ensemble,
+)
+from repro.evalstore.capture import (
+    TrialCapture,
+    active_capture,
+    install_capture,
+    uninstall_capture,
+)
+from repro.evalstore.pareto import ParetoPoint
+from repro.experiments import ExperimentConfig, run_grid
+from repro.faults import KNOWN_SEAMS, SEAM_STORE_CORRUPT
+from repro.pipeline.spaces import build_space
+from repro.runtime.cells import CellSpec
+from repro.systems.base import Deadline, PipelineEvaluator
+from repro.utils import check_random_state
+
+# ---------------------------------------------------------------------------
+# synthetic record plumbing (no sklearn fits: pure store mechanics)
+# ---------------------------------------------------------------------------
+
+N_VAL = 10
+Y_VAL = [0, 1] * (N_VAL // 2)
+
+
+def make_trial(trial_index, *, val_score=0.7, kept=True, n_classes=2,
+               seed=None):
+    """One capture-shaped trial dict with deterministic OOF rows."""
+    rng = np.random.default_rng(
+        trial_index if seed is None else seed
+    )
+    proba = rng.random((N_VAL, n_classes))
+    proba /= proba.sum(axis=1, keepdims=True)
+    config = {"model": "stub", "depth": trial_index}
+    return {
+        "trial_index": trial_index,
+        "config": config,
+        "config_digest": config_digest(config),
+        "val_score": float(val_score),
+        "kept": bool(kept),
+        "charged_s": 0.25,
+        "n_train": 64,
+        "classes": list(range(n_classes)),
+        "y_val": list(Y_VAL),
+        "oof": proba.tolist(),
+    }
+
+
+def make_spec(**overrides):
+    base = dict(system="StubSys", dataset="stub-ds", budget_s=30.0,
+                seed=0, time_scale=0.01)
+    base.update(overrides)
+    return CellSpec(**base)
+
+
+def make_record(index, **overrides):
+    trial = make_trial(index)
+    spec = make_spec()
+    fields = dict(
+        cell_key="cell0", trial_index=index, system=spec.system,
+        dataset=spec.dataset, budget_s=spec.budget_s, seed=spec.seed,
+        time_scale=spec.time_scale, config=trial["config"],
+        config_digest=trial["config_digest"],
+        val_score=trial["val_score"], charged_s=trial["charged_s"],
+        kept=trial["kept"], n_train=trial["n_train"],
+        classes=trial["classes"], y_val=trial["y_val"],
+        oof=trial["oof"],
+    )
+    fields.update(overrides)
+    if "config" in overrides and "config_digest" not in overrides:
+        fields["config_digest"] = config_digest(overrides["config"])
+    return TrialRecord(**fields)
+
+
+# ---------------------------------------------------------------------------
+# records
+# ---------------------------------------------------------------------------
+
+class TestTrialRecord:
+    def test_round_trip_is_lossless(self):
+        record = make_record(3)
+        assert TrialRecord.from_dict(record.as_dict()) == record
+        reloaded = TrialRecord.from_dict(
+            json.loads(record.canonical_json())
+        )
+        assert reloaded == record
+        assert reloaded.oof == record.oof
+
+    def test_key_is_versioned_and_stable(self):
+        record = make_record(2)
+        assert record.key == trial_key("cell0", 2)
+        assert record.key != trial_key("cell0", 3)
+        assert record.key != trial_key("cell1", 2)
+
+    def test_config_digest_is_order_insensitive(self):
+        assert config_digest({"a": 1, "b": 2}) \
+            == config_digest({"b": 2, "a": 1})
+        assert config_digest({"a": 1}) != config_digest({"a": 2})
+
+    def test_refit_joules_prices_paper_seconds(self):
+        record = make_record(0)
+        # charged_s / time_scale paper-seconds at single-core power
+        from repro.energy.machines import DEFAULT_MACHINE
+        expected = DEFAULT_MACHINE.power(1) * (0.25 / 0.01)
+        assert record.refit_joules() == pytest.approx(expected)
+        bad = make_record(0, time_scale=0.0)
+        with pytest.raises(ValueError):
+            bad.refit_joules()
+
+
+# ---------------------------------------------------------------------------
+# store mechanics
+# ---------------------------------------------------------------------------
+
+class TestEvalStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        record = make_record(0)
+        assert store.put(record)
+        assert store.get(record.key) == record
+        assert store.stats.writes == 1
+        assert store.stats.hits == 1
+        assert len(store) == 1
+
+    def test_missing_key_is_a_counted_miss(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        assert store.get("0" * 64) is None
+        assert store.stats.misses == 1
+
+    def test_first_write_wins_dedup(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        record = make_record(0)
+        assert store.put(record)
+        assert not store.put(record)
+        assert store.stats.dedup_hits == 1
+        assert store.stats.dedup_conflicts == 0
+        assert len(store) == 1
+
+    def test_conflicting_rewrite_warns_and_keeps_original(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        record = make_record(0)
+        store.put(record)
+        imposter = make_record(0, val_score=0.99)
+        assert imposter.key == record.key
+        with pytest.warns(UserWarning, match="written twice"):
+            assert not store.put(imposter)
+        assert store.stats.dedup_conflicts == 1
+        assert store.get(record.key).val_score == record.val_score
+
+    def test_corrupt_entry_degrades_to_warned_miss(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        record = make_record(0)
+        store.put(record)
+        path = next((tmp_path / "store").glob("*/*.json"))
+        path.write_text("{ not json")
+        with pytest.warns(UserWarning, match="corrupt evaluation-store"):
+            assert store.get(record.key) is None
+        assert store.stats.corrupt == 1
+        # queries never see the poisoned row
+        with pytest.warns(UserWarning):
+            assert store.records() == []
+
+    def test_ingest_stamps_cell_identity(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        spec = make_spec(system="AutoSklearn1", dataset="credit-g",
+                         seed=3)
+        trials = [make_trial(i) for i in range(3)]
+        assert store.ingest(spec, "cellkey0", trials) == 3
+        records = store.records()
+        assert [r.trial_index for r in records] == [0, 1, 2]
+        assert all(r.system == "AutoSklearn1" for r in records)
+        assert all(r.dataset == "credit-g" for r in records)
+        assert all(r.seed == 3 for r in records)
+        assert all(r.cell_key == "cellkey0" for r in records)
+        # re-ingesting the same committed cell is a no-op
+        assert store.ingest(spec, "cellkey0", trials) == 0
+
+    def test_query_filters(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        store.ingest(make_spec(dataset="credit-g"), "cellA",
+                     [make_trial(0), make_trial(1, kept=False)])
+        store.ingest(make_spec(dataset="kc1", seed=7), "cellB",
+                     [make_trial(0)])
+        assert len(store.query()) == 3
+        assert len(store.query(dataset="credit-g")) == 2
+        assert len(store.query(dataset="credit-g", kept_only=True)) == 1
+        assert len(store.query(seed=7)) == 1
+        assert store.query(system="NoSuchSystem") == []
+        assert len(store.query(budget_s=30.0)) == 3
+
+    def test_digest_is_insertion_order_invariant(self, tmp_path):
+        trials = [make_trial(i) for i in range(4)]
+        forward = EvalStore(tmp_path / "fwd")
+        backward = EvalStore(tmp_path / "bwd")
+        spec = make_spec()
+        forward.ingest(spec, "cell0", trials)
+        backward.ingest(spec, "cell0", list(reversed(trials)))
+        assert forward.digest() == backward.digest()
+
+    def test_merge_from_is_first_write_wins(self, tmp_path):
+        left = EvalStore(tmp_path / "left")
+        right = EvalStore(tmp_path / "right")
+        spec = make_spec()
+        left.ingest(spec, "cellA", [make_trial(0), make_trial(1)])
+        right.ingest(spec, "cellA", [make_trial(1), make_trial(2)])
+        counts = left.merge_from(right)
+        assert counts == {"written": 1, "dedup": 1}
+        assert len(left) == 3
+        # merging the other way round lands on the same content
+        fresh = EvalStore(tmp_path / "fresh")
+        fresh.merge_from(right)
+        fresh.merge_from(left)
+        assert fresh.digest() == left.digest()
+
+    def test_clear_empties_the_store(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        store.ingest(make_spec(), "cell0", [make_trial(0)])
+        store.clear()
+        assert len(store) == 0
+        assert store.records() == []
+
+
+# ---------------------------------------------------------------------------
+# fault seam: store corruption degrades, never poisons
+# ---------------------------------------------------------------------------
+
+class TestStoreCorruptSeam:
+    def test_seam_is_registered(self):
+        assert SEAM_STORE_CORRUPT == "store_corrupt"
+        assert SEAM_STORE_CORRUPT in KNOWN_SEAMS
+
+    def test_injected_corruption_is_a_warned_miss(self, tmp_path):
+        from repro.faults import FaultInjector, FaultPlan
+
+        plan = FaultPlan.uniform(0, [SEAM_STORE_CORRUPT], rate=1.0)
+        store = EvalStore(tmp_path / "store",
+                          fault_injector=FaultInjector(plan))
+        record = make_record(0)
+        store.put(record)
+        with pytest.warns(UserWarning, match="corrupt evaluation-store"):
+            assert store.get(record.key) is None
+        assert store.stats.corrupt == 1
+        # queries over the surviving store still answer
+        with pytest.warns(UserWarning):
+            assert store.records() == []
+
+
+# ---------------------------------------------------------------------------
+# capture slot
+# ---------------------------------------------------------------------------
+
+class TestTrialCapture:
+    def test_install_drain_uninstall(self):
+        assert active_capture() is None
+        cap = install_capture()
+        try:
+            assert active_capture() is cap
+            cap.record(config={"a": 1}, val_score=0.5, kept=True,
+                       charged_s=0.1, n_train=10, classes=[0, 1],
+                       y_val=np.array([0, 1]),
+                       oof=np.array([[0.6, 0.4], [0.3, 0.7]]))
+        finally:
+            uninstall_capture()
+        assert active_capture() is None
+        trials = cap.drain()
+        assert len(trials) == 1
+        assert trials[0]["trial_index"] == 0
+        assert trials[0]["oof"] == [[0.6, 0.4], [0.3, 0.7]]
+        assert cap.drain() == []
+
+    def test_slot_is_thread_local(self):
+        """Two threads install their own captures; neither sees the
+        other's trials — the property the sharded coordinator's
+        in-thread cells depend on."""
+        seen = {}
+
+        def worker(name):
+            cap = install_capture()
+            try:
+                cap.record(config={"who": name}, val_score=0.5,
+                           kept=True, charged_s=0.1, n_train=1,
+                           classes=[0, 1], y_val=[0],
+                           oof=[[0.5, 0.5]])
+            finally:
+                uninstall_capture()
+            seen[name] = cap.drain()
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in ("left", "right")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert [t["config"]["who"] for t in seen["left"]] == ["left"]
+        assert [t["config"]["who"] for t in seen["right"]] == ["right"]
+
+
+# ---------------------------------------------------------------------------
+# live capture + what-if parity (the tentpole pin)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def captured_campaign(tmp_path_factory):
+    """Eight scored trials on credit-g, captured into a store, with the
+    evaluator kept alive for live-ensemble comparison."""
+    ds = load_dataset("credit-g")
+    deadline = Deadline(600.0)
+    evaluator = PipelineEvaluator(
+        ds.X_train, ds.y_train, deadline=deadline,
+        random_state=check_random_state(7),
+    )
+    space = build_space()
+    capture = install_capture()
+    try:
+        for i in range(8):
+            evaluator.evaluate_config(
+                space.sample(check_random_state(i)), deadline=deadline,
+            )
+    finally:
+        uninstall_capture()
+    store = EvalStore(tmp_path_factory.mktemp("evalstore"))
+    spec = make_spec(system="AutoSklearn1", dataset="credit-g")
+    store.ingest(spec, "livecell", capture.drain())
+    return evaluator, store
+
+
+class TestCaptureWriteThrough:
+    def test_capture_mirrors_evaluator_results(self, captured_campaign):
+        evaluator, store = captured_campaign
+        records = store.records()
+        assert len(records) == 8
+        live_scores = [score for score, _ in evaluator.models]
+        assert [r.val_score for r in records] == live_scores
+        _, X_val, _, y_val = evaluator._split()
+        assert all(r.y_val == y_val.tolist() for r in records)
+        assert all(np.asarray(r.oof).shape == (len(y_val), 2)
+                   for r in records)
+
+    def test_uncaptured_evaluation_is_bit_identical(self):
+        """The capture hook must not perturb the evaluation itself:
+        same seeds with and without a capture installed give the same
+        scores and budget charge."""
+        ds = load_dataset("kc1")
+
+        def run(with_capture):
+            deadline = Deadline(200.0)
+            evaluator = PipelineEvaluator(
+                ds.X_train, ds.y_train, deadline=deadline,
+                random_state=check_random_state(11),
+            )
+            space = build_space()
+            if with_capture:
+                install_capture()
+            try:
+                scores = [
+                    evaluator.evaluate_config(
+                        space.sample(check_random_state(i)),
+                        deadline=deadline,
+                    )[0]
+                    for i in range(4)
+                ]
+            finally:
+                if with_capture:
+                    uninstall_capture()
+            return scores, deadline.left()
+
+        assert run(True) == run(False)
+
+
+class TestWhatIfParity:
+    def test_whatif_matches_live_caruana_bit_for_bit(
+            self, captured_campaign):
+        """The acceptance pin: replayed selection over stored OOF rows
+        reproduces the live ensemble's weights and validation score
+        exactly — zero refits."""
+        evaluator, store = captured_campaign
+        _, X_val, _, y_val = evaluator._split()
+        live = CaruanaEnsemble(max_rounds=50)
+        live.fit(evaluator.top_models(5), X_val, y_val)
+
+        replayed = whatif_ensemble(store.records(), top_k=5,
+                                   max_rounds=50)
+        assert replayed.val_score == live.val_score_
+        assert np.array_equal(np.asarray(replayed.weights),
+                              np.asarray(live.weights_))
+        assert replayed.pool_size == 5
+        assert replayed.n_members == len(
+            [w for w in live.weights_ if w > 0]
+        )
+
+    def test_whatif_energy_ledger(self, captured_campaign):
+        _, store = captured_campaign
+        result = whatif_ensemble(store.records(), top_k=5)
+        assert result.whatif_joules > 0
+        assert result.refit_joules > result.whatif_joules
+        assert result.joules_ratio > 1
+        payload = result.as_dict()
+        assert payload["joules_ratio"] == result.joules_ratio
+        assert payload["n_members"] == result.n_members
+
+
+class TestWhatIfValidation:
+    def test_select_pool_mirrors_top_models(self):
+        records = [
+            make_record(0, val_score=0.6),
+            make_record(1, val_score=0.9, kept=False),
+            make_record(2, val_score=0.8),
+            make_record(3, val_score=0.8),
+        ]
+        pool = select_pool(records, top_k=2)
+        # kept only, score-descending, stable on ties
+        assert [r.trial_index for r in pool] == [2, 3]
+        with pytest.raises(ValueError):
+            select_pool(records, top_k=0)
+
+    def test_empty_pool_raises(self):
+        with pytest.raises(ValueError, match="no kept trials"):
+            whatif_ensemble([])
+        with pytest.raises(ValueError, match="no kept trials"):
+            whatif_ensemble([make_record(0, kept=False)])
+
+    def test_mixed_validation_splits_are_refused(self):
+        flipped = [1 - y for y in Y_VAL]
+        records = [make_record(0),
+                   make_record(1, y_val=flipped)]
+        with pytest.raises(ValueError, match="different validation"):
+            whatif_ensemble(records)
+
+
+# ---------------------------------------------------------------------------
+# mining + pareto queries
+# ---------------------------------------------------------------------------
+
+class TestMining:
+    def test_performance_matrix_shape_and_missing(self):
+        records = [
+            make_record(0, dataset="credit-g", val_score=0.7),
+            make_record(1, dataset="credit-g", val_score=0.8),
+            make_record(0, dataset="kc1", cell_key="cell1",
+                        val_score=0.6),
+        ]
+        datasets, digests, configs, matrix = performance_matrix(records)
+        assert datasets == ["credit-g", "kc1"]
+        assert matrix.shape == (2, 2)
+        assert len(configs) == len(digests) == 2
+        # trial 1's config never ran on kc1 -> failure floor
+        assert (matrix == -1.0).sum() == 1
+        assert matrix.max() == 0.8
+
+    def test_mine_portfolio_is_order_invariant(self):
+        records = [make_record(i, val_score=0.5 + 0.1 * i)
+                   for i in range(4)]
+        mined = mine_portfolio(records, size=2)
+        reversed_mined = mine_portfolio(list(reversed(records)), size=2)
+        assert mined.configs == reversed_mined.configs
+        assert len(mined.configs) <= 2
+        assert mine_portfolio([], size=2).configs == []
+
+    def test_meta_database_from_store(self):
+        records = [
+            make_record(i, dataset="credit-g", val_score=0.5 + 0.1 * i)
+            for i in range(3)
+        ]
+        db = meta_database_from_store(records, top_k=2)
+        assert [e.dataset for e in db.entries] == ["credit-g"]
+        entry = db.entries[0]
+        assert entry.best_scores == sorted(entry.best_scores,
+                                           reverse=True)
+        assert len(entry.best_configs) == 2
+
+
+class TestPareto:
+    def test_front_is_nondominated_and_order_invariant(self):
+        points = [
+            ParetoPoint(joules=1.0, score=0.6, label="a"),
+            ParetoPoint(joules=2.0, score=0.5, label="dominated"),
+            ParetoPoint(joules=2.0, score=0.8, label="b"),
+            ParetoPoint(joules=3.0, score=0.8, label="tie-worse"),
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["a", "b"]
+        assert pareto_front(list(reversed(points))) == front
+
+    def test_trial_points_keep_best_per_config(self):
+        records = [
+            make_record(0, val_score=0.6),
+            make_record(1, cell_key="cell1", trial_index=0,
+                        config={"model": "stub", "depth": 0},
+                        val_score=0.9),
+        ]
+        points = trial_points(records)
+        assert len(points) == 1
+        assert points[0].score == 0.9
+        assert len(trial_front(records)) == 1
+
+    def test_ensemble_frontier_rows(self, captured_campaign):
+        _, store = captured_campaign
+        rows = ensemble_frontier(store.records(), max_size=4)
+        assert [row["pool_size"] for row in rows] == [1, 2, 3, 4]
+        assert all(row["refit_joules"] > row["whatif_joules"]
+                   for row in rows)
+        # more candidates never hurt the replayed validation score
+        scores = [row["val_score"] for row in rows]
+        assert scores == sorted(scores) or max(scores) == scores[-1]
+
+
+# ---------------------------------------------------------------------------
+# CLI surface: repro store / whatif / pareto
+# ---------------------------------------------------------------------------
+
+class TestCLI:
+    @pytest.fixture()
+    def store_dir(self, tmp_path):
+        store = EvalStore(tmp_path / "store")
+        spec = make_spec(system="AutoSklearn1", dataset="credit-g")
+        store.ingest(spec, "cellA",
+                     [make_trial(i, val_score=0.6 + 0.05 * i)
+                      for i in range(4)])
+        return str(tmp_path / "store")
+
+    def test_store_stats(self, store_dir, capsys):
+        from repro.cli import main
+
+        assert main(["store", "stats", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "trial records" in out and "store digest" in out
+
+    def test_store_query_json(self, store_dir, capsys):
+        from repro.cli import main
+
+        assert main(["store", "query", "--store", store_dir,
+                     "--dataset", "credit-g", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 4
+        assert all(r["dataset"] == "credit-g" for r in payload)
+
+    def test_store_portfolio(self, store_dir, capsys):
+        from repro.cli import main
+
+        assert main(["store", "portfolio", "--store", store_dir,
+                     "--size", "2"]) == 0
+        assert "portfolio" in capsys.readouterr().out
+
+    def test_whatif_command(self, store_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "whatif.json"
+        assert main(["whatif", "--store", store_dir, "--top-k", "3",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "zero refits" in out
+        assert "validation balanced accuracy" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["pool_size"] == 3
+        assert payload["joules_ratio"] > 1
+
+    def test_pareto_command(self, store_dir, tmp_path, capsys):
+        from repro.cli import main
+
+        out_path = tmp_path / "pareto.json"
+        assert main(["pareto", "--store", store_dir, "--frontier",
+                     "--max-size", "3", "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trial frontier" in out
+        assert "ensemble-size frontier" in out
+        payload = json.loads(out_path.read_text())
+        assert payload["front"]
+        assert [row["pool_size"]
+                for row in payload["ensemble_frontier"]] == [1, 2, 3]
+
+    def test_missing_store_is_a_clean_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        missing = str(tmp_path / "nope")
+        assert main(["store", "stats", "--store", missing]) == 2
+        assert "no evaluation store" in capsys.readouterr().err
+        assert main(["whatif", "--store", missing]) == 2
+        assert main(["pareto", "--store", missing]) == 2
+
+    def test_grid_wires_eval_store_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["grid", "--eval-store", "/tmp/x"]
+        )
+        assert args.eval_store == "/tmp/x"
+        args = build_parser().parse_args(
+            ["whatif", "--store", "/tmp/x", "--top-k", "9"]
+        )
+        assert args.top_k == 9
+        assert args.func.__name__ == "_cmd_whatif"
+
+
+# ---------------------------------------------------------------------------
+# determinism matrix: worker x shard layouts agree byte-for-byte
+# ---------------------------------------------------------------------------
+
+MATRIX_CONFIG = ExperimentConfig(
+    systems=("AutoSklearn1",),
+    datasets=("credit-g",),
+    budgets=(30.0,),
+    n_runs=2,
+    time_scale=0.005,
+)
+
+
+class TestDeterminismMatrix:
+    def test_store_digest_is_layout_invariant(self, tmp_path):
+        """Satellite pin: workers {1,4} x shards {1,3} all produce the
+        byte-identical store digest, and the what-if answer replayed
+        from any layout's store is identical."""
+        digests = {}
+        answers = {}
+        for workers, shards in [(1, 1), (4, 1), (1, 3), (4, 3)]:
+            store_dir = tmp_path / f"w{workers}s{shards}"
+            run_grid(MATRIX_CONFIG, workers=workers, shards=shards,
+                     eval_store_dir=store_dir)
+            store = EvalStore(store_dir)
+            digests[(workers, shards)] = store.digest()
+            first_seed = min(r.seed for r in store.records())
+            pool = store.query(kept_only=True, seed=first_seed)
+            answers[(workers, shards)] = whatif_ensemble(
+                pool, top_k=5
+            ).as_dict()
+        assert len(set(digests.values())) == 1, digests
+        assert len({json.dumps(a, sort_keys=True)
+                    for a in answers.values()}) == 1
+
+
+# ---------------------------------------------------------------------------
+# grid write-through + telemetry
+# ---------------------------------------------------------------------------
+
+class TestGridWriteThrough:
+    def test_run_grid_populates_store_and_telemetry(self, tmp_path):
+        telemetry = {}
+        results = run_grid(MATRIX_CONFIG, eval_store_dir=tmp_path / "s",
+                           telemetry=telemetry)
+        store = EvalStore(tmp_path / "s")
+        assert len(store) > 0
+        assert telemetry["evalstore"]["writes"] == len(store)
+        assert results.records  # the campaign itself is unaffected
+        # every record's cell identity resolves back to the grid
+        for record in store.records():
+            assert record.system == "AutoSklearn1"
+            assert record.dataset == "credit-g"
+            # the runner's seed schedule: base_seed + 1009 * run
+            assert record.seed in (7, 7 + 1009)

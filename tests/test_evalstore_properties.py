@@ -1,0 +1,225 @@
+"""Property-based tests (hypothesis) on the evaluation store.
+
+The store's contract is algebraic, so it is pinned algebraically:
+
+* merging stores is commutative, associative and idempotent (digest
+  equality — byte-level, not just set-level);
+* queries are a pure function of store *content*: insertion order never
+  shows, and serialised query results are byte-stable;
+* persisted OOF probabilities round-trip losslessly through the JSON
+  layer (floats via repr round-trip);
+* what-if replay over stored rows equals a live Caruana fit over stub
+  models carrying the same probabilities — for *any* pool, not just
+  the campaign-derived ones the integration tests pin.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.ensemble.caruana import CaruanaEnsemble
+from repro.evalstore import EvalStore, TrialRecord, config_digest, whatif_ensemble
+
+# keep hypothesis fast and deterministic in CI
+FAST = settings(max_examples=25, deadline=None)
+
+finite = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e6, max_value=1e6)
+scores = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=0.0, max_value=1.0)
+
+
+@st.composite
+def trial_records(draw, max_cells=3, max_trials=3):
+    """A small set of distinct records spread over a few cells."""
+    n_cells = draw(st.integers(1, max_cells))
+    records = []
+    for cell in range(n_cells):
+        n_trials = draw(st.integers(1, max_trials))
+        for index in range(n_trials):
+            config = {"depth": draw(st.integers(0, 9)),
+                      "lr": draw(scores)}
+            oof = [[draw(scores), draw(scores)] for _ in range(3)]
+            records.append(TrialRecord(
+                cell_key=f"cell{cell}",
+                trial_index=index,
+                system=draw(st.sampled_from(["SysA", "SysB"])),
+                dataset=draw(st.sampled_from(["ds-a", "ds-b"])),
+                budget_s=30.0,
+                seed=draw(st.integers(0, 3)),
+                time_scale=0.01,
+                config=config,
+                config_digest=config_digest(config),
+                val_score=draw(scores),
+                charged_s=draw(st.floats(min_value=1e-6, max_value=10.0,
+                                         allow_nan=False)),
+                kept=draw(st.booleans()),
+                n_train=8,
+                classes=[0, 1],
+                y_val=[0, 1, 0],
+                oof=oof,
+            ))
+    return records
+
+
+def build_store(root: Path, records) -> EvalStore:
+    store = EvalStore(root)
+    for record in records:
+        store.put(record)
+    return store
+
+
+@given(records=trial_records(), seed=st.integers(0, 2**16))
+@FAST
+def test_merge_is_commutative(records, seed):
+    rng = np.random.default_rng(seed)
+    split = rng.integers(0, 2, size=len(records)).astype(bool)
+    left = [r for r, flag in zip(records, split) if flag]
+    right = [r for r, flag in zip(records, split) if not flag]
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        ab = build_store(tmp / "a", left)
+        ab.merge_from(build_store(tmp / "b", right))
+        ba = build_store(tmp / "d", right)
+        ba.merge_from(build_store(tmp / "c", left))
+        assert ab.digest() == ba.digest()
+
+
+@given(records=trial_records(), seed=st.integers(0, 2**16))
+@FAST
+def test_merge_is_associative(records, seed):
+    rng = np.random.default_rng(seed)
+    bucket = rng.integers(0, 3, size=len(records))
+    parts = [[r for r, b in zip(records, bucket) if b == i]
+             for i in range(3)]
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        # (a ∪ b) ∪ c
+        left = build_store(tmp / "l", parts[0])
+        left.merge_from(build_store(tmp / "l1", parts[1]))
+        left.merge_from(build_store(tmp / "l2", parts[2]))
+        # a ∪ (b ∪ c)
+        inner = build_store(tmp / "r1", parts[1])
+        inner.merge_from(build_store(tmp / "r2", parts[2]))
+        right = build_store(tmp / "r", parts[0])
+        right.merge_from(inner)
+        assert left.digest() == right.digest()
+
+
+@given(records=trial_records())
+@FAST
+def test_merge_is_idempotent(records):
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        store = build_store(Path(tmp) / "a", records)
+        before = store.digest()
+        counts = store.merge_from(store)
+        assert counts["written"] == 0
+        assert store.digest() == before
+
+
+@given(records=trial_records(), seed=st.integers(0, 2**16))
+@FAST
+def test_queries_are_insertion_order_invariant_and_byte_stable(
+        records, seed):
+    order = np.random.default_rng(seed).permutation(len(records))
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        forward = build_store(tmp / "f", records)
+        shuffled = build_store(tmp / "s",
+                               [records[i] for i in order])
+        assert forward.digest() == shuffled.digest()
+        assert forward.records() == shuffled.records()
+        for kwargs in ({}, {"dataset": "ds-a"}, {"kept_only": True},
+                       {"system": "SysB", "seed": 1}):
+            a = forward.query(**kwargs)
+            b = shuffled.query(**kwargs)
+            assert json.dumps([r.as_dict() for r in a]) \
+                == json.dumps([r.as_dict() for r in b])
+
+
+@given(values=st.lists(finite, min_size=2, max_size=12),
+       score=finite)
+@FAST
+def test_oof_round_trip_is_lossless(values, score):
+    """Arbitrary finite floats survive the store's JSON layer exactly
+    (repr round-trip), so replayed selection sees the very bits the
+    evaluator produced."""
+    oof = [values[i:i + 2] for i in range(0, len(values) - 1, 2)]
+    config = {"x": 1}
+    record = TrialRecord(
+        cell_key="cell0", trial_index=0, system="SysA", dataset="ds-a",
+        budget_s=30.0, seed=0, time_scale=0.01, config=config,
+        config_digest=config_digest(config), val_score=score,
+        charged_s=0.5, kept=True, n_train=4, classes=[0, 1],
+        y_val=[0, 1], oof=oof,
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        store = EvalStore(Path(tmp) / "s")
+        store.put(record)
+        loaded = store.get(record.key)
+    assert loaded.oof == oof
+    assert loaded.val_score == score or (
+        np.isnan(loaded.val_score) and np.isnan(score)
+    )
+    assert np.asarray(loaded.oof, dtype=float).tolist() \
+        == np.asarray(oof, dtype=float).tolist()
+
+
+class _StubModel:
+    """A fitted model whose predict_proba is a stored array."""
+
+    def __init__(self, proba, classes):
+        self._proba = np.asarray(proba, dtype=float)
+        self.classes_ = np.asarray(classes)
+
+    def predict_proba(self, X):
+        return self._proba
+
+
+@given(
+    n_models=st.integers(1, 5),
+    n_rows=st.integers(4, 12),
+    rounds=st.integers(1, 8),
+    seed=st.integers(0, 2**16),
+)
+@FAST
+def test_whatif_equals_live_caruana_on_any_pool(
+        n_models, n_rows, rounds, seed):
+    """For any pool of stored OOF predictions, replayed selection is
+    bit-identical to a live CaruanaEnsemble fit over stub models
+    carrying the same probabilities."""
+    rng = np.random.default_rng(seed)
+    y_val = rng.integers(0, 2, size=n_rows)
+    y_val[0], y_val[1] = 0, 1   # both classes present
+    probas = rng.random((n_models, n_rows, 2))
+    probas /= probas.sum(axis=2, keepdims=True)
+    val_scores = rng.random(n_models)
+
+    records = []
+    for i in range(n_models):
+        config = {"stub": i}
+        records.append(TrialRecord(
+            cell_key="cell0", trial_index=i, system="SysA",
+            dataset="ds-a", budget_s=30.0, seed=0, time_scale=0.01,
+            config=config, config_digest=config_digest(config),
+            val_score=float(val_scores[i]), charged_s=0.5, kept=True,
+            n_train=8, classes=[0, 1], y_val=y_val.tolist(),
+            oof=probas[i].tolist(),
+        ))
+    replayed = whatif_ensemble(records, top_k=n_models,
+                               max_rounds=rounds, sorted_init=2)
+
+    # the live library is top_models(): stable sort, score descending
+    ranked = sorted(range(n_models), key=lambda i: val_scores[i],
+                    reverse=True)
+    library = [_StubModel(probas[i], [0, 1]) for i in ranked]
+    live = CaruanaEnsemble(max_rounds=rounds, sorted_init=2)
+    live.fit(library, np.zeros((n_rows, 1)), y_val)
+
+    assert replayed.val_score == live.val_score_
+    assert np.array_equal(np.asarray(replayed.weights),
+                          np.asarray(live.weights_))

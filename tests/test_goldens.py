@@ -12,6 +12,12 @@ from dataclasses import asdict
 
 import pytest
 
+from repro.evalstore import (
+    EvalStore,
+    mine_portfolio,
+    trial_front,
+    whatif_ensemble,
+)
 from repro.experiments import ExperimentConfig, run_grid
 from repro.experiments.figures import figure3
 from repro.systems import SYSTEM_REGISTRY, make_system
@@ -56,6 +62,49 @@ def test_table1_strategy_drivers(golden):
         for name in sorted(SYSTEM_REGISTRY)
     }
     golden("table1_strategies.json", {"cards": cards})
+
+
+EVALSTORE_CONFIG = ExperimentConfig(
+    systems=("AutoSklearn1",),
+    datasets=("credit-g",),
+    budgets=(30.0,),
+    n_runs=2,
+    time_scale=0.005,
+)
+
+
+@pytest.fixture(scope="module")
+def mini_evalstore(tmp_path_factory):
+    """A seeded mini-campaign written through to an evaluation store."""
+    root = tmp_path_factory.mktemp("evalstore")
+    run_grid(EVALSTORE_CONFIG, eval_store_dir=root)
+    return EvalStore(root)
+
+
+def test_mined_portfolio_matches_golden(mini_evalstore, golden):
+    """The greedy submodular portfolio mined from the stored campaign —
+    any drift in capture, storage order or mining shows here."""
+    portfolio = mine_portfolio(mini_evalstore.records(), size=4)
+    golden("evalstore_portfolio.json", {
+        "store_digest": mini_evalstore.digest(),
+        "configs": portfolio.configs,
+    })
+
+
+def test_pareto_front_matches_golden(mini_evalstore, golden):
+    front = trial_front(mini_evalstore.records())
+    golden("evalstore_pareto.json",
+           {"front": [p.as_dict() for p in front]})
+
+
+def test_whatif_replay_matches_golden(mini_evalstore, golden):
+    """The replayed ensemble for the campaign's first seed: member
+    identities, weights and the energy ledger are all pinned."""
+    records = mini_evalstore.query(kept_only=True)
+    first_seed = min(r.seed for r in records)
+    pool = [r for r in records if r.seed == first_seed]
+    golden("evalstore_whatif.json",
+           whatif_ensemble(pool, top_k=5).as_dict())
 
 
 def test_mini_campaign_records(mini_store, golden):
